@@ -1,0 +1,71 @@
+//! Cluster-scheduler benchmarks: the CPU cost of a placement decision under
+//! each policy as the cluster and function catalogue grow.
+
+use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faas::{AppProfile, FunctionSpec, Gateway};
+use hotc::HotC;
+use hotc_cluster::{Cluster, SchedulePolicy};
+use simclock::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn build(policy: SchedulePolicy, nodes: usize, functions: usize) -> Cluster {
+    let gateways = (0..nodes)
+        .map(|i| {
+            let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+            (
+                format!("node-{i}"),
+                Gateway::new(engine, HotC::with_defaults()),
+            )
+        })
+        .collect();
+    let mut cluster = Cluster::new(policy, gateways);
+    for f in 0..functions {
+        let app = AppProfile::qr_code(LanguageRuntime::Go);
+        let mut config = app.default_config();
+        config.exec.env.insert("FN".into(), f.to_string());
+        cluster.register_everywhere(
+            FunctionSpec::from_app(app)
+                .named(format!("fn-{f}"))
+                .with_config(config),
+        );
+    }
+    // Warm every function once so affinity has pools to inspect.
+    let mut now = SimTime::ZERO;
+    for f in 0..functions {
+        let (_, trace) = cluster.handle(&format!("fn-{f}"), now).expect("prime");
+        now = trace.t6_gateway_out + SimDuration::from_secs(1);
+    }
+    cluster
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/place_and_serve");
+    for &(nodes, functions) in &[(4usize, 16usize), (16, 64)] {
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::ReuseAffinity,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), format!("{nodes}n_{functions}f")),
+                &(nodes, functions),
+                |b, &(nodes, functions)| {
+                    let mut cluster = build(policy, nodes, functions);
+                    let mut now = SimTime::from_secs(10_000);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 7) % functions;
+                        now += SimDuration::from_millis(300);
+                        let function = format!("fn-{i}");
+                        black_box(cluster.handle(&function, now).expect("request"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

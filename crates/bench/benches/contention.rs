@@ -1,0 +1,71 @@
+//! Lock-contention benchmark: real OS threads sharing one HotC gateway,
+//! measuring control-plane throughput as parallelism grows (1–8 threads).
+//! The virtual execution happens outside the lock, so this isolates the
+//! serialized pool bookkeeping — the scalability question for the paper's
+//! middleware design.
+
+use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faas::{AppProfile, Gateway};
+use hotc::{ConcurrentGateway, HotC};
+use simclock::shared::ThreadTimeline;
+use simclock::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn shared_gateway(functions: usize) -> Arc<ConcurrentGateway<HotC>> {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let mut gw = Gateway::new(engine, HotC::with_defaults());
+    for i in 0..functions {
+        let app = AppProfile::qr_code(LanguageRuntime::Go);
+        let mut config = app.default_config();
+        config.exec.env.insert("SHARD".into(), i.to_string());
+        gw.register(
+            faas::FunctionSpec::from_app(app)
+                .named(format!("fn-{i}"))
+                .with_config(config),
+        );
+    }
+    let shared = Arc::new(ConcurrentGateway::new(gw));
+    // Prime one runtime per function so the benchmark measures reuse.
+    let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+    for i in 0..functions {
+        shared
+            .handle(&format!("fn-{i}"), &mut timeline)
+            .expect("prime");
+    }
+    shared
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let requests_per_thread = 200usize;
+    let mut group = c.benchmark_group("contention/shared_gateway");
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * requests_per_thread) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let gw = shared_gateway(threads.max(2));
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let gw = Arc::clone(&gw);
+                            s.spawn(move || {
+                                let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                                let function = format!("fn-{t}");
+                                for _ in 0..requests_per_thread {
+                                    gw.handle(&function, &mut timeline).expect("request");
+                                    timeline.advance(SimDuration::from_millis(200));
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

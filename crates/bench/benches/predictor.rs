@@ -1,0 +1,79 @@
+//! Predictor micro-benchmarks: the per-control-step CPU cost of Eq. 1,
+//! Eq. 2, and the combined model (runs once per runtime type per interval).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predictor::{EsMarkov, ExponentialSmoothing, MarkovChain, Predictor, RegionPartition};
+use std::hint::black_box;
+
+fn demand_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = if (i / 10) % 2 == 0 { 8.0 } else { 19.0 };
+            base + (i % 3) as f64
+        })
+        .collect()
+}
+
+fn bench_smoothing_step(c: &mut Criterion) {
+    c.bench_function("predictor/es_observe_predict", |b| {
+        let mut es = ExponentialSmoothing::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            es.observe((i % 23) as f64);
+            black_box(es.predict())
+        })
+    });
+}
+
+fn bench_markov_fit(c: &mut Criterion) {
+    let series = demand_series(256);
+    c.bench_function("predictor/markov_fit_256", |b| {
+        b.iter(|| black_box(MarkovChain::fit(black_box(&series), 6)))
+    });
+}
+
+fn bench_markov_kstep(c: &mut Criterion) {
+    let chain = MarkovChain::fit(&demand_series(256), 6);
+    c.bench_function("predictor/markov_4step_matrix", |b| {
+        b.iter(|| black_box(chain.k_step_matrix(4)))
+    });
+}
+
+fn bench_combined_step(c: &mut Criterion) {
+    // The actual controller workload: one observe+predict per interval,
+    // including the windowed chain rebuild.
+    c.bench_function("predictor/es_markov_observe_predict", |b| {
+        let mut p = EsMarkov::paper_default();
+        for x in demand_series(64) {
+            p.observe(x);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.observe((8 + (i % 12)) as f64);
+            black_box(p.predict())
+        })
+    });
+}
+
+fn bench_partition_lookup(c: &mut Criterion) {
+    let partition = RegionPartition::new(0.0, 100.0, 8);
+    c.bench_function("predictor/region_state_of", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 13.7) % 120.0;
+            black_box(partition.state_of(x))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_smoothing_step,
+    bench_markov_fit,
+    bench_markov_kstep,
+    bench_combined_step,
+    bench_partition_lookup
+);
+criterion_main!(benches);

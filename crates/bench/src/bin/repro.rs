@@ -1,0 +1,104 @@
+//! `repro` — regenerates every figure of the paper's evaluation.
+//!
+//! Usage:
+//! ```text
+//! repro all          # every figure, in order
+//! repro fig12        # one figure
+//! repro fig4 fig9    # several
+//! ```
+
+use hotc_bench::experiments as exp;
+use std::io::Write as _;
+
+fn run_one(name: &str, out: &mut impl std::io::Write) -> bool {
+    let rendered = match name {
+        "fig1" => exp::fig1::run(5, 10).render(),
+        "fig2" => exp::fig2::run(5000, 42).render(),
+        "fig4" => exp::fig4::run().render(),
+        "fig5" => exp::fig5::run().render(),
+        "fig8" => exp::fig8::run(10).render(),
+        "fig9" => exp::fig9::run(40, 7).render(),
+        "fig10" => exp::fig10::run(11).render(),
+        "fig11" => exp::fig11::run(3, 10.0).render(),
+        "fig12" => exp::fig12::run(20, 10, 30).render(),
+        "fig13" => exp::fig13::run(10).render(),
+        "fig14" => exp::fig14::run().render(),
+        "fig15" => exp::fig15::run().render(),
+        "cluster" => exp::cluster::run(4, 12, 21).render(),
+        "cloudlet" => exp::cloudlet::run(77).render(),
+        "ablations" => exp::ablations::render_all(),
+        "keepalive" => exp::keepalive::run(33).render(),
+        _ => return false,
+    };
+    writeln!(out, "\n######## {name} ########\n").expect("write");
+    writeln!(out, "{rendered}").expect("write");
+    true
+}
+
+const ALL: [&str; 16] = [
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "cluster",
+    "cloudlet",
+    "keepalive",
+    "ablations",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--out <dir>`: additionally write each figure to <dir>/<name>.txt.
+    let out_dir = args.iter().position(|a| a == "--out").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--out needs a directory argument");
+            std::process::exit(2);
+        }
+        let dir = args.remove(i + 1);
+        args.remove(i);
+        dir
+    });
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create '{dir}': {e}");
+            std::process::exit(1);
+        });
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in targets {
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{name}.txt");
+            let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
+                eprintln!("cannot create '{path}': {e}");
+                std::process::exit(1);
+            });
+            if !run_one(name, &mut file) {
+                eprintln!("unknown figure '{name}'; known: {}", ALL.join(", "));
+                std::process::exit(2);
+            }
+            writeln!(out, "wrote {path}").expect("write");
+        } else if !run_one(name, &mut out) {
+            eprintln!("unknown figure '{name}'; known: {}", ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+    out.flush().expect("flush");
+}

@@ -1,0 +1,231 @@
+//! Discrete-event workload driver.
+//!
+//! Feeds a time-ordered [`Arrival`] sequence through a gateway. Requests
+//! overlap naturally: each arrival `begin`s immediately and its `finish` is
+//! scheduled at the request's `t4`, so simultaneous requests occupy separate
+//! containers — exactly how the parallel/burst experiments must behave.
+//! Provider maintenance (`tick`) runs at a fixed interval, *before* arrivals
+//! that share the same instant (the controller acts at round boundaries).
+
+use faas::gateway::Gateway;
+use faas::{RequestTrace, RuntimeProvider};
+use simclock::{SimDuration, SimTime, Simulation};
+use workloads::Arrival;
+
+/// Result of driving a workload to completion.
+pub struct RunOutcome<P: RuntimeProvider> {
+    /// The gateway after the run (provider/engine inspection).
+    pub gateway: Gateway<P>,
+    /// One trace per arrival, in arrival order.
+    pub traces: Vec<RequestTrace>,
+    /// Virtual time at which the last event completed.
+    pub finished_at: SimTime,
+    /// Live-container count sampled at every tick — the resource-footprint
+    /// timeline used by the policy comparisons.
+    pub live_samples: Vec<(SimTime, usize)>,
+}
+
+impl<P: RuntimeProvider> RunOutcome<P> {
+    /// Latencies in arrival order.
+    pub fn latencies(&self) -> Vec<SimDuration> {
+        self.traces.iter().map(|t| t.total()).collect()
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.traces.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.traces.iter().map(|t| t.total()).sum();
+        total / self.traces.len() as u64
+    }
+
+    /// Fraction of requests that cold-started.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces.iter().filter(|t| t.cold).count() as f64 / self.traces.len() as f64
+    }
+
+    /// Fraction of requests whose function process crashed.
+    pub fn failed_fraction(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces.iter().filter(|t| t.failed).count() as f64 / self.traces.len() as f64
+    }
+
+    /// Mean live containers across the tick samples — a resource-footprint
+    /// proxy ("container-hours") for comparing keep-warm policies.
+    pub fn mean_live_containers(&self) -> f64 {
+        if self.live_samples.is_empty() {
+            return 0.0;
+        }
+        self.live_samples
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
+            / self.live_samples.len() as f64
+    }
+}
+
+struct DriverState<P: RuntimeProvider> {
+    gateway: Gateway<P>,
+    traces: Vec<(usize, RequestTrace)>,
+    live_samples: Vec<(SimTime, usize)>,
+}
+
+/// Drives `workload` through `gateway`. `route` maps an arrival's
+/// `config_id` to the function name to invoke; `tick_interval` is the
+/// provider maintenance cadence.
+pub fn run_workload<P>(
+    gateway: Gateway<P>,
+    workload: &[Arrival],
+    route: impl Fn(usize) -> String,
+    tick_interval: SimDuration,
+) -> RunOutcome<P>
+where
+    P: RuntimeProvider + 'static,
+{
+    assert!(
+        workloads::is_time_ordered(workload),
+        "workload must be time-ordered"
+    );
+    assert!(!tick_interval.is_zero(), "tick interval must be positive");
+
+    let mut sim = Simulation::new(DriverState {
+        gateway,
+        traces: Vec::new(),
+        live_samples: Vec::new(),
+    });
+
+    // Provider maintenance ticks, scheduled FIRST so that at equal
+    // timestamps the tick precedes the arrivals (FIFO tie-break).
+    let horizon = workload
+        .last()
+        .map(|a| a.at + tick_interval * 2)
+        .unwrap_or(SimTime::ZERO);
+    let mut t = SimTime::ZERO;
+    while t <= horizon {
+        sim.schedule_at(t, move |s, st: &mut DriverState<P>| {
+            st.gateway.tick(s.now()).expect("tick must not fail");
+            st.live_samples
+                .push((s.now(), st.gateway.engine().live_count()));
+        });
+        t += tick_interval;
+    }
+
+    for (idx, arrival) in workload.iter().enumerate() {
+        let function = route(arrival.config_id);
+        sim.schedule_at(arrival.at, move |s, st: &mut DriverState<P>| {
+            let inflight = st
+                .gateway
+                .begin(&function, s.now())
+                .expect("request must begin");
+            s.schedule_at(inflight.t4_func_end, move |_, st: &mut DriverState<P>| {
+                let trace = st.gateway.finish(inflight).expect("request must finish");
+                st.traces.push((idx, trace));
+            });
+        });
+    }
+
+    sim.run();
+    let finished_at = sim.now();
+    let mut state = sim.into_state();
+    state.traces.sort_by_key(|&(idx, _)| idx);
+    let traces = state.traces.into_iter().map(|(_, t)| t).collect();
+    RunOutcome {
+        gateway: state.gateway,
+        traces,
+        finished_at,
+        live_samples: state.live_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::{ContainerEngine, HardwareProfile};
+    use faas::policy::{ColdStartAlways, FixedKeepAlive};
+    use faas::AppProfile;
+    use hotc::HotC;
+    use workloads::patterns;
+
+    fn gateway<P: RuntimeProvider>(provider: P) -> Gateway<P> {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = Gateway::new(engine, provider);
+        gw.register_app(AppProfile::random_number());
+        gw
+    }
+
+    #[test]
+    fn serial_workload_all_traced() {
+        let w = patterns::serial(SimDuration::from_secs(30), 10, 0);
+        let out = run_workload(
+            gateway(FixedKeepAlive::aws_default()),
+            &w,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(out.traces.len(), 10);
+        assert!(out.traces[0].cold);
+        assert!(out.traces[1..].iter().all(|t| !t.cold));
+        // Traces are in arrival order.
+        for w in out.traces.windows(2) {
+            assert!(w[0].t1_gateway_in <= w[1].t1_gateway_in);
+        }
+    }
+
+    #[test]
+    fn overlapping_arrivals_occupy_separate_containers() {
+        let w = patterns::parallel_clients(1, 1, SimDuration::from_secs(30));
+        // Build a burst of 8 simultaneous arrivals manually.
+        let burst = patterns::burst(8, 1, &[], 1, SimDuration::from_secs(30), 0);
+        assert_eq!(burst.len(), 8);
+        let out = run_workload(
+            gateway(ColdStartAlways::new()),
+            &burst,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(out.traces.len(), 8);
+        assert!(out.traces.iter().all(|t| t.cold));
+        drop(w);
+    }
+
+    #[test]
+    fn hotc_run_reuses_and_ticks() {
+        let w = patterns::serial(SimDuration::from_secs(30), 20, 0);
+        let out = run_workload(
+            gateway(HotC::with_defaults()),
+            &w,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+        assert!(out.cold_fraction() <= 0.1);
+        assert!(out.mean_latency() < SimDuration::from_millis(120));
+        assert!(out.finished_at >= SimTime::from_secs(19 * 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_workload_rejected() {
+        let w = vec![
+            workloads::Arrival {
+                at: SimTime::from_secs(5),
+                config_id: 0,
+            },
+            workloads::Arrival {
+                at: SimTime::from_secs(1),
+                config_id: 0,
+            },
+        ];
+        let _ = run_workload(
+            gateway(ColdStartAlways::new()),
+            &w,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+    }
+}

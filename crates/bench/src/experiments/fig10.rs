@@ -1,0 +1,195 @@
+//! Figure 10: prediction strategy comparison and parameter sensitivity.
+//!
+//! (a) live-container demand for one runtime type over time, with a jump
+//!     from ~8 to ~19 (the paper's relative error drops from 29 % with pure
+//!     exponential smoothing to 10 % with the Markov-corrected combination);
+//! (b) sensitivity to the smoothing coefficient α and the initial-value
+//!     strategy: larger α tracks volatility faster but overshoots, and
+//!     seeding with the historical mean helps the first few predictions.
+
+use metrics_lite::Table;
+use predictor::{
+    mape, one_step_ahead, EsMarkov, ExponentialSmoothing, Holt, InitialValue, MarkovChain,
+    Predictor, RegionPartition,
+};
+use simclock::SimRng;
+
+/// Per-strategy evaluation on the Fig. 10(a) series.
+pub struct StrategyEval {
+    /// Strategy name.
+    pub name: &'static str,
+    /// One-step-ahead predictions (aligned with `series[1..]`).
+    pub predictions: Vec<f64>,
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Mean relative error over the jump indices only.
+    pub jump_error: f64,
+}
+
+/// Result of the Fig. 10 experiment.
+pub struct Fig10Result {
+    /// The demand series (real required container counts).
+    pub series: Vec<f64>,
+    /// Index range `[start, end)` of the regime jump (second occurrence).
+    pub jump_range: (usize, usize),
+    /// Strategy evaluations: ES, Markov, ES+Markov.
+    pub strategies: Vec<StrategyEval>,
+    /// Sensitivity grid: (alpha, init, mape, early_mape).
+    pub sensitivity: Vec<(f64, InitialValue, f64, f64)>,
+}
+
+/// The Fig. 10(a)-shaped demand series: two day-cycles of stable-then-jump
+/// demand (8-ish → 19-ish) with deterministic jitter.
+pub fn demand_series(seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seeded(seed);
+    let mut series = Vec::new();
+    for _cycle in 0..2 {
+        for _ in 0..10 {
+            series.push(8.0 + rng.uniform_u64(0, 3) as f64 - 1.0);
+        }
+        for _ in 0..10 {
+            series.push(19.0 + rng.uniform_u64(0, 3) as f64 - 1.0);
+        }
+    }
+    series
+}
+
+fn eval<P: Predictor>(
+    name: &'static str,
+    mut p: P,
+    series: &[f64],
+    jump: (usize, usize),
+) -> StrategyEval {
+    let predictions = one_step_ahead(&mut p, series);
+    let actual = &series[1..];
+    let m = mape(&predictions, actual);
+    // Jump indices are positions in `series`; predictions[i] targets series[i+1].
+    let (start, end) = jump;
+    let jump_preds = &predictions[start - 1..end - 1];
+    let jump_actual = &actual[start - 1..end - 1];
+    StrategyEval {
+        name,
+        mape: m,
+        jump_error: mape(jump_preds, jump_actual),
+        predictions,
+    }
+}
+
+/// Runs both panels.
+pub fn run(seed: u64) -> Fig10Result {
+    let series = demand_series(seed);
+    // Second cycle's jump: indices 30..33 (first post-jump steps).
+    let jump_range = (30usize, 34usize);
+
+    // α = 0.8 is HotC's deployed setting; α = 0.3 exposes the smoothing lag
+    // on regime jumps that the Markov correction compensates for (the
+    // paper's 29 % → 10 % observation).
+    let strategies = vec![
+        eval(
+            "exp-smoothing(0.8)",
+            ExponentialSmoothing::paper_default(),
+            &series,
+            jump_range,
+        ),
+        eval(
+            "exp-smoothing(0.3)",
+            ExponentialSmoothing::new(0.3),
+            &series,
+            jump_range,
+        ),
+        eval(
+            "markov",
+            MarkovChain::new(RegionPartition::new(0.0, 25.0, 6)),
+            &series,
+            jump_range,
+        ),
+        eval("holt(0.8,0.3)", Holt::new(0.8, 0.3), &series, jump_range),
+        eval(
+            "es+markov(0.8)",
+            EsMarkov::paper_default(),
+            &series,
+            jump_range,
+        ),
+        eval("es+markov(0.3)", EsMarkov::new(0.3), &series, jump_range),
+    ];
+
+    let mut sensitivity = Vec::new();
+    for &alpha in &[0.2, 0.5, 0.8, 0.95] {
+        for init in [InitialValue::FirstObservation, InitialValue::MeanOfFirst5] {
+            let mut p = EsMarkov::with_init(alpha, init);
+            let preds = one_step_ahead(&mut p, &series);
+            let overall = mape(&preds, &series[1..]);
+            let early = mape(&preds[..6], &series[1..7]);
+            sensitivity.push((alpha, init, overall, early));
+        }
+    }
+
+    Fig10Result {
+        series,
+        jump_range,
+        strategies,
+        sensitivity,
+    }
+}
+
+impl Fig10Result {
+    /// Looks up a strategy by name.
+    pub fn strategy(&self, name: &str) -> &StrategyEval {
+        self.strategies
+            .iter()
+            .find(|s| s.name == name)
+            .expect("strategy evaluated")
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 10(a): live-container prediction, real vs strategies",
+            &["t", "real", "es(0.3)", "markov", "es+markov(0.3)"],
+        );
+        for i in 1..self.series.len() {
+            table.row(&[
+                i.to_string(),
+                format!("{:.0}", self.series[i]),
+                format!(
+                    "{:.1}",
+                    self.strategy("exp-smoothing(0.3)").predictions[i - 1]
+                ),
+                format!("{:.1}", self.strategy("markov").predictions[i - 1]),
+                format!("{:.1}", self.strategy("es+markov(0.3)").predictions[i - 1]),
+            ]);
+        }
+        let mut out = table.render();
+        let mut summary = Table::new("Fig 10(a) summary", &["strategy", "mape_%", "jump_error_%"]);
+        for s in &self.strategies {
+            summary.row(&[
+                s.name.to_string(),
+                format!("{:.1}", s.mape * 100.0),
+                format!("{:.1}", s.jump_error * 100.0),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&summary.render());
+        out.push_str(
+            "(paper: combining ES with the Markov correction drops the jump error ≈29% → ≈10%)\n\n",
+        );
+
+        let mut sens = Table::new(
+            "Fig 10(b): sensitivity to alpha and initial value",
+            &["alpha", "init", "mape_%", "early_mape_%"],
+        );
+        for &(alpha, init, overall, early) in &self.sensitivity {
+            sens.row(&[
+                format!("{alpha:.2}"),
+                match init {
+                    InitialValue::FirstObservation => "first-obs".to_string(),
+                    InitialValue::MeanOfFirst5 => "mean-of-5".to_string(),
+                },
+                format!("{:.1}", overall * 100.0),
+                format!("{:.1}", early * 100.0),
+            ]);
+        }
+        out.push_str(&sens.render());
+        out
+    }
+}

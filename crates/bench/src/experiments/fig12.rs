@@ -1,0 +1,133 @@
+//! Figure 12: serial and parallel request latency with and without HotC.
+//!
+//! (a) a single-threaded client sends the same request every 30 s: without
+//!     HotC every request cold-starts; with HotC only the first does.
+//! (b) ten clients, each with its *own* runtime configuration, send requests
+//!     concurrently: "the average latency with HotC is only 9 % of the
+//!     default case".
+
+use crate::driver::run_workload;
+use crate::experiments::server_gateway;
+use containersim::LanguageRuntime;
+use faas::gateway::FunctionSpec;
+use faas::policy::ColdStartAlways;
+use faas::AppProfile;
+use hotc::HotC;
+use metrics_lite::{render_series, Table};
+use simclock::SimDuration;
+use workloads::patterns;
+
+/// Result of the Fig. 12 experiment.
+pub struct Fig12Result {
+    /// Serial per-request latency, default backend (ms).
+    pub serial_default: Vec<f64>,
+    /// Serial per-request latency, HotC (ms).
+    pub serial_hotc: Vec<f64>,
+    /// Parallel mean latency, default backend (ms).
+    pub parallel_default_mean: f64,
+    /// Parallel mean latency, HotC (ms).
+    pub parallel_hotc_mean: f64,
+}
+
+/// Registers one qr-code variant per thread id (each client gets its own
+/// configuration, as in the paper).
+fn qr_gateway<P: faas::RuntimeProvider>(provider: P, variants: usize) -> faas::Gateway<P> {
+    let langs = [
+        LanguageRuntime::Python,
+        LanguageRuntime::Go,
+        LanguageRuntime::NodeJs,
+        LanguageRuntime::Java,
+        LanguageRuntime::Ruby,
+    ];
+    let mut gw = server_gateway(provider, &[]);
+    for i in 0..variants {
+        let app = AppProfile::qr_code(langs[i % langs.len()]);
+        let mut config = app.default_config();
+        // Distinct env per client: distinct runtime type even for same lang.
+        config.exec.env.insert("CLIENT".to_string(), i.to_string());
+        gw.register(
+            FunctionSpec::from_app(app)
+                .named(format!("qr-{i}"))
+                .with_config(config),
+        );
+    }
+    gw
+}
+
+/// Runs both panels: `serial_requests` serial rounds, and `threads` parallel
+/// clients × `rounds` rounds.
+pub fn run(serial_requests: usize, threads: usize, rounds: usize) -> Fig12Result {
+    let tick = SimDuration::from_secs(30);
+    let serial = patterns::serial(SimDuration::from_secs(30), serial_requests, 0);
+    let route = |id: usize| format!("qr-{id}");
+
+    let sd = run_workload(qr_gateway(ColdStartAlways::new(), 1), &serial, route, tick);
+    let sh = run_workload(qr_gateway(HotC::with_defaults(), 1), &serial, route, tick);
+
+    let parallel = patterns::parallel_clients(threads, rounds, SimDuration::from_secs(30));
+    let pd = run_workload(
+        qr_gateway(ColdStartAlways::new(), threads),
+        &parallel,
+        route,
+        tick,
+    );
+    let ph = run_workload(
+        qr_gateway(HotC::with_defaults(), threads),
+        &parallel,
+        route,
+        tick,
+    );
+
+    Fig12Result {
+        serial_default: sd.latencies().iter().map(|d| d.as_millis_f64()).collect(),
+        serial_hotc: sh.latencies().iter().map(|d| d.as_millis_f64()).collect(),
+        parallel_default_mean: pd.mean_latency().as_millis_f64(),
+        parallel_hotc_mean: ph.mean_latency().as_millis_f64(),
+    }
+}
+
+impl Fig12Result {
+    /// HotC's parallel mean as a fraction of the default's (paper: ≈0.09).
+    pub fn parallel_ratio(&self) -> f64 {
+        self.parallel_hotc_mean / self.parallel_default_mean
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let labels: Vec<String> = (0..self.serial_default.len())
+            .map(|i| format!("r{i:02}"))
+            .collect();
+        let mut out = render_series(
+            "Fig 12(a): serial latency without HotC (ms)",
+            &labels,
+            &self.serial_default,
+            48,
+        );
+        out.push('\n');
+        out.push_str(&render_series(
+            "Fig 12(a): serial latency with HotC (ms)",
+            &labels,
+            &self.serial_hotc,
+            48,
+        ));
+        let mut table = Table::new(
+            "Fig 12(b): parallel clients (each with its own configuration)",
+            &["backend", "mean_latency_ms"],
+        );
+        table.row(&[
+            "default".to_string(),
+            format!("{:.1}", self.parallel_default_mean),
+        ]);
+        table.row(&[
+            "hotc".to_string(),
+            format!("{:.1}", self.parallel_hotc_mean),
+        ]);
+        out.push('\n');
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "HotC mean = {:.1}% of default (paper: ≈9%)\n",
+            self.parallel_ratio() * 100.0
+        ));
+        out
+    }
+}

@@ -1,0 +1,191 @@
+//! Figure 14: exponential flows and request bursts.
+//!
+//! (a) requests double every round (2^i): at least half of each round's
+//!     requests can reuse the previous round's runtimes; decreasing flows
+//!     always find hot runtimes after the peak.
+//! (b) bursts: 8 requests per round with ×10 bursts at rounds 4/8/12/16 —
+//!     the first burst only improves ≈9 % (only the steady-state pool is
+//!     warm), later bursts improve by up to ≈73 % (capacity retained from
+//!     earlier bursts plus prediction).
+
+use crate::driver::run_workload;
+use crate::experiments::{reduction_pct, server_gateway};
+use faas::policy::ColdStartAlways;
+use faas::AppProfile;
+use hotc::HotC;
+use metrics_lite::Table;
+use simclock::{SimDuration, SimTime};
+use workloads::patterns::{burst, exponential_ramp, Direction};
+use workloads::Arrival;
+
+/// Per-round reuse summary for the exponential flows.
+pub struct ExpEval {
+    /// Requests per round.
+    pub counts: Vec<usize>,
+    /// Fraction of each round's requests served from warm runtimes (HotC).
+    pub reuse_fraction: Vec<f64>,
+}
+
+/// Per-burst-round latency comparison.
+pub struct BurstEval {
+    /// The burst round indices.
+    pub burst_rounds: Vec<usize>,
+    /// Mean latency in each burst round, default backend (ms).
+    pub default_ms: Vec<f64>,
+    /// Mean latency in each burst round, HotC (ms).
+    pub hotc_ms: Vec<f64>,
+}
+
+impl BurstEval {
+    /// Reduction per burst (paper: ≈9 % first, up to ≈73 % later).
+    pub fn reductions_pct(&self) -> Vec<f64> {
+        self.default_ms
+            .iter()
+            .zip(&self.hotc_ms)
+            .map(|(&d, &h)| reduction_pct(d, h))
+            .collect()
+    }
+}
+
+/// Result of the Fig. 14 experiment.
+pub struct Fig14Result {
+    /// Exponential increasing flow.
+    pub exp_increasing: ExpEval,
+    /// Exponential decreasing flow.
+    pub exp_decreasing: ExpEval,
+    /// Burst comparison.
+    pub bursts: BurstEval,
+}
+
+const ROUND: SimDuration = SimDuration::from_secs(30);
+
+fn round_of(a: &Arrival) -> usize {
+    a.at.duration_since(SimTime::ZERO).div_duration(ROUND) as usize
+}
+
+fn exp_eval(direction: Direction, rounds: u32) -> ExpEval {
+    let workload = exponential_ramp(direction, rounds, ROUND, 0);
+    let apps = [AppProfile::qr_code(containersim::LanguageRuntime::Python)];
+    let out = run_workload(
+        server_gateway(HotC::with_defaults(), &apps),
+        &workload,
+        |_| "qr-code".to_string(),
+        ROUND,
+    );
+    let n_rounds = rounds as usize;
+    let mut counts = vec![0usize; n_rounds];
+    let mut warm = vec![0usize; n_rounds];
+    for (a, t) in workload.iter().zip(&out.traces) {
+        let r = round_of(a);
+        counts[r] += 1;
+        if !t.cold {
+            warm[r] += 1;
+        }
+    }
+    ExpEval {
+        reuse_fraction: warm
+            .iter()
+            .zip(&counts)
+            .map(|(&w, &c)| if c > 0 { w as f64 / c as f64 } else { 0.0 })
+            .collect(),
+        counts,
+    }
+}
+
+/// Runs both panels.
+pub fn run() -> Fig14Result {
+    let exp_increasing = exp_eval(Direction::Increasing, 7);
+    let exp_decreasing = exp_eval(Direction::Decreasing, 7);
+
+    // Fig 14(b): 18 rounds of 8 requests, ×10 bursts at rounds 4/8/12/16.
+    let burst_rounds = vec![4usize, 8, 12, 16];
+    let workload = burst(8, 10, &burst_rounds, 18, ROUND, 0);
+    let apps = [AppProfile::qr_code(containersim::LanguageRuntime::Python)];
+    let route = |_| "qr-code".to_string();
+
+    let d = run_workload(
+        server_gateway(ColdStartAlways::new(), &apps),
+        &workload,
+        route,
+        ROUND,
+    );
+    let h = run_workload(
+        server_gateway(HotC::with_defaults(), &apps),
+        &workload,
+        route,
+        ROUND,
+    );
+
+    let mut default_ms = Vec::new();
+    let mut hotc_ms = Vec::new();
+    for &br in &burst_rounds {
+        let mean = |traces: &[faas::RequestTrace]| {
+            let in_round: Vec<f64> = workload
+                .iter()
+                .zip(traces)
+                .filter(|(a, _)| round_of(a) == br)
+                .map(|(_, t)| t.total().as_millis_f64())
+                .collect();
+            in_round.iter().sum::<f64>() / in_round.len() as f64
+        };
+        default_ms.push(mean(&d.traces));
+        hotc_ms.push(mean(&h.traces));
+    }
+
+    Fig14Result {
+        exp_increasing,
+        exp_decreasing,
+        bursts: BurstEval {
+            burst_rounds,
+            default_ms,
+            hotc_ms,
+        },
+    }
+}
+
+impl Fig14Result {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, eval) in [
+            (
+                "Fig 14(a): exponential increasing (2^i per round), HotC reuse",
+                &self.exp_increasing,
+            ),
+            (
+                "Fig 14(a): exponential decreasing, HotC reuse",
+                &self.exp_decreasing,
+            ),
+        ] {
+            let mut table = Table::new(label, &["round", "requests", "reuse_fraction"]);
+            for r in 0..eval.counts.len() {
+                table.row(&[
+                    r.to_string(),
+                    eval.counts[r].to_string(),
+                    format!("{:.2}", eval.reuse_fraction[r]),
+                ]);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out.push_str(
+            "(paper: at least half of each increasing round reuses the previous wave)\n\n",
+        );
+
+        let mut table = Table::new(
+            "Fig 14(b): request bursts (×10 at rounds 4/8/12/16)",
+            &["burst_round", "default_ms", "hotc_ms", "reduction_%"],
+        );
+        for (i, &br) in self.bursts.burst_rounds.iter().enumerate() {
+            table.row(&[
+                br.to_string(),
+                format!("{:.1}", self.bursts.default_ms[i]),
+                format!("{:.1}", self.bursts.hotc_ms[i]),
+                format!("{:.1}", self.bursts.reductions_pct()[i]),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push_str("(paper: ≈9% at the first burst, up to ≈73% at later bursts)\n");
+        out
+    }
+}

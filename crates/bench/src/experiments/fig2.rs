@@ -1,0 +1,81 @@
+//! Figure 2: the GitHub Dockerfile survey — a few base images dominate.
+
+use metrics_lite::Table;
+use workloads::dockerfiles::{ConfigCategory, DockerfileSurvey};
+
+/// Result of the Fig. 2 experiment.
+pub struct Fig2Result {
+    /// Survey over the "all projects" population.
+    pub all_projects: DockerfileSurvey,
+    /// Survey over the "top-100 popular" population (stronger concentration:
+    /// popular projects cluster even harder on standard bases).
+    pub top100: DockerfileSurvey,
+    /// Fraction of all projects covered by the 4 most popular images.
+    pub all_top4_share: f64,
+    /// Fraction of top-100 projects covered by the 4 most popular images.
+    pub top100_top4_share: f64,
+}
+
+/// Samples both populations. `n_all` is the "thousands of Dockerfiles" size.
+pub fn run(n_all: usize, seed: u64) -> Fig2Result {
+    // Popular projects follow a steeper popularity law.
+    let all_projects = DockerfileSurvey::sample(n_all, 1.0, seed);
+    let top100 = DockerfileSurvey::sample(100, 1.6, seed.wrapping_add(1));
+    let all_top4_share = all_projects.top_k_share(4);
+    let top100_top4_share = top100.top_k_share(4);
+    Fig2Result {
+        all_projects,
+        top100,
+        all_top4_share,
+        top100_top4_share,
+    }
+}
+
+impl Fig2Result {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 2(a): base-image popularity (share of projects)",
+            &["image", "all_projects_%", "top100_%"],
+        );
+        let total_all = self.all_projects.total() as f64;
+        let total_top = self.top100.total() as f64;
+        let top_counts: std::collections::BTreeMap<_, _> =
+            self.top100.ranked().into_iter().collect();
+        for (image, count) in self.all_projects.ranked() {
+            table.row(&[
+                image.to_string(),
+                format!("{:.1}", count as f64 / total_all * 100.0),
+                format!(
+                    "{:.1}",
+                    top_counts.get(image).copied().unwrap_or(0) as f64 / total_top * 100.0
+                ),
+            ]);
+        }
+        let mut out = table.render();
+        out.push_str(&format!(
+            "\ntop-4 images cover {:.1}% of all projects, {:.1}% of the top-100\n\n",
+            self.all_top4_share * 100.0,
+            self.top100_top4_share * 100.0
+        ));
+
+        let mut cat = Table::new(
+            "Fig 2(b): configuration category shares",
+            &["category", "share_%"],
+        );
+        for (category, share) in self.all_projects.category_shares() {
+            cat.row(&[category.name().to_string(), format!("{:.1}", share * 100.0)]);
+        }
+        out.push_str(&cat.render());
+        out
+    }
+
+    /// The OS/language/application shares of the "all projects" population.
+    pub fn category_share(&self, category: ConfigCategory) -> f64 {
+        self.all_projects
+            .category_shares()
+            .get(&category)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}

@@ -1,0 +1,179 @@
+//! Figure 4: cold-start cost by language and network mode.
+//!
+//! (a) container launch (cold-start) time per language runtime,
+//! (b) cold vs hot execution of the S3-download benchmark per language
+//!     (Go cold ≈ 3.06× hot; Java's cold start ≈ doubles its already long
+//!     execution),
+//! (c) network setup time per mode (bridge/host ≈ none, container ≈ ½;
+//!     multi-host overlay up to 23× host mode).
+
+use containersim::{
+    ContainerEngine, CostBreakdown, HardwareProfile, LanguageRuntime, NetworkMode, NetworkScope,
+};
+use faas::AppProfile;
+use metrics_lite::Table;
+use simclock::{SimDuration, SimTime};
+
+/// Per-language cold/hot measurements.
+pub struct LangMeasurement {
+    /// The language runtime.
+    pub lang: LanguageRuntime,
+    /// Cold-start (launch) breakdown.
+    pub launch: CostBreakdown,
+    /// Total cold execution: launch + first run.
+    pub cold_total: SimDuration,
+    /// Hot execution: steady-state run in a live container.
+    pub hot_exec: SimDuration,
+}
+
+impl LangMeasurement {
+    /// cold/hot ratio (paper: 3.06 for Go).
+    pub fn cold_over_hot(&self) -> f64 {
+        self.cold_total.as_secs_f64() / self.hot_exec.as_secs_f64()
+    }
+}
+
+/// Result of the Fig. 4 experiment.
+pub struct Fig4Result {
+    /// Per-language measurements (Fig. 4(a)/(b)).
+    pub languages: Vec<LangMeasurement>,
+    /// Per-mode network setup cost (Fig. 4(c)): (mode, scope, cost).
+    pub network: Vec<(NetworkMode, NetworkScope, SimDuration)>,
+}
+
+/// Runs all three panels on the server profile.
+pub fn run() -> Fig4Result {
+    let hw = HardwareProfile::server();
+    let langs = [
+        LanguageRuntime::Python,
+        LanguageRuntime::Go,
+        LanguageRuntime::Java,
+        LanguageRuntime::NodeJs,
+    ];
+    let mut languages = Vec::new();
+    for lang in langs {
+        let app = AppProfile::s3_download(lang);
+        let mut engine = ContainerEngine::with_local_images(hw.clone());
+        let (id, launch) = engine
+            .create_container(app.default_config(), SimTime::ZERO)
+            .expect("catalogue image");
+        let first = engine
+            .exec(id, app.work_for(true), SimTime::ZERO)
+            .expect("first exec");
+        let hot = engine
+            .exec(id, app.work_for(false), SimTime::from_secs(10))
+            .expect("hot exec");
+        languages.push(LangMeasurement {
+            lang,
+            launch,
+            cold_total: launch.total() + first.latency,
+            hot_exec: hot.latency,
+        });
+    }
+
+    let mut network = Vec::new();
+    for (mode, scope) in [
+        (NetworkMode::None, NetworkScope::SingleHost),
+        (NetworkMode::Bridge, NetworkScope::SingleHost),
+        (NetworkMode::Host, NetworkScope::SingleHost),
+        (NetworkMode::Container, NetworkScope::SingleHost),
+        (NetworkMode::Host, NetworkScope::MultiHost),
+        (NetworkMode::Overlay, NetworkScope::MultiHost),
+        (NetworkMode::Routing, NetworkScope::MultiHost),
+    ] {
+        network.push((mode, scope, mode.setup_cost(&hw)));
+    }
+
+    Fig4Result { languages, network }
+}
+
+impl Fig4Result {
+    /// The measurement for one language.
+    pub fn lang(&self, lang: LanguageRuntime) -> &LangMeasurement {
+        self.languages
+            .iter()
+            .find(|m| m.lang == lang)
+            .expect("language measured")
+    }
+
+    /// Overlay-over-host setup ratio (paper: up to 23×).
+    pub fn overlay_over_host(&self) -> f64 {
+        let get = |mode| {
+            self.network
+                .iter()
+                .find(|&&(m, _, _)| m == mode)
+                .map(|&(_, _, c)| c.as_secs_f64())
+                .expect("mode measured")
+        };
+        get(NetworkMode::Overlay) / get(NetworkMode::Host)
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut launch = Table::new(
+            "Fig 4(a): container launch time by language (ms)",
+            &[
+                "language",
+                "alloc",
+                "net",
+                "volume",
+                "runtime_init",
+                "code",
+                "total",
+            ],
+        );
+        for m in &self.languages {
+            launch.row(&[
+                m.lang.to_string(),
+                format!("{:.0}", m.launch.resource_alloc.as_millis_f64()),
+                format!("{:.0}", m.launch.network_setup.as_millis_f64()),
+                format!("{:.0}", m.launch.volume_mount.as_millis_f64()),
+                format!("{:.0}", m.launch.runtime_init.as_millis_f64()),
+                format!("{:.0}", m.launch.code_load.as_millis_f64()),
+                format!("{:.0}", m.launch.total().as_millis_f64()),
+            ]);
+        }
+        let mut out = launch.render();
+
+        let mut exec = Table::new(
+            "Fig 4(b): S3-download execution, cold vs hot",
+            &["language", "cold_s", "hot_s", "cold/hot"],
+        );
+        for m in &self.languages {
+            exec.row(&[
+                m.lang.to_string(),
+                format!("{:.2}", m.cold_total.as_secs_f64()),
+                format!("{:.2}", m.hot_exec.as_secs_f64()),
+                format!("{:.2}", m.cold_over_hot()),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&exec.render());
+        out.push_str("(paper: Go cold ≈ 3.06x hot; Java cold ≈ 2x its long execution)\n\n");
+
+        let mut net = Table::new(
+            "Fig 4(c): network setup time by mode",
+            &["mode", "scope", "setup_ms", "vs_host"],
+        );
+        let host_single = self
+            .network
+            .iter()
+            .find(|&&(m, s, _)| m == NetworkMode::Host && s == NetworkScope::SingleHost)
+            .map(|&(_, _, c)| c.as_secs_f64())
+            .expect("host mode measured");
+        for &(mode, scope, cost) in &self.network {
+            net.row(&[
+                mode.to_string(),
+                match scope {
+                    NetworkScope::SingleHost => "single".to_string(),
+                    NetworkScope::MultiHost => "multi".to_string(),
+                },
+                format!("{:.0}", cost.as_millis_f64()),
+                format!("{:.1}x", cost.as_secs_f64() / host_single),
+            ]);
+        }
+        out.push_str(&net.render());
+        out.push_str("(paper: container ≈ half of none; overlay up to 23x host mode)\n");
+        out
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 8: image-recognition execution time with and without HotC.
+//!
+//! §V-B: on the PowerEdge server, HotC reduces execution time of `v3-app`
+//! (inception-v3, Python) by 33.2 % and `TF-API-app` (Go) by 23.9 %. On a
+//! Raspberry Pi 3 with overlay-network containers, the same apps run >10×
+//! longer, the cold start is a smaller share of total time, and the
+//! reductions shrink to 26.6 % and 20.6 %. "Without HotC" means each run
+//! boots a fresh container; with HotC, runs reuse the hot runtime.
+
+use crate::experiments::{gateway_on, reduction_pct};
+use containersim::{HardwareProfile, NetworkMode};
+use faas::gateway::FunctionSpec;
+use faas::policy::ColdStartAlways;
+use faas::{AppProfile, Gateway, RuntimeProvider};
+use hotc::HotC;
+use metrics_lite::Table;
+use simclock::{SimDuration, SimTime};
+
+/// One app × platform cell of Fig. 8.
+pub struct Fig8Cell {
+    /// Application name.
+    pub app: &'static str,
+    /// Platform name.
+    pub platform: &'static str,
+    /// Mean per-run time without HotC (fresh container per run).
+    pub default_mean: SimDuration,
+    /// Mean per-run time with HotC (runtime reuse).
+    pub hotc_mean: SimDuration,
+}
+
+impl Fig8Cell {
+    /// Percentage reduction (paper: 33.2 / 23.9 server, 26.6 / 20.6 Pi).
+    pub fn reduction_pct(&self) -> f64 {
+        reduction_pct(
+            self.default_mean.as_secs_f64(),
+            self.hotc_mean.as_secs_f64(),
+        )
+    }
+}
+
+/// Result of the Fig. 8 experiment.
+pub struct Fig8Result {
+    /// The four cells: (v3, server), (tf, server), (v3, pi), (tf, pi).
+    pub cells: Vec<Fig8Cell>,
+}
+
+fn mean_over_runs<P: RuntimeProvider>(
+    mut gw: Gateway<P>,
+    function: &str,
+    runs: usize,
+) -> SimDuration {
+    let mut total = SimDuration::ZERO;
+    let mut now = SimTime::ZERO;
+    for _ in 0..runs {
+        let trace = gw.handle(function, now).expect("run");
+        total += trace.total();
+        now = trace.t6_gateway_out + SimDuration::from_secs(5);
+        gw.tick(now).expect("tick");
+    }
+    total / runs as u64
+}
+
+fn measure(
+    app: &AppProfile,
+    hw: HardwareProfile,
+    net: NetworkMode,
+    runs: usize,
+) -> (SimDuration, SimDuration) {
+    let spec = FunctionSpec::from_app(app.clone()).with_config(app.config_with_network(net));
+
+    let mut default_gw = gateway_on(hw.clone(), ColdStartAlways::new(), &[]);
+    default_gw.register(spec.clone());
+    let default_mean = mean_over_runs(default_gw, &spec.name, runs);
+
+    let mut hotc_gw = gateway_on(hw, HotC::with_defaults(), &[]);
+    hotc_gw.register(spec.clone());
+    let hotc_mean = mean_over_runs(hotc_gw, &spec.name, runs);
+
+    (default_mean, hotc_mean)
+}
+
+/// Runs all four cells, `runs` executions each (paper: average of ten).
+pub fn run(runs: usize) -> Fig8Result {
+    let mut cells = Vec::new();
+    for (app, name) in [
+        (AppProfile::v3_app(), "v3-app"),
+        (AppProfile::tf_api_app(), "TF-API-app"),
+    ] {
+        let (d, h) = measure(&app, HardwareProfile::server(), NetworkMode::Bridge, runs);
+        cells.push(Fig8Cell {
+            app: name,
+            platform: "server",
+            default_mean: d,
+            hotc_mean: h,
+        });
+    }
+    // §V-B: on the Pi the apps run in overlay-network containers.
+    for (app, name) in [
+        (AppProfile::v3_app(), "v3-app"),
+        (AppProfile::tf_api_app(), "TF-API-app"),
+    ] {
+        let (d, h) = measure(
+            &app,
+            HardwareProfile::raspberry_pi3(),
+            NetworkMode::Overlay,
+            runs,
+        );
+        cells.push(Fig8Cell {
+            app: name,
+            platform: "raspberry-pi3",
+            default_mean: d,
+            hotc_mean: h,
+        });
+    }
+    Fig8Result { cells }
+}
+
+impl Fig8Result {
+    /// Looks up a cell.
+    pub fn cell(&self, app: &str, platform: &str) -> &Fig8Cell {
+        self.cells
+            .iter()
+            .find(|c| c.app == app && c.platform == platform)
+            .expect("cell measured")
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 8: image recognition execution time, w/o vs w/ HotC",
+            &[
+                "app",
+                "platform",
+                "default_s",
+                "hotc_s",
+                "reduction_%",
+                "paper_%",
+            ],
+        );
+        let paper = [33.2, 23.9, 26.6, 20.6];
+        for (cell, paper_pct) in self.cells.iter().zip(paper) {
+            table.row(&[
+                cell.app.to_string(),
+                cell.platform.to_string(),
+                format!("{:.2}", cell.default_mean.as_secs_f64()),
+                format!("{:.2}", cell.hotc_mean.as_secs_f64()),
+                format!("{:.1}", cell.reduction_pct()),
+                format!("{paper_pct:.1}"),
+            ]);
+        }
+        table.render()
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the HotC reproduction.
+//!
+//! Every figure in the paper's evaluation has a module under [`experiments`]
+//! that sets up the scenario, runs it on the simulated substrate, and
+//! returns a structured result with a text rendering. The `repro` binary
+//! prints them (`repro all`, `repro fig12`, …); the workspace integration
+//! tests assert the paper-shape properties on the same structs.
+//!
+//! [`driver`] holds the discrete-event workload driver shared by the
+//! experiments: it feeds an arrival sequence through a [`faas::Gateway`]
+//! with overlapping requests and periodic provider ticks.
+
+pub mod driver;
+pub mod experiments;
+
+pub use driver::{run_workload, RunOutcome};

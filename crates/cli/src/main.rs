@@ -1,0 +1,49 @@
+//! `hotc-sim` — run HotC serverless scenarios from plain-text files.
+
+use hotc_cli::scenario::{Scenario, DEMO_SCENARIO};
+use std::io::Read as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hotc-sim <scenario-file> [--verbose]\n       hotc-sim -        (read scenario from stdin)\n       hotc-sim --demo   (print an example scenario)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--demo" {
+        print!("{DEMO_SCENARIO}");
+        return;
+    }
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+
+    let text = if args[0] == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("error reading stdin: {e}");
+                std::process::exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(&args[0]).unwrap_or_else(|e| {
+            eprintln!("error reading '{}': {e}", args[0]);
+            std::process::exit(1);
+        })
+    };
+
+    let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
+        eprintln!("scenario parse error: {e}");
+        std::process::exit(1);
+    });
+    let report = hotc_cli::run_scenario(&scenario).unwrap_or_else(|e| {
+        eprintln!("scenario error: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render(verbose));
+}

@@ -1,0 +1,375 @@
+//! Builds and runs a parsed [`Scenario`], producing a [`ScenarioReport`].
+
+use crate::scenario::{FunctionDecl, ProviderSpec, Scenario, WorkloadSpec};
+use containersim::{ContainerEngine, LanguageRuntime};
+use faas::gateway::Gateway;
+use faas::{
+    AppProfile, ColdStartAlways, FixedKeepAlive, FunctionSpec, HybridKeepAlive, PeriodicWarmup,
+};
+use hotc::{HotC, HotCConfig, KeyPolicy};
+use hotc_bench::run_workload;
+use metrics_lite::{LatencyRecorder, Table};
+use workloads::patterns::{self, Direction};
+use workloads::youtube::{expand_to_arrivals, youtube_trace, YoutubeTraceParams};
+use workloads::Arrival;
+
+/// The outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Requests served.
+    pub requests: usize,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// p99 latency (ms).
+    pub p99_ms: f64,
+    /// Fraction of requests that cold-started.
+    pub cold_fraction: f64,
+    /// Fraction of requests that failed (fault injection).
+    pub failed_fraction: f64,
+    /// Live containers at the end of the run.
+    pub live_at_end: usize,
+    /// Provider background work (virtual seconds).
+    pub background_s: f64,
+    /// Per-request latencies (ms), arrival order.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl ScenarioReport {
+    /// Renders the report as text tables.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        if verbose {
+            let labels: Vec<String> = (0..self.latencies_ms.len())
+                .map(|i| format!("r{i:03}"))
+                .collect();
+            out.push_str(&metrics_lite::render_series(
+                "per-request latency (ms)",
+                &labels,
+                &self.latencies_ms,
+                48,
+            ));
+            out.push('\n');
+        }
+        let mut table = Table::new(
+            "scenario summary",
+            &[
+                "requests",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+                "cold_frac",
+                "failed_frac",
+                "live_at_end",
+                "background_s",
+            ],
+        );
+        table.row(&[
+            self.requests.to_string(),
+            format!("{:.1}", self.mean_ms),
+            format!("{:.1}", self.p50_ms),
+            format!("{:.1}", self.p99_ms),
+            format!("{:.3}", self.cold_fraction),
+            format!("{:.3}", self.failed_fraction),
+            self.live_at_end.to_string(),
+            format!("{:.2}", self.background_s),
+        ]);
+        out.push_str(&table.render());
+        out
+    }
+}
+
+fn build_app(decl: &FunctionDecl) -> Result<AppProfile, String> {
+    Ok(match decl.app.as_str() {
+        "random-number" => AppProfile::random_number(),
+        "qr-code" => AppProfile::qr_code(decl.lang),
+        "s3-download" => AppProfile::s3_download(decl.lang),
+        "v3-app" => AppProfile::v3_app(),
+        "tf-api-app" => AppProfile::tf_api_app(),
+        "cassandra" => AppProfile::cassandra(),
+        other => return Err(format!("unknown app '{other}'")),
+    })
+}
+
+fn build_workload(spec: &WorkloadSpec, functions: usize, seed: u64) -> Vec<Arrival> {
+    match spec {
+        WorkloadSpec::Serial { count, interval } => patterns::serial(*interval, *count, 0),
+        WorkloadSpec::Parallel {
+            threads,
+            per_thread,
+            interval,
+        } => patterns::parallel_clients(*threads, *per_thread, *interval),
+        WorkloadSpec::Linear {
+            increasing,
+            start,
+            step,
+            rounds,
+            round,
+        } => patterns::linear_ramp(
+            if *increasing {
+                Direction::Increasing
+            } else {
+                Direction::Decreasing
+            },
+            *start,
+            *step,
+            *rounds,
+            *round,
+            0,
+        ),
+        WorkloadSpec::Exponential {
+            increasing,
+            rounds,
+            round,
+        } => patterns::exponential_ramp(
+            if *increasing {
+                Direction::Increasing
+            } else {
+                Direction::Decreasing
+            },
+            *rounds,
+            *round,
+            0,
+        ),
+        WorkloadSpec::Burst {
+            base,
+            factor,
+            burst_at,
+            rounds,
+            round,
+        } => patterns::burst(*base, *factor, burst_at, *rounds, *round, 0),
+        WorkloadSpec::Poisson {
+            rate,
+            duration,
+            zipf,
+        } => patterns::poisson(*rate, *duration, functions.max(1), *zipf, seed),
+        WorkloadSpec::Azure {
+            functions: population,
+            duration,
+        } => {
+            let params = workloads::azure::AzureWorkloadParams {
+                functions: *population,
+                duration: *duration,
+                seed,
+                ..Default::default()
+            };
+            let (mut arrivals, _) = workloads::azure::azure_workload(&params);
+            // Cycle the synthetic population onto the declared functions.
+            for a in &mut arrivals {
+                a.config_id %= functions.max(1);
+            }
+            arrivals
+        }
+        WorkloadSpec::Youtube {
+            scale,
+            index,
+            length,
+        } => {
+            let params = YoutubeTraceParams {
+                length: *length,
+                seed,
+                ..Default::default()
+            };
+            let rates: Vec<f64> = youtube_trace(&params)
+                .into_iter()
+                .map(|r| r / scale.max(1e-9))
+                .collect();
+            expand_to_arrivals(&rates, *index, 0, seed)
+        }
+    }
+}
+
+fn run_with_provider<P: faas::RuntimeProvider + 'static>(
+    provider: P,
+    scenario: &Scenario,
+    workload: &[Arrival],
+) -> Result<ScenarioReport, String> {
+    let mut engine = ContainerEngine::with_local_images(scenario.hardware.clone());
+    if scenario.crash_rate > 0.0 {
+        engine.set_fault_injection(scenario.crash_rate, scenario.seed);
+    }
+    let mut gateway = Gateway::new(engine, provider);
+    for decl in &scenario.functions {
+        let app = build_app(decl)?;
+        let mut config = app.config_with_network(decl.network);
+        for (k, v) in &decl.env {
+            config.exec.env.insert(k.clone(), v.clone());
+        }
+        gateway.register(
+            FunctionSpec::from_app(app)
+                .named(decl.name.clone())
+                .with_config(config),
+        );
+    }
+
+    let names: Vec<String> = scenario.functions.iter().map(|f| f.name.clone()).collect();
+    let out = run_workload(
+        gateway,
+        workload,
+        move |config_id| names[config_id % names.len()].clone(),
+        scenario.tick,
+    );
+
+    let mut recorder = LatencyRecorder::new();
+    let mut failed = 0usize;
+    for t in &out.traces {
+        recorder.record(t.total());
+        if t.failed {
+            failed += 1;
+        }
+    }
+    Ok(ScenarioReport {
+        requests: out.traces.len(),
+        mean_ms: recorder.mean().as_millis_f64(),
+        p50_ms: recorder.median().as_millis_f64(),
+        p99_ms: recorder.percentile(0.99).as_millis_f64(),
+        cold_fraction: out.cold_fraction(),
+        failed_fraction: failed as f64 / out.traces.len().max(1) as f64,
+        live_at_end: out.gateway.engine().live_count(),
+        background_s: out.gateway.provider().background_cost().as_secs_f64(),
+        latencies_ms: out
+            .traces
+            .iter()
+            .map(|t| t.total().as_millis_f64())
+            .collect(),
+    })
+}
+
+/// Runs a scenario end to end.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let workload = build_workload(&scenario.workload, scenario.functions.len(), scenario.seed);
+    if workload.is_empty() {
+        return Err("workload generated no arrivals".to_string());
+    }
+    match &scenario.provider {
+        ProviderSpec::HotC => run_with_provider(HotC::with_defaults(), scenario, &workload),
+        ProviderSpec::HotCFuzzy => run_with_provider(
+            HotC::new(HotCConfig {
+                key_policy: KeyPolicy::Fuzzy,
+                ..Default::default()
+            }),
+            scenario,
+            &workload,
+        ),
+        ProviderSpec::ColdStart => run_with_provider(ColdStartAlways::new(), scenario, &workload),
+        ProviderSpec::FixedKeepAlive(ttl) => {
+            run_with_provider(FixedKeepAlive::new(*ttl), scenario, &workload)
+        }
+        ProviderSpec::PeriodicWarmup(period) => {
+            run_with_provider(PeriodicWarmup::new(*period), scenario, &workload)
+        }
+        ProviderSpec::HybridKeepAlive => {
+            run_with_provider(HybridKeepAlive::new(), scenario, &workload)
+        }
+    }
+}
+
+/// Convenience: language runtime names accepted by the scenario format (for
+/// error messages and docs).
+pub fn supported_languages() -> &'static [&'static str] {
+    &["python", "go", "java", "nodejs", "ruby", "native"]
+}
+
+/// Convenience: app names accepted by the scenario format.
+pub fn supported_apps() -> &'static [&'static str] {
+    &[
+        "random-number",
+        "qr-code",
+        "s3-download",
+        "v3-app",
+        "tf-api-app",
+        "cassandra",
+    ]
+}
+
+/// Maps a language name to its runtime (used by docs/tests).
+pub fn language_by_name(name: &str) -> Option<LanguageRuntime> {
+    Some(match name {
+        "python" => LanguageRuntime::Python,
+        "go" => LanguageRuntime::Go,
+        "java" => LanguageRuntime::Java,
+        "nodejs" | "node" => LanguageRuntime::NodeJs,
+        "ruby" => LanguageRuntime::Ruby,
+        "native" => LanguageRuntime::Native,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DEMO_SCENARIO;
+
+    #[test]
+    fn demo_scenario_runs() {
+        let scenario = Scenario::parse(DEMO_SCENARIO).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        // 18 rounds × 8 + 4 bursts × 72 extra = 144 + 288 = 432 requests.
+        assert_eq!(report.requests, 8 * 18 + 4 * 72);
+        assert!(report.cold_fraction < 0.5);
+        assert!(report.mean_ms > 0.0);
+        assert_eq!(report.failed_fraction, 0.0);
+    }
+
+    #[test]
+    fn cold_start_scenario_all_cold() {
+        let text = DEMO_SCENARIO.replace("provider = hotc", "provider = cold-start");
+        let scenario = Scenario::parse(&text).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        assert!((report.cold_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(report.live_at_end, 0);
+    }
+
+    #[test]
+    fn crash_rate_flows_through() {
+        let text = DEMO_SCENARIO.replace("seed     = 42", "seed = 42\ncrash_rate = 0.3");
+        let scenario = Scenario::parse(&text).unwrap();
+        assert!((scenario.crash_rate - 0.3).abs() < 1e-12);
+        let report = run_scenario(&scenario).unwrap();
+        assert!(report.failed_fraction > 0.15, "{}", report.failed_fraction);
+    }
+
+    #[test]
+    fn unknown_app_is_a_runner_error() {
+        let text = DEMO_SCENARIO.replace("app     = qr-code", "app = warp-drive");
+        let scenario = Scenario::parse(&text).unwrap();
+        let err = run_scenario(&scenario).unwrap_err();
+        assert!(err.contains("warp-drive"));
+    }
+
+    #[test]
+    fn multi_function_poisson_scenario() {
+        let text = "\
+provider = hotc
+seed = 5
+
+[function alpha]
+app = qr-code
+lang = python
+
+[function beta]
+app = qr-code
+lang = go
+
+[workload]
+pattern = poisson
+rate = 2.0
+duration = 120s
+";
+        let scenario = Scenario::parse(text).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        assert!(report.requests > 100);
+        assert!(report.cold_fraction < 0.2);
+    }
+
+    #[test]
+    fn report_renders() {
+        let scenario = Scenario::parse(DEMO_SCENARIO).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        let text = report.render(false);
+        assert!(text.contains("scenario summary"));
+        let verbose = report.render(true);
+        assert!(verbose.contains("per-request latency"));
+    }
+}

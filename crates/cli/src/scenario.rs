@@ -1,0 +1,675 @@
+//! The scenario file format and its parser.
+//!
+//! Line-based: `key = value` pairs, `[section]` headers, `#` comments.
+//! Global keys come first, then any number of `[function <name>]` sections,
+//! then one `[workload]` section:
+//!
+//! ```text
+//! # global
+//! hardware = server               # server | raspberry-pi3 | jetson-tx2
+//! provider = hotc                 # hotc | hotc:fuzzy | cold-start |
+//!                                 # fixed-keepalive:15m | periodic-warmup:5m
+//! seed     = 42
+//! tick     = 30s
+//! crash_rate = 0.0                # optional fault injection
+//!
+//! [function qr]
+//! app     = qr-code               # qr-code | random-number | s3-download |
+//!                                 # v3-app | tf-api-app | cassandra
+//! lang    = python                # qr-code / s3-download only
+//! network = bridge                # none|bridge|host|container|overlay|routing
+//! env.TENANT = 1                  # any number of env.* keys
+//!
+//! [workload]
+//! pattern  = burst                # serial | parallel | linear-up | linear-down |
+//!                                 # exp-up | exp-down | burst | poisson | youtube
+//! base     = 8
+//! factor   = 10
+//! rounds   = 18
+//! burst_at = 4,8,12,16
+//! round    = 30s
+//! ```
+//!
+//! Durations accept `ns`, `us`, `ms`, `s`, `m` suffixes. Workload arrivals
+//! cycle over the declared functions via their `config_id`.
+
+use containersim::{HardwareProfile, LanguageRuntime, NetworkMode};
+use simclock::SimDuration;
+use std::collections::BTreeMap;
+
+/// A parse failure, with the 1-based line number where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Which runtime-management provider to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderSpec {
+    /// HotC with exact keys (paper default).
+    HotC,
+    /// HotC with fuzzy (§VII subset) keys.
+    HotCFuzzy,
+    /// Fresh container per request.
+    ColdStart,
+    /// AWS-style keep-alive with the given TTL.
+    FixedKeepAlive(SimDuration),
+    /// Azure-Logic-style periodic warm-up with the given period.
+    PeriodicWarmup(SimDuration),
+    /// Azure-style per-type learned keep-alive windows.
+    HybridKeepAlive,
+}
+
+/// One declared function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name (the section header).
+    pub name: String,
+    /// Application profile name.
+    pub app: String,
+    /// Language (for per-language apps).
+    pub lang: LanguageRuntime,
+    /// Network mode.
+    pub network: NetworkMode,
+    /// Extra environment variables.
+    pub env: BTreeMap<String, String>,
+}
+
+/// The workload pattern, mirroring `workloads::patterns`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// `serial`: `count` requests, `interval` apart (function 0).
+    Serial {
+        /// Requests to send.
+        count: usize,
+        /// Gap between requests.
+        interval: SimDuration,
+    },
+    /// `parallel`: `threads` clients × `per_thread` rounds; client *i* calls
+    /// function *i mod functions*.
+    Parallel {
+        /// Concurrent clients.
+        threads: usize,
+        /// Rounds per client.
+        per_thread: usize,
+        /// Gap between rounds.
+        interval: SimDuration,
+    },
+    /// `linear-up` / `linear-down`.
+    Linear {
+        /// Whether the ramp increases.
+        increasing: bool,
+        /// Starting request count.
+        start: usize,
+        /// Step per round.
+        step: usize,
+        /// Number of rounds.
+        rounds: usize,
+        /// Round length.
+        round: SimDuration,
+    },
+    /// `exp-up` / `exp-down`: 2^i per round.
+    Exponential {
+        /// Whether the ramp increases.
+        increasing: bool,
+        /// Number of rounds.
+        rounds: u32,
+        /// Round length.
+        round: SimDuration,
+    },
+    /// `burst`.
+    Burst {
+        /// Per-round baseline.
+        base: usize,
+        /// Burst multiplier.
+        factor: usize,
+        /// Rounds that burst.
+        burst_at: Vec<usize>,
+        /// Total rounds.
+        rounds: usize,
+        /// Round length.
+        round: SimDuration,
+    },
+    /// `poisson`: arrivals at `rate`/s for `duration`, functions picked
+    /// Zipf(`zipf`).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+        /// Total span.
+        duration: SimDuration,
+        /// Zipf exponent over the declared functions.
+        zipf: f64,
+    },
+    /// `youtube`: the Fig. 11 day shape, rates divided by `scale`, one
+    /// `index` per trace point (function 0).
+    Youtube {
+        /// Rate divisor.
+        scale: f64,
+        /// Virtual length of one trace index.
+        index: SimDuration,
+        /// Number of trace indices.
+        length: usize,
+    },
+    /// `azure`: the hot/periodic/rare multi-tenant population. Ignores the
+    /// declared function *count* mismatch: arrivals cycle over the declared
+    /// functions.
+    Azure {
+        /// Population size (synthetic functions in the trace).
+        functions: usize,
+        /// Total span.
+        duration: SimDuration,
+    },
+}
+
+/// A fully parsed scenario.
+///
+/// ```
+/// use hotc_cli::Scenario;
+///
+/// let scenario = Scenario::parse(
+///     "provider = hotc\n\
+///      [function f]\n\
+///      app = qr-code\n\
+///      lang = go\n\
+///      [workload]\n\
+///      pattern = serial\n\
+///      count = 5\n",
+/// )
+/// .unwrap();
+/// let report = hotc_cli::run_scenario(&scenario).unwrap();
+/// assert_eq!(report.requests, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Hardware platform.
+    pub hardware: HardwareProfile,
+    /// Runtime provider.
+    pub provider: ProviderSpec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Provider maintenance interval.
+    pub tick: SimDuration,
+    /// Execution crash probability (fault injection), 0.0 = off.
+    pub crash_rate: f64,
+    /// Declared functions, in declaration order.
+    pub functions: Vec<FunctionDecl>,
+    /// The workload.
+    pub workload: WorkloadSpec,
+}
+
+/// Parses a duration literal like `30s`, `15m`, `250ms`, `10us`, `5ns`.
+pub fn parse_duration(s: &str, line: usize) -> Result<SimDuration, ParseError> {
+    let s = s.trim();
+    let split = s
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let value: f64 = match num.parse() {
+        Ok(v) => v,
+        Err(_) => return err(line, format!("bad duration number '{num}'")),
+    };
+    let nanos = match unit.trim() {
+        "ns" => value,
+        "us" => value * 1e3,
+        "ms" => value * 1e6,
+        "s" | "" => value * 1e9,
+        "m" => value * 60e9,
+        other => return err(line, format!("unknown duration unit '{other}'")),
+    };
+    Ok(SimDuration::from_nanos(nanos as u64))
+}
+
+fn parse_lang(s: &str, line: usize) -> Result<LanguageRuntime, ParseError> {
+    Ok(match s {
+        "python" => LanguageRuntime::Python,
+        "go" => LanguageRuntime::Go,
+        "java" => LanguageRuntime::Java,
+        "nodejs" | "node" => LanguageRuntime::NodeJs,
+        "ruby" => LanguageRuntime::Ruby,
+        "native" => LanguageRuntime::Native,
+        other => return err(line, format!("unknown language '{other}'")),
+    })
+}
+
+fn parse_network(s: &str, line: usize) -> Result<NetworkMode, ParseError> {
+    Ok(match s {
+        "none" => NetworkMode::None,
+        "bridge" => NetworkMode::Bridge,
+        "host" => NetworkMode::Host,
+        "container" => NetworkMode::Container,
+        "overlay" => NetworkMode::Overlay,
+        "routing" => NetworkMode::Routing,
+        other => return err(line, format!("unknown network mode '{other}'")),
+    })
+}
+
+#[derive(Debug, PartialEq)]
+enum Section {
+    Global,
+    Function(String),
+    Workload,
+}
+
+impl Scenario {
+    /// Parses a scenario from its text form.
+    pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+        let mut hardware = HardwareProfile::server();
+        let mut provider = ProviderSpec::HotC;
+        let mut seed = 0u64;
+        let mut tick = SimDuration::from_secs(30);
+        let mut crash_rate = 0.0f64;
+        let mut functions: Vec<FunctionDecl> = Vec::new();
+        let mut workload_kv: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        let mut saw_workload = false;
+
+        let mut section = Section::Global;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(header) = header.strip_suffix(']') else {
+                    return err(line_no, "unterminated section header");
+                };
+                let header = header.trim();
+                section = if header == "workload" {
+                    saw_workload = true;
+                    Section::Workload
+                } else if let Some(name) = header.strip_prefix("function") {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return err(line_no, "function section needs a name");
+                    }
+                    functions.push(FunctionDecl {
+                        name: name.to_string(),
+                        app: "random-number".to_string(),
+                        lang: LanguageRuntime::Python,
+                        network: NetworkMode::Bridge,
+                        env: BTreeMap::new(),
+                    });
+                    Section::Function(name.to_string())
+                } else {
+                    return err(line_no, format!("unknown section '[{header}]'"));
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(line_no, format!("expected 'key = value', got '{line}'"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match &section {
+                Section::Global => match key {
+                    "hardware" => {
+                        hardware = match value {
+                            "server" => HardwareProfile::server(),
+                            "raspberry-pi3" | "pi" => HardwareProfile::raspberry_pi3(),
+                            "jetson-tx2" => HardwareProfile::jetson_tx2(),
+                            other => return err(line_no, format!("unknown hardware '{other}'")),
+                        }
+                    }
+                    "provider" => {
+                        provider = match value.split_once(':') {
+                            None => match value {
+                                "hotc" => ProviderSpec::HotC,
+                                "cold-start" => ProviderSpec::ColdStart,
+                                "hybrid-keepalive" => ProviderSpec::HybridKeepAlive,
+                                other => {
+                                    return err(line_no, format!("unknown provider '{other}'"))
+                                }
+                            },
+                            Some(("hotc", "fuzzy")) => ProviderSpec::HotCFuzzy,
+                            Some(("fixed-keepalive", ttl)) => {
+                                ProviderSpec::FixedKeepAlive(parse_duration(ttl, line_no)?)
+                            }
+                            Some(("periodic-warmup", period)) => {
+                                ProviderSpec::PeriodicWarmup(parse_duration(period, line_no)?)
+                            }
+                            Some((other, _)) => {
+                                return err(line_no, format!("unknown provider '{other}'"))
+                            }
+                        }
+                    }
+                    "seed" => {
+                        seed = value.parse().map_err(|_| ParseError {
+                            line: line_no,
+                            message: format!("bad seed '{value}'"),
+                        })?
+                    }
+                    "tick" => tick = parse_duration(value, line_no)?,
+                    "crash_rate" => {
+                        crash_rate = value.parse().map_err(|_| ParseError {
+                            line: line_no,
+                            message: format!("bad crash_rate '{value}'"),
+                        })?;
+                        if !(0.0..=1.0).contains(&crash_rate) {
+                            return err(line_no, "crash_rate must be in [0,1]");
+                        }
+                    }
+                    other => return err(line_no, format!("unknown global key '{other}'")),
+                },
+                Section::Function(_) => {
+                    let decl = functions.last_mut().expect("inside a function section");
+                    if let Some(env_key) = key.strip_prefix("env.") {
+                        decl.env.insert(env_key.to_string(), value.to_string());
+                        continue;
+                    }
+                    match key {
+                        "app" => decl.app = value.to_string(),
+                        "lang" => decl.lang = parse_lang(value, line_no)?,
+                        "network" => decl.network = parse_network(value, line_no)?,
+                        other => return err(line_no, format!("unknown function key '{other}'")),
+                    }
+                }
+                Section::Workload => {
+                    workload_kv.insert(key.to_string(), (value.to_string(), line_no));
+                }
+            }
+        }
+
+        if functions.is_empty() {
+            return err(0, "scenario declares no functions");
+        }
+        if !saw_workload {
+            return err(0, "scenario has no [workload] section");
+        }
+        let workload = Self::parse_workload(&workload_kv)?;
+        Ok(Scenario {
+            hardware,
+            provider,
+            seed,
+            tick,
+            crash_rate,
+            functions,
+            workload,
+        })
+    }
+
+    fn parse_workload(kv: &BTreeMap<String, (String, usize)>) -> Result<WorkloadSpec, ParseError> {
+        let get = |key: &str| kv.get(key).map(|(v, l)| (v.as_str(), *l));
+        let get_usize = |key: &str, default: usize| -> Result<usize, ParseError> {
+            match get(key) {
+                None => Ok(default),
+                Some((v, l)) => v.parse().map_err(|_| ParseError {
+                    line: l,
+                    message: format!("bad integer '{v}' for '{key}'"),
+                }),
+            }
+        };
+        let get_f64 = |key: &str, default: f64| -> Result<f64, ParseError> {
+            match get(key) {
+                None => Ok(default),
+                Some((v, l)) => v.parse().map_err(|_| ParseError {
+                    line: l,
+                    message: format!("bad number '{v}' for '{key}'"),
+                }),
+            }
+        };
+        let get_duration = |key: &str, default: SimDuration| -> Result<SimDuration, ParseError> {
+            match get(key) {
+                None => Ok(default),
+                Some((v, l)) => parse_duration(v, l),
+            }
+        };
+
+        let Some((pattern, pattern_line)) = get("pattern") else {
+            return err(0, "[workload] needs a 'pattern' key");
+        };
+        let round_default = SimDuration::from_secs(30);
+        Ok(match pattern {
+            "serial" => WorkloadSpec::Serial {
+                count: get_usize("count", 20)?,
+                interval: get_duration("interval", round_default)?,
+            },
+            "parallel" => WorkloadSpec::Parallel {
+                threads: get_usize("threads", 10)?,
+                per_thread: get_usize("per_thread", 10)?,
+                interval: get_duration("interval", round_default)?,
+            },
+            "linear-up" | "linear-down" => WorkloadSpec::Linear {
+                increasing: pattern == "linear-up",
+                start: get_usize("start", 2)?,
+                step: get_usize("step", 2)?,
+                rounds: get_usize("rounds", 10)?,
+                round: get_duration("round", round_default)?,
+            },
+            "exp-up" | "exp-down" => WorkloadSpec::Exponential {
+                increasing: pattern == "exp-up",
+                rounds: get_usize("rounds", 7)? as u32,
+                round: get_duration("round", round_default)?,
+            },
+            "burst" => {
+                let burst_at = match get("burst_at") {
+                    None => vec![4, 8, 12, 16],
+                    Some((v, l)) => v
+                        .split(',')
+                        .map(|part| {
+                            part.trim().parse().map_err(|_| ParseError {
+                                line: l,
+                                message: format!("bad burst round '{part}'"),
+                            })
+                        })
+                        .collect::<Result<Vec<usize>, _>>()?,
+                };
+                WorkloadSpec::Burst {
+                    base: get_usize("base", 8)?,
+                    factor: get_usize("factor", 10)?,
+                    burst_at,
+                    rounds: get_usize("rounds", 18)?,
+                    round: get_duration("round", round_default)?,
+                }
+            }
+            "poisson" => WorkloadSpec::Poisson {
+                rate: get_f64("rate", 2.0)?,
+                duration: get_duration("duration", SimDuration::from_secs(600))?,
+                zipf: get_f64("zipf", 1.1)?,
+            },
+            "youtube" => WorkloadSpec::Youtube {
+                scale: get_f64("scale", 10.0)?,
+                index: get_duration("index", SimDuration::from_secs(300))?,
+                length: get_usize("length", 288)?,
+            },
+            "azure" => WorkloadSpec::Azure {
+                functions: get_usize("functions", 20)?,
+                duration: get_duration("duration", SimDuration::from_mins(120))?,
+            },
+            other => {
+                return err(pattern_line, format!("unknown pattern '{other}'"));
+            }
+        })
+    }
+}
+
+/// A commented example scenario (printed by `hotc-sim --demo`).
+pub const DEMO_SCENARIO: &str = "\
+# hotc-sim demo scenario: the Fig. 14(b) burst experiment
+hardware = server
+provider = hotc
+seed     = 42
+tick     = 30s
+
+[function qr]
+app     = qr-code
+lang    = python
+network = bridge
+
+[workload]
+pattern  = burst
+base     = 8
+factor   = 10
+rounds   = 18
+burst_at = 4,8,12,16
+round    = 30s
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_scenario_parses() {
+        let s = Scenario::parse(DEMO_SCENARIO).unwrap();
+        assert_eq!(s.provider, ProviderSpec::HotC);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].name, "qr");
+        assert_eq!(s.functions[0].app, "qr-code");
+        assert!(matches!(
+            s.workload,
+            WorkloadSpec::Burst {
+                base: 8,
+                factor: 10,
+                rounds: 18,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(
+            parse_duration("30s", 1).unwrap(),
+            SimDuration::from_secs(30)
+        );
+        assert_eq!(
+            parse_duration("15m", 1).unwrap(),
+            SimDuration::from_mins(15)
+        );
+        assert_eq!(
+            parse_duration("250ms", 1).unwrap(),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(parse_duration("7", 1).unwrap(), SimDuration::from_secs(7));
+        assert!(parse_duration("10h", 1).is_err());
+        assert!(parse_duration("abc", 1).is_err());
+    }
+
+    #[test]
+    fn provider_variants_parse() {
+        let base = "\n[function f]\napp = random-number\n\n[workload]\npattern = serial\n";
+        for (text, expected) in [
+            ("provider = hotc", ProviderSpec::HotC),
+            ("provider = hotc:fuzzy", ProviderSpec::HotCFuzzy),
+            ("provider = cold-start", ProviderSpec::ColdStart),
+            (
+                "provider = fixed-keepalive:15m",
+                ProviderSpec::FixedKeepAlive(SimDuration::from_mins(15)),
+            ),
+            (
+                "provider = periodic-warmup:5m",
+                ProviderSpec::PeriodicWarmup(SimDuration::from_mins(5)),
+            ),
+        ] {
+            let s = Scenario::parse(&format!("{text}{base}")).unwrap();
+            assert_eq!(s.provider, expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn env_keys_collected() {
+        let text = "\
+[function a]
+app = qr-code
+env.TENANT = 7
+env.MODE = fast
+
+[workload]
+pattern = serial
+";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.functions[0].env.get("TENANT").unwrap(), "7");
+        assert_eq!(s.functions[0].env.get("MODE").unwrap(), "fast");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "hardware = quantum\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("quantum"));
+
+        let text = "\n\nprovider = blockchain\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        let e = Scenario::parse("seed = 1\n").unwrap_err();
+        assert!(e.message.contains("no functions"));
+
+        let e = Scenario::parse("[function f]\napp = qr-code\n").unwrap_err();
+        assert!(e.message.contains("no [workload]"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+# leading comment
+seed = 9   # trailing comment
+
+[function f]    # section comment
+app = random-number
+
+[workload]
+pattern = serial
+count = 3
+";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.seed, 9);
+        assert!(matches!(s.workload, WorkloadSpec::Serial { count: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let text = "\
+[function f]
+app = qr-code
+colour = blue
+
+[workload]
+pattern = serial
+";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("colour"));
+    }
+
+    #[test]
+    fn burst_at_list_parses() {
+        let text = "\
+[function f]
+app = random-number
+
+[workload]
+pattern = burst
+burst_at = 2, 5, 9
+rounds = 12
+";
+        let s = Scenario::parse(text).unwrap();
+        match s.workload {
+            WorkloadSpec::Burst { burst_at, .. } => assert_eq!(burst_at, vec![2, 5, 9]),
+            other => panic!("wrong workload {other:?}"),
+        }
+    }
+}

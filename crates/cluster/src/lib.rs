@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Multi-host HotC: the paper's §VII future work, built out.
+//!
+//! > "in a distributed system, a few containers are extremely popular and
+//! > are invoked a lot while others may not be used often. Some host
+//! > machines might become overloaded and we need to consider load balancing
+//! > when reusing the hot runtime."
+//!
+//! A [`Cluster`] fronts several hosts, each running its own container engine
+//! and HotC pool (one [`faas::Gateway`] per node). Incoming requests are
+//! placed by a [`SchedulePolicy`]:
+//!
+//! * [`SchedulePolicy::RoundRobin`] — classic rotation; oblivious to both
+//!   load and pooled runtimes, it smears every runtime type across all
+//!   nodes (each node cold-starts its own copy).
+//! * [`SchedulePolicy::LeastLoaded`] — place on the node with the fewest
+//!   in-flight requests; balances load but still ignores the pools.
+//! * [`SchedulePolicy::ReuseAffinity`] — prefer a node holding an *available
+//!   warm runtime* of the request's type, breaking ties toward the least
+//!   loaded node, and falling back to least-loaded when nobody is warm. An
+//!   overload guard keeps affinity from melting a hot node: if the preferred
+//!   node's in-flight load exceeds the cluster mean by more than
+//!   [`Cluster::OVERLOAD_FACTOR`]×, the request spills to the least-loaded
+//!   node instead (accepting one cold start to protect latency).
+//! * [`SchedulePolicy::CostAware`] — estimate each node's completion time
+//!   (cold-start cost, zero when warm, plus execution at the node's speed)
+//!   and pick the minimum; the right policy for *heterogeneous* cloudlets
+//!   where warm affinity would pin heavy work to a slow edge node.
+//!
+//! Affinity can also read warm availability through a periodically
+//! synchronized replicated view ([`Cluster::set_warm_view_staleness`]),
+//! modelling the §VII distributed key-value store and its staleness cost.
+//!
+//! The `repro cluster` and `repro cloudlet` experiments compare the policies
+//! under Zipf-skewed and heterogeneous workloads; `tests/cluster.rs` asserts
+//! the expected orderings (affinity ⇒ fewest cold starts and containers on a
+//! homogeneous cluster; cost-aware ⇒ best heavy-class latency on a
+//! cloudlet).
+
+pub mod sched;
+
+pub use sched::{Cluster, ClusterError, ClusterStats, NodeSnapshot, SchedulePolicy};

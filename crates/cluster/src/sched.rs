@@ -1,0 +1,750 @@
+//! Cluster scheduling over per-node HotC gateways.
+
+use faas::gateway::{Gateway, GatewayError, InFlight};
+use faas::{FunctionSpec, RequestTrace};
+use hotc::HotC;
+use simclock::{SimDuration, SimTime};
+
+/// How the cluster places requests on nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Rotate through nodes.
+    RoundRobin,
+    /// Fewest in-flight requests first.
+    LeastLoaded,
+    /// Prefer nodes with an available warm runtime of the request's type;
+    /// fall back to least-loaded, with an overload spill guard.
+    ReuseAffinity,
+    /// Estimate each node's completion time — cold-start cost (zero when a
+    /// warm runtime is available) plus the node's execution speed — and pick
+    /// the minimum. The right policy for *heterogeneous* (cloudlet) clusters,
+    /// where naive warm affinity can pin heavy work to a slow edge node.
+    CostAware,
+}
+
+impl SchedulePolicy {
+    /// Policy name for report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulePolicy::RoundRobin => "round-robin",
+            SchedulePolicy::LeastLoaded => "least-loaded",
+            SchedulePolicy::ReuseAffinity => "reuse-affinity",
+            SchedulePolicy::CostAware => "cost-aware",
+        }
+    }
+}
+
+/// Cluster errors.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster has no nodes.
+    NoNodes,
+    /// A node's gateway failed.
+    Gateway(GatewayError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "cluster has no nodes"),
+            ClusterError::Gateway(e) => write!(f, "gateway error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<GatewayError> for ClusterError {
+    fn from(e: GatewayError) -> Self {
+        ClusterError::Gateway(e)
+    }
+}
+
+struct Node {
+    name: String,
+    gateway: Gateway<HotC>,
+    inflight: usize,
+}
+
+/// A ticket for an in-flight clustered request.
+#[derive(Debug)]
+pub struct ClusterInFlight {
+    /// Index of the node serving the request.
+    pub node: usize,
+    /// The node-local in-flight handle.
+    pub inner: InFlight,
+}
+
+/// Point-in-time view of one node, for reports and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// Node name.
+    pub name: String,
+    /// Live containers on the node.
+    pub live_containers: usize,
+    /// Requests currently executing on the node.
+    pub inflight: usize,
+    /// Requests the node has completed.
+    pub requests: u64,
+    /// Cold starts the node has paid.
+    pub cold_starts: u64,
+}
+
+/// Aggregate cluster counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Requests completed across all nodes.
+    pub requests: u64,
+    /// Cold starts across all nodes.
+    pub cold_starts: u64,
+    /// Live containers across all nodes.
+    pub live_containers: usize,
+}
+
+/// A periodically-synchronized view of per-node warm availability — the
+/// "distributed key-value store" of §VII, with its inherent staleness. With
+/// zero staleness the scheduler reads the pools directly (an oracle); with a
+/// sync interval it sees counts as of the last sync and can route to a node
+/// whose warm runtime has meanwhile been taken or retired.
+#[derive(Debug, Default)]
+struct WarmView {
+    staleness: SimDuration,
+    last_sync: Option<SimTime>,
+    /// snapshot[node] = warm-available count per function name.
+    snapshot: Vec<std::collections::HashMap<String, usize>>,
+}
+
+/// A multi-host HotC deployment.
+///
+/// ```
+/// use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+/// use faas::{AppProfile, FunctionSpec, Gateway};
+/// use hotc::HotC;
+/// use hotc_cluster::{Cluster, SchedulePolicy};
+/// use simclock::SimTime;
+///
+/// let gateways = (0..3)
+///     .map(|i| {
+///         let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+///         (format!("node-{i}"), Gateway::new(engine, HotC::with_defaults()))
+///     })
+///     .collect();
+/// let mut cluster = Cluster::new(SchedulePolicy::ReuseAffinity, gateways);
+/// cluster.register_everywhere(FunctionSpec::from_app(AppProfile::qr_code(
+///     LanguageRuntime::Python,
+/// )));
+///
+/// let (node_a, t1) = cluster.handle("qr-code", SimTime::ZERO).unwrap();
+/// let (node_b, t2) = cluster.handle("qr-code", t1.t6_gateway_out).unwrap();
+/// assert_eq!(node_a, node_b, "affinity returns to the warm node");
+/// assert!(t1.cold && !t2.cold);
+/// ```
+pub struct Cluster {
+    nodes: Vec<Node>,
+    policy: SchedulePolicy,
+    next_rr: usize,
+    warm_view: WarmView,
+}
+
+impl Cluster {
+    /// Spill threshold for reuse affinity: if the warm node's in-flight load
+    /// exceeds `mean × OVERLOAD_FACTOR + 1`, the request goes to the
+    /// least-loaded node instead.
+    pub const OVERLOAD_FACTOR: f64 = 2.0;
+
+    /// Builds a cluster from named per-node gateways.
+    pub fn new(policy: SchedulePolicy, gateways: Vec<(String, Gateway<HotC>)>) -> Self {
+        Cluster {
+            nodes: gateways
+                .into_iter()
+                .map(|(name, gateway)| Node {
+                    name,
+                    gateway,
+                    inflight: 0,
+                })
+                .collect(),
+            policy,
+            next_rr: 0,
+            warm_view: WarmView::default(),
+        }
+    }
+
+    /// Makes reuse-affinity scheduling read warm availability from a view
+    /// that is only synchronized every `staleness` (0 = direct pool reads).
+    /// Models the §VII distributed-registry deployment.
+    pub fn set_warm_view_staleness(&mut self, staleness: SimDuration) {
+        self.warm_view.staleness = staleness;
+        self.warm_view.last_sync = None;
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Registers a function on every node (functions are deployable
+    /// anywhere; placement is per-request).
+    pub fn register_everywhere(&mut self, spec: FunctionSpec) {
+        for node in &mut self.nodes {
+            node.gateway.register(spec.clone());
+        }
+    }
+
+    fn least_loaded(&mut self) -> usize {
+        let min = self
+            .nodes
+            .iter()
+            .map(|n| n.inflight)
+            .min()
+            .expect("non-empty cluster");
+        let candidates: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inflight == min)
+            .map(|(i, _)| i)
+            .collect();
+        // Rotate among ties so an idle cluster doesn't funnel everything to
+        // node 0 (which would fake reuse affinity).
+        let pick = candidates[self.next_rr % candidates.len()];
+        self.next_rr += 1;
+        pick
+    }
+
+    fn live_warm_count(node: &Node, function: &str) -> usize {
+        let Some(spec) = node.gateway.function(function) else {
+            return 0;
+        };
+        let pool = node.gateway.provider().pool();
+        let key = pool.key_of(&spec.config);
+        pool.num_avail(&key)
+    }
+
+    /// Refreshes the warm-view snapshot if it is due.
+    fn sync_warm_view(&mut self, now: SimTime) {
+        let due = match self.warm_view.last_sync {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.warm_view.staleness,
+        };
+        if !due {
+            return;
+        }
+        self.warm_view.last_sync = Some(now);
+        self.warm_view.snapshot = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.gateway
+                    .functions()
+                    .map(|spec| (spec.name.clone(), Self::live_warm_count(n, &spec.name)))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Nodes holding an available warm runtime for `function`, least loaded
+    /// first — through the warm view when staleness is configured.
+    fn warm_nodes(&mut self, function: &str, now: SimTime) -> Vec<usize> {
+        let stale = !self.warm_view.staleness.is_zero();
+        if stale {
+            self.sync_warm_view(now);
+        }
+        let mut candidates: Vec<(usize, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let available = if stale {
+                    self.warm_view
+                        .snapshot
+                        .get(i)
+                        .and_then(|m| m.get(function))
+                        .copied()
+                        .unwrap_or(0)
+                } else {
+                    Self::live_warm_count(n, function)
+                };
+                (available > 0).then_some((n.inflight, i))
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.into_iter().map(|(_, i)| i).collect()
+    }
+
+    fn place(&mut self, function: &str, now: SimTime) -> Result<usize, ClusterError> {
+        if self.nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let node = match self.policy {
+            SchedulePolicy::RoundRobin => {
+                let i = self.next_rr % self.nodes.len();
+                self.next_rr += 1;
+                i
+            }
+            SchedulePolicy::LeastLoaded => self.least_loaded(),
+            SchedulePolicy::ReuseAffinity => {
+                let warm = self.warm_nodes(function, now);
+                match warm.first().copied() {
+                    Some(candidate) => {
+                        // Overload guard: spill when the warm node is far
+                        // hotter than the average.
+                        let mean = self.nodes.iter().map(|n| n.inflight).sum::<usize>() as f64
+                            / self.nodes.len() as f64;
+                        let limit = mean * Self::OVERLOAD_FACTOR + 1.0;
+                        if (self.nodes[candidate].inflight as f64) > limit {
+                            self.least_loaded()
+                        } else {
+                            candidate
+                        }
+                    }
+                    None => self.least_loaded(),
+                }
+            }
+            SchedulePolicy::CostAware => self.cheapest_node(function),
+        };
+        Ok(node)
+    }
+
+    /// Estimated completion time of `function` on node `i`: cold-start cost
+    /// (zero if a warm runtime is available) plus the app's execution time at
+    /// the node's speed, plus a small queueing penalty per in-flight request.
+    fn completion_estimate(&self, i: usize, function: &str) -> Option<SimDuration> {
+        let node = &self.nodes[i];
+        let spec = node.gateway.function(function)?;
+        let engine = node.gateway.engine();
+        let cold = if Self::live_warm_count(node, function) > 0 {
+            SimDuration::ZERO
+        } else {
+            engine.estimate_cold_start(&spec.config).ok()?
+        };
+        let hw = engine.host().hardware();
+        let exec = hw.compute(spec.app.work.compute + spec.app.app_init);
+        let queue = SimDuration::from_millis(20) * node.inflight as u64;
+        Some(cold + exec + queue)
+    }
+
+    fn cheapest_node(&mut self, function: &str) -> usize {
+        let best = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, _)| self.completion_estimate(i, function).map(|c| (c, i)))
+            .min_by_key(|&(c, _)| c)
+            .map(|(_, i)| i);
+        match best {
+            Some(i) => i,
+            // Function unknown everywhere: let the gateway error surface.
+            None => self.least_loaded(),
+        }
+    }
+
+    /// Starts a request: picks a node, begins execution there. Complete it
+    /// with [`Self::finish`] once the clock reaches `inner.t4_func_end`.
+    pub fn begin(&mut self, function: &str, now: SimTime) -> Result<ClusterInFlight, ClusterError> {
+        let node = self.place(function, now)?;
+        let inner = self.nodes[node].gateway.begin(function, now)?;
+        self.nodes[node].inflight += 1;
+        Ok(ClusterInFlight { node, inner })
+    }
+
+    /// Completes a clustered request.
+    pub fn finish(&mut self, ticket: ClusterInFlight) -> Result<RequestTrace, ClusterError> {
+        let node = &mut self.nodes[ticket.node];
+        let trace = node.gateway.finish(ticket.inner)?;
+        node.inflight = node.inflight.saturating_sub(1);
+        Ok(trace)
+    }
+
+    /// Serves one request start-to-finish (non-overlapping workloads).
+    pub fn handle(
+        &mut self,
+        function: &str,
+        now: SimTime,
+    ) -> Result<(usize, RequestTrace), ClusterError> {
+        let ticket = self.begin(function, now)?;
+        let node = ticket.node;
+        Ok((node, self.finish(ticket)?))
+    }
+
+    /// Runs provider maintenance on every node.
+    pub fn tick(&mut self, now: SimTime) -> Result<(), ClusterError> {
+        for node in &mut self.nodes {
+            node.gateway.tick(now)?;
+        }
+        Ok(())
+    }
+
+    /// Per-node snapshots.
+    pub fn snapshots(&self) -> Vec<NodeSnapshot> {
+        self.nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                name: n.name.clone(),
+                live_containers: n.gateway.engine().live_count(),
+                inflight: n.inflight,
+                requests: n.gateway.stats().requests,
+                cold_starts: n.gateway.stats().cold_starts,
+            })
+            .collect()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ClusterStats {
+        let mut stats = ClusterStats::default();
+        for n in &self.nodes {
+            stats.requests += n.gateway.stats().requests;
+            stats.cold_starts += n.gateway.stats().cold_starts;
+            stats.live_containers += n.gateway.engine().live_count();
+        }
+        stats
+    }
+
+    /// Load imbalance: max over mean of per-node completed requests
+    /// (1.0 = perfectly balanced).
+    pub fn request_imbalance(&self) -> f64 {
+        let counts: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.gateway.stats().requests as f64)
+            .collect();
+        let mean = counts.iter().sum::<f64>() / counts.len().max(1) as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        counts.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+    use faas::AppProfile;
+    use simclock::SimDuration;
+
+    fn cluster(policy: SchedulePolicy, nodes: usize) -> Cluster {
+        let gateways = (0..nodes)
+            .map(|i| {
+                let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+                (
+                    format!("node-{i}"),
+                    Gateway::new(engine, HotC::with_defaults()),
+                )
+            })
+            .collect();
+        let mut cluster = Cluster::new(policy, gateways);
+        cluster.register_everywhere(FunctionSpec::from_app(AppProfile::qr_code(
+            LanguageRuntime::Python,
+        )));
+        cluster
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut c = cluster(SchedulePolicy::RoundRobin, 3);
+        let mut nodes = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..6 {
+            let (node, trace) = c.handle("qr-code", now).unwrap();
+            nodes.push(node);
+            now = trace.t6_gateway_out + SimDuration::from_secs(1);
+        }
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
+        // Every node cold-started its own runtime.
+        assert_eq!(c.stats().cold_starts, 3);
+        assert_eq!(c.stats().live_containers, 3);
+    }
+
+    #[test]
+    fn reuse_affinity_sticks_to_the_warm_node() {
+        let mut c = cluster(SchedulePolicy::ReuseAffinity, 3);
+        let mut now = SimTime::ZERO;
+        let mut nodes = Vec::new();
+        for _ in 0..6 {
+            let (node, trace) = c.handle("qr-code", now).unwrap();
+            nodes.push(node);
+            now = trace.t6_gateway_out + SimDuration::from_secs(1);
+        }
+        // After the first (cold) placement, everything reuses that node.
+        assert!(nodes[1..].iter().all(|&n| n == nodes[0]));
+        assert_eq!(c.stats().cold_starts, 1);
+        assert_eq!(c.stats().live_containers, 1);
+    }
+
+    #[test]
+    fn least_loaded_spreads_overlapping_requests() {
+        let mut c = cluster(SchedulePolicy::LeastLoaded, 3);
+        // Three overlapping requests: each goes to an idle node.
+        let t1 = c.begin("qr-code", SimTime::ZERO).unwrap();
+        let t2 = c.begin("qr-code", SimTime::ZERO).unwrap();
+        let t3 = c.begin("qr-code", SimTime::ZERO).unwrap();
+        let placed: std::collections::BTreeSet<_> =
+            [t1.node, t2.node, t3.node].into_iter().collect();
+        assert_eq!(placed.len(), 3, "each request on its own node");
+        for t in [t1, t2, t3] {
+            c.finish(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn affinity_spills_when_warm_node_is_overloaded() {
+        let mut c = cluster(SchedulePolicy::ReuseAffinity, 2);
+        // Warm node 0 with a serving + release cycle.
+        let (first, trace) = c.handle("qr-code", SimTime::ZERO).unwrap();
+        let mut now = trace.t6_gateway_out + SimDuration::from_secs(1);
+
+        // Pile 4 overlapping requests; the first reuses node `first`'s warm
+        // runtime, then the overload guard pushes the rest to the other node.
+        let mut tickets = Vec::new();
+        let mut nodes_hit = Vec::new();
+        for _ in 0..4 {
+            let t = c.begin("qr-code", now).unwrap();
+            nodes_hit.push(t.node);
+            tickets.push(t);
+            now += SimDuration::from_millis(1);
+        }
+        assert_eq!(nodes_hit[0], first);
+        assert!(
+            nodes_hit.iter().any(|&n| n != first),
+            "overload guard must spill: {nodes_hit:?}"
+        );
+        for t in tickets {
+            c.finish(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_cluster_errors() {
+        let mut c = Cluster::new(SchedulePolicy::RoundRobin, Vec::new());
+        assert!(matches!(
+            c.begin("qr-code", SimTime::ZERO),
+            Err(ClusterError::NoNodes)
+        ));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn unknown_function_surfaces_gateway_error() {
+        let mut c = cluster(SchedulePolicy::RoundRobin, 2);
+        assert!(matches!(
+            c.handle("nope", SimTime::ZERO),
+            Err(ClusterError::Gateway(GatewayError::UnknownFunction(_)))
+        ));
+    }
+
+    #[test]
+    fn snapshots_and_stats_agree() {
+        let mut c = cluster(SchedulePolicy::RoundRobin, 2);
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            let (_, trace) = c.handle("qr-code", now).unwrap();
+            now = trace.t6_gateway_out + SimDuration::from_secs(1);
+        }
+        let snaps = c.snapshots();
+        let stats = c.stats();
+        assert_eq!(
+            snaps.iter().map(|s| s.requests).sum::<u64>(),
+            stats.requests
+        );
+        assert_eq!(
+            snaps.iter().map(|s| s.cold_starts).sum::<u64>(),
+            stats.cold_starts
+        );
+        assert_eq!(stats.requests, 4);
+        // Round robin on 2 nodes × 4 requests: perfectly balanced.
+        assert!((c.request_imbalance() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod staleness_tests {
+    use super::*;
+    use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+    use faas::AppProfile;
+    use simclock::SimDuration;
+
+    fn cluster_with_staleness(staleness: SimDuration) -> Cluster {
+        let gateways = (0..3)
+            .map(|i| {
+                let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+                (
+                    format!("node-{i}"),
+                    Gateway::new(engine, HotC::with_defaults()),
+                )
+            })
+            .collect();
+        let mut c = Cluster::new(SchedulePolicy::ReuseAffinity, gateways);
+        c.set_warm_view_staleness(staleness);
+        c.register_everywhere(FunctionSpec::from_app(AppProfile::qr_code(
+            LanguageRuntime::Python,
+        )));
+        c
+    }
+
+    #[test]
+    fn fresh_view_behaves_like_oracle() {
+        let mut c = cluster_with_staleness(SimDuration::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut nodes = Vec::new();
+        for _ in 0..5 {
+            let (node, trace) = c.handle("qr-code", now).unwrap();
+            nodes.push(node);
+            now = trace.t6_gateway_out + SimDuration::from_secs(1);
+        }
+        assert!(nodes[1..].iter().all(|&n| n == nodes[0]));
+        assert_eq!(c.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn stale_view_misses_recent_warm_containers() {
+        // 60 s staleness: the view synced at t=0 (no warm runtimes anywhere),
+        // so requests shortly after the first one still see "nothing warm"
+        // and fall back to least-loaded — landing on cold nodes.
+        let mut c = cluster_with_staleness(SimDuration::from_secs(60));
+        let (first, trace) = c.handle("qr-code", SimTime::ZERO).unwrap();
+        // Well within the stale window: the scheduler doesn't know node
+        // `first` has a warm runtime now.
+        let next_at = trace.t6_gateway_out + SimDuration::from_secs(5);
+        let (second, _) = c.handle("qr-code", next_at).unwrap();
+        assert_ne!(
+            second, first,
+            "stale view must not see the just-warmed node"
+        );
+        assert_eq!(c.stats().cold_starts, 2);
+
+        // After the view refreshes, affinity works again.
+        let (third, _) = c.handle("qr-code", SimTime::from_secs(120)).unwrap();
+        let warm_nodes = [first, second];
+        assert!(warm_nodes.contains(&third));
+        assert_eq!(c.stats().cold_starts, 2);
+    }
+
+    #[test]
+    fn staleness_degrades_cold_rate_monotonically() {
+        // A round-robin-over-time single-tenant flow: every request arrives
+        // 10 s after the previous finished. Fresh views give 1 cold start;
+        // staler views give more.
+        let run = |staleness_s: u64| {
+            let mut c = cluster_with_staleness(SimDuration::from_secs(staleness_s));
+            let mut now = SimTime::ZERO;
+            for _ in 0..20 {
+                let (_, trace) = c.handle("qr-code", now).unwrap();
+                now = trace.t6_gateway_out + SimDuration::from_secs(10);
+            }
+            c.stats().cold_starts
+        };
+        let fresh = run(0);
+        let mild = run(30);
+        let heavy = run(600);
+        assert_eq!(fresh, 1);
+        assert!(mild >= fresh);
+        assert!(heavy >= mild);
+        assert!(
+            heavy >= 3,
+            "heavy staleness causes repeated cold routing: {heavy}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cloudlet_tests {
+    use super::*;
+    use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+    use faas::AppProfile;
+    use simclock::SimDuration;
+
+    /// One cloud server plus two Raspberry Pis (a cloudlet).
+    fn heterogeneous(policy: SchedulePolicy) -> Cluster {
+        let mut gateways = vec![(
+            "server".to_string(),
+            Gateway::new(
+                ContainerEngine::with_local_images(HardwareProfile::server()),
+                HotC::with_defaults(),
+            ),
+        )];
+        for i in 0..2 {
+            gateways.push((
+                format!("pi-{i}"),
+                Gateway::new(
+                    ContainerEngine::with_local_images(HardwareProfile::raspberry_pi3()),
+                    HotC::with_defaults(),
+                ),
+            ));
+        }
+        let mut c = Cluster::new(policy, gateways);
+        c.register_everywhere(FunctionSpec::from_app(AppProfile::v3_app()));
+        c.register_everywhere(FunctionSpec::from_app(AppProfile::qr_code(
+            LanguageRuntime::Go,
+        )));
+        c
+    }
+
+    #[test]
+    fn cost_aware_sends_heavy_work_to_the_server() {
+        let mut c = heterogeneous(SchedulePolicy::CostAware);
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            let (node, trace) = c.handle("v3-app", now).unwrap();
+            assert_eq!(node, 0, "heavy inference belongs on the server");
+            now = trace.t6_gateway_out + SimDuration::from_secs(5);
+        }
+    }
+
+    #[test]
+    fn cost_aware_prefers_a_warm_pi_for_light_work() {
+        let mut c = heterogeneous(SchedulePolicy::CostAware);
+        // Cold everywhere: the server's fast cold start wins the first one.
+        let (first, trace) = c.handle("qr-code", SimTime::ZERO).unwrap();
+        assert_eq!(first, 0);
+        // Occupy the server with heavy work so its warm runtime is the only
+        // thing that differentiates; still prefers the warm server.
+        let (second, _) = c
+            .handle("qr-code", trace.t6_gateway_out + SimDuration::from_secs(1))
+            .unwrap();
+        assert_eq!(second, 0, "warm server beats cold pi for light work");
+    }
+
+    #[test]
+    fn affinity_can_pin_heavy_work_to_a_slow_node() {
+        // The §VII hazard cost-aware fixes: seed the v3 runtime on a Pi, and
+        // warm affinity keeps sending 30×-slower inferences there.
+        let mut c = heterogeneous(SchedulePolicy::ReuseAffinity);
+        // Force the first placement onto pi-0 by loading the server.
+        let busy: Vec<_> = (0..4)
+            .map(|i| {
+                c.begin("qr-code", SimTime::ZERO + SimDuration::from_millis(i))
+                    .unwrap()
+            })
+            .collect();
+        let heavy = c
+            .begin("v3-app", SimTime::ZERO + SimDuration::from_millis(10))
+            .unwrap();
+        let pinned = heavy.node;
+        assert_ne!(pinned, 0, "the loaded server is skipped");
+        for t in busy {
+            c.finish(t).unwrap();
+        }
+        let trace = c.finish(heavy).unwrap();
+
+        // Later, with the cluster idle, affinity still returns to the Pi.
+        let (again, trace2) = c
+            .handle("v3-app", trace.t6_gateway_out + SimDuration::from_secs(30))
+            .unwrap();
+        assert_eq!(again, pinned, "affinity pins to the warm (slow) node");
+        assert!(!trace2.cold);
+        // Cost-aware in the same state would pay a cold start on the server
+        // instead — and still finish far sooner than the Pi's execution.
+        let pi_exec = trace2.total();
+        assert!(pi_exec > SimDuration::from_secs(20), "{pi_exec}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Adaptive live container management (§IV-C, Algorithm 3).
+//!
+//! At a fixed control interval the controller snapshots, per runtime type,
+//! the peak number of containers the interval actually needed
+//! (`history[k][t]`), feeds it to that type's combined exponential-smoothing
+//! plus Markov predictor, and resizes the pool toward the predicted
+//! next-interval demand — pre-warming containers ahead of predicted growth
+//! ("prepare the runtime in advance") and retiring idle ones ahead of
+//! predicted decline ("avoid … unnecessary resource consumption").
+
+use crate::key::RuntimeKey;
+use crate::pool::ContainerPool;
+use containersim::{ContainerConfig, ContainerEngine, EngineError};
+use predictor::{EsMarkov, InitialValue, Predictor};
+use simclock::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Controller tuning.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Control interval (how often demand is sampled and the pool resized).
+    pub interval: SimDuration,
+    /// Exponential smoothing coefficient (paper: 0.8).
+    pub alpha: f64,
+    /// Seeding strategy for short series (paper: mean of first five).
+    pub init: InitialValue,
+    /// Number of Markov demand regions.
+    pub regions: usize,
+    /// Demand history window per key.
+    pub window: usize,
+    /// Fractional headroom added on top of the prediction (0.0 = exactly the
+    /// prediction; 0.25 = provision 25 % extra).
+    pub headroom: f64,
+    /// Maximum fraction of the *excess* (current − target) retired per
+    /// control step. Scale-up is immediate (cold starts hurt now); scale-down
+    /// is deliberately gradual so capacity survives between recurring bursts
+    /// — the §V-D burst experiment's "more same types of containers available
+    /// after the previous burst". 1.0 = shed everything immediately.
+    pub max_retire_fraction: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            interval: SimDuration::from_secs(30),
+            alpha: 0.8,
+            init: InitialValue::MeanOfFirst5,
+            regions: 6,
+            window: 256,
+            headroom: 0.0,
+            max_retire_fraction: 0.1,
+        }
+    }
+}
+
+/// The per-key adaptive controller.
+pub struct AdaptiveController {
+    config: ControllerConfig,
+    predictors: HashMap<RuntimeKey, EsMarkov>,
+    /// A representative container configuration per key (needed to pre-warm).
+    configs: HashMap<RuntimeKey, ContainerConfig>,
+    last_step: Option<SimTime>,
+    last_predictions: HashMap<RuntimeKey, f64>,
+    /// Cumulative background cost of pre-warm/retire actions.
+    background: SimDuration,
+}
+
+impl AdaptiveController {
+    /// Creates a controller.
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(
+            !config.interval.is_zero(),
+            "control interval must be positive"
+        );
+        AdaptiveController {
+            config,
+            predictors: HashMap::new(),
+            configs: HashMap::new(),
+            last_step: None,
+            last_predictions: HashMap::new(),
+            background: SimDuration::ZERO,
+        }
+    }
+
+    /// The paper's configuration (α = 0.8, 30 s interval).
+    pub fn paper_default() -> Self {
+        Self::new(ControllerConfig::default())
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Registers the concrete configuration behind a key (called by the
+    /// middleware on each acquire; idempotent).
+    pub fn note_config(&mut self, key: RuntimeKey, config: &ContainerConfig) {
+        self.configs.entry(key).or_insert_with(|| config.clone());
+    }
+
+    /// Most recent per-key predictions (diagnostics / Fig. 10).
+    pub fn last_predictions(&self) -> &HashMap<RuntimeKey, f64> {
+        &self.last_predictions
+    }
+
+    /// Cumulative cost of controller actions.
+    pub fn background_cost(&self) -> SimDuration {
+        self.background
+    }
+
+    /// Runs a control step if the interval has elapsed since the last one.
+    pub fn maybe_step(
+        &mut self,
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        now: SimTime,
+    ) -> Result<bool, EngineError> {
+        let due = match self.last_step {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.config.interval,
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.step(pool, engine, now)?;
+        Ok(true)
+    }
+
+    /// Runs one control step unconditionally: snapshot demand, update the
+    /// predictors, and resize the pool toward the predictions.
+    pub fn step(
+        &mut self,
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        now: SimTime,
+    ) -> Result<(), EngineError> {
+        self.last_step = Some(now);
+        self.last_predictions.clear();
+        let snapshot = pool.take_demand_snapshot();
+        for (key, demand) in snapshot {
+            let cfg = &self.config;
+            let predictor = self.predictors.entry(key.clone()).or_insert_with(|| {
+                EsMarkov::with_params(cfg.alpha, cfg.init, cfg.regions, cfg.window)
+            });
+            predictor.observe(demand as f64);
+            let predicted = predictor.predict() * (1.0 + self.config.headroom);
+            self.last_predictions.insert(key.clone(), predicted);
+
+            // Scale-down floor: never size below what the *last* interval
+            // actually needed — on a growing workload the smoother lags and
+            // would otherwise retire runtimes the next wave is about to use
+            // (the Fig. 14(a) "at least half reuse" property).
+            let target = (predicted.ceil().max(0.0) as usize).max(demand);
+            let current = pool.num_avail(&key) + pool.num_in_use(&key);
+            if target > current {
+                // Prepare runtimes in advance of predicted demand.
+                if let Some(config) = self.configs.get(&key).cloned() {
+                    for _ in 0..(target - current) {
+                        self.background += pool.prewarm(engine, &config, now)?;
+                    }
+                }
+            } else {
+                // Shed idle runtimes beyond predicted demand — gradually, so
+                // recurring bursts find warm capacity left over.
+                let excess = current - target;
+                let retire =
+                    ((excess as f64 * self.config.max_retire_fraction).ceil() as usize).min(excess);
+                for _ in 0..retire {
+                    match pool.retire_one(engine, &key, now)? {
+                        Some(c) => self.background += c,
+                        None => break, // the rest are in use
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyPolicy;
+    use containersim::engine::ExecWork;
+    use containersim::{HardwareProfile, ImageId};
+
+    fn setup() -> (ContainerEngine, ContainerPool, AdaptiveController) {
+        (
+            ContainerEngine::with_local_images(HardwareProfile::server()),
+            ContainerPool::new(KeyPolicy::Exact),
+            AdaptiveController::paper_default(),
+        )
+    }
+
+    fn cfg() -> ContainerConfig {
+        ContainerConfig::bridge(ImageId::parse("python:3.8-alpine"))
+    }
+
+    /// Simulates `n` concurrent requests in one interval.
+    fn drive_demand(
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        n: usize,
+        now: SimTime,
+    ) {
+        let acqs: Vec<_> = (0..n)
+            .map(|_| pool.acquire(engine, &cfg(), now).unwrap())
+            .collect();
+        for a in acqs {
+            let out = engine
+                .begin_exec(
+                    a.container,
+                    ExecWork::light(SimDuration::from_millis(5)),
+                    now,
+                )
+                .unwrap();
+            engine.end_exec(a.container, now + out.latency).unwrap();
+            pool.release(engine, a.container, now + out.latency)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn steady_demand_sizes_pool_to_match() {
+        let (mut e, mut pool, mut ctl) = setup();
+        ctl.note_config(pool.key_of(&cfg()), &cfg());
+        for t in 0..12 {
+            let now = SimTime::from_secs(t * 30);
+            drive_demand(&mut pool, &mut e, 5, now);
+            ctl.step(&mut pool, &mut e, now).unwrap();
+        }
+        let key = pool.key_of(&cfg());
+        let live = pool.num_avail(&key) + pool.num_in_use(&key);
+        assert!(
+            (4..=7).contains(&live),
+            "pool should track demand of 5, got {live}"
+        );
+    }
+
+    #[test]
+    fn demand_drop_retires_containers() {
+        let (mut e, mut pool, mut ctl) = setup();
+        ctl.note_config(pool.key_of(&cfg()), &cfg());
+        // High demand for a while…
+        for t in 0..8 {
+            let now = SimTime::from_secs(t * 30);
+            drive_demand(&mut pool, &mut e, 10, now);
+            ctl.step(&mut pool, &mut e, now).unwrap();
+        }
+        let key = pool.key_of(&cfg());
+        let high = pool.num_avail(&key);
+        assert!(high >= 8, "pool grew to demand, got {high}");
+        // …then it vanishes.
+        for t in 8..20 {
+            let now = SimTime::from_secs(t * 30);
+            ctl.step(&mut pool, &mut e, now).unwrap();
+        }
+        let low = pool.num_avail(&key);
+        assert!(low <= 2, "pool should shrink after demand drop, got {low}");
+    }
+
+    #[test]
+    fn growth_retains_full_capacity() {
+        let (mut e, mut pool, mut ctl) = setup();
+        ctl.note_config(pool.key_of(&cfg()), &cfg());
+        // Ramp 2, 4, 6, … — the scale-down floor (last observed demand)
+        // keeps every container from the latest wave warm even while the
+        // lagging smoother under-predicts.
+        for (r, n) in [2usize, 4, 6, 8, 10, 12].into_iter().enumerate() {
+            let now = SimTime::from_secs(r as u64 * 30);
+            drive_demand(&mut pool, &mut e, n, now);
+            ctl.step(&mut pool, &mut e, now).unwrap();
+        }
+        let key = pool.key_of(&cfg());
+        assert_eq!(pool.num_avail(&key), 12, "full last wave stays warm");
+    }
+
+    #[test]
+    fn headroom_prewarms_extra_capacity() {
+        let (mut e, mut pool, _) = setup();
+        let mut ctl = AdaptiveController::new(ControllerConfig {
+            headroom: 0.5,
+            ..Default::default()
+        });
+        ctl.note_config(pool.key_of(&cfg()), &cfg());
+        for r in 0..8u64 {
+            let now = SimTime::from_secs(r * 30);
+            drive_demand(&mut pool, &mut e, 10, now);
+            ctl.step(&mut pool, &mut e, now).unwrap();
+        }
+        let key = pool.key_of(&cfg());
+        // 50 % headroom over a steady demand of 10 ⇒ ~15 warm runtimes.
+        assert!(pool.num_avail(&key) >= 13, "avail={}", pool.num_avail(&key));
+        assert!(ctl.background_cost() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn maybe_step_respects_interval() {
+        let (mut e, mut pool, mut ctl) = setup();
+        assert!(ctl.maybe_step(&mut pool, &mut e, SimTime::ZERO).unwrap());
+        // 10 s later: not due (interval 30 s).
+        assert!(!ctl
+            .maybe_step(&mut pool, &mut e, SimTime::from_secs(10))
+            .unwrap());
+        assert!(ctl
+            .maybe_step(&mut pool, &mut e, SimTime::from_secs(30))
+            .unwrap());
+    }
+
+    #[test]
+    fn predictions_are_exposed() {
+        let (mut e, mut pool, mut ctl) = setup();
+        ctl.note_config(pool.key_of(&cfg()), &cfg());
+        drive_demand(&mut pool, &mut e, 3, SimTime::ZERO);
+        ctl.step(&mut pool, &mut e, SimTime::ZERO).unwrap();
+        let key = pool.key_of(&cfg());
+        assert!(ctl.last_predictions().contains_key(&key));
+    }
+
+    #[test]
+    #[should_panic(expected = "control interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = AdaptiveController::new(ControllerConfig {
+            interval: SimDuration::ZERO,
+            ..Default::default()
+        });
+    }
+}

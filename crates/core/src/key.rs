@@ -1,0 +1,216 @@
+//! Parameter analysis: from container configuration to runtime key.
+//!
+//! §IV-B: "The first step of HotC is to analyze the user command or
+//! configuration file to figure out the parameter setting of the container
+//! runtime. The parameter includes container images, network configuration,
+//! UTS settings, IPC settings, execution options, etc. … The key is the
+//! formatted parameter configurations for each container."
+//!
+//! [`RuntimeKey`] is that formatted form: a canonical string over the
+//! configuration fields, so two configurations that mean the same runtime
+//! always produce byte-identical keys (environment maps are sorted, port
+//! lists are kept sorted by construction).
+//!
+//! §VII (future work): "We will explore adopting a subset of the available
+//! parameters as the key … which reuses an existing available or idle
+//! container with a similar configuration and applies the changes."
+//! [`KeyPolicy::Fuzzy`] implements that ablation: only the image and network
+//! attachment participate in the key; the remaining differences are applied
+//! at acquire time for a small reconfiguration cost.
+
+use containersim::container::{IpcMode, UtsMode};
+use containersim::ContainerConfig;
+use serde::{Deserialize, Serialize};
+use simclock::SimDuration;
+use std::fmt::Write as _;
+
+/// Which configuration fields participate in the runtime key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KeyPolicy {
+    /// All parameters (the paper's deployed design).
+    #[default]
+    Exact,
+    /// Image + network attachment only (the future-work fuzzy matching);
+    /// differing UTS/IPC/exec options are applied on reuse for
+    /// [`FUZZY_RECONFIG_COST`].
+    Fuzzy,
+}
+
+/// Cost of applying configuration deltas (env, limits, hostname) to a reused
+/// container under [`KeyPolicy::Fuzzy`]. Far below a cold start.
+pub const FUZZY_RECONFIG_COST: SimDuration = SimDuration::from_millis(18);
+
+/// A canonical, formatted runtime key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RuntimeKey(String);
+
+impl RuntimeKey {
+    /// Formats a configuration into its runtime key under `policy`.
+    pub fn from_config(config: &ContainerConfig, policy: KeyPolicy) -> Self {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "img={};net={}", config.image, config.network.mode);
+        let _ = write!(
+            s,
+            ";scope={}",
+            match config.network.scope {
+                containersim::NetworkScope::SingleHost => "single",
+                containersim::NetworkScope::MultiHost => "multi",
+            }
+        );
+        if policy == KeyPolicy::Exact {
+            let _ = write!(s, ";ports=");
+            for (i, (c, h)) in config.network.published_ports.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}:{h}");
+            }
+            let _ = write!(
+                s,
+                ";uts={}",
+                match &config.uts {
+                    UtsMode::Private => "private".to_string(),
+                    UtsMode::Hostname(h) => format!("host:{h}"),
+                    UtsMode::Host => "hostns".to_string(),
+                }
+            );
+            let _ = write!(
+                s,
+                ";ipc={}",
+                match config.ipc {
+                    IpcMode::Private => "private",
+                    IpcMode::Host => "host",
+                    IpcMode::Shareable => "shareable",
+                }
+            );
+            let _ = write!(
+                s,
+                ";cpu={};mem={};priv={}",
+                config.exec.cpu_millis, config.exec.mem_limit_bytes, config.exec.privileged
+            );
+            let _ = write!(s, ";env=");
+            // BTreeMap iterates sorted ⇒ canonical.
+            for (i, (k, v)) in config.exec.env.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{k}={v}");
+            }
+            if let Some(cmd) = &config.exec.command {
+                let _ = write!(s, ";cmd={cmd}");
+            }
+        }
+        RuntimeKey(s)
+    }
+
+    /// The formatted key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for RuntimeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Whether reusing a container that was created with `existing` for a
+/// request needing `wanted` requires applying configuration deltas (only
+/// possible under [`KeyPolicy::Fuzzy`], where keys can match while configs
+/// differ).
+pub fn needs_reconfig(existing: &ContainerConfig, wanted: &ContainerConfig) -> bool {
+    existing != wanted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::container::ExecOptions;
+    use containersim::{ImageId, NetworkConfig, NetworkMode};
+
+    fn base() -> ContainerConfig {
+        ContainerConfig::bridge(ImageId::parse("python:3.8-alpine"))
+    }
+
+    #[test]
+    fn identical_configs_same_key() {
+        let a = RuntimeKey::from_config(&base(), KeyPolicy::Exact);
+        let b = RuntimeKey::from_config(&base(), KeyPolicy::Exact);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn env_order_is_canonical() {
+        let a = base().with_exec(ExecOptions::default().with_env("A", "1").with_env("B", "2"));
+        let b = base().with_exec(ExecOptions::default().with_env("B", "2").with_env("A", "1"));
+        assert_eq!(
+            RuntimeKey::from_config(&a, KeyPolicy::Exact),
+            RuntimeKey::from_config(&b, KeyPolicy::Exact)
+        );
+    }
+
+    #[test]
+    fn exact_distinguishes_env() {
+        let a = base().with_exec(ExecOptions::default().with_env("A", "1"));
+        let b = base().with_exec(ExecOptions::default().with_env("A", "2"));
+        assert_ne!(
+            RuntimeKey::from_config(&a, KeyPolicy::Exact),
+            RuntimeKey::from_config(&b, KeyPolicy::Exact)
+        );
+    }
+
+    #[test]
+    fn fuzzy_collapses_env_but_not_image() {
+        let a = base().with_exec(ExecOptions::default().with_env("A", "1"));
+        let b = base().with_exec(ExecOptions::default().with_env("A", "2"));
+        assert_eq!(
+            RuntimeKey::from_config(&a, KeyPolicy::Fuzzy),
+            RuntimeKey::from_config(&b, KeyPolicy::Fuzzy)
+        );
+        let other_image = ContainerConfig::bridge(ImageId::parse("golang:1.13"));
+        assert_ne!(
+            RuntimeKey::from_config(&a, KeyPolicy::Fuzzy),
+            RuntimeKey::from_config(&other_image, KeyPolicy::Fuzzy)
+        );
+    }
+
+    #[test]
+    fn network_mode_always_distinguishes() {
+        let bridge = base();
+        let host = base().with_network(NetworkConfig::single(NetworkMode::Host));
+        for policy in [KeyPolicy::Exact, KeyPolicy::Fuzzy] {
+            assert_ne!(
+                RuntimeKey::from_config(&bridge, policy),
+                RuntimeKey::from_config(&host, policy),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ports_distinguish_exact_keys() {
+        let a = base().with_network(NetworkConfig::single(NetworkMode::Bridge).publish(80, 8080));
+        let b = base().with_network(NetworkConfig::single(NetworkMode::Bridge).publish(80, 9090));
+        assert_ne!(
+            RuntimeKey::from_config(&a, KeyPolicy::Exact),
+            RuntimeKey::from_config(&b, KeyPolicy::Exact)
+        );
+    }
+
+    #[test]
+    fn key_is_human_readable() {
+        let key = RuntimeKey::from_config(&base(), KeyPolicy::Exact);
+        let text = key.to_string();
+        assert!(text.contains("img=python:3.8-alpine"));
+        assert!(text.contains("net=bridge"));
+    }
+
+    #[test]
+    fn reconfig_detection() {
+        let a = base();
+        let b = base().with_exec(ExecOptions::default().with_env("X", "1"));
+        assert!(!needs_reconfig(&a, &a.clone()));
+        assert!(needs_reconfig(&a, &b));
+    }
+}

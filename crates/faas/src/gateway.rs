@@ -1,0 +1,515 @@
+//! The gateway: entry point, function registry, and request driver.
+//!
+//! Mirrors the OpenFaaS pipeline of Fig. 5: gateway → watchdog → function
+//! process → watchdog → gateway, stamping the six timestamps of §III-A along
+//! the way. The gateway is generic over its [`RuntimeProvider`], so the same
+//! driver code runs the cold-start baseline, the keep-alive baselines, and
+//! HotC.
+//!
+//! Two driving styles:
+//! * [`Gateway::handle`] — begin+finish in one call, for workloads whose
+//!   requests do not overlap in virtual time;
+//! * [`Gateway::begin`] / [`Gateway::finish`] — split-phase, for concurrent
+//!   workloads where many containers are busy simultaneously (the
+//!   parallel/burst experiments schedule `finish` at each request's `t4`).
+
+use crate::apps::AppProfile;
+use crate::pipeline::{RequestTrace, GATEWAY_HOP, WATCHDOG_HOP};
+use crate::RuntimeProvider;
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use simclock::SimTime;
+use std::collections::BTreeMap;
+
+/// A deployed function: its application profile and runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// Function name (route).
+    pub name: String,
+    /// What it executes.
+    pub app: AppProfile,
+    /// The container runtime it requires.
+    pub config: ContainerConfig,
+}
+
+impl FunctionSpec {
+    /// A spec from an app profile with its default (bridge) configuration,
+    /// named after the app.
+    pub fn from_app(app: AppProfile) -> Self {
+        let config = app.default_config();
+        FunctionSpec {
+            name: app.name.to_string(),
+            app,
+            config,
+        }
+    }
+
+    /// Renames the function (builder style) — used when the same app is
+    /// deployed under several configurations.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the runtime configuration (builder style).
+    pub fn with_config(mut self, config: ContainerConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Gateway errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// No function registered under that name.
+    UnknownFunction(String),
+    /// The container engine rejected an operation.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::UnknownFunction(name) => write!(f, "unknown function '{name}'"),
+            GatewayError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<EngineError> for GatewayError {
+    fn from(e: EngineError) -> Self {
+        GatewayError::Engine(e)
+    }
+}
+
+/// A request that has started executing; `finish` completes it at its `t4`.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// The function being served.
+    pub function: String,
+    /// The container executing it.
+    pub container: ContainerId,
+    /// When the function process will stop (schedule `finish` here).
+    pub t4_func_end: SimTime,
+    t1: SimTime,
+    t2: SimTime,
+    t3: SimTime,
+    cold: bool,
+    first_exec: bool,
+    crashed: bool,
+}
+
+/// Aggregate request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that required a container cold start.
+    pub cold_starts: u64,
+}
+
+/// The serverless gateway.
+///
+/// ```
+/// use containersim::{ContainerEngine, HardwareProfile};
+/// use faas::{AppProfile, FixedKeepAlive, Gateway};
+/// use simclock::SimTime;
+///
+/// let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+/// let mut gateway = Gateway::new(engine, FixedKeepAlive::aws_default());
+/// gateway.register_app(AppProfile::random_number());
+///
+/// let trace = gateway.handle("random-number", SimTime::ZERO).unwrap();
+/// assert!(trace.cold);
+/// // The §III-A decomposition: initiation dominates the cold request.
+/// assert!(trace.initiation() > trace.execution());
+/// ```
+pub struct Gateway<P: RuntimeProvider> {
+    engine: ContainerEngine,
+    provider: P,
+    functions: BTreeMap<String, FunctionSpec>,
+    stats: GatewayStats,
+    /// Which app last executed in each container: HotC pools *runtimes*, so
+    /// a reused container serving a different app must re-pay that app's
+    /// initialization ("we load user code into that candidate container").
+    last_app: std::collections::HashMap<ContainerId, &'static str>,
+}
+
+impl<P: RuntimeProvider> Gateway<P> {
+    /// Creates a gateway over an engine and a runtime provider.
+    pub fn new(engine: ContainerEngine, provider: P) -> Self {
+        Gateway {
+            engine,
+            provider,
+            functions: BTreeMap::new(),
+            stats: GatewayStats::default(),
+            last_app: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(&mut self, spec: FunctionSpec) {
+        self.functions.insert(spec.name.clone(), spec);
+    }
+
+    /// Convenience: registers an app under its own name with its default
+    /// configuration.
+    pub fn register_app(&mut self, app: AppProfile) {
+        self.register(FunctionSpec::from_app(app));
+    }
+
+    /// The function registry.
+    pub fn functions(&self) -> impl Iterator<Item = &FunctionSpec> {
+        self.functions.values()
+    }
+
+    /// Looks up one function's spec.
+    pub fn function(&self, name: &str) -> Option<&FunctionSpec> {
+        self.functions.get(name)
+    }
+
+    /// The underlying engine (resource inspection).
+    pub fn engine(&self) -> &ContainerEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (experiment setup).
+    pub fn engine_mut(&mut self) -> &mut ContainerEngine {
+        &mut self.engine
+    }
+
+    /// The runtime provider.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// Mutable provider access.
+    pub fn provider_mut(&mut self) -> &mut P {
+        &mut self.provider
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Runs provider maintenance (keep-alive expiry, HotC pool control).
+    pub fn tick(&mut self, now: SimTime) -> Result<(), GatewayError> {
+        self.provider.tick(&mut self.engine, now)?;
+        Ok(())
+    }
+
+    /// Starts serving a request that arrived at the gateway at `now`.
+    /// Timestamps (1)–(4) are computed; the caller must invoke
+    /// [`Self::finish`] once the virtual clock reaches `t4_func_end`.
+    pub fn begin(&mut self, function: &str, now: SimTime) -> Result<InFlight, GatewayError> {
+        let spec = self
+            .functions
+            .get(function)
+            .ok_or_else(|| GatewayError::UnknownFunction(function.to_string()))?
+            .clone();
+
+        let t1 = now;
+        let t2 = t1 + GATEWAY_HOP;
+        let acq = self.provider.acquire(&mut self.engine, &spec.config, t2)?;
+        let first_exec = self.engine.exec_count(acq.container) == Some(0);
+        // App init is due on a fresh runtime AND when the pooled runtime
+        // last ran a different app (fuzzy keys / shared runtime types).
+        let needs_app_init =
+            first_exec || self.last_app.get(&acq.container) != Some(&spec.app.name);
+        self.last_app.insert(acq.container, spec.app.name);
+        let work = spec.app.work_for(needs_app_init);
+        // Function initiation: watchdog shim + obtaining the runtime.
+        let t3 = t2 + WATCHDOG_HOP + acq.cost;
+        let outcome = self.engine.begin_exec(acq.container, work, t3)?;
+        let t4 = t3 + outcome.latency;
+        Ok(InFlight {
+            function: spec.name,
+            container: acq.container,
+            t4_func_end: t4,
+            t1,
+            t2,
+            t3,
+            cold: acq.cold,
+            first_exec,
+            crashed: outcome.crashed,
+        })
+    }
+
+    /// Completes an in-flight request: the function process has stopped at
+    /// `t4`, the response flows back, and the container is returned to the
+    /// provider (cleanup happens off the request path).
+    pub fn finish(&mut self, inflight: InFlight) -> Result<RequestTrace, GatewayError> {
+        let t4 = inflight.t4_func_end;
+        self.engine.end_exec(inflight.container, t4)?;
+        self.provider
+            .release(&mut self.engine, inflight.container, t4)?;
+        let t5 = t4 + WATCHDOG_HOP;
+        let t6 = t5 + GATEWAY_HOP;
+        self.stats.requests += 1;
+        if inflight.cold {
+            self.stats.cold_starts += 1;
+        }
+        let trace = RequestTrace {
+            t1_gateway_in: inflight.t1,
+            t2_watchdog_in: inflight.t2,
+            t3_func_start: inflight.t3,
+            t4_func_end: t4,
+            t5_watchdog_out: t5,
+            t6_gateway_out: t6,
+            cold: inflight.cold,
+            first_exec: inflight.first_exec,
+            failed: inflight.crashed,
+        };
+        debug_assert!(trace.is_well_formed());
+        Ok(trace)
+    }
+
+    /// Serves one request start-to-finish (no overlap with other requests).
+    pub fn handle(&mut self, function: &str, now: SimTime) -> Result<RequestTrace, GatewayError> {
+        let inflight = self.begin(function, now)?;
+        self.finish(inflight)
+    }
+
+    /// Serves a request with platform-side retries: if the function process
+    /// crashes, the gateway immediately re-dispatches (on a fresh runtime —
+    /// the crashed one was disposed of) up to `max_retries` more times, as
+    /// managed FaaS platforms do. Returns the traces of every attempt, last
+    /// one first-class: `attempts.last()` is the final outcome.
+    pub fn handle_with_retries(
+        &mut self,
+        function: &str,
+        now: SimTime,
+        max_retries: usize,
+    ) -> Result<Vec<RequestTrace>, GatewayError> {
+        let mut attempts = Vec::with_capacity(1 + max_retries);
+        let mut at = now;
+        loop {
+            let trace = self.handle(function, at)?;
+            let failed = trace.failed;
+            let done_at = trace.t6_gateway_out;
+            attempts.push(trace);
+            if !failed || attempts.len() > max_retries {
+                return Ok(attempts);
+            }
+            // Re-dispatch as soon as the error response is seen.
+            at = done_at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ColdStartAlways, FixedKeepAlive};
+    use containersim::HardwareProfile;
+    use simclock::SimDuration;
+
+    fn gateway<P: RuntimeProvider>(provider: P) -> Gateway<P> {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = Gateway::new(engine, provider);
+        gw.register_app(AppProfile::random_number());
+        gw
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let mut gw = gateway(ColdStartAlways::new());
+        let err = gw.handle("nope", SimTime::ZERO).unwrap_err();
+        assert_eq!(err, GatewayError::UnknownFunction("nope".to_string()));
+    }
+
+    #[test]
+    fn cold_request_initiation_dominates() {
+        // The §III-A finding: for a trivial function served cold, the 2→3
+        // initiation segment dwarfs execution and forwarding.
+        let mut gw = gateway(ColdStartAlways::new());
+        let trace = gw.handle("random-number", SimTime::ZERO).unwrap();
+        assert!(trace.cold);
+        assert!(trace.is_well_formed());
+        assert!(trace.initiation() > trace.execution() * 5);
+        assert!(trace.initiation() > trace.forwarding() * 50);
+    }
+
+    #[test]
+    fn warm_request_is_much_faster() {
+        let mut gw = gateway(FixedKeepAlive::aws_default());
+        let cold = gw.handle("random-number", SimTime::ZERO).unwrap();
+        let warm = gw.handle("random-number", SimTime::from_secs(10)).unwrap();
+        assert!(cold.cold && !warm.cold);
+        assert!(!warm.first_exec);
+        assert!(cold.total() > warm.total() * 10);
+        assert_eq!(gw.stats().requests, 2);
+        assert_eq!(gw.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn split_phase_supports_overlap() {
+        let mut gw = gateway(FixedKeepAlive::aws_default());
+        // Two requests arriving together must occupy two containers.
+        let a = gw.begin("random-number", SimTime::ZERO).unwrap();
+        let b = gw.begin("random-number", SimTime::ZERO).unwrap();
+        assert_ne!(a.container, b.container);
+        assert_eq!(gw.engine().live_count(), 2);
+        let ta = gw.finish(a).unwrap();
+        let tb = gw.finish(b).unwrap();
+        assert!(ta.is_well_formed() && tb.is_well_formed());
+        // After release both are warm; the next two reuse them.
+        let c = gw.begin("random-number", SimTime::from_secs(5)).unwrap();
+        let d = gw.begin("random-number", SimTime::from_secs(5)).unwrap();
+        assert!(!c.cold && !d.cold);
+        gw.finish(c).unwrap();
+        gw.finish(d).unwrap();
+    }
+
+    #[test]
+    fn first_exec_charges_app_init() {
+        let mut gw = gateway(FixedKeepAlive::aws_default());
+        let first = gw.handle("random-number", SimTime::ZERO).unwrap();
+        let second = gw.handle("random-number", SimTime::from_secs(1)).unwrap();
+        assert!(first.first_exec && !second.first_exec);
+        // First execution includes the app init (20 ms vs 5 ms base).
+        assert!(first.execution() > second.execution() * 2);
+    }
+
+    #[test]
+    fn multiple_functions_coexist() {
+        let mut gw = gateway(FixedKeepAlive::aws_default());
+        gw.register_app(AppProfile::qr_code(containersim::LanguageRuntime::Go));
+        let a = gw.handle("random-number", SimTime::ZERO).unwrap();
+        let b = gw.handle("qr-code", SimTime::from_secs(1)).unwrap();
+        assert!(a.cold && b.cold, "different configs don't share runtimes");
+        let b2 = gw.handle("qr-code", SimTime::from_secs(2)).unwrap();
+        assert!(!b2.cold);
+    }
+
+    #[test]
+    fn handle_equals_begin_finish() {
+        let mut gw1 = gateway(ColdStartAlways::new());
+        let mut gw2 = gateway(ColdStartAlways::new());
+        let t1 = gw1.handle("random-number", SimTime::from_secs(3)).unwrap();
+        let inflight = gw2.begin("random-number", SimTime::from_secs(3)).unwrap();
+        let t2 = gw2.finish(inflight).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tick_delegates_to_provider() {
+        let mut gw = gateway(FixedKeepAlive::new(SimDuration::from_secs(60)));
+        gw.handle("random-number", SimTime::ZERO).unwrap();
+        assert_eq!(gw.engine().live_count(), 1);
+        gw.tick(SimTime::from_secs(300)).unwrap();
+        assert_eq!(gw.engine().live_count(), 0, "expired container reclaimed");
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::policy::FixedKeepAlive;
+    use containersim::HardwareProfile;
+
+    #[test]
+    fn retries_until_success() {
+        let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        // Seed chosen so the first attempts crash and a later one succeeds.
+        engine.set_fault_injection(0.7, 3);
+        let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
+        gw.register_app(AppProfile::random_number());
+
+        let attempts = gw
+            .handle_with_retries("random-number", SimTime::ZERO, 10)
+            .unwrap();
+        assert!(!attempts.is_empty());
+        let last = attempts.last().unwrap();
+        assert!(!last.failed, "should eventually succeed");
+        assert!(attempts[..attempts.len() - 1].iter().all(|t| t.failed));
+        // Attempts are sequential in time.
+        for w in attempts.windows(2) {
+            assert!(w[1].t1_gateway_in >= w[0].t6_gateway_out);
+        }
+    }
+
+    #[test]
+    fn gives_up_after_budget() {
+        let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        engine.set_fault_injection(1.0, 1); // always crash
+        let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
+        gw.register_app(AppProfile::random_number());
+
+        let attempts = gw
+            .handle_with_retries("random-number", SimTime::ZERO, 2)
+            .unwrap();
+        assert_eq!(attempts.len(), 3, "1 try + 2 retries");
+        assert!(attempts.iter().all(|t| t.failed));
+    }
+
+    #[test]
+    fn no_failure_means_single_attempt() {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
+        gw.register_app(AppProfile::random_number());
+        let attempts = gw
+            .handle_with_retries("random-number", SimTime::ZERO, 5)
+            .unwrap();
+        assert_eq!(attempts.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod shared_runtime_tests {
+    use super::*;
+    use crate::policy::FixedKeepAlive;
+    use containersim::engine::ExecWork;
+    use containersim::HardwareProfile;
+    use simclock::SimDuration;
+
+    /// Two apps with identical runtime configurations (same image, network,
+    /// env) — the pool treats them as one runtime type.
+    fn two_apps_one_runtime() -> Gateway<FixedKeepAlive> {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
+        let base = AppProfile {
+            name: "alpha",
+            image: containersim::ImageId::parse("python:3.8-alpine"),
+            app_init: SimDuration::from_millis(500),
+            work: ExecWork::light(SimDuration::from_millis(50)),
+        };
+        let mut beta = base.clone();
+        beta.name = "beta";
+        gw.register_app(base);
+        gw.register_app(beta);
+        gw
+    }
+
+    #[test]
+    fn switching_apps_repays_app_init() {
+        let mut gw = two_apps_one_runtime();
+        let a1 = gw.handle("alpha", SimTime::ZERO).unwrap();
+        assert!(a1.cold);
+        // Beta reuses alpha's runtime (same type) but must load its own code
+        // and state: app init is charged even though the container is warm.
+        let b1 = gw.handle("beta", SimTime::from_secs(10)).unwrap();
+        assert!(!b1.cold, "same runtime type is reused");
+        assert!(
+            b1.execution() > SimDuration::from_millis(500),
+            "beta's init must be paid: {:?}",
+            b1.execution()
+        );
+        // Running beta again in the same runtime is now warm all the way.
+        let b2 = gw.handle("beta", SimTime::from_secs(20)).unwrap();
+        assert!(b2.execution() < SimDuration::from_millis(100));
+        // And switching back to alpha re-pays alpha's init.
+        let a2 = gw.handle("alpha", SimTime::from_secs(30)).unwrap();
+        assert!(a2.execution() > SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn same_app_repeat_does_not_repay_init() {
+        let mut gw = two_apps_one_runtime();
+        gw.handle("alpha", SimTime::ZERO).unwrap();
+        let second = gw.handle("alpha", SimTime::from_secs(5)).unwrap();
+        assert!(second.execution() < SimDuration::from_millis(100));
+    }
+}

@@ -1,0 +1,326 @@
+//! Hybrid per-type keep-alive (the Azure practice reviewed in §III-B).
+//!
+//! "Researchers in Microsoft Azure \[27\] recently proposed using different
+//! keep-alive values for workloads according to their actual invocation
+//! frequency and patterns." [`HybridKeepAlive`] implements that idea: for
+//! each runtime configuration it records the *idle gaps* between uses and
+//! sets that type's keep-alive TTL to a high percentile of its observed gap
+//! distribution (clamped to sane bounds). Frequently-invoked types get short
+//! windows (little idle waste); rarely-invoked types get windows long enough
+//! to still catch their next invocation.
+//!
+//! This is the strongest non-HotC baseline: unlike [`crate::FixedKeepAlive`]
+//! it adapts per type, but unlike HotC it never *pre-warms* and sizes purely
+//! from idle-gap history rather than concurrent demand.
+
+use crate::{Acquisition, RuntimeProvider};
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use simclock::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tuning for [`HybridKeepAlive`].
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Percentile of the idle-gap distribution to provision for.
+    pub percentile: f64,
+    /// Safety margin multiplied onto the percentile gap.
+    pub margin: f64,
+    /// TTL used until a type has enough gap samples.
+    pub default_ttl: SimDuration,
+    /// Samples needed before trusting the learned distribution.
+    pub min_samples: usize,
+    /// Lower clamp on learned TTLs.
+    pub min_ttl: SimDuration,
+    /// Upper clamp on learned TTLs.
+    pub max_ttl: SimDuration,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            percentile: 0.99,
+            margin: 1.1,
+            default_ttl: SimDuration::from_mins(10),
+            min_samples: 3,
+            min_ttl: SimDuration::from_secs(15),
+            max_ttl: SimDuration::from_mins(120),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TypeHistory {
+    /// Observed idle gaps (bounded window).
+    gaps: Vec<SimDuration>,
+    /// When this type last went fully idle (release with no reuse since).
+    idle_since: Option<SimTime>,
+}
+
+const GAP_WINDOW: usize = 256;
+
+impl TypeHistory {
+    fn record_gap(&mut self, gap: SimDuration) {
+        if self.gaps.len() == GAP_WINDOW {
+            self.gaps.remove(0);
+        }
+        self.gaps.push(gap);
+    }
+
+    fn learned_ttl(&self, cfg: &HybridConfig) -> SimDuration {
+        if self.gaps.len() < cfg.min_samples {
+            return cfg.default_ttl;
+        }
+        let mut sorted = self.gaps.clone();
+        sorted.sort_unstable();
+        let rank = ((cfg.percentile * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+            .mul_f64(cfg.margin)
+            .max(cfg.min_ttl)
+            .min(cfg.max_ttl)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WarmEntry {
+    container: ContainerId,
+    idle_since: SimTime,
+}
+
+/// Per-type adaptive keep-alive provider.
+///
+/// ```
+/// use containersim::{ContainerEngine, HardwareProfile};
+/// use faas::{AppProfile, Gateway, HybridKeepAlive};
+/// use simclock::{SimDuration, SimTime};
+///
+/// let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+/// let mut gateway = Gateway::new(engine, HybridKeepAlive::new());
+/// gateway.register_app(AppProfile::random_number());
+///
+/// // Invoke on a steady 30 s cadence; the per-type TTL shrinks toward it.
+/// let mut now = SimTime::ZERO;
+/// for _ in 0..8 {
+///     let trace = gateway.handle("random-number", now).unwrap();
+///     now = trace.t4_func_end + SimDuration::from_secs(30);
+/// }
+/// let config = gateway.function("random-number").unwrap().config.clone();
+/// assert!(gateway.provider().ttl_for(&config) < SimDuration::from_mins(2));
+/// ```
+#[derive(Debug)]
+pub struct HybridKeepAlive {
+    config: HybridConfig,
+    warm: HashMap<ContainerConfig, Vec<WarmEntry>>,
+    history: HashMap<ContainerConfig, TypeHistory>,
+    background: SimDuration,
+}
+
+impl HybridKeepAlive {
+    /// Creates the provider with default tuning.
+    pub fn new() -> Self {
+        Self::with_config(HybridConfig::default())
+    }
+
+    /// Creates the provider with explicit tuning.
+    pub fn with_config(config: HybridConfig) -> Self {
+        HybridKeepAlive {
+            config,
+            warm: HashMap::new(),
+            history: HashMap::new(),
+            background: SimDuration::ZERO,
+        }
+    }
+
+    /// The TTL currently in force for a configuration (learned or default).
+    pub fn ttl_for(&self, config: &ContainerConfig) -> SimDuration {
+        self.history
+            .get(config)
+            .map(|h| h.learned_ttl(&self.config))
+            .unwrap_or(self.config.default_ttl)
+    }
+
+    /// Number of currently warm containers.
+    pub fn warm_count(&self) -> usize {
+        self.warm.values().map(Vec::len).sum()
+    }
+}
+
+impl Default for HybridKeepAlive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeProvider for HybridKeepAlive {
+    fn acquire(
+        &mut self,
+        engine: &mut ContainerEngine,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<Acquisition, EngineError> {
+        self.tick(engine, now)?;
+        // Record the idle gap this invocation ends (hit or miss: the gap is
+        // a property of the invocation pattern, not of the pool's luck).
+        let history = self.history.entry(config.clone()).or_default();
+        if let Some(idle_since) = history.idle_since.take() {
+            history.record_gap(now.duration_since(idle_since));
+        }
+        if let Some(entries) = self.warm.get_mut(config) {
+            if let Some(entry) = entries.pop() {
+                return Ok(Acquisition {
+                    container: entry.container,
+                    cost: SimDuration::ZERO,
+                    cold: false,
+                });
+            }
+        }
+        let (container, cost) = engine.create_container(config.clone(), now)?;
+        Ok(Acquisition {
+            container,
+            cost: cost.total(),
+            cold: true,
+        })
+    }
+
+    fn release(
+        &mut self,
+        engine: &mut ContainerEngine,
+        container: ContainerId,
+        now: SimTime,
+    ) -> Result<(), EngineError> {
+        if engine.state(container) == containersim::ContainerState::Stopped {
+            self.background += engine.stop_and_remove(container, now)?;
+            return Ok(());
+        }
+        self.background += engine.cleanup(container, now)?;
+        let config = engine
+            .config(container)
+            .expect("released container must be live")
+            .clone();
+        self.history.entry(config.clone()).or_default().idle_since = Some(now);
+        self.warm.entry(config).or_default().push(WarmEntry {
+            container,
+            idle_since: now,
+        });
+        Ok(())
+    }
+
+    fn tick(&mut self, engine: &mut ContainerEngine, now: SimTime) -> Result<(), EngineError> {
+        let cfg = self.config;
+        let mut expired: Vec<ContainerId> = Vec::new();
+        for (config, entries) in self.warm.iter_mut() {
+            let ttl = self
+                .history
+                .get(config)
+                .map(|h| h.learned_ttl(&cfg))
+                .unwrap_or(cfg.default_ttl);
+            entries.retain(|e| {
+                if now.duration_since(e.idle_since) > ttl {
+                    expired.push(e.container);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.warm.retain(|_, v| !v.is_empty());
+        for id in expired {
+            self.background += engine.stop_and_remove(id, now)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid-keepalive"
+    }
+
+    fn background_cost(&self) -> SimDuration {
+        self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AppProfile;
+    use containersim::HardwareProfile;
+
+    fn gateway() -> crate::Gateway<HybridKeepAlive> {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = crate::Gateway::new(engine, HybridKeepAlive::new());
+        gw.register_app(AppProfile::random_number());
+        gw
+    }
+
+    fn drive_gaps(gw: &mut crate::Gateway<HybridKeepAlive>, gaps_s: &[u64]) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for &gap in gaps_s {
+            let trace = gw.handle("random-number", now).expect("request");
+            now = trace.t4_func_end + SimDuration::from_secs(gap);
+        }
+        now
+    }
+
+    #[test]
+    fn learns_short_ttl_for_frequent_type() {
+        let mut gw = gateway();
+        // Invoked every ~20 s, 12 times.
+        drive_gaps(&mut gw, &[20; 12]);
+        let config = gw.function("random-number").unwrap().config.clone();
+        let ttl = gw.provider().ttl_for(&config);
+        // p99 of ≈20 s gaps × 1.1 margin ≈ 22 s — far below the 10 min default.
+        assert!(ttl < SimDuration::from_secs(40), "ttl={ttl}");
+        assert!(ttl >= SimDuration::from_secs(15), "clamped at min_ttl");
+    }
+
+    #[test]
+    fn learns_long_ttl_for_rare_type() {
+        let mut gw = gateway();
+        // Invoked every ~30 min; drive_gaps leaves `now` one gap after the
+        // last release.
+        let now = drive_gaps(&mut gw, &[1800; 8]);
+        let config = gw.function("random-number").unwrap().config.clone();
+        let ttl = gw.provider().ttl_for(&config);
+        assert!(ttl > SimDuration::from_mins(30), "ttl={ttl}");
+        // With the learned long window, the rare type is still warm at its
+        // usual cadence (a fixed 10–15 min window would have expired it).
+        let trace = gw.handle("random-number", now).expect("request");
+        assert!(!trace.cold);
+    }
+
+    #[test]
+    fn default_ttl_until_enough_samples() {
+        let gw = gateway();
+        let config = gw.function("random-number").unwrap().config.clone();
+        assert_eq!(
+            gw.provider().ttl_for(&config),
+            HybridConfig::default().default_ttl
+        );
+    }
+
+    #[test]
+    fn short_window_expires_frequent_type_after_anomalous_gap() {
+        let mut gw = gateway();
+        let end = drive_gaps(&mut gw, &[20; 12]);
+        // An anomalous 5-minute silence: far beyond the ~22 s learned TTL.
+        gw.tick(end + SimDuration::from_mins(5)).expect("tick");
+        assert_eq!(gw.provider().warm_count(), 0, "short TTL reclaimed it");
+    }
+
+    #[test]
+    fn ttl_clamped_to_max() {
+        let cfg = HybridConfig {
+            max_ttl: SimDuration::from_mins(30),
+            ..Default::default()
+        };
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = crate::Gateway::new(engine, HybridKeepAlive::with_config(cfg));
+        gw.register_app(AppProfile::random_number());
+        let mut now = SimTime::ZERO;
+        for _ in 0..8 {
+            let trace = gw.handle("random-number", now).expect("request");
+            now = trace.t4_func_end + SimDuration::from_mins(120);
+        }
+        let config = gw.function("random-number").unwrap().config.clone();
+        assert_eq!(gw.provider().ttl_for(&config), SimDuration::from_mins(30));
+    }
+}

@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! OpenFaaS-like serverless platform substrate.
+//!
+//! §III-A of the paper describes the measured platform: clients hit a
+//! **gateway** that proxies to per-function backends; inside each backend
+//! container a tiny **watchdog** HTTP server pipes the request into the
+//! **function process** and the response back out. The paper instruments six
+//! moments along that path —
+//!
+//! ```text
+//! (1) request reaches gateway      (4) function process stops
+//! (2) request reaches watchdog     (5) response leaves watchdog
+//! (3) function process starts      (6) response leaves gateway
+//! ```
+//!
+//! — and finds the function-initiation segment (2→3), i.e. obtaining a
+//! runtime, dominating cold-request latency. This crate reproduces that
+//! pipeline:
+//!
+//! * [`pipeline`] — the six-timestamp [`pipeline::RequestTrace`] and the
+//!   fixed network/proxy hop costs,
+//! * [`gateway`] — the request driver; generic over a [`RuntimeProvider`]
+//!   so the same gateway runs with cold-start-always, fixed keep-alive
+//!   (AWS-style), periodic warm-up (Azure-Logic-style), or HotC,
+//! * [`policy`] — the non-HotC baseline providers,
+//! * [`apps`] — the paper's application catalogue (random-number, QR code,
+//!   S3-download per language, inception-v3, TensorFlow-API, Cassandra-like)
+//!   as synthetic profiles.
+
+pub mod apps;
+pub mod gateway;
+pub mod hybrid;
+pub mod pipeline;
+pub mod policy;
+
+pub use apps::AppProfile;
+pub use gateway::{FunctionSpec, Gateway, InFlight};
+pub use hybrid::{HybridConfig, HybridKeepAlive};
+pub use pipeline::RequestTrace;
+pub use policy::{ColdStartAlways, FixedKeepAlive, PeriodicWarmup};
+
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use simclock::{SimDuration, SimTime};
+
+/// How a provider satisfied an acquire request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Acquisition {
+    /// The container to run in.
+    pub container: ContainerId,
+    /// Virtual time spent obtaining it (cold start cost, or ~0 when reused).
+    pub cost: SimDuration,
+    /// Whether a new container had to be created (a cold start).
+    pub cold: bool,
+}
+
+/// A strategy for providing container runtimes to the gateway.
+///
+/// Implemented by the baseline policies in [`policy`] and by HotC itself (in
+/// the `hotc` crate), so every experiment runs the *same* gateway code and
+/// differs only in runtime management.
+pub trait RuntimeProvider {
+    /// Obtains a ready (idle, clean) container for `config`.
+    fn acquire(
+        &mut self,
+        engine: &mut ContainerEngine,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<Acquisition, EngineError>;
+
+    /// Returns a container after its execution finished. Any cleanup or
+    /// teardown happens off the request path (the paper's HotC cleans used
+    /// containers after the response is returned), so the cost is accounted
+    /// to the provider, not the request.
+    fn release(
+        &mut self,
+        engine: &mut ContainerEngine,
+        container: ContainerId,
+        now: SimTime,
+    ) -> Result<(), EngineError>;
+
+    /// Periodic maintenance: expiry, pre-warming, pool resizing. Called by
+    /// drivers between rounds.
+    fn tick(&mut self, engine: &mut ContainerEngine, now: SimTime) -> Result<(), EngineError>;
+
+    /// Provider name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Cumulative virtual time this provider has spent on background work
+    /// (cleanup, pre-warming, eviction) — the overhead side of the ledger.
+    fn background_cost(&self) -> SimDuration;
+}

@@ -1,0 +1,267 @@
+//! Constant-memory latency histogram with logarithmic buckets.
+//!
+//! [`LatencyRecorder`](crate::latency::LatencyRecorder) keeps raw samples —
+//! exact but O(n) memory. For long-running concurrent drivers (the
+//! contention benches, day-long trace replays) this HDR-style histogram
+//! records into fixed log-spaced buckets: ~2.4 % relative error, O(1) memory,
+//! O(1) record.
+
+use simclock::SimDuration;
+
+/// Buckets per power of two (higher = finer resolution).
+const SUB_BUCKETS: usize = 32;
+/// Number of powers of two covered (1 ns … ~2^40 ns ≈ 18 min).
+const OCTAVES: usize = 41;
+
+/// A log-bucketed latency histogram.
+///
+/// ```
+/// use metrics_lite::LatencyHistogram;
+/// use simclock::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=1000 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// let p99 = h.quantile(0.99).as_millis_f64();
+/// assert!((p99 - 990.0).abs() / 990.0 < 0.04); // ≤ ~3 % bucket error
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; OCTAVES * SUB_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            return 0;
+        }
+        let octave = 63 - ns.leading_zeros() as usize;
+        let octave = octave.min(OCTAVES - 1);
+        // Position within the octave, scaled into SUB_BUCKETS slots.
+        let base = 1u64 << octave;
+        let offset = ((ns - base) as u128 * SUB_BUCKETS as u128 / base as u128) as usize;
+        octave * SUB_BUCKETS + offset.min(SUB_BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_value(bucket: usize) -> u64 {
+        let octave = bucket / SUB_BUCKETS;
+        let offset = (bucket % SUB_BUCKETS) as u64;
+        let base = 1u64 << octave;
+        base + base * offset / SUB_BUCKETS as u64
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean (tracked outside the buckets).
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / u128::from(self.total)) as u64)
+    }
+
+    /// Exact maximum.
+    pub fn max(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.max_ns)
+        }
+    }
+
+    /// Exact minimum.
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Approximate quantile (nearest-rank over buckets; ≤ ~3 % relative
+    /// error by construction).
+    ///
+    /// # Panics
+    /// Panics when empty or `q` is out of `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!(self.total > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return SimDuration::from_nanos(Self::bucket_value(bucket).min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn exact_stats_track() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30, 40, 50] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean().as_millis(), 30);
+        assert_eq!(h.min().as_millis(), 10);
+        assert_eq!(h.max().as_millis(), 50);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(ms(v));
+        }
+        for (q, expected_ms) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let got = h.quantile(q).as_millis_f64();
+            let rel = (got - expected_ms as f64).abs() / expected_ms as f64;
+            assert!(rel < 0.04, "q={q}: got {got}, want ~{expected_ms} ({rel})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_quantile_panics() {
+        LatencyHistogram::new().quantile(0.5);
+    }
+
+    #[test]
+    fn zero_and_huge_values_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert!(h.quantile(1.0) <= SimDuration::from_secs(100_000));
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in 1..=100 {
+            let d = ms(v);
+            if v % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    proptest! {
+        /// Histogram quantiles track exact quantiles within bucket error.
+        #[test]
+        fn prop_quantile_accuracy(
+            mut vals in proptest::collection::vec(1u64..10_000_000u64, 10..300),
+            q in 0.01f64..1.0,
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &v in &vals {
+                h.record(SimDuration::from_nanos(v));
+            }
+            vals.sort_unstable();
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1] as f64;
+            let approx = h.quantile(q).as_nanos() as f64;
+            // Bucket resolution: 1/32 per octave ⇒ ≤ ~2×(1/32) ≈ 7 % with
+            // rank-boundary effects.
+            prop_assert!(
+                (approx - exact).abs() / exact < 0.08,
+                "q={} exact={} approx={}", q, exact, approx
+            );
+        }
+
+        /// Quantiles are monotone.
+        #[test]
+        fn prop_quantiles_monotone(vals in proptest::collection::vec(1u64..1_000_000u64, 2..200)) {
+            let mut h = LatencyHistogram::new();
+            for &v in &vals {
+                h.record(SimDuration::from_nanos(v));
+            }
+            let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            for w in qs.windows(2) {
+                prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Latency recording with exact percentiles.
+//!
+//! The figure harness needs exact per-request latency sequences (Figs. 9,
+//! 12–14 plot request index against latency), plus summary percentiles for
+//! the long-tail analysis of Fig. 1(b). Sample counts are small (thousands),
+//! so keeping the raw samples is the simplest correct choice.
+
+use crate::stats::StreamingStats;
+use simclock::SimDuration;
+
+/// Records a sequence of request latencies.
+///
+/// ```
+/// use metrics_lite::LatencyRecorder;
+/// use simclock::SimDuration;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for ms in [60, 62, 61, 925, 60] { // one cold start
+///     rec.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(rec.median().as_millis(), 61);
+/// assert_eq!(rec.max().as_millis(), 925);
+/// assert!(rec.tail_ratio() > 10.0); // the long tail of Fig. 1(b)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<SimDuration>,
+    stats: StreamingStats,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency);
+        self.stats.push(latency.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw sample sequence, in arrival order.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.stats.mean())
+    }
+
+    /// Minimum latency (zero when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(self.stats.min())
+        }
+    }
+
+    /// Maximum latency (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        if self.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(self.stats.max())
+        }
+    }
+
+    /// Exact percentile by the nearest-rank method. `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the recorder is empty or `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        assert!(!self.is_empty(), "percentile of empty recorder");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> SimDuration {
+        self.percentile(0.5)
+    }
+
+    /// Tail amplification: p99 / p50 — the paper's long-tail observation for
+    /// Fig. 1(b) ("99 % of latency is almost the same" locally vs
+    /// "significant long tail" in serverless).
+    pub fn tail_ratio(&self) -> f64 {
+        let p50 = self.median().as_secs_f64();
+        if p50 == 0.0 {
+            return 1.0;
+        }
+        self.percentile(0.99).as_secs_f64() / p50
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut r = LatencyRecorder::new();
+        for v in [10, 20, 30, 40, 50] {
+            r.record(ms(v));
+        }
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.mean().as_millis(), 30);
+        assert_eq!(r.min().as_millis(), 10);
+        assert_eq!(r.max().as_millis(), 50);
+        assert_eq!(r.median().as_millis(), 30);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100 {
+            r.record(ms(v));
+        }
+        assert_eq!(r.percentile(0.5).as_millis(), 50);
+        assert_eq!(r.percentile(0.99).as_millis(), 99);
+        assert_eq!(r.percentile(1.0).as_millis(), 100);
+        assert_eq!(r.percentile(0.0).as_millis(), 1); // clamped to rank 1
+    }
+
+    #[test]
+    fn tail_ratio_flags_long_tail() {
+        // Uniform latencies: ratio near 1.
+        let mut flat = LatencyRecorder::new();
+        for _ in 0..100 {
+            flat.record(ms(100));
+        }
+        assert!((flat.tail_ratio() - 1.0).abs() < 1e-9);
+
+        // One in ten requests is a 10× cold start: heavy tail.
+        let mut cold = LatencyRecorder::new();
+        for i in 0..100 {
+            cold.record(ms(if i % 10 == 0 { 1000 } else { 100 }));
+        }
+        assert!(cold.tail_ratio() > 5.0);
+    }
+
+    #[test]
+    fn empty_recorder_defaults() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.min(), SimDuration::ZERO);
+        assert_eq!(r.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty recorder")]
+    fn empty_percentile_panics() {
+        LatencyRecorder::new().percentile(0.5);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(ms(10));
+        let mut b = LatencyRecorder::new();
+        b.record(ms(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_millis(), 20);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in q and bounded by min/max.
+        #[test]
+        fn prop_percentiles_monotone(
+            vals in proptest::collection::vec(1u64..100_000, 1..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut r = LatencyRecorder::new();
+            for &v in &vals {
+                r.record(SimDuration::from_nanos(v));
+            }
+            let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(r.percentile(lo_q) <= r.percentile(hi_q));
+            prop_assert!(r.percentile(0.0) >= r.min());
+            prop_assert!(r.percentile(1.0) <= r.max());
+        }
+    }
+}

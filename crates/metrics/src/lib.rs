@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Measurement utilities for the HotC reproduction: latency recording,
+//! streaming statistics, empirical CDFs, resource time series, and the text
+//! tables/plots the figure harness prints.
+//!
+//! Everything here is deterministic and allocation-conscious: recorders are
+//! used on the hot path of the contention benchmarks.
+
+pub mod cdf;
+pub mod histogram;
+pub mod latency;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use cdf::Cdf;
+pub use histogram::LatencyHistogram;
+pub use latency::LatencyRecorder;
+pub use stats::StreamingStats;
+pub use table::{render_series, Table};
+pub use timeseries::TimeSeries;

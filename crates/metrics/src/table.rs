@@ -1,0 +1,181 @@
+//! Text rendering for the figure harness: aligned tables and ASCII series
+//! plots, so `repro figN` output is readable in a terminal and diffable in
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for string-literal rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < ncols {
+                    s.push_str("  ");
+                }
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Renders a numeric series as a labelled ASCII bar chart (one row per
+/// point), scaled to `max_width` characters.
+pub fn render_series(title: &str, labels: &[String], values: &[f64], max_width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "label/value length mismatch");
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if values.is_empty() {
+        let _ = writeln!(out, "(empty series)");
+        return out;
+    }
+    let peak = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (label, &v) in labels.iter().zip(values) {
+        let bar_len = if peak > 0.0 {
+            ((v / peak) * max_width as f64).round().max(0.0) as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{:<label_w$} |{} {:.3}",
+            label,
+            "#".repeat(bar_len.min(max_width)),
+            v,
+        );
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision for table cells.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_strs(&["short", "1"]);
+        t.row_strs(&["a-much-longer-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        // Both rows align the second column at the same offset as the header.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].chars().nth(col), Some('1'));
+        assert_eq!(lines[4].chars().nth(col), Some('2'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let s = render_series(
+            "latency",
+            &["t0".to_string(), "t1".to_string()],
+            &[1.0, 2.0],
+            10,
+        );
+        assert!(s.contains("t0"));
+        assert!(s.contains("##########")); // peak gets full width
+        assert!(s.contains("#####")); // half value gets half width
+    }
+
+    #[test]
+    fn series_handles_empty_and_zero() {
+        let s = render_series("e", &[], &[], 10);
+        assert!(s.contains("empty series"));
+        let z = render_series("z", &["a".to_string()], &[0.0], 10);
+        assert!(z.contains("a"));
+    }
+
+    #[test]
+    fn fmt_f64_picks_precision() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234.5");
+        assert_eq!(fmt_f64(2.34567), "2.35");
+        assert_eq!(fmt_f64(0.01234), "0.0123");
+    }
+}

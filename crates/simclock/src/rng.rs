@@ -1,0 +1,275 @@
+//! Deterministic random source for workload generation.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::SmallRng`] and adds the handful of
+//! distributions the reproduction needs. Keeping them here (rather than
+//! pulling in `rand_distr`) stays within the approved offline dependency set
+//! and keeps the sampling code auditable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator with workload-oriented helpers.
+///
+/// Two `SimRng`s created with the same seed produce identical streams, which
+/// is what makes the figure harness reproducible.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// client its own stream without correlating them.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seeded(self.inner.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform_u64: empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty collection");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed sample with the given mean (inter-arrival
+    /// times of a Poisson process).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential: mean must be positive");
+        // Inverse-CDF; guard the log against u == 0.
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Poisson-distributed count with the given rate `lambda`.
+    ///
+    /// Uses Knuth's product method for small lambda and a normal
+    /// approximation beyond 30 (where the error is far below the noise the
+    /// experiments care about).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson: lambda must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.unit();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Normally distributed sample via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normally distributed sample: useful for skewed service times.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`.
+    ///
+    /// Rank 0 is the most popular item. Used to model the GitHub Dockerfile
+    /// survey (Fig. 2): a few base images dominate.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf: need at least one item");
+        // Direct inverse-CDF over the normalized harmonic weights. n is small
+        // (tens of image kinds), so the linear scan is cheap and exact.
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.unit() * norm;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Multiplicative jitter: a sample in `[1-spread, 1+spread]` to perturb a
+    /// modelled latency (e.g. ±5 % measurement noise).
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        let spread = spread.clamp(0.0, 1.0);
+        1.0 + (self.unit() * 2.0 - 1.0) * spread
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a reference to a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut parent = SimRng::seeded(7);
+        let mut child = parent.fork();
+        // Child stream must not simply mirror the parent stream.
+        let mirrored = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(mirrored < 4);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seeded(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut rng = SimRng::seeded(4);
+        for &lambda in &[0.5, 5.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut rng = SimRng::seeded(5);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::seeded(6);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.2, "var={var}");
+    }
+
+    #[test]
+    fn zipf_rank0_dominates() {
+        let mut rng = SimRng::seeded(8);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 5, "counts={counts:?}");
+        // Monotone non-increasing popularity (allowing sampling noise on the tail).
+        assert!(counts[0] > counts[4]);
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut rng = SimRng::seeded(9);
+        for _ in 0..10 {
+            assert_eq!(rng.zipf(1, 1.2), 0);
+        }
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SimRng::seeded(10);
+        for _ in 0..1_000 {
+            let j = rng.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j), "jitter={j}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seeded(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(12);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+}

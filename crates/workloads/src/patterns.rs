@@ -1,0 +1,286 @@
+//! The six request flows of §V-D.
+//!
+//! All generators are deterministic given their parameters (Poisson takes an
+//! explicit seed). Times follow the paper's setups: 30-second rounds for the
+//! serial/ramp experiments, per-round request counts as described per figure.
+
+use crate::Arrival;
+use simclock::{SimDuration, SimRng, SimTime};
+
+/// Ramp direction for the linear/exponential flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Request count grows round over round.
+    Increasing,
+    /// Request count shrinks round over round.
+    Decreasing,
+}
+
+/// Fig. 12(a): a single-threaded client sending the same request every
+/// `interval` — `count` requests of one configuration.
+pub fn serial(interval: SimDuration, count: usize, config_id: usize) -> Vec<Arrival> {
+    (0..count)
+        .map(|i| Arrival {
+            at: SimTime::ZERO + interval * i as u64,
+            config_id,
+        })
+        .collect()
+}
+
+/// Fig. 12(b): `threads` concurrent clients, each with its *own* runtime
+/// configuration (config ids `0..threads`), each sending `per_thread`
+/// requests every `interval`. Arrivals at the same instant are emitted in
+/// thread order.
+pub fn parallel_clients(threads: usize, per_thread: usize, interval: SimDuration) -> Vec<Arrival> {
+    let mut out = Vec::with_capacity(threads * per_thread);
+    for round in 0..per_thread {
+        for thread in 0..threads {
+            out.push(Arrival {
+                at: SimTime::ZERO + interval * round as u64,
+                config_id: thread,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 13: linear ramp. Increasing: round `r` (0-based) sends
+/// `start + step·r` requests; decreasing: starts at `start + step·(rounds-1)`
+/// and sheds `step` per round. The paper uses start=2, step=2, 30 s rounds.
+pub fn linear_ramp(
+    direction: Direction,
+    start: usize,
+    step: usize,
+    rounds: usize,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let n = match direction {
+            Direction::Increasing => start + step * r,
+            Direction::Decreasing => start + step * (rounds - 1 - r),
+        };
+        let at = SimTime::ZERO + round_interval * r as u64;
+        out.extend((0..n).map(|_| Arrival { at, config_id }));
+    }
+    out
+}
+
+/// Fig. 14(a): exponential ramp — round `i` sends `2^i` requests
+/// (increasing) or `2^(rounds-1-i)` (decreasing).
+pub fn exponential_ramp(
+    direction: Direction,
+    rounds: u32,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let exp = match direction {
+            Direction::Increasing => r,
+            Direction::Decreasing => rounds - 1 - r,
+        };
+        let n = 1usize << exp.min(20); // cap at 2^20 to bound memory
+        let at = SimTime::ZERO + round_interval * r as u64;
+        out.extend((0..n).map(|_| Arrival { at, config_id }));
+    }
+    out
+}
+
+/// Fig. 14(b): burst flow. Every round sends `base` requests (the paper's 8)
+/// except rounds in `burst_rounds` (the paper's 4th/8th/12th/16th), which
+/// send `base × burst_factor` (the paper's ×10).
+pub fn burst(
+    base: usize,
+    burst_factor: usize,
+    burst_rounds: &[usize],
+    rounds: usize,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let n = if burst_rounds.contains(&r) {
+            base * burst_factor
+        } else {
+            base
+        };
+        let at = SimTime::ZERO + round_interval * r as u64;
+        out.extend((0..n).map(|_| Arrival { at, config_id }));
+    }
+    out
+}
+
+/// A Poisson arrival process at `rate_per_sec` over `duration`, with config
+/// ids sampled Zipf-style over `config_kinds` (popular runtimes dominate, as
+/// in the Fig. 2 survey).
+pub fn poisson(
+    rate_per_sec: f64,
+    duration: SimDuration,
+    config_kinds: usize,
+    zipf_exponent: f64,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    assert!(config_kinds >= 1, "need at least one config kind");
+    let mut rng = SimRng::seeded(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let horizon = duration.as_secs_f64();
+    loop {
+        t += rng.exponential(1.0 / rate_per_sec);
+        if t >= horizon {
+            break;
+        }
+        out.push(Arrival {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(t),
+            config_id: rng.zipf(config_kinds, zipf_exponent),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_time_ordered;
+
+    const ROUND: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn serial_spacing() {
+        let w = serial(ROUND, 5, 3);
+        assert_eq!(w.len(), 5);
+        assert!(is_time_ordered(&w));
+        assert!(w.iter().all(|a| a.config_id == 3));
+        assert_eq!(w[4].at, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn parallel_each_thread_own_config() {
+        let w = parallel_clients(10, 4, ROUND);
+        assert_eq!(w.len(), 40);
+        assert!(is_time_ordered(&w));
+        let configs: std::collections::BTreeSet<_> = w.iter().map(|a| a.config_id).collect();
+        assert_eq!(configs.len(), 10);
+        // First round: one arrival per thread at t=0.
+        assert_eq!(w.iter().filter(|a| a.at == SimTime::ZERO).count(), 10);
+    }
+
+    #[test]
+    fn linear_ramp_counts() {
+        let up = linear_ramp(Direction::Increasing, 2, 2, 4, ROUND, 0);
+        // Rounds: 2, 4, 6, 8 = 20 total.
+        assert_eq!(up.len(), 20);
+        let at_round = |w: &[Arrival], r: u64| {
+            w.iter()
+                .filter(|a| a.at == SimTime::ZERO + ROUND * r)
+                .count()
+        };
+        assert_eq!(at_round(&up, 0), 2);
+        assert_eq!(at_round(&up, 3), 8);
+
+        let down = linear_ramp(Direction::Decreasing, 2, 2, 4, ROUND, 0);
+        assert_eq!(down.len(), 20);
+        assert_eq!(at_round(&down, 0), 8);
+        assert_eq!(at_round(&down, 3), 2);
+    }
+
+    #[test]
+    fn exponential_ramp_doubles() {
+        let up = exponential_ramp(Direction::Increasing, 5, ROUND, 0);
+        // 1+2+4+8+16 = 31.
+        assert_eq!(up.len(), 31);
+        let down = exponential_ramp(Direction::Decreasing, 5, ROUND, 0);
+        assert_eq!(down.len(), 31);
+        assert_eq!(down.iter().filter(|a| a.at == SimTime::ZERO).count(), 16);
+        assert!(is_time_ordered(&up) && is_time_ordered(&down));
+    }
+
+    #[test]
+    fn exponential_ramp_is_capped() {
+        let huge = exponential_ramp(Direction::Increasing, 25, ROUND, 0);
+        // Rounds beyond 2^20 are capped, so the total stays bounded.
+        assert!(huge.len() < 6 * (1 << 20));
+    }
+
+    #[test]
+    fn burst_rounds_multiply() {
+        let w = burst(8, 10, &[3, 7], 10, ROUND, 0);
+        let at_round = |r: u64| {
+            w.iter()
+                .filter(|a| a.at == SimTime::ZERO + ROUND * r)
+                .count()
+        };
+        assert_eq!(at_round(0), 8);
+        assert_eq!(at_round(3), 80);
+        assert_eq!(at_round(7), 80);
+        assert_eq!(at_round(9), 8);
+        assert_eq!(w.len(), 8 * 8 + 2 * 80);
+    }
+
+    #[test]
+    fn poisson_rate_and_determinism() {
+        let w1 = poisson(5.0, SimDuration::from_secs(200), 4, 1.1, 42);
+        let w2 = poisson(5.0, SimDuration::from_secs(200), 4, 1.1, 42);
+        assert_eq!(w1, w2, "same seed must reproduce the workload");
+        assert!(is_time_ordered(&w1));
+        // ~1000 expected arrivals; allow wide tolerance.
+        assert!((700..1300).contains(&w1.len()), "len={}", w1.len());
+        // Popular config dominates.
+        let c0 = w1.iter().filter(|a| a.config_id == 0).count();
+        let c3 = w1.iter().filter(|a| a.config_id == 3).count();
+        assert!(c0 > c3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_zero_rate_rejected() {
+        let _ = poisson(0.0, SimDuration::from_secs(1), 1, 1.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::is_time_ordered;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every generator emits a time-ordered workload, and counts are what
+        /// the closed forms say.
+        #[test]
+        fn prop_generators_ordered_and_counted(
+            count in 1usize..40,
+            threads in 1usize..8,
+            rounds in 1usize..10,
+            start in 1usize..5,
+            step in 1usize..5,
+        ) {
+            let iv = SimDuration::from_secs(30);
+            let s = serial(iv, count, 0);
+            prop_assert!(is_time_ordered(&s));
+            prop_assert_eq!(s.len(), count);
+
+            let p = parallel_clients(threads, rounds, iv);
+            prop_assert!(is_time_ordered(&p));
+            prop_assert_eq!(p.len(), threads * rounds);
+
+            let up = linear_ramp(Direction::Increasing, start, step, rounds, iv, 0);
+            let down = linear_ramp(Direction::Decreasing, start, step, rounds, iv, 0);
+            prop_assert!(is_time_ordered(&up));
+            prop_assert_eq!(up.len(), down.len());
+            let expected: usize = (0..rounds).map(|r| start + step * r).sum();
+            prop_assert_eq!(up.len(), expected);
+        }
+
+        /// Poisson arrival counts scale with the rate.
+        #[test]
+        fn prop_poisson_scales_with_rate(seed in 0u64..1000) {
+            let slow = poisson(1.0, SimDuration::from_secs(400), 2, 1.0, seed);
+            let fast = poisson(8.0, SimDuration::from_secs(400), 2, 1.0, seed + 1);
+            prop_assert!(fast.len() > slow.len());
+        }
+    }
+}

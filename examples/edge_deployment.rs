@@ -1,0 +1,76 @@
+//! HotC on a memory-constrained edge device (Raspberry Pi 3) with overlay
+//! networking: shows the 80 %-memory guardrail evicting oldest runtimes
+//! while the pool keeps serving warm requests.
+//!
+//! ```text
+//! cargo run --example edge_deployment
+//! ```
+
+use hotc_repro::prelude::*;
+
+fn main() {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::raspberry_pi3());
+    // A tight pool for a 1 GB board: at most 12 live containers, evict past
+    // 70 % memory pressure.
+    let config = HotCConfig {
+        limits: PoolLimits::new(12, 0.70),
+        ..Default::default()
+    };
+    let mut gateway = Gateway::new(engine, HotC::new(config));
+
+    // Three functions with different footprints, overlay networking (the
+    // paper's Pi setup): a JVM app, a Python app, a Go app.
+    for (name, app) in [
+        ("classify", AppProfile::v3_app()),
+        ("transform", AppProfile::qr_code(LanguageRuntime::Python)),
+        ("collect", AppProfile::qr_code(LanguageRuntime::Go)),
+    ] {
+        let spec = faas::FunctionSpec::from_app(app.clone())
+            .named(name)
+            .with_config(app.config_with_network(NetworkMode::Overlay));
+        gateway.register(spec);
+    }
+
+    let mut table = Table::new(
+        "edge traffic on a Raspberry Pi 3 (overlay network)",
+        &[
+            "t_s",
+            "function",
+            "latency_ms",
+            "cold",
+            "live",
+            "mem_pressure_%",
+        ],
+    );
+    let functions = [
+        "transform",
+        "collect",
+        "transform",
+        "classify",
+        "transform",
+        "collect",
+    ];
+    let mut now = SimTime::ZERO;
+    for round in 0..6u64 {
+        for f in &functions {
+            let trace = gateway.handle(f, now).expect("edge request");
+            table.row(&[
+                now.as_secs().to_string(),
+                f.to_string(),
+                format!("{:.0}", trace.total().as_millis_f64()),
+                trace.cold.to_string(),
+                gateway.engine().live_count().to_string(),
+                format!("{:.0}", gateway.engine().host().memory_pressure() * 100.0),
+            ]);
+            now = trace.t6_gateway_out + SimDuration::from_secs(2);
+        }
+        gateway.tick(now).expect("tick");
+        now += SimDuration::from_secs(20 + round);
+    }
+    println!("{}", table.render());
+    println!(
+        "pool never exceeds the limits: live={} (max 12), pressure={:.0}% (threshold 70%)",
+        gateway.engine().live_count(),
+        gateway.engine().host().memory_pressure() * 100.0
+    );
+}

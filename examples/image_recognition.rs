@@ -1,0 +1,82 @@
+//! The paper's §V-B image-recognition study: inception-v3 (Python) and a
+//! Go TensorFlow-API app, on the cloud server and on a Raspberry Pi 3 with
+//! overlay networking, with and without HotC.
+//!
+//! ```text
+//! cargo run --example image_recognition
+//! ```
+
+use hotc_repro::prelude::*;
+
+fn mean_run_seconds<P: RuntimeProvider>(
+    mut gateway: Gateway<P>,
+    function: &str,
+    runs: usize,
+) -> f64 {
+    let mut total = SimDuration::ZERO;
+    let mut now = SimTime::ZERO;
+    for _ in 0..runs {
+        let trace = gateway.handle(function, now).expect("inference run");
+        total += trace.total();
+        now = trace.t6_gateway_out + SimDuration::from_secs(5);
+        gateway.tick(now).expect("tick");
+    }
+    (total / runs as u64).as_secs_f64()
+}
+
+fn measure(app: &AppProfile, hw: &HardwareProfile, net: NetworkMode) -> (f64, f64) {
+    let spec = faas::FunctionSpec::from_app(app.clone()).with_config(app.config_with_network(net));
+
+    // Without HotC: a fresh container per run.
+    let engine = ContainerEngine::with_local_images(hw.clone());
+    let mut default_gw = Gateway::new(engine, faas::ColdStartAlways::new());
+    default_gw.register(spec.clone());
+    let default = mean_run_seconds(default_gw, &spec.name, 10);
+
+    // With HotC: runtime reuse.
+    let engine = ContainerEngine::with_local_images(hw.clone());
+    let mut hotc_gw = Gateway::new(engine, HotC::with_defaults());
+    hotc_gw.register(spec.clone());
+    let hotc = mean_run_seconds(hotc_gw, &spec.name, 10);
+
+    (default, hotc)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "image recognition, average of 10 runs",
+        &[
+            "app",
+            "platform",
+            "network",
+            "default_s",
+            "hotc_s",
+            "reduction_%",
+        ],
+    );
+    let scenarios = [
+        (HardwareProfile::server(), NetworkMode::Bridge, "server"),
+        (
+            HardwareProfile::raspberry_pi3(),
+            NetworkMode::Overlay,
+            "raspberry-pi3",
+        ),
+    ];
+    for (hw, net, platform) in &scenarios {
+        for app in [AppProfile::v3_app(), AppProfile::tf_api_app()] {
+            let (default, hotc) = measure(&app, hw, *net);
+            table.row(&[
+                app.name.to_string(),
+                platform.to_string(),
+                net.to_string(),
+                format!("{default:.2}"),
+                format!("{hotc:.2}"),
+                format!("{:.1}", (1.0 - hotc / default) * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "paper (Fig 8): v3-app −33.2% / TF-API −23.9% on the server; −26.6% / −20.6% on the Pi"
+    );
+}

@@ -1,0 +1,149 @@
+//! The paper's §II motivating scenarios (Fig. 3), built from *custom*
+//! application profiles — no library changes needed:
+//!
+//! * Fig. 3(a): a cloud image-processing service — upload triggers
+//!   compression, then watermarking, then persistence.
+//! * Fig. 3(b): a self-driving edge pipeline on an AWS-Greengrass-like
+//!   device — static object recognition (traffic lights/signs) and dynamic
+//!   object recognition (vehicles/pedestrians) run locally on every frame
+//!   batch; only summaries go to the cloud.
+//!
+//! ```text
+//! cargo run --example iot_pipeline
+//! ```
+
+use containersim::engine::ExecWork;
+use hotc_repro::prelude::*;
+
+/// Custom app: JPEG compression of an uploaded photo.
+fn compress_app() -> AppProfile {
+    AppProfile {
+        name: "img-compress",
+        image: ImageId::parse("python:3.8-alpine"),
+        app_init: SimDuration::from_millis(120), // codec tables, buffers
+        work: ExecWork {
+            compute: SimDuration::from_millis(180),
+            mem_bytes: 96 * 1024 * 1024,
+            cpu_cores: 1.0,
+            files_written: 2,
+            bytes_written: 900 * 1024,
+        },
+    }
+}
+
+/// Custom app: watermark overlay on the compressed image.
+fn watermark_app() -> AppProfile {
+    AppProfile {
+        name: "img-watermark",
+        image: ImageId::parse("python:3.8-alpine"),
+        app_init: SimDuration::from_millis(60),
+        work: ExecWork {
+            compute: SimDuration::from_millis(70),
+            mem_bytes: 48 * 1024 * 1024,
+            cpu_cores: 0.5,
+            files_written: 1,
+            bytes_written: 950 * 1024,
+        },
+    }
+}
+
+/// Custom app: object recognition over a camera frame batch (edge).
+fn recognition_app(name: &'static str, compute_ms: u64) -> AppProfile {
+    AppProfile {
+        name,
+        image: ImageId::parse("tensorflow:1.13-py3"),
+        app_init: SimDuration::from_millis(700), // model load
+        work: ExecWork {
+            compute: SimDuration::from_millis(compute_ms),
+            mem_bytes: 700 * 1024 * 1024,
+            cpu_cores: 3.0,
+            files_written: 1,
+            bytes_written: 64 * 1024,
+        },
+    }
+}
+
+/// Registers an app under its own runtime *type* (distinct env var), so two
+/// apps sharing an image don't thrash one pooled runtime by alternating
+/// their app-level initialization.
+fn register_isolated<P: RuntimeProvider>(gw: &mut Gateway<P>, app: AppProfile) {
+    let mut config = app.default_config();
+    config.exec.env.insert("APP".into(), app.name.into());
+    let spec = faas::FunctionSpec::from_app(app).with_config(config);
+    gw.register(spec);
+}
+
+fn cloud_image_service() {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let mut gw = Gateway::new(engine, HotC::with_defaults());
+    register_isolated(&mut gw, compress_app());
+    register_isolated(&mut gw, watermark_app());
+
+    let mut table = Table::new(
+        "Fig 3(a): cloud image service — 6 uploads through compress → watermark",
+        &[
+            "upload",
+            "compress_ms",
+            "watermark_ms",
+            "pipeline_ms",
+            "cold_steps",
+        ],
+    );
+    let mut now = SimTime::ZERO;
+    for upload in 0..6 {
+        let c = gw.handle("img-compress", now).expect("compress");
+        let w = gw
+            .handle("img-watermark", c.t6_gateway_out)
+            .expect("watermark");
+        let pipeline = w.t6_gateway_out - c.t1_gateway_in;
+        table.row(&[
+            upload.to_string(),
+            format!("{:.0}", c.total().as_millis_f64()),
+            format!("{:.0}", w.total().as_millis_f64()),
+            format!("{:.0}", pipeline.as_millis_f64()),
+            (c.cold as u32 + w.cold as u32).to_string(),
+        ]);
+        now = w.t6_gateway_out + SimDuration::from_secs(20);
+        gw.tick(now).expect("tick");
+    }
+    println!("{}", table.render());
+}
+
+fn edge_vehicle_pipeline() {
+    // A Jetson-class device in the vehicle, per Fig 3(b).
+    let engine = ContainerEngine::with_local_images(HardwareProfile::jetson_tx2());
+    let mut gw = Gateway::new(engine, HotC::with_defaults());
+    register_isolated(&mut gw, recognition_app("static-objects", 90));
+    register_isolated(&mut gw, recognition_app("dynamic-objects", 140));
+
+    let mut table = Table::new(
+        "Fig 3(b): in-vehicle recognition — 8 frame batches, both detectors per batch",
+        &["batch", "static_ms", "dynamic_ms", "cold"],
+    );
+    let mut now = SimTime::ZERO;
+    for batch in 0..8 {
+        let s = gw.handle("static-objects", now).expect("static");
+        let d = gw
+            .handle("dynamic-objects", s.t6_gateway_out)
+            .expect("dynamic");
+        table.row(&[
+            batch.to_string(),
+            format!("{:.0}", s.total().as_millis_f64()),
+            format!("{:.0}", d.total().as_millis_f64()),
+            (s.cold || d.cold).to_string(),
+        ]);
+        now = d.t6_gateway_out + SimDuration::from_millis(500);
+    }
+    println!("{}", table.render());
+    println!(
+        "after the first frame batch both detectors run from hot runtimes — the model\n\
+         load ({} ms at Jetson speed) and container setup are paid exactly once",
+        (recognition_app("x", 0).app_init.as_millis_f64() * 4.0) as u64
+    );
+}
+
+fn main() {
+    cloud_image_service();
+    println!();
+    edge_vehicle_pipeline();
+}

@@ -1,0 +1,85 @@
+//! Predictor playground: feed any of several demand shapes to all predictors
+//! and compare their one-step-ahead accuracy (the machinery behind HotC's
+//! adaptive controller and the Fig. 10 analysis).
+//!
+//! ```text
+//! cargo run --example predictor_playground
+//! ```
+
+use hotc_repro::prelude::*;
+use predictor::{
+    mape, one_step_ahead, EsMarkov, ExponentialSmoothing, HistogramPredictor, Holt, LastValue,
+    MarkovChain, MovingAverage, Predictor, RegionPartition,
+};
+use workloads::youtube::{youtube_trace, YoutubeTraceParams};
+
+fn shapes() -> Vec<(&'static str, Vec<f64>)> {
+    let mut rng = simclock::SimRng::seeded(17);
+    vec![
+        ("constant-8", vec![8.0; 40]),
+        (
+            "step-8-to-19",
+            (0..40).map(|i| if i < 20 { 8.0 } else { 19.0 }).collect(),
+        ),
+        (
+            "sawtooth-4-16",
+            (0..40)
+                .map(|i| if i % 2 == 0 { 4.0 } else { 16.0 })
+                .collect(),
+        ),
+        (
+            "noisy-ramp",
+            (0..40)
+                .map(|i| i as f64 * 0.5 + rng.uniform_u64(0, 3) as f64)
+                .collect(),
+        ),
+        ("youtube-day", {
+            let p = YoutubeTraceParams {
+                length: 96, // 15-minute indices
+                seed: 3,
+                ..Default::default()
+            };
+            youtube_trace(&p).into_iter().map(|r| r / 10.0).collect()
+        }),
+    ]
+}
+
+fn main() {
+    let mut table = Table::new(
+        "one-step-ahead MAPE (%) per predictor and demand shape",
+        &[
+            "shape",
+            "last",
+            "ma(5)",
+            "es(0.8)",
+            "holt",
+            "markov",
+            "es+markov",
+            "hist(p95)",
+        ],
+    );
+
+    for (name, series) in shapes() {
+        let actual = &series[1..];
+        let mut predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(MovingAverage::new(5)),
+            Box::new(ExponentialSmoothing::paper_default()),
+            Box::new(Holt::new(0.8, 0.3)),
+            Box::new(MarkovChain::new(RegionPartition::from_history(&series, 6))),
+            Box::new(EsMarkov::paper_default()),
+            Box::new(HistogramPredictor::new(0.95)),
+        ];
+        let mut cells = vec![name.to_string()];
+        for p in predictors.iter_mut() {
+            let preds = one_step_ahead(p.as_mut(), &series);
+            cells.push(format!("{:.1}", mape(&preds, actual) * 100.0));
+        }
+        table.row(&cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "es+markov (HotC's predictor) matches ES on smooth shapes and wins on recurring\n\
+         volatility like the sawtooth — the paper's §IV-C motivation"
+    );
+}

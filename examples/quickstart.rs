@@ -1,0 +1,51 @@
+//! Quickstart: stand up a serverless gateway with HotC and watch the cold
+//! start disappear.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hotc_repro::prelude::*;
+
+fn main() {
+    // 1. A simulated host (the paper's Dell PowerEdge T430) with the default
+    //    image catalogue pre-pulled, exactly like the paper's testbed.
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+
+    // 2. A gateway whose runtime provider is HotC with the paper's defaults:
+    //    exact runtime keys, a 500-container / 80 %-memory pool, and the
+    //    α = 0.8 exponential-smoothing + Markov adaptive controller.
+    let mut gateway = Gateway::new(engine, HotC::with_defaults());
+
+    // 3. Deploy a function: the paper's QR-code web app in Python.
+    gateway.register_app(AppProfile::qr_code(LanguageRuntime::Python));
+
+    // 4. Send requests 10 s apart and watch latencies.
+    let mut table = Table::new(
+        "qr-code request latency",
+        &["request", "latency_ms", "cold"],
+    );
+    for i in 0..8u64 {
+        let now = SimTime::from_secs(10 * i);
+        let trace = gateway.handle("qr-code", now).expect("request served");
+        table.row(&[
+            i.to_string(),
+            format!("{:.1}", trace.total().as_millis_f64()),
+            trace.cold.to_string(),
+        ]);
+        gateway.tick(now + SimDuration::from_secs(5)).expect("tick");
+    }
+    println!("{}", table.render());
+
+    let stats = gateway.stats();
+    println!(
+        "requests: {}   cold starts: {}   live containers pooled: {}",
+        stats.requests,
+        stats.cold_starts,
+        gateway.engine().live_count()
+    );
+    println!(
+        "HotC background work (cleanup + control): {}",
+        gateway.provider().background_cost()
+    );
+}

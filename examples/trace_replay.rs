@@ -1,0 +1,85 @@
+//! Replays a day of YouTube-shaped campus traffic (the paper's Fig. 11
+//! trace) through the serverless gateway and compares runtime managers.
+//!
+//! ```text
+//! cargo run --example trace_replay
+//! ```
+
+use hotc_bench::run_workload;
+use hotc_repro::prelude::*;
+use workloads::youtube::{expand_to_arrivals, youtube_trace, YoutubeTraceParams};
+
+fn main() {
+    // A 288-index day (5-minute indices), rates scaled down 10× to keep the
+    // replay quick.
+    let params = YoutubeTraceParams {
+        length: 288,
+        seed: 99,
+        ..Default::default()
+    };
+    let rates: Vec<f64> = youtube_trace(&params)
+        .into_iter()
+        .map(|r| r / 10.0)
+        .collect();
+    let workload = expand_to_arrivals(&rates, SimDuration::from_secs(300), 0, 99);
+    println!(
+        "replaying {} requests across a simulated day\n",
+        workload.len()
+    );
+
+    let mut table = Table::new(
+        "day-long trace replay",
+        &[
+            "backend",
+            "mean_ms",
+            "p99_ms",
+            "cold_fraction",
+            "live_at_end",
+        ],
+    );
+    for backend in ["cold-start", "fixed-keepalive", "hotc"] {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let row = match backend {
+            "cold-start" => replay(
+                Gateway::new(engine, faas::ColdStartAlways::new()),
+                &workload,
+            ),
+            "fixed-keepalive" => replay(
+                Gateway::new(engine, FixedKeepAlive::aws_default()),
+                &workload,
+            ),
+            _ => replay(Gateway::new(engine, HotC::with_defaults()), &workload),
+        };
+        table.row(&[
+            backend.to_string(),
+            format!("{:.1}", row.0.mean().as_millis_f64()),
+            format!("{:.1}", row.0.percentile(0.99).as_millis_f64()),
+            format!("{:.3}", row.1),
+            row.2.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(trace features: burst 20→300 at T710, decline T800–T1200, rise T1200–T1400)");
+}
+
+fn replay<P: RuntimeProvider + 'static>(
+    mut gateway: Gateway<P>,
+    workload: &[workloads::Arrival],
+) -> (LatencyRecorder, f64, usize) {
+    gateway.register_app(AppProfile::random_number());
+    let out = run_workload(
+        gateway,
+        workload,
+        |_| "random-number".to_string(),
+        SimDuration::from_secs(30),
+    );
+    let mut recorder = LatencyRecorder::new();
+    for t in &out.traces {
+        recorder.record(t.total());
+    }
+    (
+        recorder,
+        out.cold_fraction(),
+        out.gateway.engine().live_count(),
+    )
+}

@@ -1,0 +1,165 @@
+//! Shape assertions for the §VII extension (cluster scheduling) and the
+//! ablation studies.
+
+use hotc_bench::experiments::{ablations, cluster};
+use hotc_cluster::SchedulePolicy;
+
+#[test]
+fn reuse_affinity_dominates_on_skewed_load() {
+    let r = cluster::run(4, 12, 21);
+    let rr = r.eval(SchedulePolicy::RoundRobin);
+    let ll = r.eval(SchedulePolicy::LeastLoaded);
+    let ra = r.eval(SchedulePolicy::ReuseAffinity);
+
+    // Affinity: fewest cold starts and fewest live containers.
+    assert!(ra.cold_fraction < rr.cold_fraction);
+    assert!(ra.cold_fraction <= ll.cold_fraction);
+    assert!(ra.live_containers < rr.live_containers);
+    // And it is not slower on average.
+    assert!(ra.mean_ms <= rr.mean_ms * 1.02);
+    assert!(ra.mean_ms <= ll.mean_ms * 1.02);
+    // Round-robin smears every popular runtime across all nodes: roughly
+    // nodes × functions warm containers.
+    assert!(rr.live_containers >= r.nodes * 8);
+    // Round-robin is perfectly balanced by construction.
+    assert!((rr.imbalance - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn ablation_key_policy_fuzzy_reuses_env_variants() {
+    let r = ablations::key_policy(6, 36);
+    let (exact_ms, exact_cold) = r.exact;
+    let (fuzzy_ms, fuzzy_cold) = r.fuzzy;
+    // Exact: one cold start per variant (6/36). Fuzzy: one for the first
+    // request only.
+    assert!((exact_cold - 6.0 / 36.0).abs() < 0.02, "{exact_cold}");
+    assert!(fuzzy_cold <= 1.5 / 36.0, "{fuzzy_cold}");
+    assert!(fuzzy_ms < exact_ms * 0.7);
+}
+
+#[test]
+fn ablation_prediction_tradeoff() {
+    let r = ablations::prediction();
+    // Both modes barely help the first burst (~9 %).
+    assert!(r.adaptive[0] < 20.0 && r.reactive[0] < 20.0);
+    // Both win big later; reactive wins more but hoards far more runtimes.
+    assert!(r.adaptive[1..].iter().all(|&x| x > 45.0));
+    assert!(r.reactive[1..].iter().all(|&x| x > 45.0));
+    assert!(
+        r.reactive_live > r.adaptive_live,
+        "reactive {} !> adaptive {}",
+        r.reactive_live,
+        r.adaptive_live
+    );
+}
+
+#[test]
+fn ablation_retire_fraction_monotone() {
+    let rows = ablations::retire_fraction(&[0.05, 0.25, 1.0]);
+    // Faster shedding ⇒ worse later-burst latency, fewer retained containers.
+    assert!(rows[0].later_burst_mean_ms < rows[1].later_burst_mean_ms);
+    assert!(rows[1].later_burst_mean_ms < rows[2].later_burst_mean_ms);
+    assert!(rows[0].steady_live > rows[2].steady_live);
+}
+
+#[test]
+fn ablation_pool_cap_tradeoff() {
+    let rows = ablations::pool_cap(&[2, 10, 50], 77);
+    // A starved pool thrashes; a generous one converges to the working set.
+    assert!(rows[0].cold_fraction > rows[1].cold_fraction);
+    assert!(rows[1].cold_fraction >= rows[2].cold_fraction);
+    assert!(rows[0].mean_ms > rows[2].mean_ms * 2.0);
+    assert!(rows[0].live_at_end <= 2);
+}
+
+#[test]
+fn ablation_pull_strategies_ordering() {
+    let rows = ablations::pull_strategies();
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy.starts_with(name))
+            .expect("strategy present")
+            .cold_start_s
+    };
+    let registry = get("registry");
+    let p2p = get("p2p");
+    let lazy = get("lazy");
+    // §III-B: both Alibaba optimizations beat the plain registry pull, and
+    // the lazy format is the strongest (boots on a fraction of the bytes).
+    assert!(p2p < registry);
+    assert!(lazy < p2p);
+    assert!(registry / lazy > 3.0);
+}
+
+#[test]
+fn keepalive_comparison_shape() {
+    use hotc_bench::experiments::keepalive;
+    let r = keepalive::run(33);
+    let cold = r.eval("cold-start");
+    let short = r.eval("fixed-keepalive(10m)");
+    let long = r.eval("fixed-keepalive(60m)");
+    let hybrid = r.eval("hybrid-keepalive");
+    let hotc = r.eval("hotc");
+
+    // Everything beats cold-start by an order of magnitude.
+    for e in [short, long, hybrid, hotc] {
+        assert!(e.mean_ms < cold.mean_ms / 10.0, "{}", e.policy);
+    }
+    // The §III-B dilemma: the short TTL cold-starts the rare class hard, the
+    // long TTL pays for it in pool footprint.
+    assert!(short.rare_cold_fraction > 0.5);
+    assert!(long.rare_cold_fraction < short.rare_cold_fraction / 2.0);
+    assert!(long.mean_live > short.mean_live * 1.3);
+    // Hybrid: better rare hit-rate than the short TTL at a footprint well
+    // below the long TTL's.
+    assert!(hybrid.rare_cold_fraction < short.rare_cold_fraction);
+    assert!(hybrid.mean_live < long.mean_live);
+    // HotC matches the long TTL's hit rate.
+    assert!(hotc.rare_cold_fraction <= long.rare_cold_fraction + 0.02);
+    assert!(hotc.cold_fraction <= long.cold_fraction + 0.01);
+}
+
+#[test]
+fn ablation_contention_slows_tail() {
+    let c = hotc_bench::experiments::ablations::contention();
+    // Without contention the warm burst is uniform; with it, the tail slows.
+    assert!((c.ideal_mean_ms - 64.7).abs() < 2.0, "{}", c.ideal_mean_ms);
+    assert!(c.contended_mean_ms > c.ideal_mean_ms);
+    assert!(c.contended_p99_ms > c.ideal_mean_ms * 1.3);
+}
+
+#[test]
+fn ablation_daemon_serialization_shape() {
+    let d = hotc_bench::experiments::ablations::daemon_serialization();
+    // Serialized creates degrade the cold-start backend super-linearly…
+    assert!(d.cold_serialized_ms > d.cold_parallel_ms * 5.0);
+    // …while warm reuse never touches the daemon lock.
+    assert!(d.hotc_serialized_ms < 100.0, "{}", d.hotc_serialized_ms);
+}
+
+#[test]
+fn warm_view_staleness_degrades_affinity() {
+    let rows = hotc_bench::experiments::cluster::staleness_sweep(4, 12, 21, &[0, 120, 600]);
+    assert_eq!(rows.len(), 3);
+    // Cold fraction and latency degrade monotonically with staleness.
+    assert!(rows[0].cold_fraction <= rows[1].cold_fraction);
+    assert!(rows[1].cold_fraction <= rows[2].cold_fraction);
+    assert!(rows[2].cold_fraction > rows[0].cold_fraction * 2.0);
+    assert!(rows[2].mean_ms > rows[0].mean_ms);
+}
+
+#[test]
+fn cloudlet_cost_aware_dominates_heterogeneous_cluster() {
+    let r = hotc_bench::experiments::cloudlet::run(77);
+    let rr = r.eval("round-robin");
+    let ra = r.eval("reuse-affinity");
+    let ca = r.eval("cost-aware");
+    // Cost-aware puts essentially all heavy inference on the server.
+    assert!(ca.heavy_on_server > 0.95, "{}", ca.heavy_on_server);
+    assert!(ca.heavy_mean_s < ra.heavy_mean_s);
+    assert!(ra.heavy_mean_s < rr.heavy_mean_s);
+    // And the light class is at worst comparable.
+    assert!(ca.light_mean_ms <= ra.light_mean_ms * 1.05);
+    // Round-robin wastes 2/3 of heavy requests on the Pis.
+    assert!(rr.heavy_on_server < 0.5);
+}

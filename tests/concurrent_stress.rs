@@ -1,0 +1,152 @@
+//! Concurrency stress: many OS threads hammering the shared HotC gateway
+//! (crossbeam scoped threads), checking pool consistency afterwards.
+
+use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+use faas::{AppProfile, Gateway};
+use hotc::{ConcurrentGateway, HotC, HotCConfig, PoolLimits};
+use simclock::shared::ThreadTimeline;
+use simclock::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn shared_gateway(functions: usize, limits: Option<PoolLimits>) -> Arc<ConcurrentGateway<HotC>> {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let provider = match limits {
+        Some(limits) => HotC::new(HotCConfig {
+            limits,
+            ..Default::default()
+        }),
+        None => HotC::with_defaults(),
+    };
+    let mut gw = Gateway::new(engine, provider);
+    let langs = [
+        LanguageRuntime::Python,
+        LanguageRuntime::Go,
+        LanguageRuntime::NodeJs,
+        LanguageRuntime::Java,
+        LanguageRuntime::Ruby,
+    ];
+    for i in 0..functions {
+        let app = AppProfile::qr_code(langs[i % langs.len()]);
+        let mut config = app.default_config();
+        config.exec.env.insert("SHARD".into(), i.to_string());
+        gw.register(
+            faas::FunctionSpec::from_app(app)
+                .named(format!("fn-{i}"))
+                .with_config(config),
+        );
+    }
+    Arc::new(ConcurrentGateway::new(gw))
+}
+
+#[test]
+fn stress_many_threads_many_functions() {
+    let functions = 6;
+    let threads = 8;
+    let per_thread = 50;
+    let gw = shared_gateway(functions, None);
+    let errors = Arc::new(AtomicU64::new(0));
+
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let gw = Arc::clone(&gw);
+            let errors = Arc::clone(&errors);
+            s.spawn(move |_| {
+                let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                for i in 0..per_thread {
+                    let function = format!("fn-{}", (t + i) % functions);
+                    match gw.handle(&function, &mut timeline) {
+                        Ok(trace) => assert!(trace.is_well_formed()),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    timeline.advance(SimDuration::from_millis(500));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+    gw.with(|g| {
+        assert_eq!(g.stats().requests as usize, threads * per_thread);
+        // Pool and engine agree after the storm.
+        assert_eq!(g.provider().pool().total_live(), g.engine().live_count());
+        assert_eq!(
+            g.provider().pool().total_available(),
+            g.engine().live_count()
+        );
+        // Reuse dominates: cold starts bounded by functions × peak overlap,
+        // not by request count.
+        assert!(
+            (g.stats().cold_starts as usize) < threads * functions,
+            "cold={}",
+            g.stats().cold_starts
+        );
+        assert_eq!(g.engine().volumes().len(), g.engine().live_count());
+    });
+}
+
+#[test]
+fn stress_with_concurrent_ticks_and_limits() {
+    let gw = shared_gateway(4, Some(PoolLimits::new(6, 0.99)));
+    crossbeam::scope(|s| {
+        // Worker threads.
+        for t in 0..6 {
+            let gw = Arc::clone(&gw);
+            s.spawn(move |_| {
+                let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                for i in 0..40 {
+                    let function = format!("fn-{}", (t * 7 + i) % 4);
+                    gw.handle(&function, &mut timeline).expect("request");
+                    timeline.advance(SimDuration::from_millis(750));
+                }
+            });
+        }
+        // A maintenance thread racing ticks against the workers.
+        let gw_tick = Arc::clone(&gw);
+        s.spawn(move |_| {
+            for k in 0..50u64 {
+                gw_tick.tick(SimTime::from_secs(k * 30)).expect("tick");
+                std::thread::yield_now();
+            }
+        });
+    })
+    .expect("threads join");
+
+    gw.with(|g| {
+        assert_eq!(g.stats().requests, 240);
+        assert_eq!(g.provider().pool().total_live(), g.engine().live_count());
+    });
+    // Final maintenance enforces the cap.
+    gw.tick(SimTime::from_secs(10_000)).expect("final tick");
+    gw.with(|g| assert!(g.engine().live_count() <= 6));
+}
+
+#[test]
+fn contended_single_function_converges_to_small_pool() {
+    let gw = shared_gateway(1, None);
+    crossbeam::scope(|s| {
+        for _ in 0..8 {
+            let gw = Arc::clone(&gw);
+            s.spawn(move |_| {
+                let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                for _ in 0..30 {
+                    gw.handle("fn-0", &mut timeline).expect("request");
+                    timeline.advance(SimDuration::from_secs(1));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+    gw.with(|g| {
+        assert_eq!(g.stats().requests, 240);
+        // One runtime type: the pool is bounded by peak thread overlap.
+        assert!(
+            g.engine().live_count() <= 16,
+            "live={}",
+            g.engine().live_count()
+        );
+    });
+}

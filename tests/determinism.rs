@@ -1,0 +1,70 @@
+//! Determinism: every experiment is a pure function of its seed — the whole
+//! point of the virtual-time substrate.
+
+use hotc_bench::experiments as exp;
+use hotc_bench::run_workload;
+
+#[test]
+fn fig9_identical_across_runs() {
+    let a = exp::fig9::run(30, 123);
+    let b = exp::fig9::run(30, 123);
+    assert_eq!(a.default_latencies, b.default_latencies);
+    assert_eq!(a.hotc_latencies, b.hotc_latencies);
+    let c = exp::fig9::run(30, 124);
+    assert_ne!(
+        a.hotc_latencies, c.hotc_latencies,
+        "different seed must change the workload"
+    );
+}
+
+#[test]
+fn fig10_series_and_predictions_reproducible() {
+    let a = exp::fig10::run(5);
+    let b = exp::fig10::run(5);
+    assert_eq!(a.series, b.series);
+    for (sa, sb) in a.strategies.iter().zip(&b.strategies) {
+        assert_eq!(sa.predictions, sb.predictions);
+    }
+}
+
+#[test]
+fn trace_replay_reproducible() {
+    use containersim::{ContainerEngine, HardwareProfile};
+    use faas::{AppProfile, Gateway};
+    use hotc::HotC;
+    use simclock::SimDuration;
+    use workloads::youtube::{expand_to_arrivals, youtube_trace, YoutubeTraceParams};
+
+    let params = YoutubeTraceParams {
+        length: 144,
+        seed: 3,
+        ..Default::default()
+    };
+    let rates: Vec<f64> = youtube_trace(&params).iter().map(|r| r / 20.0).collect();
+    let workload = expand_to_arrivals(&rates, SimDuration::from_secs(600), 0, 3);
+
+    let run = || {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let mut gw = Gateway::new(engine, HotC::with_defaults());
+        gw.register_app(AppProfile::random_number());
+        let out = run_workload(
+            gw,
+            &workload,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+        (out.latencies(), out.cold_fraction())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn renders_are_stable() {
+    // The rendered text (what EXPERIMENTS.md quotes) is reproducible too.
+    assert_eq!(
+        exp::fig2::run(1000, 9).render(),
+        exp::fig2::run(1000, 9).render()
+    );
+    assert_eq!(exp::fig4::run().render(), exp::fig4::run().render());
+    assert_eq!(exp::fig5::run().render(), exp::fig5::run().render());
+}
