@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Single local entry point for everything CI runs. Usage: ci/check.sh
+#
+# The whole suite is offline by design: every dependency is a path dep into
+# this repository (enforced by tests/hermetic.rs), so `--offline` both proves
+# the hermeticity claim and keeps the script runnable on an air-gapped box.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# 1. Hermeticity: the dependency graph resolves without any network access.
+run cargo metadata --offline --format-version 1 >/dev/null
+
+# 2. Format and lints.
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# 3. Tier-1: release build + full test suite, offline.
+run cargo build --release --offline
+run cargo test -q --offline
+
+# 4. Perf smoke: every bench suite in --smoke mode, accumulating one
+#    JSON-Lines record per suite into BENCH_ci.json (the CI perf artifact).
+export BENCH_OUT_DIR="$PWD"
+rm -f "$BENCH_OUT_DIR/BENCH_ci.json"
+# --benches keeps cargo from also running the crate's libtest unit-test
+# target, which would reject the custom --smoke flag.
+run cargo bench --offline -p hotc-bench --benches -- --smoke
+
+echo
+echo "==> BENCH_ci.json:"
+test -s "$BENCH_OUT_DIR/BENCH_ci.json"
+# Shape check: one JSON object per suite, all six suites present.
+for suite in cluster contention pipeline pool predictor simkernel; do
+    grep -q "\"suite\":\"$suite\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
+        || { echo "missing suite '$suite' in BENCH_ci.json" >&2; exit 1; }
+done
+wc -l "$BENCH_OUT_DIR/BENCH_ci.json"
+
+echo
+echo "All checks passed."

@@ -2,9 +2,9 @@
 //! each policy as the cluster and function catalogue grow.
 
 use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faas::{AppProfile, FunctionSpec, Gateway};
 use hotc::HotC;
+use hotc_bench::Harness;
 use hotc_cluster::{Cluster, SchedulePolicy};
 use simclock::{SimDuration, SimTime};
 use std::hint::black_box;
@@ -39,33 +39,29 @@ fn build(policy: SchedulePolicy, nodes: usize, functions: usize) -> Cluster {
     cluster
 }
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster/place_and_serve");
+fn bench_placement(h: &mut Harness) {
     for &(nodes, functions) in &[(4usize, 16usize), (16, 64)] {
         for policy in [
             SchedulePolicy::RoundRobin,
             SchedulePolicy::LeastLoaded,
             SchedulePolicy::ReuseAffinity,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), format!("{nodes}n_{functions}f")),
-                &(nodes, functions),
-                |b, &(nodes, functions)| {
-                    let mut cluster = build(policy, nodes, functions);
-                    let mut now = SimTime::from_secs(10_000);
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        i = (i + 7) % functions;
-                        now += SimDuration::from_millis(300);
-                        let function = format!("fn-{i}");
-                        black_box(cluster.handle(&function, now).expect("request"))
-                    })
-                },
-            );
+            let mut cluster = build(policy, nodes, functions);
+            let mut now = SimTime::from_secs(10_000);
+            let mut i = 0usize;
+            let name = format!("place_and_serve/{}/{nodes}n_{functions}f", policy.name());
+            h.bench(&name, || {
+                i = (i + 7) % functions;
+                now += SimDuration::from_millis(300);
+                let function = format!("fn-{i}");
+                black_box(cluster.handle(&function, now).expect("request"))
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_placement);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("cluster");
+    bench_placement(&mut h);
+    h.finish();
+}

@@ -5,9 +5,9 @@
 //! middleware design.
 
 use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faas::{AppProfile, Gateway};
 use hotc::{ConcurrentGateway, HotC};
+use hotc_bench::Harness;
 use simclock::shared::ThreadTimeline;
 use simclock::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -36,36 +36,31 @@ fn shared_gateway(functions: usize) -> Arc<ConcurrentGateway<HotC>> {
     shared
 }
 
-fn bench_contention(c: &mut Criterion) {
-    let requests_per_thread = 200usize;
-    let mut group = c.benchmark_group("contention/shared_gateway");
+fn bench_contention(h: &mut Harness) {
+    // Fewer requests per iteration in smoke mode keeps CI under a second.
+    let requests_per_thread = if h.is_smoke() { 20usize } else { 200 };
     for &threads in &[1usize, 2, 4, 8] {
-        group.throughput(Throughput::Elements((threads * requests_per_thread) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                let gw = shared_gateway(threads.max(2));
-                b.iter(|| {
-                    std::thread::scope(|s| {
-                        for t in 0..threads {
-                            let gw = Arc::clone(&gw);
-                            s.spawn(move || {
-                                let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
-                                let function = format!("fn-{t}");
-                                for _ in 0..requests_per_thread {
-                                    gw.handle(&function, &mut timeline).expect("request");
-                                    timeline.advance(SimDuration::from_millis(200));
-                                }
-                            });
+        let gw = shared_gateway(threads.max(2));
+        h.bench(&format!("shared_gateway/{threads}_threads"), || {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let gw = Arc::clone(&gw);
+                    s.spawn(move || {
+                        let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                        let function = format!("fn-{t}");
+                        for _ in 0..requests_per_thread {
+                            gw.handle(&function, &mut timeline).expect("request");
+                            timeline.advance(SimDuration::from_millis(200));
                         }
                     });
-                })
-            },
-        );
+                }
+            });
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_contention);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("contention");
+    bench_contention(&mut h);
+    h.finish();
+}

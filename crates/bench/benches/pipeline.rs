@@ -2,10 +2,10 @@
 //! request through gateway + watchdog + engine, warm vs cold, per provider.
 
 use containersim::{ContainerEngine, HardwareProfile};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use faas::policy::{ColdStartAlways, FixedKeepAlive};
 use faas::{AppProfile, Gateway};
 use hotc::HotC;
+use hotc_bench::Harness;
 use simclock::{SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -16,83 +16,77 @@ fn hotc_gateway() -> Gateway<HotC> {
     gw
 }
 
-fn bench_warm_request(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/warm_request");
-    group.bench_function("hotc", |b| {
+fn bench_warm_request(h: &mut Harness) {
+    {
         let mut gw = hotc_gateway();
         gw.handle("random-number", SimTime::ZERO).unwrap(); // prime
         let mut now = SimTime::from_secs(1);
-        b.iter(|| {
+        h.bench("warm_request/hotc", || {
             now += SimDuration::from_millis(100);
             black_box(gw.handle("random-number", now).unwrap())
-        })
-    });
-    group.bench_function("fixed-keepalive", |b| {
+        });
+    }
+    {
         let engine = ContainerEngine::with_local_images(HardwareProfile::server());
         let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
         gw.register_app(AppProfile::random_number());
         gw.handle("random-number", SimTime::ZERO).unwrap();
         let mut now = SimTime::from_secs(1);
-        b.iter(|| {
+        h.bench("warm_request/fixed-keepalive", || {
             now += SimDuration::from_millis(100);
             black_box(gw.handle("random-number", now).unwrap())
-        })
-    });
-    group.finish();
+        });
+    }
 }
 
-fn bench_cold_request(c: &mut Criterion) {
+fn bench_cold_request(h: &mut Harness) {
     // Cold path: every iteration creates and destroys a container.
-    c.bench_function("pipeline/cold_request_cycle", |b| {
-        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
-        let mut gw = Gateway::new(engine, ColdStartAlways::new());
-        gw.register_app(AppProfile::random_number());
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            now += SimDuration::from_secs(1);
-            black_box(gw.handle("random-number", now).unwrap())
-        })
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let mut gw = Gateway::new(engine, ColdStartAlways::new());
+    gw.register_app(AppProfile::random_number());
+    let mut now = SimTime::ZERO;
+    h.bench("cold_request_cycle", || {
+        now += SimDuration::from_secs(1);
+        black_box(gw.handle("random-number", now).unwrap())
     });
 }
 
-fn bench_tick_with_large_pool(c: &mut Criterion) {
+fn bench_tick_with_large_pool(h: &mut Harness) {
     // Controller tick cost with a big, diverse pool (the per-interval
     // maintenance the paper's Algorithm 3 adds).
-    c.bench_function("pipeline/hotc_tick_100_types", |b| {
-        b.iter_batched(
-            || {
-                let mut gw = hotc_gateway();
-                for i in 0..100 {
-                    let app = AppProfile::random_number();
-                    let mut config = app.default_config();
-                    config.exec.env.insert("T".into(), i.to_string());
-                    gw.register(
-                        faas::FunctionSpec::from_app(app)
-                            .named(format!("fn-{i}"))
-                            .with_config(config),
-                    );
-                }
-                for i in 0..100 {
-                    gw.handle(&format!("fn-{i}"), SimTime::from_millis(i))
-                        .unwrap();
-                }
-                gw
-            },
-            |mut gw| {
-                for k in 1..=10u64 {
-                    gw.tick(SimTime::from_secs(30 * k)).unwrap();
-                }
-                black_box(gw.engine().live_count())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_with_setup(
+        "hotc_tick_100_types",
+        || {
+            let mut gw = hotc_gateway();
+            for i in 0..100 {
+                let app = AppProfile::random_number();
+                let mut config = app.default_config();
+                config.exec.env.insert("T".into(), i.to_string());
+                gw.register(
+                    faas::FunctionSpec::from_app(app)
+                        .named(format!("fn-{i}"))
+                        .with_config(config),
+                );
+            }
+            for i in 0..100 {
+                gw.handle(&format!("fn-{i}"), SimTime::from_millis(i))
+                    .unwrap();
+            }
+            gw
+        },
+        |mut gw| {
+            for k in 1..=10u64 {
+                gw.tick(SimTime::from_secs(30 * k)).unwrap();
+            }
+            black_box(gw.engine().live_count())
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_warm_request,
-    bench_cold_request,
-    bench_tick_with_large_pool
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pipeline");
+    bench_warm_request(&mut h);
+    bench_cold_request(&mut h);
+    bench_tick_with_large_pool(&mut h);
+    h.finish();
+}

@@ -4,8 +4,8 @@
 
 use containersim::engine::ExecWork;
 use containersim::{ContainerConfig, ContainerEngine, HardwareProfile, ImageId};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hotc::{ContainerPool, KeyPolicy, RuntimeKey};
+use hotc_bench::Harness;
 use simclock::{SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -25,17 +25,17 @@ fn configs(n: usize) -> Vec<ContainerConfig> {
         .collect()
 }
 
-fn bench_key_canonicalization(c: &mut Criterion) {
+fn bench_key_canonicalization(h: &mut Harness) {
     let config = &configs(1)[0];
-    c.bench_function("key/exact_from_config", |b| {
-        b.iter(|| RuntimeKey::from_config(black_box(config), KeyPolicy::Exact))
+    h.bench("key/exact_from_config", || {
+        RuntimeKey::from_config(black_box(config), KeyPolicy::Exact)
     });
-    c.bench_function("key/fuzzy_from_config", |b| {
-        b.iter(|| RuntimeKey::from_config(black_box(config), KeyPolicy::Fuzzy))
+    h.bench("key/fuzzy_from_config", || {
+        RuntimeKey::from_config(black_box(config), KeyPolicy::Fuzzy)
     });
 }
 
-fn bench_acquire_release_reuse(c: &mut Criterion) {
+fn bench_acquire_release_reuse(h: &mut Harness) {
     // Steady-state: the container exists and is available; measure the pure
     // bookkeeping of Algorithm 1 + Algorithm 2 (reuse path).
     let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
@@ -44,20 +44,18 @@ fn bench_acquire_release_reuse(c: &mut Criterion) {
     pool.prewarm(&mut engine, config, SimTime::ZERO).unwrap();
     let work = ExecWork::light(SimDuration::from_millis(1));
 
-    c.bench_function("pool/acquire_exec_release_reuse", |b| {
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            now += SimDuration::from_millis(10);
-            let acq = pool.acquire(&mut engine, config, now).unwrap();
-            assert!(!acq.cold);
-            let out = engine.begin_exec(acq.container, work, now).unwrap();
-            engine.end_exec(acq.container, now + out.latency).unwrap();
-            pool.release(&mut engine, acq.container, now).unwrap();
-        })
+    let mut now = SimTime::ZERO;
+    h.bench("acquire_exec_release_reuse", || {
+        now += SimDuration::from_millis(10);
+        let acq = pool.acquire(&mut engine, config, now).unwrap();
+        assert!(!acq.cold);
+        let out = engine.begin_exec(acq.container, work, now).unwrap();
+        engine.end_exec(acq.container, now + out.latency).unwrap();
+        pool.release(&mut engine, acq.container, now).unwrap();
     });
 }
 
-fn bench_acquire_many_types(c: &mut Criterion) {
+fn bench_acquire_many_types(h: &mut Harness) {
     // 100 distinct runtime types warm in the pool: lookup cost at scale.
     let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
     let mut pool = ContainerPool::new(KeyPolicy::Exact);
@@ -66,51 +64,47 @@ fn bench_acquire_many_types(c: &mut Criterion) {
         pool.prewarm(&mut engine, config, SimTime::ZERO).unwrap();
     }
     let work = ExecWork::light(SimDuration::from_millis(1));
-    c.bench_function("pool/reuse_among_100_types", |b| {
-        let mut i = 0usize;
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            i = (i + 7) % configs.len();
-            now += SimDuration::from_millis(10);
-            let acq = pool.acquire(&mut engine, &configs[i], now).unwrap();
-            let out = engine.begin_exec(acq.container, work, now).unwrap();
-            engine.end_exec(acq.container, now + out.latency).unwrap();
-            pool.release(&mut engine, acq.container, now).unwrap();
-        })
+    let mut i = 0usize;
+    let mut now = SimTime::ZERO;
+    h.bench("reuse_among_100_types", || {
+        i = (i + 7) % configs.len();
+        now += SimDuration::from_millis(10);
+        let acq = pool.acquire(&mut engine, &configs[i], now).unwrap();
+        let out = engine.begin_exec(acq.container, work, now).unwrap();
+        engine.end_exec(acq.container, now + out.latency).unwrap();
+        pool.release(&mut engine, acq.container, now).unwrap();
     });
 }
 
-fn bench_cold_create_and_remove(c: &mut Criterion) {
+fn bench_cold_create_and_remove(h: &mut Harness) {
     // The cold path's bookkeeping (engine create + pool insert + teardown).
     let config = configs(1).remove(0);
-    c.bench_function("pool/cold_create_then_evict", |b| {
-        b.iter_batched(
-            || {
-                let engine = ContainerEngine::with_local_images(HardwareProfile::server());
-                (engine, ContainerPool::new(KeyPolicy::Exact))
-            },
-            |(mut engine, mut pool)| {
-                for i in 0..8u64 {
-                    pool.prewarm(&mut engine, &config, SimTime::from_secs(i))
-                        .unwrap();
-                }
-                while pool
-                    .evict_oldest(&mut engine, SimTime::from_secs(100))
-                    .unwrap()
-                    .is_some()
-                {}
-                black_box(pool.total_live())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_with_setup(
+        "cold_create_then_evict",
+        || {
+            let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+            (engine, ContainerPool::new(KeyPolicy::Exact))
+        },
+        |(mut engine, mut pool)| {
+            for i in 0..8u64 {
+                pool.prewarm(&mut engine, &config, SimTime::from_secs(i))
+                    .unwrap();
+            }
+            while pool
+                .evict_oldest(&mut engine, SimTime::from_secs(100))
+                .unwrap()
+                .is_some()
+            {}
+            black_box(pool.total_live())
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_key_canonicalization,
-    bench_acquire_release_reuse,
-    bench_acquire_many_types,
-    bench_cold_create_and_remove
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pool");
+    bench_key_canonicalization(&mut h);
+    bench_acquire_release_reuse(&mut h);
+    bench_acquire_many_types(&mut h);
+    bench_cold_create_and_remove(&mut h);
+    h.finish();
+}

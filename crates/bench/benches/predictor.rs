@@ -1,7 +1,7 @@
 //! Predictor micro-benchmarks: the per-control-step CPU cost of Eq. 1,
 //! Eq. 2, and the combined model (runs once per runtime type per interval).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hotc_bench::Harness;
 use predictor::{EsMarkov, ExponentialSmoothing, MarkovChain, Predictor, RegionPartition};
 use std::hint::black_box;
 
@@ -14,66 +14,58 @@ fn demand_series(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_smoothing_step(c: &mut Criterion) {
-    c.bench_function("predictor/es_observe_predict", |b| {
-        let mut es = ExponentialSmoothing::paper_default();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            es.observe((i % 23) as f64);
-            black_box(es.predict())
-        })
+fn bench_smoothing_step(h: &mut Harness) {
+    let mut es = ExponentialSmoothing::paper_default();
+    let mut i = 0u64;
+    h.bench("es_observe_predict", || {
+        i += 1;
+        es.observe((i % 23) as f64);
+        black_box(es.predict())
     });
 }
 
-fn bench_markov_fit(c: &mut Criterion) {
+fn bench_markov_fit(h: &mut Harness) {
     let series = demand_series(256);
-    c.bench_function("predictor/markov_fit_256", |b| {
-        b.iter(|| black_box(MarkovChain::fit(black_box(&series), 6)))
+    h.bench("markov_fit_256", || {
+        black_box(MarkovChain::fit(black_box(&series), 6))
     });
 }
 
-fn bench_markov_kstep(c: &mut Criterion) {
+fn bench_markov_kstep(h: &mut Harness) {
     let chain = MarkovChain::fit(&demand_series(256), 6);
-    c.bench_function("predictor/markov_4step_matrix", |b| {
-        b.iter(|| black_box(chain.k_step_matrix(4)))
-    });
+    h.bench("markov_4step_matrix", || black_box(chain.k_step_matrix(4)));
 }
 
-fn bench_combined_step(c: &mut Criterion) {
+fn bench_combined_step(h: &mut Harness) {
     // The actual controller workload: one observe+predict per interval,
     // including the windowed chain rebuild.
-    c.bench_function("predictor/es_markov_observe_predict", |b| {
-        let mut p = EsMarkov::paper_default();
-        for x in demand_series(64) {
-            p.observe(x);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            p.observe((8 + (i % 12)) as f64);
-            black_box(p.predict())
-        })
+    let mut p = EsMarkov::paper_default();
+    for x in demand_series(64) {
+        p.observe(x);
+    }
+    let mut i = 0u64;
+    h.bench("es_markov_observe_predict", || {
+        i += 1;
+        p.observe((8 + (i % 12)) as f64);
+        black_box(p.predict())
     });
 }
 
-fn bench_partition_lookup(c: &mut Criterion) {
+fn bench_partition_lookup(h: &mut Harness) {
     let partition = RegionPartition::new(0.0, 100.0, 8);
-    c.bench_function("predictor/region_state_of", |b| {
-        let mut x = 0.0f64;
-        b.iter(|| {
-            x = (x + 13.7) % 120.0;
-            black_box(partition.state_of(x))
-        })
+    let mut x = 0.0f64;
+    h.bench("region_state_of", || {
+        x = (x + 13.7) % 120.0;
+        black_box(partition.state_of(x))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_smoothing_step,
-    bench_markov_fit,
-    bench_markov_kstep,
-    bench_combined_step,
-    bench_partition_lookup
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("predictor");
+    bench_smoothing_step(&mut h);
+    bench_markov_fit(&mut h);
+    bench_markov_kstep(&mut h);
+    bench_combined_step(&mut h);
+    bench_partition_lookup(&mut h);
+    h.finish();
+}

@@ -1,68 +1,52 @@
 //! Simulation-kernel micro-benchmarks: the event queue and driver overhead
 //! that every experiment pays per scheduled request.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hotc_bench::Harness;
 use simclock::{EventQueue, SimDuration, SimTime, Simulation};
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("simkernel/queue_push_pop_1k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..1000u64 {
-                    // Scatter timestamps to exercise heap reordering.
-                    q.push(SimTime::from_nanos((i * 7919) % 4096), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, v)) = q.pop() {
-                    acc = acc.wrapping_add(v);
-                }
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_event_queue(h: &mut Harness) {
+    h.bench_with_setup("queue_push_pop_1k", EventQueue::<u64>::new, |mut q| {
+        for i in 0..1000u64 {
+            // Scatter timestamps to exercise heap reordering.
+            q.push(SimTime::from_nanos((i * 7919) % 4096), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_simulation_steps(c: &mut Criterion) {
-    c.bench_function("simkernel/simulation_10k_chained_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(0u64);
-            fn tick(s: &mut simclock::Scheduler<u64>, n: &mut u64) {
-                *n += 1;
-                if *n < 10_000 {
-                    s.schedule_in(SimDuration::from_micros(10), tick);
-                }
+fn bench_simulation_steps(h: &mut Harness) {
+    h.bench("simulation_10k_chained_events", || {
+        let mut sim = Simulation::new(0u64);
+        fn tick(s: &mut simclock::Scheduler<u64>, n: &mut u64) {
+            *n += 1;
+            if *n < 10_000 {
+                s.schedule_in(SimDuration::from_micros(10), tick);
             }
-            sim.schedule_at(SimTime::ZERO, tick);
-            sim.run();
-            black_box(*sim.state())
-        })
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        sim.run();
+        black_box(*sim.state())
     });
 }
 
-fn bench_rng_distributions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simkernel/rng");
-    group.bench_function("exponential", |b| {
-        let mut rng = simclock::SimRng::seeded(1);
-        b.iter(|| black_box(rng.exponential(10.0)))
-    });
-    group.bench_function("poisson_small_lambda", |b| {
-        let mut rng = simclock::SimRng::seeded(2);
-        b.iter(|| black_box(rng.poisson(5.0)))
-    });
-    group.bench_function("zipf_14", |b| {
-        let mut rng = simclock::SimRng::seeded(3);
-        b.iter(|| black_box(rng.zipf(14, 1.0)))
-    });
-    group.finish();
+fn bench_rng_distributions(h: &mut Harness) {
+    let mut rng = simclock::SimRng::seeded(1);
+    h.bench("rng/exponential", || black_box(rng.exponential(10.0)));
+    let mut rng = simclock::SimRng::seeded(2);
+    h.bench("rng/poisson_small_lambda", || black_box(rng.poisson(5.0)));
+    let mut rng = simclock::SimRng::seeded(3);
+    h.bench("rng/zipf_14", || black_box(rng.zipf(14, 1.0)));
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_simulation_steps,
-    bench_rng_distributions
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("simkernel");
+    bench_event_queue(&mut h);
+    bench_simulation_steps(&mut h);
+    bench_rng_distributions(&mut h);
+    h.finish();
+}

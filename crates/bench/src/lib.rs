@@ -12,5 +12,7 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod harness;
 
 pub use driver::{run_workload, RunOutcome};
+pub use harness::{BenchResult, Harness};

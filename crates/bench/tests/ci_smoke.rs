@@ -1,0 +1,56 @@
+//! End-to-end CI smoke test: runs one figure experiment (Fig. 2, the
+//! Dockerfile survey) both through the library API and through the real
+//! `repro` binary, asserting non-empty, shape-valid output. This is the
+//! check the offline CI workflow leans on to prove a clean checkout can
+//! produce experiment output without touching the network.
+
+use hotc_bench::experiments::fig2;
+
+#[test]
+fn fig2_shape_valid_via_library() {
+    let result = fig2::run(2000, 42);
+    // Both populations were actually sampled at the requested sizes.
+    assert_eq!(result.all_projects.total(), 2000);
+    assert_eq!(result.top100.total(), 100);
+    // Top-4 shares are meaningful fractions, and the paper's concentration
+    // effect holds: a handful of base images dominates.
+    assert!(result.all_top4_share > 0.5 && result.all_top4_share <= 1.0);
+    assert!(result.top100_top4_share > 0.5 && result.top100_top4_share <= 1.0);
+
+    let rendered = result.render();
+    assert!(!rendered.trim().is_empty());
+    assert!(rendered.contains("Fig 2(a)"));
+    assert!(rendered.contains("Fig 2(b)"));
+    assert!(rendered.contains('%'));
+}
+
+#[test]
+fn fig2_through_repro_binary() {
+    let out_dir = std::env::temp_dir().join("hotc-ci-smoke-fig2");
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "repro fig2 failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // With `--out`, the figure text goes to the file; stdout reports it.
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("wrote "), "stdout: {stdout}");
+
+    let file = out_dir.join("fig2.txt");
+    let written = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", file.display()));
+    assert!(!written.trim().is_empty());
+    assert!(written.contains("######## fig2 ########"));
+    assert!(written.contains("Fig 2(a)"));
+    assert!(written.contains("Fig 2(b)"));
+    assert!(written.contains('%'));
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

@@ -9,11 +9,10 @@
 
 use crate::image::ImageId;
 use crate::network::NetworkConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of a container instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContainerId(pub u64);
 
 impl std::fmt::Display for ContainerId {
@@ -23,7 +22,7 @@ impl std::fmt::Display for ContainerId {
 }
 
 /// UTS namespace setting.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum UtsMode {
     /// Private UTS namespace with a generated hostname.
     #[default]
@@ -35,7 +34,7 @@ pub enum UtsMode {
 }
 
 /// IPC namespace setting.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum IpcMode {
     /// Private IPC namespace.
     #[default]
@@ -47,7 +46,7 @@ pub enum IpcMode {
 }
 
 /// Execution options (the `docker run` flags that shape the runtime).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct ExecOptions {
     /// CPU shares limit in milli-cores (0 = unlimited).
     pub cpu_millis: u32,
@@ -85,7 +84,7 @@ impl ExecOptions {
 /// identity for HotC's reuse decisions ("HotC treats containers with
 /// identical parameter configurations as the same type of runtime
 /// environment").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ContainerConfig {
     /// The image to instantiate.
     pub image: ImageId,
@@ -135,7 +134,7 @@ impl ContainerConfig {
 /// HotC's pool views map onto this FSM (paper Fig. 7): `Idle` is
 /// *Existing-Available (1)*, `Running` is *Existing-Not-Available (0)*, and a
 /// removed/never-created runtime is *Not-Existing (-1)*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContainerState {
     /// Created but never started (resources allocated, no process).
     Created,
@@ -174,6 +173,27 @@ impl ContainerState {
             ContainerState::Created | ContainerState::Running | ContainerState::Stopped => 0,
             ContainerState::Removed => -1,
         }
+    }
+}
+
+impl stdshim::ToJson for ContainerId {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::ToJson::to_json(&self.0)
+    }
+}
+
+impl stdshim::ToJson for ContainerState {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(
+            match self {
+                ContainerState::Created => "created",
+                ContainerState::Running => "running",
+                ContainerState::Idle => "idle",
+                ContainerState::Stopped => "stopped",
+                ContainerState::Removed => "removed",
+            }
+            .to_string(),
+        )
     }
 }
 

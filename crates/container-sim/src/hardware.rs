@@ -7,12 +7,11 @@
 //! impact less significant among the total execution time" — exactly the
 //! behaviour a compute multiplier reproduces.
 
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 
 /// A hardware platform, expressed as multipliers over the reference server
 /// cost model in [`crate::costmodel`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareProfile {
     /// Human-readable platform name.
     pub name: String,
@@ -105,6 +104,21 @@ impl HardwareProfile {
 impl Default for HardwareProfile {
     fn default() -> Self {
         HardwareProfile::server()
+    }
+}
+
+impl stdshim::ToJson for HardwareProfile {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::object([
+            ("name", self.name.to_json()),
+            ("cpu_factor", self.cpu_factor.to_json()),
+            ("control_factor", self.control_factor.to_json()),
+            ("net_factor", self.net_factor.to_json()),
+            ("io_factor", self.io_factor.to_json()),
+            ("mem_bytes", self.mem_bytes.to_json()),
+            ("swap_bytes", self.swap_bytes.to_json()),
+            ("cores", self.cores.to_json()),
+        ])
     }
 }
 

@@ -7,10 +7,9 @@
 
 use crate::costmodel;
 use crate::hardware::HardwareProfile;
-use serde::{Deserialize, Serialize};
 
 /// A point-in-time resource sample (one row of the Fig. 15 timelines).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceSample {
     /// Used physical memory in bytes.
     pub used_mem: u64,
@@ -151,10 +150,19 @@ impl HostResources {
     }
 }
 
+impl stdshim::ToJson for ResourceSample {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::object([
+            ("used_mem", stdshim::ToJson::to_json(&self.used_mem)),
+            ("used_swap", stdshim::ToJson::to_json(&self.used_swap)),
+            ("cpu", stdshim::ToJson::to_json(&self.cpu)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn host() -> HostResources {
         HostResources::new(HardwareProfile::server())
@@ -221,36 +229,40 @@ mod tests {
         assert!(h.cpu_usage() <= 1.0);
     }
 
-    proptest! {
-        /// Adding then removing any set of containers returns to baseline.
-        #[test]
-        fn prop_container_accounting_balances(mems in proptest::collection::vec(0u64..64*1024*1024, 1..50)) {
+    /// Adding then removing any set of containers returns to baseline.
+    #[test]
+    fn prop_container_accounting_balances() {
+        testkit::check(64, |g| {
+            let mems = g.vec(1..50, |g| g.u64_in(0..64 * 1024 * 1024));
             let mut h = host();
             let before = h.sample();
             for &m in &mems {
                 h.add_live_container(m);
             }
-            prop_assert_eq!(h.live_containers(), mems.len() as u64);
+            assert_eq!(h.live_containers(), mems.len() as u64);
             for &m in &mems {
                 h.remove_live_container(m);
             }
             let after = h.sample();
-            prop_assert_eq!(before.used_mem, after.used_mem);
-            prop_assert_eq!(h.live_containers(), 0);
-            prop_assert!((before.cpu - after.cpu).abs() < 1e-12);
-        }
+            assert_eq!(before.used_mem, after.used_mem);
+            assert_eq!(h.live_containers(), 0);
+            assert!((before.cpu - after.cpu).abs() < 1e-12);
+        });
+    }
 
-        /// Memory pressure is monotone in app demand.
-        #[test]
-        fn prop_pressure_monotone(mems in proptest::collection::vec(1u64..4*1024*1024*1024, 1..30)) {
+    /// Memory pressure is monotone in app demand.
+    #[test]
+    fn prop_pressure_monotone() {
+        testkit::check(64, |g| {
+            let mems = g.vec(1..30, |g| g.u64_in(1..4 * 1024 * 1024 * 1024));
             let mut h = host();
             let mut last = h.memory_pressure();
             for &m in &mems {
                 h.app_started(m, 0.1);
                 let p = h.memory_pressure();
-                prop_assert!(p >= last - 1e-12);
+                assert!(p >= last - 1e-12);
                 last = p;
             }
-        }
+        });
     }
 }

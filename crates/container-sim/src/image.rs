@@ -16,12 +16,11 @@
 use crate::costmodel;
 use crate::hardware::HardwareProfile;
 use crate::runtime::LanguageRuntime;
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of an image: `name:tag`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ImageId {
     /// Repository name, e.g. `python`.
     pub name: String,
@@ -54,7 +53,7 @@ impl std::fmt::Display for ImageId {
 }
 
 /// A content-addressed layer: digest plus compressed size.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// Content digest (synthetic but unique per distinct content).
     pub digest: String,
@@ -73,7 +72,7 @@ impl Layer {
 }
 
 /// Full description of an image in the registry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImageSpec {
     /// The image identifier.
     pub id: ImageId,
@@ -277,7 +276,7 @@ impl ImageRegistry {
 /// "a new image format that does not need to fully download", an efficient
 /// compression algorithm, and "a P2P network for data and image
 /// distribution" to relieve registry congestion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PullStrategy {
     /// Fetch every missing byte from the central registry.
     #[default]
@@ -392,6 +391,12 @@ impl LocalImageStore {
     /// shared layers referenced elsewhere — simplified: layers always stay).
     pub fn evict_image(&mut self, id: &ImageId) {
         self.cached_images.remove(id);
+    }
+}
+
+impl stdshim::ToJson for ImageId {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(self.to_string())
     }
 }
 

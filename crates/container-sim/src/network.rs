@@ -9,12 +9,11 @@
 
 use crate::costmodel;
 use crate::hardware::HardwareProfile;
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 
 /// Whether a deployment spans one machine or several (affects which network
 /// modes are meaningful and what they cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkScope {
     /// All containers on one host.
     SingleHost,
@@ -24,7 +23,7 @@ pub enum NetworkScope {
 }
 
 /// Docker-style network mode for a container.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkMode {
     /// Loopback only.
     None,
@@ -106,7 +105,7 @@ impl std::fmt::Display for NetworkMode {
 }
 
 /// Full network configuration of a container; part of the HotC runtime key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NetworkConfig {
     /// The attachment mode.
     pub mode: NetworkMode,
@@ -164,10 +163,15 @@ impl NetworkConfig {
     }
 }
 
+impl stdshim::ToJson for NetworkMode {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(self.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn fig4c_single_host_ordering() {
@@ -234,21 +238,24 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Canonical form: publishing the same port set in any order yields
-        /// identical configs (important: HotC keys containers by config).
-        #[test]
-        fn prop_publish_order_irrelevant(mut ports in proptest::collection::vec((1u16..1000, 1u16..1000), 0..8)) {
-            let fwd = ports.iter().fold(
-                NetworkConfig::single(NetworkMode::Bridge),
-                |c, &(a, b)| c.publish(a, b),
-            );
+    /// Canonical form: publishing the same port set in any order yields
+    /// identical configs (important: HotC keys containers by config).
+    #[test]
+    fn prop_publish_order_irrelevant() {
+        testkit::check(64, |g| {
+            let mut ports = g.vec(0..8, |g| (g.u16_in(1..1000), g.u16_in(1..1000)));
+            let fwd = ports
+                .iter()
+                .fold(NetworkConfig::single(NetworkMode::Bridge), |c, &(a, b)| {
+                    c.publish(a, b)
+                });
             ports.reverse();
-            let rev = ports.iter().fold(
-                NetworkConfig::single(NetworkMode::Bridge),
-                |c, &(a, b)| c.publish(a, b),
-            );
-            prop_assert_eq!(fwd, rev);
-        }
+            let rev = ports
+                .iter()
+                .fold(NetworkConfig::single(NetworkMode::Bridge), |c, &(a, b)| {
+                    c.publish(a, b)
+                });
+            assert_eq!(fwd, rev);
+        });
     }
 }

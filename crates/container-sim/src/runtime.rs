@@ -7,11 +7,10 @@
 //! execution". §II-B adds that interpreted/JIT languages pay extra at cold
 //! start.
 
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 
 /// The language runtime packaged inside a container image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LanguageRuntime {
     /// CPython interpreter: moderate startup (interpreter boot + imports).
     Python,
@@ -94,6 +93,12 @@ impl LanguageRuntime {
 impl std::fmt::Display for LanguageRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl stdshim::ToJson for LanguageRuntime {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(self.to_string())
     }
 }
 

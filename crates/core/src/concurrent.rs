@@ -2,7 +2,7 @@
 //!
 //! Fig. 12(b) drives the backend from ten client threads at once; the
 //! contention benchmarks push further. [`ConcurrentGateway`] wraps a
-//! [`faas::Gateway`] in a [`parking_lot::Mutex`] and splits each request into
+//! [`faas::Gateway`] in a [`stdshim::sync::Mutex`] and splits each request into
 //! the `begin`/`finish` phases so the lock is **not** held across a request's
 //! virtual execution — many containers run concurrently while the pool's
 //! bookkeeping stays serialized, exactly like the real middleware's critical
@@ -15,9 +15,9 @@
 
 use faas::gateway::{Gateway, GatewayError};
 use faas::{RequestTrace, RuntimeProvider};
-use parking_lot::Mutex;
 use simclock::shared::ThreadTimeline;
 use simclock::SimTime;
+use stdshim::sync::Mutex;
 
 /// A `Sync` gateway shared by client threads.
 pub struct ConcurrentGateway<P: RuntimeProvider> {

@@ -20,12 +20,11 @@
 
 use containersim::container::{IpcMode, UtsMode};
 use containersim::ContainerConfig;
-use serde::{Deserialize, Serialize};
 use simclock::SimDuration;
 use std::fmt::Write as _;
 
 /// Which configuration fields participate in the runtime key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KeyPolicy {
     /// All parameters (the paper's deployed design).
     #[default]
@@ -41,7 +40,7 @@ pub enum KeyPolicy {
 pub const FUZZY_RECONFIG_COST: SimDuration = SimDuration::from_millis(18);
 
 /// A canonical, formatted runtime key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuntimeKey(String);
 
 impl RuntimeKey {
@@ -121,6 +120,24 @@ impl std::fmt::Display for RuntimeKey {
 /// differ).
 pub fn needs_reconfig(existing: &ContainerConfig, wanted: &ContainerConfig) -> bool {
     existing != wanted
+}
+
+impl stdshim::ToJson for KeyPolicy {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(
+            match self {
+                KeyPolicy::Exact => "exact",
+                KeyPolicy::Fuzzy => "fuzzy",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl stdshim::ToJson for RuntimeKey {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::Str(self.0.clone())
+    }
 }
 
 #[cfg(test)]

@@ -8,11 +8,10 @@
 
 use crate::pool::ContainerPool;
 use containersim::{ContainerEngine, EngineError};
-use serde::{Deserialize, Serialize};
 use simclock::{SimDuration, SimTime};
 
 /// Pool resource limits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolLimits {
     /// Maximum live containers in the pool (paper: 500).
     pub max_live: usize,
@@ -66,6 +65,18 @@ impl PoolLimits {
             }
         }
         Ok(cost)
+    }
+}
+
+impl stdshim::ToJson for PoolLimits {
+    fn to_json(&self) -> stdshim::JsonValue {
+        stdshim::JsonValue::object([
+            ("max_live", stdshim::ToJson::to_json(&self.max_live)),
+            (
+                "mem_threshold",
+                stdshim::ToJson::to_json(&self.mem_threshold),
+            ),
+        ])
     }
 }
 

@@ -153,7 +153,6 @@ impl LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn ms(v: u64) -> SimDuration {
         SimDuration::from_millis(v)
@@ -228,13 +227,12 @@ mod tests {
         assert_eq!(a.quantile(0.5), all.quantile(0.5));
     }
 
-    proptest! {
-        /// Histogram quantiles track exact quantiles within bucket error.
-        #[test]
-        fn prop_quantile_accuracy(
-            mut vals in proptest::collection::vec(1u64..10_000_000u64, 10..300),
-            q in 0.01f64..1.0,
-        ) {
+    /// Histogram quantiles track exact quantiles within bucket error.
+    #[test]
+    fn prop_quantile_accuracy() {
+        testkit::check(64, |g| {
+            let mut vals = g.vec(10..300, |g| g.u64_in(1..10_000_000));
+            let q = g.f64_in(0.01..1.0);
             let mut h = LatencyHistogram::new();
             for &v in &vals {
                 h.record(SimDuration::from_nanos(v));
@@ -245,23 +243,26 @@ mod tests {
             let approx = h.quantile(q).as_nanos() as f64;
             // Bucket resolution: 1/32 per octave ⇒ ≤ ~2×(1/32) ≈ 7 % with
             // rank-boundary effects.
-            prop_assert!(
+            assert!(
                 (approx - exact).abs() / exact < 0.08,
-                "q={} exact={} approx={}", q, exact, approx
+                "q={q} exact={exact} approx={approx}"
             );
-        }
+        });
+    }
 
-        /// Quantiles are monotone.
-        #[test]
-        fn prop_quantiles_monotone(vals in proptest::collection::vec(1u64..1_000_000u64, 2..200)) {
+    /// Quantiles are monotone.
+    #[test]
+    fn prop_quantiles_monotone() {
+        testkit::check(64, |g| {
+            let vals = g.vec(2..200, |g| g.u64_in(1..1_000_000));
             let mut h = LatencyHistogram::new();
             for &v in &vals {
                 h.record(SimDuration::from_nanos(v));
             }
             let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
             for w in qs.windows(2) {
-                prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+                assert!(h.quantile(w[0]) <= h.quantile(w[1]));
             }
-        }
+        });
     }
 }

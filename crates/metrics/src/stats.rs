@@ -1,12 +1,12 @@
 //! Streaming statistics via Welford's online algorithm.
 
-use serde::{Deserialize, Serialize};
+use stdshim::{JsonValue, ToJson};
 
 /// Single-pass mean/variance/min/max accumulator.
 ///
 /// Numerically stable (Welford) and mergeable, so per-thread accumulators
 /// from the contention benches can be combined without keeping samples.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
@@ -104,10 +104,21 @@ impl StreamingStats {
     }
 }
 
+impl ToJson for StreamingStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count", self.count().to_json()),
+            ("mean", self.mean().to_json()),
+            ("variance", self.variance().to_json()),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn known_values() {
@@ -155,38 +166,48 @@ mod tests {
         assert_eq!(a.count(), 2);
     }
 
-    proptest! {
-        /// Merging two accumulators equals accumulating the concatenation.
-        #[test]
-        fn prop_merge_equals_concat(
-            xs in proptest::collection::vec(-1000.0f64..1000.0, 0..100),
-            ys in proptest::collection::vec(-1000.0f64..1000.0, 0..100),
-        ) {
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn prop_merge_equals_concat() {
+        testkit::check(64, |g| {
+            let xs = g.vec(0..100, |g| g.f64_in(-1000.0..1000.0));
+            let ys = g.vec(0..100, |g| g.f64_in(-1000.0..1000.0));
             let mut a = StreamingStats::new();
-            for &x in &xs { a.push(x); }
+            for &x in &xs {
+                a.push(x);
+            }
             let mut b = StreamingStats::new();
-            for &y in &ys { b.push(y); }
+            for &y in &ys {
+                b.push(y);
+            }
             a.merge(&b);
 
             let mut all = StreamingStats::new();
-            for &x in xs.iter().chain(&ys) { all.push(x); }
-
-            prop_assert_eq!(a.count(), all.count());
-            if all.count() > 0 {
-                prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
-                prop_assert!((a.variance() - all.variance()).abs() < 1e-5);
-                prop_assert_eq!(a.min(), all.min());
-                prop_assert_eq!(a.max(), all.max());
+            for &x in xs.iter().chain(&ys) {
+                all.push(x);
             }
-        }
 
-        /// Mean is bounded by min/max.
-        #[test]
-        fn prop_mean_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            assert_eq!(a.count(), all.count());
+            if all.count() > 0 {
+                assert!((a.mean() - all.mean()).abs() < 1e-6);
+                assert!((a.variance() - all.variance()).abs() < 1e-5);
+                assert_eq!(a.min(), all.min());
+                assert_eq!(a.max(), all.max());
+            }
+        });
+    }
+
+    /// Mean is bounded by min/max.
+    #[test]
+    fn prop_mean_bounded() {
+        testkit::check(64, |g| {
+            let xs = g.vec(1..200, |g| g.f64_in(-1e6..1e6));
             let mut s = StreamingStats::new();
-            for &x in &xs { s.push(x); }
-            prop_assert!(s.mean() >= s.min() - 1e-9);
-            prop_assert!(s.mean() <= s.max() + 1e-9);
-        }
+            for &x in &xs {
+                s.push(x);
+            }
+            assert!(s.mean() >= s.min() - 1e-9);
+            assert!(s.mean() <= s.max() + 1e-9);
+        });
     }
 }

@@ -190,15 +190,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Binning conserves sample mass: the average of bin values weighted
-        /// by their sample counts equals the overall sample mean.
-        #[test]
-        fn prop_bin_average_bounded(
-            points in proptest::collection::vec((0u64..100, -50.0f64..50.0), 1..80),
-        ) {
+    /// Binning conserves sample mass: the average of bin values weighted
+    /// by their sample counts equals the overall sample mean.
+    #[test]
+    fn prop_bin_average_bounded() {
+        testkit::check(64, |g| {
+            let points = g.vec(1..80, |g| (g.u64_in(0..100), g.f64_in(-50.0..50.0)));
             let mut sorted = points.clone();
             sorted.sort_by_key(|&(t, _)| t);
             let mut ts = TimeSeries::new();
@@ -210,29 +208,33 @@ mod proptests {
                 SimTime::from_secs(100),
                 SimDuration::from_secs(10),
             );
-            prop_assert_eq!(bins.len(), 10);
+            assert_eq!(bins.len(), 10);
             let lo = sorted.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
-            let hi = sorted.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+            let hi = sorted
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
             // Every bin value is within the sample range (or the 0.0 default
             // before the first sample lands).
             for &b in &bins {
-                prop_assert!(b == 0.0 || (b >= lo - 1e-9 && b <= hi + 1e-9));
+                assert!(b == 0.0 || (b >= lo - 1e-9 && b <= hi + 1e-9));
             }
-        }
+        });
+    }
 
-        /// value_at is consistent with the raw points (step interpolation).
-        #[test]
-        fn prop_value_at_steps(
-            values in proptest::collection::vec(-10.0f64..10.0, 1..40),
-            probe in 0u64..200,
-        ) {
+    /// value_at is consistent with the raw points (step interpolation).
+    #[test]
+    fn prop_value_at_steps() {
+        testkit::check(64, |g| {
+            let values = g.vec(1..40, |g| g.f64_in(-10.0..10.0));
+            let probe = g.u64_in(0..200);
             let mut ts = TimeSeries::new();
             for (i, &v) in values.iter().enumerate() {
                 ts.push(SimTime::from_secs(i as u64 * 2), v);
             }
             let got = ts.value_at(SimTime::from_secs(probe));
             let expect_idx = (probe / 2).min(values.len() as u64 - 1) as usize;
-            prop_assert_eq!(got, Some(values[expect_idx]));
-        }
+            assert_eq!(got, Some(values[expect_idx]));
+        });
     }
 }

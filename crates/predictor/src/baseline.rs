@@ -2,11 +2,12 @@
 //! industry practices of §III-B).
 
 use crate::Predictor;
-use serde::{Deserialize, Serialize};
+
 use std::collections::VecDeque;
+use stdshim::{JsonValue, ToJson};
 
 /// Predicts the last observed value (naive persistence).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LastValue {
     last: Option<f64>,
     observations: usize,
@@ -36,7 +37,7 @@ impl Predictor for LastValue {
 }
 
 /// Predicts the mean of the last `w` observations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MovingAverage {
     window: usize,
     buf: VecDeque<f64>,
@@ -83,7 +84,7 @@ impl Predictor for MovingAverage {
 
 /// Always predicts a fixed value: static over-provisioning, the degenerate
 /// policy behind "keep N containers warm no matter what".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FixedValue {
     value: f64,
     observations: usize,
@@ -117,7 +118,7 @@ impl Predictor for FixedValue {
 /// Histogram predictor in the spirit of the Azure hybrid-histogram policy the
 /// paper cites as \[27\]: predicts a high percentile of the observed demand
 /// distribution, trading extra warm capacity for fewer cold starts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HistogramPredictor {
     /// Percentile in `[0, 1]` to provision for (e.g. 0.95).
     percentile: f64,
@@ -177,10 +178,51 @@ impl Predictor for HistogramPredictor {
     }
 }
 
+impl ToJson for LastValue {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
+    }
+}
+
+impl ToJson for MovingAverage {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("window", self.window.to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
+    }
+}
+
+impl ToJson for FixedValue {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("value", self.value.to_json()),
+            ("observations", self.observations().to_json()),
+        ])
+    }
+}
+
+impl ToJson for HistogramPredictor {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("percentile", self.percentile.to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn last_value_persists() {
@@ -257,13 +299,12 @@ mod tests {
         let _ = HistogramPredictor::new(1.5);
     }
 
-    proptest! {
-        /// Moving average always lies within the window's min/max.
-        #[test]
-        fn prop_moving_average_bounded(
-            w in 1usize..10,
-            series in proptest::collection::vec(-100.0f64..100.0, 1..60),
-        ) {
+    /// Moving average always lies within the window's min/max.
+    #[test]
+    fn prop_moving_average_bounded() {
+        testkit::check(64, |g| {
+            let w = g.usize_in(1..10);
+            let series = g.vec(1..60, |g| g.f64_in(-100.0..100.0));
             let mut p = MovingAverage::new(w);
             for &x in &series {
                 p.observe(x);
@@ -272,22 +313,23 @@ mod tests {
             let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let pred = p.predict();
-            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
-        }
+            assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        });
+    }
 
-        /// Histogram prediction is a value that was actually observed (for
-        /// integer inputs) and increases with the target percentile.
-        #[test]
-        fn prop_histogram_monotone_in_percentile(
-            series in proptest::collection::vec(0u8..50, 1..100),
-        ) {
+    /// Histogram prediction is a value that was actually observed (for
+    /// integer inputs) and increases with the target percentile.
+    #[test]
+    fn prop_histogram_monotone_in_percentile() {
+        testkit::check(64, |g| {
+            let series = g.vec(1..100, |g| g.u8_in(0..50));
             let mut lo = HistogramPredictor::new(0.5);
             let mut hi = HistogramPredictor::new(0.99);
             for &x in &series {
                 lo.observe(x as f64);
                 hi.observe(x as f64);
             }
-            prop_assert!(hi.predict() >= lo.predict());
-        }
+            assert!(hi.predict() >= lo.predict());
+        });
     }
 }

@@ -31,8 +31,9 @@
 use crate::markov::{MarkovChain, RegionPartition};
 use crate::smoothing::{ExponentialSmoothing, InitialValue};
 use crate::Predictor;
-use serde::{Deserialize, Serialize};
+
 use std::collections::VecDeque;
+use stdshim::{JsonValue, ToJson};
 
 /// Exponential smoothing with a Markov-chain region correction.
 ///
@@ -46,7 +47,7 @@ use std::collections::VecDeque;
 /// let next = p.predict();
 /// assert!((7.0..9.5).contains(&next), "{next}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EsMarkov {
     es: ExponentialSmoothing,
     /// Sliding window of raw observations used to (re)build the partition.
@@ -144,6 +145,19 @@ impl Predictor for EsMarkov {
 
     fn observations(&self) -> usize {
         self.observations
+    }
+}
+
+impl ToJson for EsMarkov {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("alpha", self.es.alpha().to_json()),
+            ("regions", self.regions.to_json()),
+            ("window", self.window_cap.to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
     }
 }
 

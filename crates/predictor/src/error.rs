@@ -70,7 +70,6 @@ fn check(predictions: &[f64], actuals: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn perfect_prediction_zero_error() {
@@ -110,25 +109,29 @@ mod tests {
         let _ = rmse(&[], &[]);
     }
 
-    proptest! {
-        /// RMSE ≥ MAE always (Jensen's inequality).
-        #[test]
-        fn prop_rmse_dominates_mae(
-            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
-        ) {
+    /// RMSE ≥ MAE always (Jensen's inequality).
+    #[test]
+    fn prop_rmse_dominates_mae() {
+        testkit::check(64, |g| {
+            let pairs = g.vec(1..50, |g| {
+                (g.f64_in(-100.0..100.0), g.f64_in(-100.0..100.0))
+            });
             let p: Vec<f64> = pairs.iter().map(|x| x.0).collect();
             let a: Vec<f64> = pairs.iter().map(|x| x.1).collect();
-            prop_assert!(rmse(&p, &a) + 1e-9 >= mae(&p, &a));
-        }
+            assert!(rmse(&p, &a) + 1e-9 >= mae(&p, &a));
+        });
+    }
 
-        /// max_relative_error bounds mape.
-        #[test]
-        fn prop_max_bounds_mean(
-            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
-        ) {
+    /// max_relative_error bounds mape.
+    #[test]
+    fn prop_max_bounds_mean() {
+        testkit::check(64, |g| {
+            let pairs = g.vec(1..50, |g| {
+                (g.f64_in(-100.0..100.0), g.f64_in(-100.0..100.0))
+            });
             let p: Vec<f64> = pairs.iter().map(|x| x.0).collect();
             let a: Vec<f64> = pairs.iter().map(|x| x.1).collect();
-            prop_assert!(max_relative_error(&p, &a) + 1e-9 >= mape(&p, &a));
-        }
+            assert!(max_relative_error(&p, &a) + 1e-9 >= mape(&p, &a));
+        });
     }
 }

@@ -17,10 +17,10 @@
 //! the paper pairs ES with a Markov chain instead.
 
 use crate::Predictor;
-use serde::{Deserialize, Serialize};
 
+use stdshim::{JsonValue, ToJson};
 /// Holt's linear (double) exponential smoothing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Holt {
     alpha: f64,
     beta: f64,
@@ -87,6 +87,19 @@ impl Predictor for Holt {
 
     fn observations(&self) -> usize {
         self.observations
+    }
+}
+
+impl ToJson for Holt {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("beta", self.beta.to_json()),
+            ("trend", self.trend().to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
     }
 }
 

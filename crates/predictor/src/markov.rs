@@ -8,10 +8,10 @@
 //! most probable next region (§IV-C-3).
 
 use crate::Predictor;
-use serde::{Deserialize, Serialize};
 
+use stdshim::{JsonValue, ToJson};
 /// An equal-width partition of `[lo, hi]` into `n` regions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionPartition {
     lo: f64,
     hi: f64,
@@ -74,7 +74,7 @@ impl RegionPartition {
 /// Observes a value series, maintains the 1-step transition counts over a
 /// region partition, and predicts the midpoint of the most probable next
 /// region. K-step matrices are available via [`MarkovChain::k_step_matrix`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MarkovChain {
     partition: RegionPartition,
     /// counts[i][j] = observed 1-step transitions i → j.
@@ -252,10 +252,32 @@ fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
     out
 }
 
+impl ToJson for RegionPartition {
+    fn to_json(&self) -> JsonValue {
+        let (lo, _) = self.bounds(0);
+        let (_, hi) = self.bounds(self.len() - 1);
+        JsonValue::object([
+            ("lo", lo.to_json()),
+            ("hi", hi.to_json()),
+            ("regions", self.len().to_json()),
+        ])
+    }
+}
+
+impl ToJson for MarkovChain {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("partition", self.partition().to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn partition_maps_values_to_regions() {
@@ -340,36 +362,36 @@ mod tests {
         assert_eq!(chain.expected_next(), None);
     }
 
-    proptest! {
-        /// Every k-step matrix row remains a probability distribution.
-        #[test]
-        fn prop_k_step_rows_stochastic(
-            series in proptest::collection::vec(0.0f64..100.0, 2..80),
-            regions in 1usize..8,
-            k in 0u32..5,
-        ) {
+    /// Every k-step matrix row remains a probability distribution.
+    #[test]
+    fn prop_k_step_rows_stochastic() {
+        testkit::check(64, |g| {
+            let series = g.vec(2..80, |g| g.f64_in(0.0..100.0));
+            let regions = g.usize_in(1..8);
+            let k = g.u32_in(0..5);
             let chain = MarkovChain::fit(&series, regions);
             for row in chain.k_step_matrix(k) {
                 let sum: f64 = row.iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-6, "row sums to {}", sum);
+                assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
                 for p in row {
-                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p));
+                    assert!((-1e-9..=1.0 + 1e-9).contains(&p));
                 }
             }
-        }
+        });
+    }
 
-        /// Predictions always land inside the partition's overall range.
-        #[test]
-        fn prop_prediction_in_range(
-            series in proptest::collection::vec(0.0f64..100.0, 2..80),
-            regions in 1usize..8,
-        ) {
+    /// Predictions always land inside the partition's overall range.
+    #[test]
+    fn prop_prediction_in_range() {
+        testkit::check(64, |g| {
+            let series = g.vec(2..80, |g| g.f64_in(0.0..100.0));
+            let regions = g.usize_in(1..8);
             let chain = MarkovChain::fit(&series, regions);
             let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let p = chain.predict();
             // Midpoints lie strictly inside [lo, hi] (or the widened unit interval).
-            prop_assert!(p >= lo - 1.0 && p <= hi + 1.0);
-        }
+            assert!(p >= lo - 1.0 && p <= hi + 1.0);
+        });
     }
 }

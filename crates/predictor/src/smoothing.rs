@@ -8,10 +8,10 @@
 //! raw first sample.
 
 use crate::Predictor;
-use serde::{Deserialize, Serialize};
 
+use stdshim::{JsonValue, ToJson};
 /// Strategy for seeding `e_0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InitialValue {
     /// Use the first observation directly (fine for long series).
     FirstObservation,
@@ -22,7 +22,7 @@ pub enum InitialValue {
 }
 
 /// The exponential smoothing predictor of Eq. 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExponentialSmoothing {
     alpha: f64,
     init: InitialValue,
@@ -114,10 +114,33 @@ impl Predictor for ExponentialSmoothing {
     }
 }
 
+impl ToJson for InitialValue {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                InitialValue::FirstObservation => "first-observation",
+                InitialValue::MeanOfFirst5 => "mean-of-first-5",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for ExponentialSmoothing {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("model", self.name().to_json()),
+            ("alpha", self.alpha().to_json()),
+            ("init", self.init.to_json()),
+            ("observations", self.observations().to_json()),
+            ("prediction", self.predict().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn constant_series_predicts_constant() {
@@ -192,14 +215,13 @@ mod tests {
         let _ = ExponentialSmoothing::new(0.0);
     }
 
-    proptest! {
-        /// The smoothed value is always within the observed range: it is a
-        /// convex combination of observations (geometric weights summing to 1).
-        #[test]
-        fn prop_prediction_within_range(
-            alpha in 0.01f64..0.99,
-            series in proptest::collection::vec(0.0f64..1000.0, 1..100),
-        ) {
+    /// The smoothed value is always within the observed range: it is a
+    /// convex combination of observations (geometric weights summing to 1).
+    #[test]
+    fn prop_prediction_within_range() {
+        testkit::check(64, |g| {
+            let alpha = g.f64_in(0.01..0.99);
+            let series = g.vec(1..100, |g| g.f64_in(0.0..1000.0));
             let mut es = ExponentialSmoothing::with_init(alpha, InitialValue::FirstObservation);
             for &x in &series {
                 es.observe(x);
@@ -207,23 +229,24 @@ mod tests {
             let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let p = es.predict();
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "p={} not in [{},{}]", p, lo, hi);
-        }
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "p={p} not in [{lo},{hi}]");
+        });
+    }
 
-        /// Shifting the whole series shifts the prediction by the same amount
-        /// (linearity in the input level).
-        #[test]
-        fn prop_shift_equivariance(
-            shift in -100.0f64..100.0,
-            series in proptest::collection::vec(0.0f64..100.0, 6..50),
-        ) {
+    /// Shifting the whole series shifts the prediction by the same amount
+    /// (linearity in the input level).
+    #[test]
+    fn prop_shift_equivariance() {
+        testkit::check(64, |g| {
+            let shift = g.f64_in(-100.0..100.0);
+            let series = g.vec(6..50, |g| g.f64_in(0.0..100.0));
             let mut a = ExponentialSmoothing::paper_default();
             let mut b = ExponentialSmoothing::paper_default();
             for &x in &series {
                 a.observe(x);
                 b.observe(x + shift);
             }
-            prop_assert!((b.predict() - a.predict() - shift).abs() < 1e-6);
-        }
+            assert!((b.predict() - a.predict() - shift).abs() < 1e-6);
+        });
     }
 }

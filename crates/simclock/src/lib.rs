@@ -14,7 +14,7 @@
 //! * [`SimRng`] — a seeded random source with the distributions the
 //!   workload generators need (uniform, exponential, Poisson, Zipf, normal),
 //! * [`SharedClock`] — a thread-safe virtual clock used by the concurrent
-//!   (crossbeam-threaded) experiment drivers.
+//!   (scoped-thread) experiment drivers.
 //!
 //! # Example
 //!

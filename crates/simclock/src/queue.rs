@@ -105,7 +105,6 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::SimTime;
-    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -150,11 +149,12 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
-    proptest! {
-        /// Popping always yields non-decreasing timestamps, and every pushed
-        /// event comes back exactly once.
-        #[test]
-        fn prop_pop_order_sorted(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+    /// Popping always yields non-decreasing timestamps, and every pushed
+    /// event comes back exactly once.
+    #[test]
+    fn prop_pop_order_sorted() {
+        testkit::check(64, |g| {
+            let times = g.vec(0..200, |g| g.u64_in(0..1_000));
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime::from_nanos(t), i);
@@ -162,17 +162,20 @@ mod tests {
             let mut last = SimTime::ZERO;
             let mut seen = vec![false; times.len()];
             while let Some((at, idx)) = q.pop() {
-                prop_assert!(at >= last);
+                assert!(at >= last);
                 last = at;
-                prop_assert!(!seen[idx]);
+                assert!(!seen[idx]);
                 seen[idx] = true;
             }
-            prop_assert!(seen.iter().all(|&s| s));
-        }
+            assert!(seen.iter().all(|&s| s));
+        });
+    }
 
-        /// FIFO tie-break: among events with equal timestamps, indices ascend.
-        #[test]
-        fn prop_fifo_within_timestamp(times in proptest::collection::vec(0u64..5, 0..100)) {
+    /// FIFO tie-break: among events with equal timestamps, indices ascend.
+    #[test]
+    fn prop_fifo_within_timestamp() {
+        testkit::check(64, |g| {
+            let times = g.vec(0..100, |g| g.u64_in(0..5));
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime::from_nanos(t), i);
@@ -180,10 +183,10 @@ mod tests {
             let mut last_per_time: std::collections::HashMap<u64, usize> = Default::default();
             while let Some((at, idx)) = q.pop() {
                 if let Some(&prev) = last_per_time.get(&at.as_nanos()) {
-                    prop_assert!(idx > prev);
+                    assert!(idx > prev);
                 }
                 last_per_time.insert(at.as_nanos(), idx);
             }
-        }
+        });
     }
 }

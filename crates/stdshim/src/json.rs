@@ -1,0 +1,330 @@
+//! Minimal JSON writer for experiment and benchmark output.
+//!
+//! The workspace emits JSON in exactly one direction — results out to disk
+//! (`BENCH_*.json`, figure artifacts) — so this module implements only that:
+//! a [`JsonValue`] tree, a [`ToJson`] trait, and a serializer. There is no
+//! parser and no derive machinery; result structs implement [`ToJson`] by
+//! hand, which keeps the output schema explicit and reviewable.
+//!
+//! Object fields keep insertion order so emitted files are stable and
+//! diffable across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (emitted without a decimal point).
+    Int(i64),
+    /// Floating-point number. Non-finite values serialize as `null`, since
+    /// JSON has no NaN/Infinity.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(name, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array by converting each item.
+    pub fn array<T: ToJson>(items: impl IntoIterator<Item = T>) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(|x| x.to_json()).collect())
+    }
+
+    /// Serializes with two-space indentation, for human-inspected artifacts.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * (depth + 1)),
+                " ".repeat(w * depth),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    // `{f:?}` keeps a decimal point or exponent, so the value
+                    // round-trips as a float (`1.0`, not `1`).
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(colon);
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`JsonValue`]; the workspace's replacement for
+/// `#[derive(Serialize)]`.
+pub trait ToJson {
+    /// Renders `self` as a JSON tree.
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Compact serialization (no whitespace); `to_string()` comes for free.
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> JsonValue {
+        // u64 can exceed i64; fall back to float for the astronomically
+        // large values (only plausible for raw nanosecond counters).
+        match i64::try_from(*self) {
+            Ok(i) => JsonValue::Int(i),
+            Err(_) => JsonValue::Float(*self as f64),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<K: std::fmt::Display, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(true.to_json().to_string(), "true");
+        assert_eq!(42u32.to_json().to_string(), "42");
+        assert_eq!((-7i64).to_json().to_string(), "-7");
+        assert_eq!(1.5f64.to_json().to_string(), "1.5");
+        assert_eq!("hi".to_json().to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        // A whole-number float must keep its decimal point.
+        assert_eq!(1.0f64.to_json().to_string(), "1.0");
+        assert_eq!(f64::NAN.to_json().to_string(), "null");
+        assert_eq!(f64::INFINITY.to_json().to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(s.to_json().to_string(), r#""a\"b\\c\nd\te""#);
+    }
+
+    #[test]
+    fn collections_nest() {
+        let v = JsonValue::object([
+            ("name", "pool".to_json()),
+            ("samples", vec![1u64, 2, 3].to_json()),
+            ("p99", 1.25f64.to_json()),
+            ("skipped", JsonValue::Null),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"pool","samples":[1,2,3],"p99":1.25,"skipped":null}"#
+        );
+    }
+
+    #[test]
+    fn field_order_preserved() {
+        let v = JsonValue::object([("z", 1u8.to_json()), ("a", 2u8.to_json())]);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let v = JsonValue::object([("xs", vec![1u8].to_json())]);
+        assert_eq!(v.to_pretty_string(), "{\n  \"xs\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_compact() {
+        assert_eq!(JsonValue::Array(vec![]).to_pretty_string(), "[]\n");
+        assert_eq!(JsonValue::Object(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn huge_u64_degrades_to_float() {
+        let v = u64::MAX.to_json().to_string();
+        assert!(v.contains('e') || v.contains('.'), "got {v}");
+    }
+
+    #[test]
+    fn options_and_maps() {
+        let mut m = BTreeMap::new();
+        m.insert("k", Some(3u8));
+        m.insert("gone", None);
+        assert_eq!(m.to_json().to_string(), r#"{"gone":null,"k":3}"#);
+    }
+}

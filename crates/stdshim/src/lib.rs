@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency standard-library shims for the HotC workspace.
+//!
+//! The workspace builds offline with no registry crates; this crate hosts
+//! the two small pieces that third-party crates used to provide:
+//!
+//! * [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std::sync`
+//!   with parking_lot-style ergonomics (`.lock()` returns the guard), and
+//! * [`json`] — a write-only JSON tree ([`json::JsonValue`]) and the
+//!   [`json::ToJson`] trait that result structs implement instead of
+//!   deriving `serde::Serialize`.
+//!
+//! Everything here is std-only and auditable in one sitting; the hermeticity
+//! guard test (`tests/hermetic.rs` at the workspace root) enforces that it
+//! stays that way.
+
+pub mod json;
+pub mod sync;
+
+pub use json::{JsonValue, ToJson};
+pub use sync::{Mutex, RwLock};

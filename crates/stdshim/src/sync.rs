@@ -1,0 +1,218 @@
+//! Non-poisoning synchronization primitives over `std::sync`.
+//!
+//! The concurrent experiment drivers want parking_lot-style ergonomics:
+//! `.lock()` / `.read()` / `.write()` return guards directly instead of a
+//! `Result` wrapping poison state. In this workspace a panic while holding a
+//! lock only ever happens when a test assertion already failed, so poison
+//! recovery adds nothing but call-site noise — these wrappers simply clear
+//! the poison flag and hand out the guard.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is free. A poisoned lock (a
+    /// panic on another thread while holding it) is treated as unlocked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_try_lock_contended() {
+        let m = Mutex::new(0);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_survives_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // parking_lot semantics: the value is still reachable.
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_try_write_blocked_by_reader() {
+        let l = RwLock::new(0);
+        let guard = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(guard);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m = Mutex::new(5);
+        *m.get_mut() = 6;
+        assert_eq!(*m.lock(), 6);
+        let mut l = RwLock::new(5);
+        *l.get_mut() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8_000);
+    }
+}

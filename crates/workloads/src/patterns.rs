@@ -245,42 +245,43 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::is_time_ordered;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Every generator emits a time-ordered workload, and counts are what
-        /// the closed forms say.
-        #[test]
-        fn prop_generators_ordered_and_counted(
-            count in 1usize..40,
-            threads in 1usize..8,
-            rounds in 1usize..10,
-            start in 1usize..5,
-            step in 1usize..5,
-        ) {
+    /// Every generator emits a time-ordered workload, and counts are what
+    /// the closed forms say.
+    #[test]
+    fn prop_generators_ordered_and_counted() {
+        testkit::check(64, |g| {
+            let count = g.usize_in(1..40);
+            let threads = g.usize_in(1..8);
+            let rounds = g.usize_in(1..10);
+            let start = g.usize_in(1..5);
+            let step = g.usize_in(1..5);
             let iv = SimDuration::from_secs(30);
             let s = serial(iv, count, 0);
-            prop_assert!(is_time_ordered(&s));
-            prop_assert_eq!(s.len(), count);
+            assert!(is_time_ordered(&s));
+            assert_eq!(s.len(), count);
 
             let p = parallel_clients(threads, rounds, iv);
-            prop_assert!(is_time_ordered(&p));
-            prop_assert_eq!(p.len(), threads * rounds);
+            assert!(is_time_ordered(&p));
+            assert_eq!(p.len(), threads * rounds);
 
             let up = linear_ramp(Direction::Increasing, start, step, rounds, iv, 0);
             let down = linear_ramp(Direction::Decreasing, start, step, rounds, iv, 0);
-            prop_assert!(is_time_ordered(&up));
-            prop_assert_eq!(up.len(), down.len());
+            assert!(is_time_ordered(&up));
+            assert_eq!(up.len(), down.len());
             let expected: usize = (0..rounds).map(|r| start + step * r).sum();
-            prop_assert_eq!(up.len(), expected);
-        }
+            assert_eq!(up.len(), expected);
+        });
+    }
 
-        /// Poisson arrival counts scale with the rate.
-        #[test]
-        fn prop_poisson_scales_with_rate(seed in 0u64..1000) {
+    /// Poisson arrival counts scale with the rate.
+    #[test]
+    fn prop_poisson_scales_with_rate() {
+        testkit::check(64, |g| {
+            let seed = g.u64_in(0..1000);
             let slow = poisson(1.0, SimDuration::from_secs(400), 2, 1.0, seed);
             let fast = poisson(8.0, SimDuration::from_secs(400), 2, 1.0, seed + 1);
-            prop_assert!(fast.len() > slow.len());
-        }
+            assert!(fast.len() > slow.len());
+        });
     }
 }

@@ -1,5 +1,5 @@
 //! Concurrency stress: many OS threads hammering the shared HotC gateway
-//! (crossbeam scoped threads), checking pool consistency afterwards.
+//! (std scoped threads), checking pool consistency afterwards.
 
 use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
 use faas::{AppProfile, Gateway};
@@ -47,11 +47,11 @@ fn stress_many_threads_many_functions() {
     let gw = shared_gateway(functions, None);
     let errors = Arc::new(AtomicU64::new(0));
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let gw = Arc::clone(&gw);
             let errors = Arc::clone(&errors);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
                 for i in 0..per_thread {
                     let function = format!("fn-{}", (t + i) % functions);
@@ -65,8 +65,7 @@ fn stress_many_threads_many_functions() {
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
 
     assert_eq!(errors.load(Ordering::Relaxed), 0);
     gw.with(|g| {
@@ -91,11 +90,11 @@ fn stress_many_threads_many_functions() {
 #[test]
 fn stress_with_concurrent_ticks_and_limits() {
     let gw = shared_gateway(4, Some(PoolLimits::new(6, 0.99)));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         // Worker threads.
         for t in 0..6 {
             let gw = Arc::clone(&gw);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
                 for i in 0..40 {
                     let function = format!("fn-{}", (t * 7 + i) % 4);
@@ -106,14 +105,13 @@ fn stress_with_concurrent_ticks_and_limits() {
         }
         // A maintenance thread racing ticks against the workers.
         let gw_tick = Arc::clone(&gw);
-        s.spawn(move |_| {
+        s.spawn(move || {
             for k in 0..50u64 {
                 gw_tick.tick(SimTime::from_secs(k * 30)).expect("tick");
                 std::thread::yield_now();
             }
         });
-    })
-    .expect("threads join");
+    });
 
     gw.with(|g| {
         assert_eq!(g.stats().requests, 240);
@@ -127,10 +125,10 @@ fn stress_with_concurrent_ticks_and_limits() {
 #[test]
 fn contended_single_function_converges_to_small_pool() {
     let gw = shared_gateway(1, None);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..8 {
             let gw = Arc::clone(&gw);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
                 for _ in 0..30 {
                     gw.handle("fn-0", &mut timeline).expect("request");
@@ -138,8 +136,7 @@ fn contended_single_function_converges_to_small_pool() {
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
     gw.with(|g| {
         assert_eq!(g.stats().requests, 240);
         // One runtime type: the pool is bounded by peak thread overlap.

@@ -1,0 +1,187 @@
+//! Hermeticity guard: the workspace must stay std-only and offline-buildable.
+//!
+//! Parses every `Cargo.toml` in the repository and fails if any dependency is
+//! not a `path` dependency into this workspace (registry version strings, git
+//! deps, and crates.io table forms are all rejected). This is the executable
+//! form of the policy documented in the workspace manifest: a contributor who
+//! adds `serde = "1"` anywhere gets a test failure naming the exact line, not
+//! a broken offline build three PRs later.
+//!
+//! The parser is deliberately small: it understands just the TOML subset that
+//! dependency tables use (section headers, `key = "version"`,
+//! `key = { ... }`, and multi-line inline tables are not used in this repo).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Keys inside a `[dependencies]`-family table entry's inline table that make
+/// the dependency non-hermetic.
+const FORBIDDEN_SOURCE_KEYS: [&str; 4] = ["git", "registry", "registry-index", "version"];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Finds every Cargo.toml under the repo root, skipping `target/`.
+fn find_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                find_manifests(&path, out);
+            }
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// True if the section header opens a dependency table, including
+/// `[workspace.dependencies]` and target-specific tables.
+fn is_dependency_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+/// Checks one dependency line; returns a violation description if the entry
+/// is not a pure path dependency.
+fn check_dep_line(line: &str) -> Option<String> {
+    let (key, value) = line.split_once('=')?;
+    let key = key.trim();
+    let value = value.trim();
+    if value.starts_with('"') || value.starts_with('\'') {
+        return Some(format!("`{key}` uses a registry version string ({value})"));
+    }
+    if value.starts_with('{') {
+        if !value.contains("path") && !value.contains("workspace") {
+            return Some(format!("`{key}` has neither `path` nor `workspace = true`"));
+        }
+        for forbidden in FORBIDDEN_SOURCE_KEYS {
+            // Match the key position of an inline-table entry, not substrings
+            // of other keys or values.
+            let mut rest = value;
+            while let Some(idx) = rest.find(forbidden) {
+                let before = value.len() - rest.len() + idx;
+                let prev = value[..before].trim_end().chars().next_back();
+                let after = rest[idx + forbidden.len()..].trim_start().chars().next();
+                if matches!(prev, Some('{') | Some(',')) && after == Some('=') {
+                    return Some(format!("`{key}` sets `{forbidden}` ({value})"));
+                }
+                rest = &rest[idx + forbidden.len()..];
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn all_dependencies_are_path_only() {
+    let root = workspace_root();
+    let mut manifests = Vec::new();
+    find_manifests(&root, &mut manifests);
+    manifests.sort();
+    assert!(
+        manifests.len() >= 11,
+        "expected the root + 10 crate manifests, found {}",
+        manifests.len()
+    );
+
+    let mut violations = String::new();
+    for manifest in &manifests {
+        let text = std::fs::read_to_string(manifest).expect("read manifest");
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            if is_dependency_section(&section) {
+                if let Some(problem) = check_dep_line(line) {
+                    writeln!(
+                        violations,
+                        "{}:{}: {}",
+                        manifest.strip_prefix(&root).unwrap_or(manifest).display(),
+                        lineno + 1,
+                        problem
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (policy: path-only workspace deps,\n\
+         see the workspace Cargo.toml header comment):\n{violations}"
+    );
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    // Belt-and-braces for the aggregated check above: the root
+    // `[workspace.dependencies]` table is where a registry dep would most
+    // likely be reintroduced, so verify it line by line.
+    let text = std::fs::read_to_string(workspace_root().join("Cargo.toml")).expect("root manifest");
+    let mut in_table = false;
+    let mut entries = 0;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table && !line.is_empty() {
+            assert!(
+                line.contains("path"),
+                "workspace dependency without a path: {line}"
+            );
+            entries += 1;
+        }
+    }
+    assert!(entries >= 12, "expected 12 workspace deps, found {entries}");
+}
+
+#[test]
+fn no_registry_crate_names_in_manifests() {
+    // The replaced crates must never come back under any section. Checking
+    // names (not just sources) catches e.g. a future `[dependencies.serde]`
+    // table form the line parser above would classify differently.
+    let replaced = [
+        "rand",
+        "proptest",
+        "criterion",
+        "crossbeam",
+        "parking_lot",
+        "bytes",
+        "serde",
+    ];
+    let root = workspace_root();
+    let mut manifests = Vec::new();
+    find_manifests(&root, &mut manifests);
+    for manifest in &manifests {
+        let text = std::fs::read_to_string(manifest).expect("read manifest");
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            for name in replaced {
+                assert!(
+                    !(line.starts_with(&format!("{name} "))
+                        || line.starts_with(&format!("{name}="))
+                        || line.starts_with(&format!("[dependencies.{name}"))
+                        || line.starts_with(&format!("[dev-dependencies.{name}"))),
+                    "{}: replaced registry crate `{name}` reappeared: {line}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}

@@ -1,80 +1,89 @@
 //! Cross-crate property tests: invariants that must hold for *any* workload
 //! or configuration, not just the paper's scenarios.
 
+use std::collections::BTreeMap;
+
 use containersim::container::ExecOptions;
 use containersim::{
     ContainerConfig, ContainerEngine, HardwareProfile, ImageId, NetworkConfig, NetworkMode,
 };
 use faas::{AppProfile, FixedKeepAlive, Gateway};
 use hotc::{HotC, HotCConfig, KeyPolicy, PoolLimits, RuntimeKey};
-use proptest::prelude::*;
 use simclock::{SimDuration, SimTime};
+use testkit::Gen;
 
-/// Strategy: a valid container configuration drawn from the image catalogue,
+/// Draws a valid container configuration from the image catalogue,
 /// single-host network modes, and small env maps.
-fn config_strategy() -> impl Strategy<Value = ContainerConfig> {
-    let image = prop_oneof![
-        Just("alpine:3.12"),
-        Just("python:3.8-alpine"),
-        Just("golang:1.13"),
-        Just("node:12-alpine"),
-        Just("openjdk:8-jre"),
-    ];
-    let mode = prop_oneof![
-        Just(NetworkMode::None),
-        Just(NetworkMode::Bridge),
-        Just(NetworkMode::Host),
-        Just(NetworkMode::Container),
-    ];
-    let env = proptest::collection::btree_map("[A-Z]{1,4}", "[a-z0-9]{0,4}", 0..4);
-    (image, mode, env, 0u32..4000, proptest::bool::ANY).prop_map(
-        |(image, mode, env, cpu, privileged)| {
-            let mut exec = ExecOptions {
-                cpu_millis: cpu,
-                privileged,
-                ..Default::default()
-            };
-            exec.env = env;
-            ContainerConfig::bridge(ImageId::parse(image))
-                .with_network(NetworkConfig::single(mode))
-                .with_exec(exec)
-        },
-    )
+fn gen_config(g: &mut Gen) -> ContainerConfig {
+    let image = *g.pick(&[
+        "alpine:3.12",
+        "python:3.8-alpine",
+        "golang:1.13",
+        "node:12-alpine",
+        "openjdk:8-jre",
+    ]);
+    let mode = *g.pick(&[
+        NetworkMode::None,
+        NetworkMode::Bridge,
+        NetworkMode::Host,
+        NetworkMode::Container,
+    ]);
+    let mut env = BTreeMap::new();
+    for _ in 0..g.usize_in(0..4) {
+        env.insert(
+            g.string(testkit::UPPER, 1..5),
+            g.string(testkit::LOWER_DIGITS, 0..5),
+        );
+    }
+    let mut exec = ExecOptions {
+        cpu_millis: g.u32_in(0..4000),
+        privileged: g.bool(),
+        ..Default::default()
+    };
+    exec.env = env;
+    ContainerConfig::bridge(ImageId::parse(image))
+        .with_network(NetworkConfig::single(mode))
+        .with_exec(exec)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Exact runtime keys are injective: distinct configurations never
-    /// collide (otherwise HotC would hand a request the wrong runtime).
-    #[test]
-    fn exact_keys_injective(a in config_strategy(), b in config_strategy()) {
+/// Exact runtime keys are injective: distinct configurations never
+/// collide (otherwise HotC would hand a request the wrong runtime).
+#[test]
+fn exact_keys_injective() {
+    testkit::check(64, |g| {
+        let a = gen_config(g);
+        let b = gen_config(g);
         let ka = RuntimeKey::from_config(&a, KeyPolicy::Exact);
         let kb = RuntimeKey::from_config(&b, KeyPolicy::Exact);
-        prop_assert_eq!(a == b, ka == kb);
-    }
+        assert_eq!(a == b, ka == kb);
+    });
+}
 
-    /// Fuzzy keys are a coarsening of exact keys: exact-equal configs are
-    /// always fuzzy-equal.
-    #[test]
-    fn fuzzy_coarsens_exact(a in config_strategy(), b in config_strategy()) {
+/// Fuzzy keys are a coarsening of exact keys: exact-equal configs are
+/// always fuzzy-equal.
+#[test]
+fn fuzzy_coarsens_exact() {
+    testkit::check(64, |g| {
+        let a = gen_config(g);
+        let b = gen_config(g);
         let exact_eq = RuntimeKey::from_config(&a, KeyPolicy::Exact)
             == RuntimeKey::from_config(&b, KeyPolicy::Exact);
         let fuzzy_eq = RuntimeKey::from_config(&a, KeyPolicy::Fuzzy)
             == RuntimeKey::from_config(&b, KeyPolicy::Fuzzy);
         if exact_eq {
-            prop_assert!(fuzzy_eq);
+            assert!(fuzzy_eq);
         }
-    }
+    });
+}
 
-    /// Every request trace partitions exactly into its three segments, for
-    /// any app shape and either temperature.
-    #[test]
-    fn trace_segments_partition_total(
-        compute_ms in 1u64..2000,
-        init_ms in 0u64..1000,
-        reuse in proptest::bool::ANY,
-    ) {
+/// Every request trace partitions exactly into its three segments, for
+/// any app shape and either temperature.
+#[test]
+fn trace_segments_partition_total() {
+    testkit::check(64, |g| {
+        let compute_ms = g.u64_in(1..2000);
+        let init_ms = g.u64_in(0..1000);
+        let reuse = g.bool();
         let engine = ContainerEngine::with_local_images(HardwareProfile::server());
         let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
         let mut app = AppProfile::random_number();
@@ -88,20 +97,21 @@ proptest! {
         } else {
             t1
         };
-        prop_assert!(trace.is_well_formed());
+        assert!(trace.is_well_formed());
         let parts = trace.initiation() + trace.execution() + trace.forwarding();
-        prop_assert_eq!(parts, trace.total());
-    }
+        assert_eq!(parts, trace.total());
+    });
+}
 
-    /// Under any serial request/gap sequence, HotC's bookkeeping matches the
-    /// engine and the pool never exceeds its limits after a tick — even with
-    /// crashes injected.
-    #[test]
-    fn hotc_invariants_under_random_serial_traffic(
-        gaps in proptest::collection::vec(1u64..400, 1..60),
-        max_live in 1usize..8,
-        crash in proptest::bool::ANY,
-    ) {
+/// Under any serial request/gap sequence, HotC's bookkeeping matches the
+/// engine and the pool never exceeds its limits after a tick — even with
+/// crashes injected.
+#[test]
+fn hotc_invariants_under_random_serial_traffic() {
+    testkit::check(64, |g| {
+        let gaps = g.vec(1..60, |g| g.u64_in(1..400));
+        let max_live = g.usize_in(1..8);
+        let crash = g.bool();
         let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
         if crash {
             engine.set_fault_injection(0.2, 7);
@@ -118,28 +128,26 @@ proptest! {
             let trace = gw.handle("random-number", now).unwrap();
             now = trace.t6_gateway_out + SimDuration::from_secs(gap);
             gw.tick(now).unwrap();
-            prop_assert!(gw.engine().live_count() <= max_live);
-            prop_assert_eq!(
-                gw.provider().pool().total_live(),
-                gw.engine().live_count()
-            );
-            prop_assert_eq!(gw.engine().volumes().len(), gw.engine().live_count());
+            assert!(gw.engine().live_count() <= max_live);
+            assert_eq!(gw.provider().pool().total_live(), gw.engine().live_count());
+            assert_eq!(gw.engine().volumes().len(), gw.engine().live_count());
         }
-    }
+    });
+}
 
-    /// Keep-alive semantics: a request after a gap longer than the TTL is
-    /// always cold; within the TTL it is always warm (single client).
-    #[test]
-    fn keepalive_ttl_is_exact(
-        ttl_s in 10u64..1000,
-        gaps in proptest::collection::vec(1u64..2000, 1..30),
-    ) {
+/// Keep-alive semantics: a request after a gap longer than the TTL is
+/// always cold; within the TTL it is always warm (single client).
+#[test]
+fn keepalive_ttl_is_exact() {
+    testkit::check(64, |g| {
+        let ttl_s = g.u64_in(10..1000);
+        let gaps = g.vec(1..30, |g| g.u64_in(1..2000));
         let engine = ContainerEngine::with_local_images(HardwareProfile::server());
         let mut gw = Gateway::new(engine, FixedKeepAlive::new(SimDuration::from_secs(ttl_s)));
         gw.register_app(AppProfile::random_number());
 
         let first = gw.handle("random-number", SimTime::ZERO).unwrap();
-        prop_assert!(first.cold);
+        assert!(first.cold);
         let mut last_done = first.t4_func_end;
         for gap in gaps {
             let at = last_done + SimDuration::from_secs(gap);
@@ -148,18 +156,21 @@ proptest! {
             // Skip the exact boundary: the gateway hop (1.5 ms) lands the
             // idle time just past the TTL there.
             if gap > ttl_s {
-                prop_assert!(trace.cold, "gap {}s > ttl {}s must be cold", gap, ttl_s);
+                assert!(trace.cold, "gap {gap}s > ttl {ttl_s}s must be cold");
             } else if gap < ttl_s {
-                prop_assert!(!trace.cold, "gap {}s < ttl {}s must be warm", gap, ttl_s);
+                assert!(!trace.cold, "gap {gap}s < ttl {ttl_s}s must be warm");
             }
             last_done = trace.t4_func_end;
         }
-    }
+    });
+}
 
-    /// The cold-start provider is stateless: request latency is independent
-    /// of history (same function ⇒ identical traces modulo timestamps).
-    #[test]
-    fn cold_start_latency_is_history_free(gaps in proptest::collection::vec(1u64..100, 2..20)) {
+/// The cold-start provider is stateless: request latency is independent
+/// of history (same function ⇒ identical traces modulo timestamps).
+#[test]
+fn cold_start_latency_is_history_free() {
+    testkit::check(64, |g| {
+        let gaps = g.vec(2..20, |g| g.u64_in(1..100));
         let engine = ContainerEngine::with_local_images(HardwareProfile::server());
         let mut gw = Gateway::new(engine, faas::ColdStartAlways::new());
         gw.register_app(AppProfile::random_number());
@@ -169,11 +180,11 @@ proptest! {
             let trace = gw.handle("random-number", now).unwrap();
             let latency = trace.total();
             if let Some(expected) = first_latency {
-                prop_assert_eq!(latency, expected);
+                assert_eq!(latency, expected);
             } else {
                 first_latency = Some(latency);
             }
             now = trace.t6_gateway_out + SimDuration::from_secs(gap);
         }
-    }
+    });
 }
