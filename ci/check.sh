@@ -41,6 +41,12 @@ for suite in cluster contention pipeline pool predictor simkernel; do
     grep -q "\"suite\":\"$suite\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
         || { echo "missing suite '$suite' in BENCH_ci.json" >&2; exit 1; }
 done
+# The contention suite must record both sides of the sharded-vs-global-lock
+# comparison, so the perf trajectory captures the speedup over time.
+for name in shared_gateway/8_threads sharded_gateway/8_threads; do
+    grep -q "\"$name\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
+        || { echo "missing bench '$name' in BENCH_ci.json" >&2; exit 1; }
+done
 wc -l "$BENCH_OUT_DIR/BENCH_ci.json"
 
 echo

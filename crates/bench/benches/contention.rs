@@ -6,19 +6,44 @@
 
 use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
 use faas::{AppProfile, Gateway};
-use hotc::{ConcurrentGateway, HotC};
+use hotc::{ConcurrentGateway, HotC, ShardedGateway};
 use hotc_bench::Harness;
 use simclock::shared::ThreadTimeline;
 use simclock::{SimDuration, SimTime};
 use std::sync::Arc;
+
+/// A deployment-shaped configuration: serverless functions routinely carry a
+/// dozen environment variables (endpoints, credentials, tuning), and every
+/// one of them is part of the runtime key the pool must derive per request.
+/// Under the global lock that derivation serializes; sharded, it parallelizes.
+fn function_config(app: &AppProfile, i: usize) -> containersim::ContainerConfig {
+    let mut config = app.default_config();
+    config.exec.env.insert("SHARD".into(), i.to_string());
+    for (k, v) in [
+        ("AWS_REGION", "us-east-1"),
+        ("STAGE", "production"),
+        ("LOG_LEVEL", "info"),
+        ("DB_ENDPOINT", "db.internal.example.com:5432"),
+        ("CACHE_ENDPOINT", "cache.internal.example.com:6379"),
+        ("QUEUE_URL", "https://queue.example.com/prod/jobs"),
+        ("BUCKET", "artifacts-prod-us-east-1"),
+        ("API_BASE", "https://api.example.com/v2"),
+        ("TIMEOUT_MS", "30000"),
+        ("RETRIES", "3"),
+        ("FEATURE_FLAGS", "qr_v2,fast_path"),
+        ("TRACE_SAMPLE_RATE", "0.01"),
+    ] {
+        config.exec.env.insert(k.into(), v.into());
+    }
+    config
+}
 
 fn shared_gateway(functions: usize) -> Arc<ConcurrentGateway<HotC>> {
     let engine = ContainerEngine::with_local_images(HardwareProfile::server());
     let mut gw = Gateway::new(engine, HotC::with_defaults());
     for i in 0..functions {
         let app = AppProfile::qr_code(LanguageRuntime::Go);
-        let mut config = app.default_config();
-        config.exec.env.insert("SHARD".into(), i.to_string());
+        let config = function_config(&app, i);
         gw.register(
             faas::FunctionSpec::from_app(app)
                 .named(format!("fn-{i}"))
@@ -36,12 +61,55 @@ fn shared_gateway(functions: usize) -> Arc<ConcurrentGateway<HotC>> {
     shared
 }
 
+fn sharded_gateway_setup(functions: usize) -> Arc<ShardedGateway> {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let gw = ShardedGateway::with_defaults(engine);
+    for i in 0..functions {
+        let app = AppProfile::qr_code(LanguageRuntime::Go);
+        let config = function_config(&app, i);
+        gw.register(
+            faas::FunctionSpec::from_app(app)
+                .named(format!("fn-{i}"))
+                .with_config(config),
+        );
+    }
+    let shared = Arc::new(gw);
+    // Prime one runtime per function so the benchmark measures reuse.
+    let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+    for i in 0..functions {
+        shared
+            .handle(&format!("fn-{i}"), &mut timeline)
+            .expect("prime");
+    }
+    shared
+}
+
 fn bench_contention(h: &mut Harness) {
     // Fewer requests per iteration in smoke mode keeps CI under a second.
-    let requests_per_thread = if h.is_smoke() { 20usize } else { 200 };
+    let requests_per_thread = if h.is_smoke() { 50usize } else { 500 };
     for &threads in &[1usize, 2, 4, 8] {
         let gw = shared_gateway(threads.max(2));
         h.bench(&format!("shared_gateway/{threads}_threads"), || {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let gw = Arc::clone(&gw);
+                    s.spawn(move || {
+                        let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                        let function = format!("fn-{t}");
+                        for _ in 0..requests_per_thread {
+                            gw.handle(&function, &mut timeline).expect("request");
+                            timeline.advance(SimDuration::from_millis(200));
+                        }
+                    });
+                }
+            });
+        });
+    }
+    // Same traffic shapes through the sharded frontend: per-key shard locks
+    // plus atomics instead of one gateway-wide mutex.
+    for &threads in &[1usize, 2, 4, 8] {
+        let gw = sharded_gateway_setup(threads.max(2));
+        h.bench(&format!("sharded_gateway/{threads}_threads"), || {
             std::thread::scope(|s| {
                 for t in 0..threads {
                     let gw = Arc::clone(&gw);

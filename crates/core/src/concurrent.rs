@@ -1,25 +1,45 @@
-//! Thread-safe gateway wrapper for the parallel-request experiments.
+//! Thread-safe gateway frontends for the parallel-request experiments.
 //!
 //! Fig. 12(b) drives the backend from ten client threads at once; the
-//! contention benchmarks push further. [`ConcurrentGateway`] wraps a
-//! [`faas::Gateway`] in a [`stdshim::sync::Mutex`] and splits each request into
-//! the `begin`/`finish` phases so the lock is **not** held across a request's
-//! virtual execution — many containers run concurrently while the pool's
-//! bookkeeping stays serialized, exactly like the real middleware's critical
-//! sections.
+//! contention benchmarks push further. Two frontends:
+//!
+//! * [`ConcurrentGateway`] — the global-lock baseline: wraps a
+//!   [`faas::Gateway`] in one [`stdshim::sync::Mutex`] and splits each
+//!   request into `begin`/`finish` phases so the lock is **not** held across
+//!   a request's virtual execution. All pool, engine, stats, and tracker
+//!   bookkeeping still serializes on that one lock.
+//! * [`ShardedGateway`] — the scalable frontend: the runtime pool is a
+//!   [`ShardedPool`] (per-shard locks), request counters are atomics
+//!   ([`faas::SharedStats`]), the function table is behind a read-mostly
+//!   [`stdshim::sync::RwLock`], and only the simulated container daemon
+//!   itself remains a single mutex. Warm requests for runtime types on
+//!   different shards share **no** lock except the engine's short
+//!   `begin_exec`/`end_exec` critical sections, and container creation
+//!   happens outside every shard lock, so cold starts on different keys
+//!   overlap.
 //!
 //! Virtual time is per-thread ([`simclock::shared::ThreadTimeline`]): each
 //! worker advances its own timeline by its requests' latencies, and an
 //! experiment's elapsed time is the max across timelines (parallel-work
 //! semantics).
 
-use faas::gateway::{Gateway, GatewayError};
-use faas::{RequestTrace, RuntimeProvider};
+use crate::controller::AdaptiveController;
+use crate::limits::PoolLimits;
+use crate::middleware::HotCConfig;
+use crate::shard::{EngineRef, ShardedPool};
+use containersim::{ContainerEngine, ContainerId};
+use faas::gateway::{Gateway, GatewayError, InFlight};
+use faas::pipeline::{GATEWAY_HOP, WATCHDOG_HOP};
+use faas::AppTracker;
+use faas::{AppProfile, FunctionSpec, GatewayStats, RequestTrace, RuntimeProvider, SharedStats};
 use simclock::shared::ThreadTimeline;
-use simclock::SimTime;
-use stdshim::sync::Mutex;
+use simclock::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use stdshim::sync::{Mutex, RwLock};
 
-/// A `Sync` gateway shared by client threads.
+/// A `Sync` gateway shared by client threads (single global lock).
 pub struct ConcurrentGateway<P: RuntimeProvider> {
     inner: Mutex<Gateway<P>>,
 }
@@ -70,6 +90,283 @@ impl<P: RuntimeProvider> ConcurrentGateway<P> {
     }
 }
 
+/// A registered function with its runtime key derived once, at registration
+/// time — request paths hand out `Arc`s instead of deep-cloning the spec and
+/// re-formatting the key on every call.
+struct FunctionEntry {
+    spec: FunctionSpec,
+    key: crate::key::RuntimeKey,
+}
+
+/// Last-app tracking sharded by container id, so the per-request app-switch
+/// check does not reserialize the warm path on one tracker mutex.
+struct ShardedTracker {
+    shards: Box<[Mutex<AppTracker>]>,
+}
+
+impl ShardedTracker {
+    fn new(shards: usize) -> Self {
+        ShardedTracker {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(AppTracker::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, container: ContainerId) -> &Mutex<AppTracker> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(&container, &mut hasher);
+        &self.shards[(std::hash::Hasher::finish(&hasher) % self.shards.len() as u64) as usize]
+    }
+
+    fn needs_app_init(&self, container: ContainerId, app: &'static str, first_exec: bool) -> bool {
+        self.shard(container)
+            .lock()
+            .needs_app_init(container, app, first_exec)
+    }
+
+    fn tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().tracked()).sum()
+    }
+
+    fn prune_to(&self, live: &HashSet<ContainerId>) {
+        for shard in self.shards.iter() {
+            shard.lock().prune_to(live);
+        }
+    }
+}
+
+/// The sharded HotC gateway: per-shard pool locks, atomic stats, a
+/// read-mostly function table with registration-time runtime keys, sharded
+/// last-app tracking, and a single engine mutex standing in for the
+/// container daemon.
+///
+/// Lock order (see DESIGN.md): a thread holds at most one of
+/// {function table, tracker shard, pool shard, engine} at a time on the request
+/// path; the controller mutex (tick only) may span shard/engine acquisitions
+/// but is never taken while holding any other lock.
+pub struct ShardedGateway {
+    engine: Mutex<ContainerEngine>,
+    functions: RwLock<HashMap<String, Arc<FunctionEntry>>>,
+    stats: SharedStats,
+    tracker: ShardedTracker,
+    pool: ShardedPool,
+    controller: Mutex<AdaptiveController>,
+    limits: PoolLimits,
+    disable_prediction: bool,
+    /// Cumulative background cost in virtual nanoseconds (atomic: bumped on
+    /// every release, so a mutex here would reserialize the warm path).
+    background_nanos: AtomicU64,
+}
+
+impl ShardedGateway {
+    /// Builds the gateway over an engine from a HotC configuration.
+    pub fn new(engine: ContainerEngine, config: HotCConfig) -> Self {
+        ShardedGateway {
+            engine: Mutex::new(engine),
+            functions: RwLock::new(HashMap::new()),
+            stats: SharedStats::new(),
+            tracker: ShardedTracker::new(config.shards),
+            pool: ShardedPool::with_shards(config.key_policy, config.shards),
+            controller: Mutex::new(AdaptiveController::new(config.controller)),
+            limits: config.limits,
+            disable_prediction: config.disable_prediction,
+            background_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The paper's deployed configuration over a local-image engine.
+    pub fn with_defaults(engine: ContainerEngine) -> Self {
+        Self::new(engine, HotCConfig::default())
+    }
+
+    /// Registers (or replaces) a function. The runtime key is derived here,
+    /// once, so the per-request path never re-formats it.
+    pub fn register(&self, spec: FunctionSpec) {
+        let key = self.pool.key_of(&spec.config);
+        self.functions
+            .write()
+            .insert(spec.name.clone(), Arc::new(FunctionEntry { spec, key }));
+    }
+
+    /// Convenience: registers an app under its own name with its default
+    /// configuration.
+    pub fn register_app(&self, app: AppProfile) {
+        self.register(FunctionSpec::from_app(app));
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats.snapshot()
+    }
+
+    /// The sharded runtime pool.
+    pub fn pool(&self) -> &ShardedPool {
+        &self.pool
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> PoolLimits {
+        self.limits
+    }
+
+    /// Cumulative background (off-request-path) cost: cleanup, pre-warm,
+    /// retire, eviction.
+    pub fn background_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.background_nanos.load(Ordering::Relaxed))
+            + self.controller.lock().background_cost()
+    }
+
+    fn add_background(&self, cost: SimDuration) {
+        self.background_nanos
+            .fetch_add(cost.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Number of containers with a tracked last-app entry.
+    pub fn tracked_containers(&self) -> usize {
+        self.tracker.tracked()
+    }
+
+    /// Runs a closure with the locked engine (setup, inspection).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut ContainerEngine) -> R) -> R {
+        f(&mut self.engine.lock())
+    }
+
+    /// Starts serving a request that arrived at `now`. Each piece of shared
+    /// state is locked by itself, in a fixed order, and never across the
+    /// container-creation path of another key's shard.
+    pub fn begin(&self, function: &str, now: SimTime) -> Result<InFlight, GatewayError> {
+        let entry = self
+            .functions
+            .read()
+            .get(function)
+            .cloned()
+            .ok_or_else(|| GatewayError::UnknownFunction(function.to_string()))?;
+
+        let t1 = now;
+        let t2 = t1 + GATEWAY_HOP;
+        // `acquire_with_key` reports `first_exec` from pool bookkeeping and
+        // reuses the registration-time key, so the warm path touches the
+        // engine lock only for `begin_exec` and never re-derives the key.
+        let acq = self
+            .pool
+            .acquire_with_key(&self.engine, &entry.key, &entry.spec.config, t2)?;
+        if acq.cold {
+            // A cold start may have pushed the pool over its limits.
+            let cost = self.limits.enforce_sharded(&self.pool, &self.engine, t2)?;
+            self.add_background(cost);
+        }
+        let first_exec = acq.first_exec;
+        // App init is due on a fresh runtime AND when the pooled runtime
+        // last ran a different app (fuzzy keys / shared runtime types).
+        let needs_app_init =
+            self.tracker
+                .needs_app_init(acq.container, entry.spec.app.name, first_exec);
+        let work = entry.spec.app.work_for(needs_app_init);
+        // Function initiation: watchdog shim + obtaining the runtime.
+        let t3 = t2 + WATCHDOG_HOP + acq.cost;
+        let outcome = self
+            .engine
+            .with_engine(|e| e.begin_exec(acq.container, work, t3))?;
+        let t4 = t3 + outcome.latency;
+        Ok(InFlight {
+            function: entry.spec.name.clone(),
+            container: acq.container,
+            t4_func_end: t4,
+            t1,
+            t2,
+            t3,
+            cold: acq.cold,
+            first_exec,
+            crashed: outcome.crashed,
+        })
+    }
+
+    /// Completes an in-flight request at its `t4`: end the execution, return
+    /// the container to the pool (a crashed one is disposed of), bump the
+    /// atomic counters, and prune app-tracking entries that just went stale.
+    pub fn finish(&self, inflight: InFlight) -> Result<RequestTrace, GatewayError> {
+        let t4 = inflight.t4_func_end;
+        // Fast path: the registration-time entry already carries the runtime
+        // key, so the end-exec + cleanup pair runs in one engine critical
+        // section instead of three, with no key re-derivation.
+        let entry = self.functions.read().get(&inflight.function).cloned();
+        let finished = match entry {
+            Some(entry) => self.pool.try_finish_release(
+                &self.engine,
+                &entry.key,
+                inflight.container,
+                t4,
+                inflight.crashed,
+            )?,
+            None => None,
+        };
+        let cost = match finished {
+            Some(cost) => cost,
+            None => {
+                // The function was re-registered (or deregistered) with a
+                // different configuration mid-flight: end the execution and
+                // let the pool derive the key from the engine's config.
+                self.engine
+                    .with_engine(|e| e.end_exec(inflight.container, t4))?;
+                self.pool.release(&self.engine, inflight.container, t4)?
+            }
+        };
+        self.add_background(cost);
+        self.stats.record(inflight.cold);
+        if inflight.crashed {
+            // The crashed container was just disposed of, so its tracker
+            // entry is stale right now; containers disposed of by eviction
+            // are pruned by the next `tick`.
+            self.prune_tracker();
+        }
+        Ok(inflight.complete())
+    }
+
+    /// Serves one request on the calling thread's timeline (begin, advance
+    /// past the virtual execution, finish).
+    pub fn handle(
+        &self,
+        function: &str,
+        timeline: &mut ThreadTimeline,
+    ) -> Result<RequestTrace, GatewayError> {
+        let inflight = self.begin(function, timeline.now())?;
+        timeline.wait_until(inflight.t4_func_end);
+        let trace = self.finish(inflight)?;
+        timeline.wait_until(trace.t6_gateway_out);
+        Ok(trace)
+    }
+
+    /// Periodic maintenance: one adaptive-controller step (per shard), limit
+    /// enforcement, tracker pruning.
+    pub fn tick(&self, now: SimTime) -> Result<(), GatewayError> {
+        if !self.disable_prediction {
+            self.controller
+                .lock()
+                .maybe_step_sharded(&self.pool, &self.engine, now)?;
+        }
+        let cost = self.limits.enforce_sharded(&self.pool, &self.engine, now)?;
+        self.add_background(cost);
+        self.prune_tracker();
+        Ok(())
+    }
+
+    /// Drops last-app entries for containers that no longer exist. Cheap
+    /// guard first; on a real prune the live-id set is snapshotted under the
+    /// engine lock and applied under the tracker lock — the two locks are
+    /// never held together.
+    fn prune_tracker(&self) {
+        let tracked = self.tracker.tracked();
+        let live = self.engine.with_engine(|e| e.live_count());
+        if tracked > live {
+            let live_ids: HashSet<ContainerId> = self
+                .engine
+                .with_engine(|e| e.live_ids_oldest_first().into_iter().collect());
+            self.tracker.prune_to(&live_ids);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +394,25 @@ mod tests {
             );
         }
         Arc::new(ConcurrentGateway::new(gw))
+    }
+
+    fn sharded_gateway() -> Arc<ShardedGateway> {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let gw = ShardedGateway::with_defaults(engine);
+        for (i, lang) in [
+            LanguageRuntime::Python,
+            LanguageRuntime::Go,
+            LanguageRuntime::NodeJs,
+            LanguageRuntime::Java,
+        ]
+        .iter()
+        .enumerate()
+        {
+            gw.register(
+                faas::FunctionSpec::from_app(AppProfile::qr_code(*lang)).named(format!("qr-{i}")),
+            );
+        }
+        Arc::new(gw)
     }
 
     #[test]
@@ -188,5 +504,110 @@ mod tests {
             latencies
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_threads_each_own_runtime() {
+        let gw = sharded_gateway();
+        let threads = 4usize;
+        let per_thread = 25usize;
+        let recorders: Vec<LatencyRecorder> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let gw = Arc::clone(&gw);
+                    s.spawn(move || {
+                        let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                        let mut rec = LatencyRecorder::new();
+                        let function = format!("qr-{t}");
+                        for _ in 0..per_thread {
+                            let trace = gw.handle(&function, &mut timeline).unwrap();
+                            rec.record(trace.total());
+                            timeline.advance(SimDuration::from_secs(1));
+                        }
+                        rec
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let stats = gw.stats();
+        assert_eq!(stats.requests as usize, threads * per_thread);
+        assert!(
+            stats.cold_starts as usize <= threads * 3,
+            "cold starts: {}",
+            stats.cold_starts
+        );
+        for rec in &recorders {
+            assert!(rec.median().as_millis() < 100, "median {:?}", rec.median());
+        }
+        // Pool and engine agree once everything is released.
+        assert_eq!(gw.pool().total_live(), gw.with_engine(|e| e.live_count()));
+    }
+
+    #[test]
+    fn sharded_shared_config_reuse() {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let gw = ShardedGateway::with_defaults(engine);
+        gw.register_app(AppProfile::random_number());
+        let gw = Arc::new(gw);
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let gw = Arc::clone(&gw);
+                s.spawn(move || {
+                    let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                    for _ in 0..20 {
+                        gw.handle("random-number", &mut timeline).unwrap();
+                        timeline.advance(SimDuration::from_millis(200));
+                    }
+                });
+            }
+        });
+
+        let stats = gw.stats();
+        assert_eq!(stats.requests, 80);
+        assert!(stats.cold_starts <= 8, "cold={}", stats.cold_starts);
+        let live = gw.with_engine(|e| e.live_count());
+        assert!(live <= 8, "live={live}");
+        assert_eq!(gw.pool().total_live(), live);
+        // No request in flight ⇒ every tracked container is live.
+        assert!(gw.tracked_containers() <= live);
+    }
+
+    #[test]
+    fn sharded_matches_global_lock_single_threaded() {
+        // Same traffic through both frontends yields identical traces: the
+        // sharding changes synchronization, not semantics.
+        let sharded = {
+            let gw = sharded_gateway();
+            let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+            (0..10)
+                .map(|_| gw.handle("qr-0", &mut timeline).unwrap().total())
+                .collect::<Vec<_>>()
+        };
+        let global = {
+            let gw = concurrent_gateway();
+            let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+            (0..10)
+                .map(|_| gw.handle("qr-0", &mut timeline).unwrap().total())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sharded, global);
+    }
+
+    #[test]
+    fn sharded_tick_controls_pool() {
+        let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        let gw = ShardedGateway::with_defaults(engine);
+        gw.register_app(AppProfile::random_number());
+        let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+        gw.handle("random-number", &mut timeline).unwrap();
+        gw.tick(SimTime::from_secs(30)).unwrap();
+        assert!(gw.background_cost() > SimDuration::ZERO);
+        // The idle runtime stays warm for the next request.
+        timeline.wait_until(SimTime::from_secs(31));
+        let warm = gw.handle("random-number", &mut timeline).unwrap();
+        assert!(!warm.cold);
     }
 }

@@ -7,10 +7,19 @@
 //! next-interval demand — pre-warming containers ahead of predicted growth
 //! ("prepare the runtime in advance") and retiring idle ones ahead of
 //! predicted decline ("avoid … unnecessary resource consumption").
+//!
+//! The controller walks the sharded pool one shard at a time
+//! ([`AdaptiveController::step_sharded`]), so a control step never stalls
+//! the whole pool: requests on other shards proceed while one shard's
+//! snapshot is taken. Keys whose slots the pool garbage-collects (empty for
+//! several consecutive zero-demand intervals) have their predictors dropped
+//! in the same step, so the predictor map cannot grow without bound across
+//! distinct configurations.
 
 use crate::key::RuntimeKey;
 use crate::pool::ContainerPool;
-use containersim::{ContainerConfig, ContainerEngine, EngineError};
+use crate::shard::{EngineRef, ExclusiveEngine, ShardedPool};
+use containersim::{ContainerEngine, EngineError};
 use predictor::{EsMarkov, InitialValue, Predictor};
 use simclock::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -57,8 +66,6 @@ impl Default for ControllerConfig {
 pub struct AdaptiveController {
     config: ControllerConfig,
     predictors: HashMap<RuntimeKey, EsMarkov>,
-    /// A representative container configuration per key (needed to pre-warm).
-    configs: HashMap<RuntimeKey, ContainerConfig>,
     last_step: Option<SimTime>,
     last_predictions: HashMap<RuntimeKey, f64>,
     /// Cumulative background cost of pre-warm/retire actions.
@@ -75,7 +82,6 @@ impl AdaptiveController {
         AdaptiveController {
             config,
             predictors: HashMap::new(),
-            configs: HashMap::new(),
             last_step: None,
             last_predictions: HashMap::new(),
             background: SimDuration::ZERO,
@@ -92,15 +98,14 @@ impl AdaptiveController {
         &self.config
     }
 
-    /// Registers the concrete configuration behind a key (called by the
-    /// middleware on each acquire; idempotent).
-    pub fn note_config(&mut self, key: RuntimeKey, config: &ContainerConfig) {
-        self.configs.entry(key).or_insert_with(|| config.clone());
-    }
-
     /// Most recent per-key predictions (diagnostics / Fig. 10).
     pub fn last_predictions(&self) -> &HashMap<RuntimeKey, f64> {
         &self.last_predictions
+    }
+
+    /// Number of keys with a live predictor (bounded by the pool's slot GC).
+    pub fn predictor_count(&self) -> usize {
+        self.predictors.len()
     }
 
     /// Cumulative cost of controller actions.
@@ -115,15 +120,7 @@ impl AdaptiveController {
         engine: &mut ContainerEngine,
         now: SimTime,
     ) -> Result<bool, EngineError> {
-        let due = match self.last_step {
-            None => true,
-            Some(last) => now.duration_since(last) >= self.config.interval,
-        };
-        if !due {
-            return Ok(false);
-        }
-        self.step(pool, engine, now)?;
-        Ok(true)
+        self.maybe_step_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
     }
 
     /// Runs one control step unconditionally: snapshot demand, update the
@@ -134,41 +131,87 @@ impl AdaptiveController {
         engine: &mut ContainerEngine,
         now: SimTime,
     ) -> Result<(), EngineError> {
+        self.step_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
+    }
+
+    /// Sharded variant of [`Self::maybe_step`].
+    pub fn maybe_step_sharded(
+        &mut self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<bool, EngineError> {
+        let due = match self.last_step {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.config.interval,
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.step_sharded(pool, engine, now)?;
+        Ok(true)
+    }
+
+    /// One control step over the sharded pool, one shard at a time: snapshot
+    /// the shard's demand (which also garbage-collects long-empty slots),
+    /// update predictors, and resize toward the predictions. Only one shard's
+    /// lock is held at any moment, and never together with the engine lock.
+    pub fn step_sharded(
+        &mut self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<(), EngineError> {
         self.last_step = Some(now);
         self.last_predictions.clear();
-        let snapshot = pool.take_demand_snapshot();
-        for (key, demand) in snapshot {
-            let cfg = &self.config;
-            let predictor = self.predictors.entry(key.clone()).or_insert_with(|| {
-                EsMarkov::with_params(cfg.alpha, cfg.init, cfg.regions, cfg.window)
-            });
-            predictor.observe(demand as f64);
-            let predicted = predictor.predict() * (1.0 + self.config.headroom);
-            self.last_predictions.insert(key.clone(), predicted);
+        for shard in 0..pool.num_shards() {
+            let snapshot = pool.take_shard_snapshot(shard);
+            for key in &snapshot.retired {
+                // The pool dropped the slot: drop its predictor with it.
+                self.predictors.remove(key);
+            }
+            for (key, demand) in snapshot.demands {
+                let cfg = &self.config;
+                let predictor = self.predictors.entry(key.clone()).or_insert_with(|| {
+                    EsMarkov::with_params(cfg.alpha, cfg.init, cfg.regions, cfg.window)
+                });
+                predictor.observe(demand as f64);
+                let predicted = predictor.predict() * (1.0 + self.config.headroom);
+                self.last_predictions.insert(key.clone(), predicted);
 
-            // Scale-down floor: never size below what the *last* interval
-            // actually needed — on a growing workload the smoother lags and
-            // would otherwise retire runtimes the next wave is about to use
-            // (the Fig. 14(a) "at least half reuse" property).
-            let target = (predicted.ceil().max(0.0) as usize).max(demand);
-            let current = pool.num_avail(&key) + pool.num_in_use(&key);
-            if target > current {
-                // Prepare runtimes in advance of predicted demand.
-                if let Some(config) = self.configs.get(&key).cloned() {
-                    for _ in 0..(target - current) {
-                        self.background += pool.prewarm(engine, &config, now)?;
-                    }
+                // Scale-down floor: never size below what the *last* interval
+                // actually needed — on a growing workload the smoother lags
+                // and would otherwise retire runtimes the next wave is about
+                // to use (the Fig. 14(a) "at least half reuse" property).
+                let target = (predicted.ceil().max(0.0) as usize).max(demand);
+                let current = pool.num_avail(&key) + pool.num_in_use(&key);
+                // No-resurrect rule: a key with no demand and no containers
+                // is on its way to being GC'd — pre-warming it would keep a
+                // dead key alive forever on the ceil()-ed tail of a decaying
+                // prediction.
+                if current == 0 && demand == 0 {
+                    continue;
                 }
-            } else {
-                // Shed idle runtimes beyond predicted demand — gradually, so
-                // recurring bursts find warm capacity left over.
-                let excess = current - target;
-                let retire =
-                    ((excess as f64 * self.config.max_retire_fraction).ceil() as usize).min(excess);
-                for _ in 0..retire {
-                    match pool.retire_one(engine, &key, now)? {
-                        Some(c) => self.background += c,
-                        None => break, // the rest are in use
+                if target > current {
+                    // Prepare runtimes in advance of predicted demand.
+                    for _ in 0..(target - current) {
+                        match pool.prewarm_key(engine, &key, now)? {
+                            Some(cost) => self.background += cost,
+                            None => break, // slot GC'd since the snapshot
+                        }
+                    }
+                } else {
+                    // Shed idle runtimes beyond predicted demand — gradually,
+                    // so recurring bursts find warm capacity left over.
+                    let excess = current - target;
+                    let retire = ((excess as f64 * self.config.max_retire_fraction).ceil()
+                        as usize)
+                        .min(excess);
+                    for _ in 0..retire {
+                        match pool.retire_one(engine, &key, now)? {
+                            Some(c) => self.background += c,
+                            None => break, // the rest are in use
+                        }
                     }
                 }
             }
@@ -182,7 +225,7 @@ mod tests {
     use super::*;
     use crate::key::KeyPolicy;
     use containersim::engine::ExecWork;
-    use containersim::{HardwareProfile, ImageId};
+    use containersim::{ContainerConfig, HardwareProfile, ImageId};
 
     fn setup() -> (ContainerEngine, ContainerPool, AdaptiveController) {
         (
@@ -223,7 +266,6 @@ mod tests {
     #[test]
     fn steady_demand_sizes_pool_to_match() {
         let (mut e, mut pool, mut ctl) = setup();
-        ctl.note_config(pool.key_of(&cfg()), &cfg());
         for t in 0..12 {
             let now = SimTime::from_secs(t * 30);
             drive_demand(&mut pool, &mut e, 5, now);
@@ -240,7 +282,6 @@ mod tests {
     #[test]
     fn demand_drop_retires_containers() {
         let (mut e, mut pool, mut ctl) = setup();
-        ctl.note_config(pool.key_of(&cfg()), &cfg());
         // High demand for a while…
         for t in 0..8 {
             let now = SimTime::from_secs(t * 30);
@@ -262,7 +303,6 @@ mod tests {
     #[test]
     fn growth_retains_full_capacity() {
         let (mut e, mut pool, mut ctl) = setup();
-        ctl.note_config(pool.key_of(&cfg()), &cfg());
         // Ramp 2, 4, 6, … — the scale-down floor (last observed demand)
         // keeps every container from the latest wave warm even while the
         // lagging smoother under-predicts.
@@ -282,7 +322,6 @@ mod tests {
             headroom: 0.5,
             ..Default::default()
         });
-        ctl.note_config(pool.key_of(&cfg()), &cfg());
         for r in 0..8u64 {
             let now = SimTime::from_secs(r * 30);
             drive_demand(&mut pool, &mut e, 10, now);
@@ -310,11 +349,41 @@ mod tests {
     #[test]
     fn predictions_are_exposed() {
         let (mut e, mut pool, mut ctl) = setup();
-        ctl.note_config(pool.key_of(&cfg()), &cfg());
         drive_demand(&mut pool, &mut e, 3, SimTime::ZERO);
         ctl.step(&mut pool, &mut e, SimTime::ZERO).unwrap();
         let key = pool.key_of(&cfg());
         assert!(ctl.last_predictions().contains_key(&key));
+    }
+
+    /// Regression (unbounded predictor maps): when the pool GCs a dead
+    /// slot, the controller drops its predictor in the same step — before
+    /// the fix, every config ever seen kept a predictor (and a config clone)
+    /// forever.
+    #[test]
+    fn gc_drops_predictors_for_dead_keys() {
+        let (mut e, mut pool, mut ctl) = setup();
+        pool.set_gc_intervals(2);
+        let key = pool.key_of(&cfg());
+        drive_demand(&mut pool, &mut e, 2, SimTime::ZERO);
+        ctl.step(&mut pool, &mut e, SimTime::ZERO).unwrap();
+        assert_eq!(ctl.predictor_count(), 1);
+        // Empty the slot behind the controller's back (eviction under
+        // memory pressure would do the same).
+        while pool
+            .retire_one(&mut e, &key, SimTime::from_secs(1))
+            .unwrap()
+            .is_some()
+        {}
+        assert_eq!(pool.total_live(), 0);
+        // Two zero-demand steps on the empty slot reach the GC threshold;
+        // the no-resurrect rule keeps the controller from pre-warming it.
+        for t in 1..=3u64 {
+            ctl.step(&mut pool, &mut e, SimTime::from_secs(t * 30))
+                .unwrap();
+        }
+        assert_eq!(pool.total_live(), 0, "dead key must not be resurrected");
+        assert!(pool.keys().is_empty());
+        assert_eq!(ctl.predictor_count(), 0, "predictor GC'd with the slot");
     }
 
     #[test]

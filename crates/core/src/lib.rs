@@ -30,8 +30,14 @@
 //!   the [`faas::RuntimeProvider`] trait so the unmodified gateway can run
 //!   with HotC ("does not involve disruptive changes to the existing
 //!   architecture").
-//! * [`concurrent`] — a thread-safe wrapper ([`concurrent::ConcurrentGateway`])
-//!   used by the parallel-request experiments and contention benchmarks.
+//! * [`shard`] — the sharded concurrent pool ([`shard::ShardedPool`]):
+//!   runtime keys are hashed onto N independently locked shards so warm
+//!   paths for different runtime types never contend, and container
+//!   creation happens outside every shard lock.
+//! * [`concurrent`] — thread-safe frontends for the parallel-request
+//!   experiments and contention benchmarks: the global-lock
+//!   [`concurrent::ConcurrentGateway`] baseline and the scalable
+//!   [`concurrent::ShardedGateway`].
 //!
 //! ## Quickstart
 //!
@@ -57,10 +63,12 @@ pub mod key;
 pub mod limits;
 pub mod middleware;
 pub mod pool;
+pub mod shard;
 
-pub use concurrent::ConcurrentGateway;
+pub use concurrent::{ConcurrentGateway, ShardedGateway};
 pub use controller::{AdaptiveController, ControllerConfig};
 pub use key::{KeyPolicy, RuntimeKey};
 pub use limits::PoolLimits;
 pub use middleware::{HotC, HotCConfig};
 pub use pool::ContainerPool;
+pub use shard::{EngineRef, ExclusiveEngine, ShardSnapshot, ShardedPool, DEFAULT_SHARDS};

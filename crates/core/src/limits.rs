@@ -7,6 +7,7 @@
 //! or fewer resources, the oldest live container is forcibly terminated."
 
 use crate::pool::ContainerPool;
+use crate::shard::{EngineRef, ExclusiveEngine, ShardedPool};
 use containersim::{ContainerEngine, EngineError};
 use simclock::{SimDuration, SimTime};
 
@@ -57,8 +58,27 @@ impl PoolLimits {
         engine: &mut ContainerEngine,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
+        self.enforce_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
+    }
+
+    /// Sharded variant of [`Self::violated`]. Reads the pool's live count
+    /// (one shard lock at a time) and the host memory pressure (engine lock)
+    /// sequentially — the two locks are never nested.
+    pub fn violated_sharded(&self, pool: &ShardedPool, engine: &impl EngineRef) -> bool {
+        pool.total_live() > self.max_live
+            || engine.with_engine(|e| e.host().memory_pressure()) > self.mem_threshold
+    }
+
+    /// Sharded variant of [`Self::enforce`]: two-phase oldest-first eviction
+    /// until limits hold or no available container remains.
+    pub fn enforce_sharded(
+        &self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
         let mut cost = SimDuration::ZERO;
-        while self.violated(pool, engine) {
+        while self.violated_sharded(pool, engine) {
             match pool.evict_oldest(engine, now)? {
                 Some(c) => cost += c,
                 None => break,

@@ -16,7 +16,7 @@ use faas::{Acquisition, RuntimeProvider};
 use simclock::{SimDuration, SimTime};
 
 /// Top-level HotC configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HotCConfig {
     /// Runtime-key matching policy.
     pub key_policy: KeyPolicy,
@@ -27,6 +27,20 @@ pub struct HotCConfig {
     /// Disable the predictor entirely (pure reactive reuse) — the ablation
     /// comparing "pool only" against "pool + adaptive control".
     pub disable_prediction: bool,
+    /// Number of pool shards (concurrent frontends; 1 = a single lock).
+    pub shards: usize,
+}
+
+impl Default for HotCConfig {
+    fn default() -> Self {
+        HotCConfig {
+            key_policy: KeyPolicy::default(),
+            limits: PoolLimits::default(),
+            controller: ControllerConfig::default(),
+            disable_prediction: false,
+            shards: crate::shard::DEFAULT_SHARDS,
+        }
+    }
 }
 
 /// The HotC runtime manager.
@@ -42,7 +56,7 @@ impl HotC {
     /// Builds HotC from a configuration.
     pub fn new(config: HotCConfig) -> Self {
         HotC {
-            pool: ContainerPool::new(config.key_policy),
+            pool: ContainerPool::with_shards(config.key_policy, config.shards),
             controller: AdaptiveController::new(config.controller),
             limits: config.limits,
             disable_prediction: config.disable_prediction,
@@ -79,8 +93,6 @@ impl RuntimeProvider for HotC {
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<Acquisition, EngineError> {
-        let key = self.pool.key_of(config);
-        self.controller.note_config(key, config);
         let acq = self.pool.acquire(engine, config, now)?;
         if acq.cold {
             // A cold start may have pushed the pool over its limits.

@@ -10,24 +10,16 @@
 //! container of the requested type or cold-starts one; Algorithm 2
 //! (`release`) cleans the used container (wipe volume + remount) and returns
 //! it to the pool, incrementing `num_avail[key]`.
+//!
+//! [`ContainerPool`] is the single-threaded façade over the sharded pool in
+//! [`crate::shard`]: same bookkeeping, exclusive `&mut` engine access, no
+//! lock contention. Concurrent frontends use [`crate::ShardedPool`] directly.
 
-use crate::key::{needs_reconfig, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
+use crate::key::{KeyPolicy, RuntimeKey};
+use crate::shard::{ExclusiveEngine, ShardedPool};
 use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
 use faas::Acquisition;
 use simclock::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
-
-#[derive(Debug, Default)]
-struct Slot {
-    /// Existing-Available containers, FIFO ("the client just reuses the
-    /// first available container").
-    available: VecDeque<ContainerId>,
-    /// Number of Existing-Not-Available containers of this type.
-    in_use: usize,
-    /// Peak concurrent in-use count since the last demand snapshot — the
-    /// `history[k][t]` series the adaptive controller feeds the predictor.
-    watermark: usize,
-}
 
 /// The HotC container pool.
 ///
@@ -55,98 +47,74 @@ struct Slot {
 /// ```
 #[derive(Debug)]
 pub struct ContainerPool {
-    policy: KeyPolicy,
-    slots: HashMap<RuntimeKey, Slot>,
+    inner: ShardedPool,
 }
 
 impl ContainerPool {
     /// Creates an empty pool with the given key policy.
     pub fn new(policy: KeyPolicy) -> Self {
         ContainerPool {
-            policy,
-            slots: HashMap::new(),
+            inner: ShardedPool::new(policy),
         }
+    }
+
+    /// Creates an empty pool with an explicit shard count.
+    pub fn with_shards(policy: KeyPolicy, shards: usize) -> Self {
+        ContainerPool {
+            inner: ShardedPool::with_shards(policy, shards),
+        }
+    }
+
+    /// The sharded pool backing this façade.
+    pub fn sharded(&self) -> &ShardedPool {
+        &self.inner
+    }
+
+    /// Overrides the empty-slot GC threshold (consecutive zero-demand
+    /// snapshots before an empty slot is dropped).
+    pub fn set_gc_intervals(&mut self, intervals: u32) {
+        self.inner.set_gc_intervals(intervals);
     }
 
     /// The key policy in force.
     pub fn policy(&self) -> KeyPolicy {
-        self.policy
+        self.inner.policy()
     }
 
     /// The runtime key for a configuration under this pool's policy.
     pub fn key_of(&self, config: &ContainerConfig) -> RuntimeKey {
-        RuntimeKey::from_config(config, self.policy)
+        self.inner.key_of(config)
     }
 
     /// Algorithm 1: obtain a runtime for `config`. Reuses the first
     /// available container of the same type if one exists, otherwise starts
     /// a new container. Returns the acquisition (reuse cost is zero, or the
     /// fuzzy reconfiguration cost when configs differ under a fuzzy key).
+    /// A failed cold start records nothing: no phantom slot is left behind.
     pub fn acquire(
         &mut self,
         engine: &mut ContainerEngine,
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<Acquisition, EngineError> {
-        let key = self.key_of(config);
-        let slot = self.slots.entry(key).or_default();
-        if let Some(container) = slot.available.pop_front() {
-            // Existing-Available → Existing-Not-Available; num_avail[key]--.
-            slot.in_use += 1;
-            slot.watermark = slot.watermark.max(slot.in_use);
-            let cost = match engine.config(container) {
-                Some(existing) if needs_reconfig(existing, config) => FUZZY_RECONFIG_COST,
-                _ => SimDuration::ZERO,
-            };
-            return Ok(Acquisition {
-                container,
-                cost,
-                cold: false,
-            });
-        }
-        // Not existing, or existing but not available: start a new one.
-        let (container, breakdown) = engine.create_container(config.clone(), now)?;
-        let slot = self
-            .slots
-            .get_mut(&self.key_of(config))
-            .expect("slot inserted above");
-        slot.in_use += 1;
-        slot.watermark = slot.watermark.max(slot.in_use);
-        Ok(Acquisition {
-            container,
-            cost: breakdown.total(),
-            cold: true,
-        })
+        self.inner
+            .acquire(&ExclusiveEngine::new(engine), config, now)
     }
 
     /// Algorithm 2: clean the used container and add it back to the pool
     /// (`num_avail[key]++`). A crashed (Stopped) container cannot be reused:
-    /// it is disposed of instead, and the type's bookkeeping is adjusted.
-    /// Returns the cleanup/disposal cost (off the request path).
+    /// it is disposed of instead. Releasing a container that was never
+    /// acquired from this pool — or releasing twice — is an
+    /// [`EngineError::InvalidState`]. Returns the cleanup/disposal cost
+    /// (off the request path).
     pub fn release(
         &mut self,
         engine: &mut ContainerEngine,
         container: ContainerId,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
-        let config = engine
-            .config(container)
-            .ok_or(EngineError::UnknownContainer(container))?
-            .clone();
-        let key = self.key_of(&config);
-        let crashed = engine.state(container) == containersim::ContainerState::Stopped;
-        let cost = if crashed {
-            engine.stop_and_remove(container, now)?
-        } else {
-            engine.cleanup(container, now)?
-        };
-        let slot = self.slots.entry(key).or_default();
-        debug_assert!(slot.in_use > 0, "release without matching acquire");
-        slot.in_use = slot.in_use.saturating_sub(1);
-        if !crashed {
-            slot.available.push_back(container);
-        }
-        Ok(cost)
+        self.inner
+            .release(&ExclusiveEngine::new(engine), container, now)
     }
 
     /// Pre-warms one container of the given configuration (adaptive
@@ -158,14 +126,20 @@ impl ContainerPool {
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
-        let (container, breakdown) = engine.create_container(config.clone(), now)?;
-        let key = self.key_of(config);
-        self.slots
-            .entry(key)
-            .or_default()
-            .available
-            .push_back(container);
-        Ok(breakdown.total())
+        self.inner
+            .prewarm(&ExclusiveEngine::new(engine), config, now)
+    }
+
+    /// Pre-warms one container for an already-tracked key using the slot's
+    /// stored configuration; `Ok(None)` if the key is unknown.
+    pub fn prewarm_key(
+        &mut self,
+        engine: &mut ContainerEngine,
+        key: &RuntimeKey,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        self.inner
+            .prewarm_key(&ExclusiveEngine::new(engine), key, now)
     }
 
     /// Retires one available container of the given type (adaptive
@@ -177,14 +151,8 @@ impl ContainerPool {
         key: &RuntimeKey,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
-        let Some(slot) = self.slots.get_mut(key) else {
-            return Ok(None);
-        };
-        let Some(container) = slot.available.pop_front() else {
-            return Ok(None);
-        };
-        let cost = engine.stop_and_remove(container, now)?;
-        Ok(Some(cost))
+        self.inner
+            .retire_one(&ExclusiveEngine::new(engine), key, now)
     }
 
     /// Forcibly terminates the *oldest* available live container across all
@@ -196,100 +164,57 @@ impl ContainerPool {
         engine: &mut ContainerEngine,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
-        let mut oldest: Option<(SimTime, RuntimeKey, ContainerId)> = None;
-        for (key, slot) in &self.slots {
-            for &id in &slot.available {
-                let created = engine
-                    .created_at(id)
-                    .expect("pooled container must be live");
-                if oldest
-                    .as_ref()
-                    .map(|(t, _, _)| created < *t)
-                    .unwrap_or(true)
-                {
-                    oldest = Some((created, key.clone(), id));
-                }
-            }
-        }
-        let Some((_, key, id)) = oldest else {
-            return Ok(None);
-        };
-        let slot = self.slots.get_mut(&key).expect("key seen above");
-        slot.available.retain(|&c| c != id);
-        let cost = engine.stop_and_remove(id, now)?;
-        Ok(Some(cost))
+        self.inner.evict_oldest(&ExclusiveEngine::new(engine), now)
     }
 
     /// `num_avail[key]`: available containers of the given type.
     pub fn num_avail(&self, key: &RuntimeKey) -> usize {
-        self.slots.get(key).map_or(0, |s| s.available.len())
+        self.inner.num_avail(key)
     }
 
     /// In-use containers of the given type.
     pub fn num_in_use(&self, key: &RuntimeKey) -> usize {
-        self.slots.get(key).map_or(0, |s| s.in_use)
+        self.inner.num_in_use(key)
     }
 
     /// Total live containers tracked by the pool (available + in use).
     pub fn total_live(&self) -> usize {
-        self.slots
-            .values()
-            .map(|s| s.available.len() + s.in_use)
-            .sum()
+        self.inner.total_live()
     }
 
     /// Total available containers across all types.
     pub fn total_available(&self) -> usize {
-        self.slots.values().map(|s| s.available.len()).sum()
+        self.inner.total_available()
     }
 
     /// The Fig. 7 pool-view code for a container: 1 Existing-Available, 0
     /// Existing-Not-Available, -1 Not-Existing.
     pub fn pool_code(&self, engine: &ContainerEngine, container: ContainerId) -> i8 {
-        if self
-            .slots
-            .values()
-            .any(|s| s.available.contains(&container))
-        {
-            1
-        } else if engine.config(container).is_some() {
-            0
-        } else {
-            -1
-        }
+        self.inner.pool_code(engine, container)
     }
 
     /// Takes the per-key demand snapshot (`history[k][t]`) and resets the
-    /// watermarks for the next control interval. Keys the pool has seen are
-    /// always reported, including zero-demand intervals.
+    /// watermarks for the next control interval. Keys with live containers
+    /// are always reported, including zero-demand intervals; slots that have
+    /// been empty for the GC threshold's worth of consecutive zero-demand
+    /// snapshots are dropped.
     pub fn take_demand_snapshot(&mut self) -> Vec<(RuntimeKey, usize)> {
-        let mut out: Vec<(RuntimeKey, usize)> = self
-            .slots
-            .iter_mut()
-            .map(|(k, s)| {
-                let demand = s.watermark.max(s.in_use);
-                s.watermark = s.in_use;
-                (k.clone(), demand)
-            })
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+        self.inner.take_demand_snapshot()
     }
 
     /// The keys the pool currently tracks, sorted.
     pub fn keys(&self) -> Vec<RuntimeKey> {
-        let mut keys: Vec<_> = self.slots.keys().cloned().collect();
-        keys.sort();
-        keys
+        self.inner.keys()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::key::FUZZY_RECONFIG_COST;
     use containersim::container::ExecOptions;
     use containersim::engine::ExecWork;
-    use containersim::{ContainerState, HardwareProfile, ImageId};
+    use containersim::{ContainerState, HardwareProfile, ImageId, ImageRegistry};
 
     fn engine() -> ContainerEngine {
         ContainerEngine::with_local_images(HardwareProfile::server())
@@ -524,6 +449,173 @@ mod tests {
         assert_eq!(snap2[0].1, 0);
     }
 
+    /// Regression (phantom slots): a failed cold start must not record a
+    /// slot — before the fix, `acquire` inserted the slot before calling
+    /// `create_container`, so an unknown image left an empty slot that
+    /// `take_demand_snapshot` reported forever.
+    #[test]
+    fn failed_cold_start_leaves_no_phantom_slot() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let err = pool
+            .acquire(&mut e, &cfg("no-such-image:1.0"), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownImage(_)));
+        assert!(
+            pool.keys().is_empty(),
+            "failed create must not leave a slot"
+        );
+        assert!(pool.take_demand_snapshot().is_empty());
+    }
+
+    /// Same, for an image the registry knows but whose pull fails validation
+    /// — any create error path must leave the pool untouched.
+    #[test]
+    fn failed_cold_start_never_pollutes_existing_slot_set() {
+        let registry = ImageRegistry::with_default_catalogue();
+        let mut e = ContainerEngine::new(registry, HardwareProfile::server());
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        run_request(&mut pool, &mut e, &cfg("alpine:3.12"), SimTime::ZERO);
+        let before = pool.keys();
+        let _ = pool
+            .acquire(&mut e, &cfg("ghost:0.0"), SimTime::from_secs(1))
+            .unwrap_err();
+        assert_eq!(pool.keys(), before);
+    }
+
+    /// Regression (release without acquire): before the fix a release of a
+    /// container the pool never handed out `saturating_sub`'d `in_use` and
+    /// pushed the id into `available` — the same container could then serve
+    /// two requests at once. Now it's an error and the pool is unchanged.
+    #[test]
+    fn release_of_unacquired_container_is_rejected() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        // A container created behind the pool's back.
+        let (stray, _) = e
+            .create_container(cfg("alpine:3.12"), SimTime::ZERO)
+            .unwrap();
+        let err = pool
+            .release(&mut e, stray, SimTime::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidState { id, .. } if id == stray));
+        let key = pool.key_of(&cfg("alpine:3.12"));
+        assert_eq!(pool.num_avail(&key), 0, "stray id must not be pooled");
+        assert_eq!(pool.num_in_use(&key), 0);
+        assert_eq!(e.state(stray), ContainerState::Idle, "engine untouched");
+    }
+
+    /// Regression (double release): the second release of the same
+    /// container must fail instead of double-pooling the id.
+    #[test]
+    fn double_release_is_rejected() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        let acq = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        let out = e
+            .begin_exec(
+                acq.container,
+                ExecWork::light(SimDuration::from_millis(1)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        e.end_exec(acq.container, SimTime::ZERO + out.latency)
+            .unwrap();
+        pool.release(&mut e, acq.container, SimTime::from_secs(1))
+            .unwrap();
+        let err = pool
+            .release(&mut e, acq.container, SimTime::from_secs(2))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidState { .. }));
+        let key = pool.key_of(&c);
+        assert_eq!(pool.num_avail(&key), 1, "exactly one pooled copy");
+        // The pooled copy still round-trips.
+        let again = pool.acquire(&mut e, &c, SimTime::from_secs(3)).unwrap();
+        assert!(!again.cold);
+        assert_eq!(again.container, acq.container);
+    }
+
+    /// A failed cleanup (release while still Running) must leave the
+    /// container claimable, not stranded outside the bookkeeping.
+    #[test]
+    fn failed_cleanup_keeps_container_in_use() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        let c = cfg("alpine:3.12");
+        let acq = pool.acquire(&mut e, &c, SimTime::ZERO).unwrap();
+        e.begin_exec(
+            acq.container,
+            ExecWork::light(SimDuration::from_millis(5)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Still Running: the engine rejects the cleanup.
+        let err = pool
+            .release(&mut e, acq.container, SimTime::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidState { .. }));
+        let key = pool.key_of(&c);
+        assert_eq!(pool.num_in_use(&key), 1, "claim handed back on failure");
+        // Finish properly and the release succeeds.
+        e.end_exec(acq.container, SimTime::from_secs(2)).unwrap();
+        pool.release(&mut e, acq.container, SimTime::from_secs(3))
+            .unwrap();
+        assert_eq!(pool.num_avail(&key), 1);
+    }
+
+    /// Regression (unbounded slot maps): a slot whose containers have all
+    /// been retired is garbage-collected after the configured number of
+    /// consecutive zero-demand snapshots, so `keys()` and the controller's
+    /// predictor maps stop growing across distinct configs.
+    #[test]
+    fn empty_slots_are_garbage_collected() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        pool.set_gc_intervals(2);
+        let c = cfg("alpine:3.12");
+        let key = pool.key_of(&c);
+        run_request(&mut pool, &mut e, &c, SimTime::ZERO);
+        pool.retire_one(&mut e, &key, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(pool.total_live(), 0);
+
+        // First zero-demand snapshot still reports the key (it served
+        // traffic this interval)…
+        let snap = pool.take_demand_snapshot();
+        assert_eq!(snap.len(), 1);
+        // …the next two empty intervals reach the threshold and GC it.
+        assert_eq!(pool.take_demand_snapshot().len(), 1);
+        assert!(pool.take_demand_snapshot().is_empty());
+        assert!(pool.keys().is_empty());
+
+        // A slot with an idle container is never GC'd.
+        pool.prewarm(&mut e, &c, SimTime::from_secs(100)).unwrap();
+        for _ in 0..5 {
+            assert_eq!(pool.take_demand_snapshot().len(), 1);
+        }
+    }
+
+    /// GC'd keys come back transparently: the next request for the config
+    /// cold-starts and re-creates the slot.
+    #[test]
+    fn gc_then_reacquire_recreates_slot() {
+        let mut e = engine();
+        let mut pool = ContainerPool::new(KeyPolicy::Exact);
+        pool.set_gc_intervals(1);
+        let c = cfg("golang:1.13");
+        run_request(&mut pool, &mut e, &c, SimTime::ZERO);
+        let key = pool.key_of(&c);
+        pool.retire_one(&mut e, &key, SimTime::from_secs(1))
+            .unwrap();
+        pool.take_demand_snapshot(); // served-traffic interval
+        pool.take_demand_snapshot(); // zero interval ⇒ GC
+        assert!(pool.keys().is_empty());
+        let acq = pool.acquire(&mut e, &c, SimTime::from_secs(2)).unwrap();
+        assert!(acq.cold);
+        assert_eq!(pool.keys(), vec![key]);
+    }
+
     /// Pool invariant: total_live equals the engine's live count under
     /// any interleaving of acquire/release/prewarm/retire/evict, and all
     /// available containers are Idle in the engine.
@@ -568,10 +660,6 @@ mod tests {
                     }
                 }
                 assert_eq!(pool.total_live(), e.live_count());
-                // Every available container is idle and clean in the engine.
-                for key in pool.keys() {
-                    for _ in 0..pool.num_avail(&key) {} // lengths checked below
-                }
                 assert_eq!(pool.total_available() + busy.len(), e.live_count());
             }
         });

@@ -1,0 +1,764 @@
+//! The sharded concurrent runtime pool (§IV-B at production scale).
+//!
+//! The paper's key-value pool shards naturally along [`RuntimeKey`]: a key's
+//! slot never interacts with another key's slot except during global
+//! eviction. [`ShardedPool`] hashes each key onto one of N shards, each shard
+//! guarding its slots with its own [`stdshim::sync::Mutex`], so warm
+//! acquisitions for different runtime types proceed in parallel instead of
+//! serializing on one pool-wide lock.
+//!
+//! Lock discipline (see DESIGN.md §"Sharded pool"):
+//!
+//! * a thread holds **at most one shard lock** at a time, and **never** a
+//!   shard lock and the engine lock together — engine calls (container
+//!   creation, cleanup, teardown) always happen after the shard lock is
+//!   released, so cold starts on different keys overlap;
+//! * global eviction is a **two-phase scan**: collect candidates shard by
+//!   shard, pick the oldest via the engine, then re-lock the owning shard and
+//!   claim the victim (retrying if a racing acquire took it first) — no
+//!   operation ever takes all shard locks at once.
+//!
+//! The pool's bookkeeping invariants (enforced by the property tests):
+//!
+//! * `total_live() == engine.live_count()` at quiescence;
+//! * a container is in `available` or `in_use` of exactly one slot, never
+//!   both, never two requests' hands at once;
+//! * a slot exists only while a container of its type exists or existed
+//!   within the last [`ShardedPool::gc_intervals`] demand snapshots — failed
+//!   creates never materialize slots, and long-dead slots are garbage
+//!   collected together with their controller state.
+
+use crate::key::{needs_reconfig, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use faas::Acquisition;
+use simclock::{SimDuration, SimTime};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use stdshim::sync::Mutex;
+
+/// Default shard count — enough to spread a handful of worker threads'
+/// runtime types without measurable cost for single-threaded use.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default number of consecutive zero-demand snapshots after which an empty
+/// slot is garbage collected.
+pub const DEFAULT_GC_INTERVALS: u32 = 3;
+
+/// Scoped access to the container engine. The pool never holds a shard lock
+/// across an engine call, so the engine guard's scope is chosen per call:
+/// concurrent frontends implement this over a `Mutex<ContainerEngine>`,
+/// single-threaded callers wrap their exclusive `&mut` in [`ExclusiveEngine`].
+pub trait EngineRef {
+    /// Runs `f` with exclusive access to the engine.
+    fn with_engine<R>(&self, f: impl FnOnce(&mut ContainerEngine) -> R) -> R;
+}
+
+impl EngineRef for Mutex<ContainerEngine> {
+    fn with_engine<R>(&self, f: impl FnOnce(&mut ContainerEngine) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+/// [`EngineRef`] over an exclusive borrow, for single-threaded callers
+/// (`ContainerPool`, the HotC provider) that already own `&mut` access.
+pub struct ExclusiveEngine<'a> {
+    inner: std::cell::RefCell<&'a mut ContainerEngine>,
+}
+
+impl<'a> ExclusiveEngine<'a> {
+    /// Wraps an exclusive engine borrow.
+    pub fn new(engine: &'a mut ContainerEngine) -> Self {
+        ExclusiveEngine {
+            inner: std::cell::RefCell::new(engine),
+        }
+    }
+}
+
+impl EngineRef for ExclusiveEngine<'_> {
+    fn with_engine<R>(&self, f: impl FnOnce(&mut ContainerEngine) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+}
+
+/// One runtime type's containers (Fig. 7 value list), plus the bookkeeping
+/// the adaptive controller feeds on.
+#[derive(Debug)]
+struct Slot {
+    /// Existing-Available containers, FIFO ("the client just reuses the
+    /// first available container"). The flag records whether the container
+    /// has ever executed (false for pre-warmed, true once released after a
+    /// request) so acquires can report `first_exec` without an engine call.
+    available: VecDeque<(ContainerId, bool)>,
+    /// Existing-Not-Available containers, by id — membership is what makes
+    /// a `release` legal, so a double release (or a release of a container
+    /// the pool never handed out) is detected instead of double-pooling.
+    in_use: Vec<ContainerId>,
+    /// Peak concurrent in-use count since the last demand snapshot — the
+    /// `history[k][t]` series the adaptive controller feeds the predictor.
+    watermark: usize,
+    /// Consecutive zero-demand snapshots while the slot held no container;
+    /// reaching the pool's GC threshold retires the slot.
+    zero_streak: u32,
+    /// A representative configuration for this key, kept so the controller
+    /// can pre-warm by key alone.
+    config: ContainerConfig,
+}
+
+impl Slot {
+    fn new(config: ContainerConfig) -> Self {
+        Slot {
+            available: VecDeque::new(),
+            in_use: Vec::new(),
+            watermark: 0,
+            zero_streak: 0,
+            config,
+        }
+    }
+
+    fn note_in_use(&mut self, container: ContainerId) {
+        self.in_use.push(container);
+        self.watermark = self.watermark.max(self.in_use.len());
+        self.zero_streak = 0;
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardState {
+    slots: HashMap<RuntimeKey, Slot>,
+}
+
+/// One shard's demand snapshot: per-key demand for the controller, plus the
+/// keys whose empty slots were garbage collected in this snapshot (the
+/// controller drops their predictors).
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// `history[k][t]` entries for the interval, sorted by key.
+    pub demands: Vec<(RuntimeKey, usize)>,
+    /// Keys GC'd by this snapshot, sorted.
+    pub retired: Vec<RuntimeKey>,
+}
+
+/// An acquisition with the pool-side detail the sharded gateway needs to
+/// keep the warm path off the engine lock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolAcquisition {
+    /// The container to run in.
+    pub container: ContainerId,
+    /// Virtual time spent obtaining it.
+    pub cost: SimDuration,
+    /// Whether a new container had to be created.
+    pub cold: bool,
+    /// Whether this container has never executed before (fresh or
+    /// pre-warmed) — exactly `engine.exec_count(container) == Some(0)`, but
+    /// known from pool bookkeeping alone.
+    pub first_exec: bool,
+}
+
+impl From<PoolAcquisition> for Acquisition {
+    fn from(a: PoolAcquisition) -> Acquisition {
+        Acquisition {
+            container: a.container,
+            cost: a.cost,
+            cold: a.cold,
+        }
+    }
+}
+
+/// The sharded HotC container pool (Algorithms 1–2 per shard).
+///
+/// All methods take `&self`; the per-shard mutexes serialize only the
+/// bookkeeping of keys that hash to the same shard. Engine work happens
+/// outside any shard lock via [`EngineRef`].
+#[derive(Debug)]
+pub struct ShardedPool {
+    policy: KeyPolicy,
+    shards: Box<[Mutex<ShardState>]>,
+    gc_intervals: u32,
+}
+
+impl ShardedPool {
+    /// Creates a pool with [`DEFAULT_SHARDS`] shards.
+    pub fn new(policy: KeyPolicy) -> Self {
+        Self::with_shards(policy, DEFAULT_SHARDS)
+    }
+
+    /// Creates a pool with an explicit shard count (at least 1).
+    pub fn with_shards(policy: KeyPolicy, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedPool {
+            policy,
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            gc_intervals: DEFAULT_GC_INTERVALS,
+        }
+    }
+
+    /// The key policy in force.
+    pub fn policy(&self) -> KeyPolicy {
+        self.policy
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Consecutive zero-demand snapshots before an empty slot is GC'd.
+    pub fn gc_intervals(&self) -> u32 {
+        self.gc_intervals
+    }
+
+    /// Overrides the empty-slot GC threshold (setup only).
+    pub fn set_gc_intervals(&mut self, intervals: u32) {
+        self.gc_intervals = intervals.max(1);
+    }
+
+    /// The runtime key for a configuration under this pool's policy.
+    pub fn key_of(&self, config: &ContainerConfig) -> RuntimeKey {
+        RuntimeKey::from_config(config, self.policy)
+    }
+
+    /// The shard a key lives on.
+    pub fn shard_of(&self, key: &RuntimeKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &RuntimeKey) -> &Mutex<ShardState> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Algorithm 1: obtain a runtime for `config`. Reuses the first
+    /// available container of the same type if one exists, otherwise starts
+    /// a new container — with the creation outside the shard lock, so cold
+    /// starts of different types overlap.
+    pub fn acquire(
+        &self,
+        engine: &impl EngineRef,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<Acquisition, EngineError> {
+        self.acquire_detailed(engine, config, now).map(Into::into)
+    }
+
+    /// [`Self::acquire`] with the extra pool-side detail ([`PoolAcquisition`])
+    /// the concurrent frontend uses to avoid engine round trips.
+    pub fn acquire_detailed(
+        &self,
+        engine: &impl EngineRef,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<PoolAcquisition, EngineError> {
+        let key = self.key_of(config);
+        self.acquire_with_key(engine, &key, config, now)
+    }
+
+    /// [`Self::acquire_detailed`] with a pre-derived key: callers that serve
+    /// the same function repeatedly (the sharded gateway) derive the runtime
+    /// key once at registration instead of re-formatting the configuration
+    /// on every request. `key` must be `self.key_of(config)`.
+    pub fn acquire_with_key(
+        &self,
+        engine: &impl EngineRef,
+        key: &RuntimeKey,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<PoolAcquisition, EngineError> {
+        debug_assert_eq!(*key, self.key_of(config));
+        let shard = self.shard(key);
+        let reused = {
+            let mut state = shard.lock();
+            state.slots.get_mut(key).and_then(|slot| {
+                let (container, execed) = slot.available.pop_front()?;
+                slot.note_in_use(container);
+                Some((container, execed))
+            })
+        };
+        if let Some((container, execed)) = reused {
+            // An exact key pins every config field, so only fuzzy keys can
+            // hand back a container that needs reconfiguration.
+            let cost = if self.policy == KeyPolicy::Fuzzy {
+                engine.with_engine(|e| match e.config(container) {
+                    Some(existing) if needs_reconfig(existing, config) => FUZZY_RECONFIG_COST,
+                    _ => SimDuration::ZERO,
+                })
+            } else {
+                SimDuration::ZERO
+            };
+            return Ok(PoolAcquisition {
+                container,
+                cost,
+                cold: false,
+                first_exec: !execed,
+            });
+        }
+        // Not existing, or existing but not available: start a new one. The
+        // slot is recorded only once the container exists, so a failed
+        // create leaves no phantom slot behind for the controller to track.
+        let (container, breakdown) =
+            engine.with_engine(|e| e.create_container(config.clone(), now))?;
+        let mut state = shard.lock();
+        state
+            .slots
+            .entry(key.clone())
+            .or_insert_with(|| Slot::new(config.clone()))
+            .note_in_use(container);
+        Ok(PoolAcquisition {
+            container,
+            cost: breakdown.total(),
+            cold: true,
+            first_exec: true,
+        })
+    }
+
+    /// Algorithm 2: clean the used container and add it back to the pool.
+    /// A crashed (Stopped) container cannot be reused: it is disposed of
+    /// instead. Releasing a container that was never acquired from this pool
+    /// — or releasing the same container twice — is an
+    /// [`EngineError::InvalidState`]: the duplicate must not be pooled, or
+    /// one container could serve two requests at once.
+    pub fn release(
+        &self,
+        engine: &impl EngineRef,
+        container: ContainerId,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
+        let (key, state_now, crashed) = engine.with_engine(|e| {
+            let config = e
+                .config(container)
+                .cloned()
+                .ok_or(EngineError::UnknownContainer(container))?;
+            let state = e.state(container);
+            Ok::<_, EngineError>((
+                self.key_of(&config),
+                state,
+                state == containersim::ContainerState::Stopped,
+            ))
+        })?;
+        let shard = self.shard(&key);
+        {
+            let mut shard_state = shard.lock();
+            let claimed = shard_state.slots.get_mut(&key).and_then(|slot| {
+                let at = slot.in_use.iter().position(|&c| c == container)?;
+                Some(slot.in_use.swap_remove(at))
+            });
+            if claimed.is_none() {
+                return Err(EngineError::InvalidState {
+                    id: container,
+                    state: state_now,
+                    needed: "a container acquired from this pool",
+                });
+            }
+        }
+        let cost = match engine.with_engine(|e| {
+            if crashed {
+                e.stop_and_remove(container, now)
+            } else {
+                e.cleanup(container, now)
+            }
+        }) {
+            Ok(cost) => cost,
+            Err(err) => {
+                // The engine rejected the cleanup (e.g. released while still
+                // Running): hand the claim back so bookkeeping stays honest.
+                if let Some(slot) = shard.lock().slots.get_mut(&key) {
+                    slot.in_use.push(container);
+                }
+                return Err(err);
+            }
+        };
+        if !crashed {
+            if let Some(slot) = shard.lock().slots.get_mut(&key) {
+                slot.available.push_back((container, true));
+            }
+        }
+        Ok(cost)
+    }
+
+    /// The concurrent frontend's combined end-of-request path: claims the
+    /// container from `key`'s in-use list, then ends the execution and
+    /// cleans (or, if `crashed`, disposes of) the container in a **single**
+    /// engine critical section. Returns `Ok(None)` without touching the
+    /// engine when the container is not in-use under `key` — e.g. the
+    /// function was re-registered with a different configuration mid-flight —
+    /// so the caller can fall back to the engine-derived [`Self::release`].
+    pub fn try_finish_release(
+        &self,
+        engine: &impl EngineRef,
+        key: &RuntimeKey,
+        container: ContainerId,
+        now: SimTime,
+        crashed: bool,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let shard = self.shard(key);
+        let claimed = {
+            let mut state = shard.lock();
+            state.slots.get_mut(key).and_then(|slot| {
+                let at = slot.in_use.iter().position(|&c| c == container)?;
+                Some(slot.in_use.swap_remove(at))
+            })
+        };
+        if claimed.is_none() {
+            return Ok(None);
+        }
+        let cost = match engine.with_engine(|e| {
+            e.end_exec(container, now)?;
+            if crashed {
+                e.stop_and_remove(container, now)
+            } else {
+                e.cleanup(container, now)
+            }
+        }) {
+            Ok(cost) => cost,
+            Err(err) => {
+                // The engine rejected the hand-back; restore the claim so
+                // bookkeeping stays honest.
+                if let Some(slot) = shard.lock().slots.get_mut(key) {
+                    slot.in_use.push(container);
+                }
+                return Err(err);
+            }
+        };
+        if !crashed {
+            if let Some(slot) = shard.lock().slots.get_mut(key) {
+                slot.available.push_back((container, true));
+            }
+        }
+        Ok(Some(cost))
+    }
+
+    /// Pre-warms one container of the given configuration (adaptive
+    /// controller's scale-up action). The container boots straight into the
+    /// Existing-Available state. Returns the cold-start cost (background).
+    pub fn prewarm(
+        &self,
+        engine: &impl EngineRef,
+        config: &ContainerConfig,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
+        let (container, breakdown) =
+            engine.with_engine(|e| e.create_container(config.clone(), now))?;
+        let key = self.key_of(config);
+        let mut state = self.shard(&key).lock();
+        state
+            .slots
+            .entry(key)
+            .or_insert_with(|| Slot::new(config.clone()))
+            .available
+            .push_back((container, false));
+        Ok(breakdown.total())
+    }
+
+    /// Pre-warms one container for a key the pool already tracks, using the
+    /// slot's representative configuration. Returns `Ok(None)` if the key is
+    /// unknown (e.g. its slot was GC'd since the snapshot).
+    pub fn prewarm_key(
+        &self,
+        engine: &impl EngineRef,
+        key: &RuntimeKey,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let config = self
+            .shard(key)
+            .lock()
+            .slots
+            .get(key)
+            .map(|s| s.config.clone());
+        match config {
+            Some(config) => self.prewarm(engine, &config, now).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Retires one available container of the given type (adaptive
+    /// controller's scale-down action). Returns the teardown cost, or `None`
+    /// if none was available.
+    pub fn retire_one(
+        &self,
+        engine: &impl EngineRef,
+        key: &RuntimeKey,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let popped = {
+            let mut state = self.shard(key).lock();
+            state
+                .slots
+                .get_mut(key)
+                .and_then(|slot| slot.available.pop_front())
+        };
+        match popped {
+            Some((container, _)) => engine
+                .with_engine(|e| e.stop_and_remove(container, now))
+                .map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Forcibly terminates the *oldest* available live container across all
+    /// types (§IV-B's response to too many containers / memory pressure).
+    ///
+    /// Two-phase: (1) scan shard by shard (one lock at a time) collecting
+    /// available candidates, pick the globally oldest via the engine;
+    /// (2) re-lock the owning shard and claim the victim — if a racing
+    /// acquire took it in between, rescan. Returns the teardown cost, or
+    /// `None` if the pool holds no available container.
+    pub fn evict_oldest(
+        &self,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        // Bounded retries: each retry means a racing acquire claimed our
+        // candidate, which is progress for the system as a whole.
+        for _ in 0..8 {
+            let mut candidates: Vec<(RuntimeKey, ContainerId)> = Vec::new();
+            for shard in self.shards.iter() {
+                let state = shard.lock();
+                for (key, slot) in &state.slots {
+                    for &(id, _) in &slot.available {
+                        candidates.push((key.clone(), id));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return Ok(None);
+            }
+            // Oldest first, ids as a deterministic tie-break. A candidate
+            // retired by a racing thread simply drops out (no created_at).
+            let oldest = engine.with_engine(|e| {
+                candidates
+                    .into_iter()
+                    .filter_map(|(key, id)| e.created_at(id).map(|t| (t, id, key)))
+                    .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+            });
+            let Some((_, id, key)) = oldest else {
+                continue;
+            };
+            let claimed = {
+                let mut state = self.shard(&key).lock();
+                state.slots.get_mut(&key).is_some_and(|slot| {
+                    let before = slot.available.len();
+                    slot.available.retain(|&(c, _)| c != id);
+                    slot.available.len() != before
+                })
+            };
+            if claimed {
+                return engine.with_engine(|e| e.stop_and_remove(id, now)).map(Some);
+            }
+        }
+        Ok(None)
+    }
+
+    /// `num_avail[key]`: available containers of the given type.
+    pub fn num_avail(&self, key: &RuntimeKey) -> usize {
+        self.shard(key)
+            .lock()
+            .slots
+            .get(key)
+            .map_or(0, |s| s.available.len())
+    }
+
+    /// In-use containers of the given type.
+    pub fn num_in_use(&self, key: &RuntimeKey) -> usize {
+        self.shard(key)
+            .lock()
+            .slots
+            .get(key)
+            .map_or(0, |s| s.in_use.len())
+    }
+
+    /// Total live containers tracked by the pool (available + in use).
+    pub fn total_live(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.lock();
+                state
+                    .slots
+                    .values()
+                    .map(|s| s.available.len() + s.in_use.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total available containers across all types.
+    pub fn total_available(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.lock();
+                state
+                    .slots
+                    .values()
+                    .map(|s| s.available.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The Fig. 7 pool-view code for a container: 1 Existing-Available, 0
+    /// Existing-Not-Available, -1 Not-Existing.
+    pub fn pool_code(&self, engine: &ContainerEngine, container: ContainerId) -> i8 {
+        let pooled = self.shards.iter().any(|shard| {
+            shard
+                .lock()
+                .slots
+                .values()
+                .any(|s| s.available.iter().any(|&(c, _)| c == container))
+        });
+        if pooled {
+            1
+        } else if engine.config(container).is_some() {
+            0
+        } else {
+            -1
+        }
+    }
+
+    /// Takes one shard's demand snapshot (`history[k][t]`), resets its
+    /// watermarks for the next control interval, and garbage-collects slots
+    /// that have been empty for [`Self::gc_intervals`] consecutive
+    /// zero-demand snapshots. Keys with live containers are always reported,
+    /// including zero-demand intervals.
+    pub fn take_shard_snapshot(&self, shard: usize) -> ShardSnapshot {
+        let mut demands = Vec::new();
+        let mut retired = Vec::new();
+        let gc_after = self.gc_intervals;
+        {
+            let mut state = self.shards[shard].lock();
+            state.slots.retain(|key, slot| {
+                let in_use = slot.in_use.len();
+                let demand = slot.watermark.max(in_use);
+                slot.watermark = in_use;
+                if demand == 0 && in_use == 0 && slot.available.is_empty() {
+                    slot.zero_streak += 1;
+                    if slot.zero_streak >= gc_after {
+                        retired.push(key.clone());
+                        return false;
+                    }
+                } else {
+                    slot.zero_streak = 0;
+                }
+                demands.push((key.clone(), demand));
+                true
+            });
+        }
+        demands.sort_by(|a, b| a.0.cmp(&b.0));
+        retired.sort();
+        ShardSnapshot { demands, retired }
+    }
+
+    /// Takes the demand snapshot across every shard (GC included), merged
+    /// and sorted — the single-threaded controller path.
+    pub fn take_demand_snapshot(&self) -> Vec<(RuntimeKey, usize)> {
+        let mut out = Vec::new();
+        for shard in 0..self.num_shards() {
+            out.extend(self.take_shard_snapshot(shard).demands);
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The keys the pool currently tracks, sorted.
+    pub fn keys(&self) -> Vec<RuntimeKey> {
+        let mut keys: Vec<RuntimeKey> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().slots.keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::engine::ExecWork;
+    use containersim::{HardwareProfile, ImageId};
+
+    fn engine() -> Mutex<ContainerEngine> {
+        Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()))
+    }
+
+    fn cfg(image: &str) -> ContainerConfig {
+        ContainerConfig::bridge(ImageId::parse(image))
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 4);
+        for image in ["alpine:3.12", "python:3.8-alpine", "golang:1.13"] {
+            let key = pool.key_of(&cfg(image));
+            let s = pool.shard_of(&key);
+            assert!(s < 4);
+            assert_eq!(s, pool.shard_of(&key), "hash must be stable");
+        }
+    }
+
+    #[test]
+    fn acquire_release_round_trip_through_shards() {
+        let e = engine();
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 4);
+        let c = cfg("alpine:3.12");
+        let a = pool.acquire(&e, &c, SimTime::ZERO).unwrap();
+        assert!(a.cold);
+        e.with_engine(|e| {
+            let out = e
+                .begin_exec(
+                    a.container,
+                    ExecWork::light(SimDuration::from_millis(1)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            e.end_exec(a.container, SimTime::ZERO + out.latency)
+                .unwrap();
+        });
+        pool.release(&e, a.container, SimTime::from_secs(1))
+            .unwrap();
+        let b = pool.acquire(&e, &c, SimTime::from_secs(2)).unwrap();
+        assert!(!b.cold);
+        assert_eq!(b.container, a.container);
+    }
+
+    #[test]
+    fn parallel_warm_acquires_on_distinct_keys_do_not_serialize_on_one_lock() {
+        // Smoke-level check that distinct keys land on distinct shards often
+        // enough that 8 keys use >1 shard.
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 8);
+        let shards: std::collections::HashSet<usize> = (0..8)
+            .map(|i| {
+                let mut c = cfg("alpine:3.12");
+                c.exec.env.insert("K".into(), i.to_string());
+                pool.shard_of(&pool.key_of(&c))
+            })
+            .collect();
+        assert!(shards.len() > 1, "8 keys should spread across shards");
+    }
+
+    #[test]
+    fn evict_oldest_scans_across_shards() {
+        let e = engine();
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 4);
+        // Three types, staggered creation: the oldest must go first even
+        // though the types live on different shards.
+        let configs = [
+            cfg("alpine:3.12"),
+            cfg("python:3.8-alpine"),
+            cfg("golang:1.13"),
+        ];
+        for (i, c) in configs.iter().enumerate() {
+            pool.prewarm(&e, c, SimTime::from_secs(i as u64)).unwrap();
+        }
+        let oldest = e.with_engine(|e| e.live_ids_oldest_first()[0]);
+        pool.evict_oldest(&e, SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            e.with_engine(|e| e.state(oldest)),
+            containersim::ContainerState::Removed
+        );
+        assert_eq!(pool.total_available(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Multi-threaded property tests for the sharded pool.
+//!
+//! Random interleavings of acquire / release / prewarm / retire / evict from
+//! several real threads, checking the two invariants that the sharded
+//! rewrite must preserve under contention:
+//!
+//! 1. **Exclusive ownership** — no container is ever handed to two requests
+//!    at once. Every successful acquire inserts the id into a shared owned
+//!    set and the insert must find it absent.
+//! 2. **Bookkeeping agreement** — at quiescence the pool's view
+//!    (`total_live`) matches the engine's (`live_count`), and nothing is
+//!    left marked in-use.
+
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, HardwareProfile, ImageId};
+use hotc::{KeyPolicy, ShardedPool};
+use simclock::SimTime;
+use std::collections::HashSet;
+use std::sync::Arc;
+use stdshim::sync::Mutex;
+use testkit::Gen;
+
+fn config_for_key(k: usize) -> ContainerConfig {
+    let mut c = ContainerConfig::bridge(ImageId::parse("alpine:3.12"));
+    c.exec.env.insert("K".into(), k.to_string());
+    c
+}
+
+/// One worker's slice of the interleaving: random operations against the
+/// shared pool, tracking which containers this thread currently owns.
+fn worker(
+    pool: &ShardedPool,
+    engine: &Mutex<ContainerEngine>,
+    owned: &Mutex<HashSet<ContainerId>>,
+    seed: u64,
+    ops: usize,
+    keys: usize,
+) {
+    let mut g = Gen::from_seed(seed);
+    let mut held: Vec<ContainerId> = Vec::new();
+    for op in 0..ops {
+        let now = SimTime::from_millis(op as u64);
+        match g.u8_in(0..10) {
+            // Acquire (weighted heaviest): must get a container nobody owns.
+            0..=4 => {
+                let cfg = config_for_key(g.usize_in(0..keys));
+                let acq = pool.acquire(engine, &cfg, now).expect("acquire");
+                let fresh = owned.lock().insert(acq.container);
+                assert!(fresh, "container {:?} handed out twice", acq.container);
+                held.push(acq.container);
+            }
+            // Release a random held container. The owned-set entry goes away
+            // BEFORE pool.release: once release runs, another thread may
+            // legitimately re-acquire the id.
+            5..=7 => {
+                if !held.is_empty() {
+                    let c = held.swap_remove(g.usize_in(0..held.len()));
+                    assert!(owned.lock().remove(&c), "released a container not owned");
+                    pool.release(engine, c, now).expect("release");
+                }
+            }
+            8 => {
+                let cfg = config_for_key(g.usize_in(0..keys));
+                pool.prewarm(engine, &cfg, now).expect("prewarm");
+            }
+            _ => {
+                // Eviction/retire only touch *available* containers, so they
+                // can never invalidate anything in a `held` list.
+                pool.evict_oldest(engine, now).expect("evict");
+            }
+        }
+    }
+    // Quiesce: hand everything back.
+    for c in held {
+        assert!(owned.lock().remove(&c));
+        pool.release(engine, c, SimTime::from_secs(3600))
+            .expect("final release");
+    }
+}
+
+#[test]
+fn random_interleavings_preserve_ownership_and_bookkeeping() {
+    // Each case is a fresh pool hammered by 4 OS threads with per-thread
+    // deterministic op streams; the interleaving itself is the only
+    // nondeterminism, which is exactly what the invariants must survive.
+    testkit::check(12, |g| {
+        let threads = 4usize;
+        let ops = g.usize_in(40..120);
+        let keys = g.usize_in(1..6);
+        let shards = *g.pick(&[1usize, 2, 8]);
+        let policy = *g.pick(&[KeyPolicy::Exact, KeyPolicy::Fuzzy]);
+        let seeds: Vec<u64> = (0..threads).map(|_| g.next_u64()).collect();
+
+        let pool = ShardedPool::with_shards(policy, shards);
+        let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+        let owned = Arc::new(Mutex::new(HashSet::new()));
+
+        std::thread::scope(|s| {
+            for seed in seeds {
+                let pool = &pool;
+                let engine = &engine;
+                let owned = Arc::clone(&owned);
+                s.spawn(move || worker(pool, engine, &owned, seed, ops, keys));
+            }
+        });
+
+        // All threads joined and released: nobody owns anything, the pool
+        // and engine agree on the live population, and every key's in-use
+        // list is empty.
+        assert!(owned.lock().is_empty());
+        let live = engine.lock().live_count();
+        assert_eq!(pool.total_live(), live);
+        assert_eq!(pool.total_available(), live);
+        for key in pool.keys() {
+            assert_eq!(pool.num_in_use(&key), 0);
+        }
+    });
+}
+
+#[test]
+fn cold_starts_on_distinct_keys_make_distinct_containers() {
+    // 8 threads, 8 disjoint keys, no warm pool: every acquire is a cold
+    // start through a different shard, and all 8 ids must be distinct.
+    let pool = ShardedPool::with_shards(KeyPolicy::Exact, 8);
+    let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+    let ids = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for k in 0..8 {
+            let pool = &pool;
+            let engine = &engine;
+            let ids = &ids;
+            s.spawn(move || {
+                let acq = pool
+                    .acquire(engine, &config_for_key(k), SimTime::ZERO)
+                    .expect("acquire");
+                ids.lock().push(acq.container);
+            });
+        }
+    });
+    let mut ids = ids.into_inner();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), 8);
+    assert_eq!(pool.total_live(), 8);
+    assert_eq!(engine.lock().live_count(), 8);
+}

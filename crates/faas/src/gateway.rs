@@ -6,6 +6,16 @@
 //! driver code runs the cold-start baseline, the keep-alive baselines, and
 //! HotC.
 //!
+//! The gateway's state is split into independently-lockable pieces so a
+//! concurrent frontend can give each its own synchronization instead of one
+//! lock over everything:
+//! * [`Registry`] — the function table (read-mostly);
+//! * [`SharedStats`] — request counters on atomics (lock-free);
+//! * [`AppTracker`] — which app last ran in each container (small mutex).
+//!
+//! [`Gateway`] composes the three with exclusive engine access for
+//! single-threaded drivers.
+//!
 //! Two driving styles:
 //! * [`Gateway::handle`] — begin+finish in one call, for workloads whose
 //!   requests do not overlap in virtual time;
@@ -18,7 +28,8 @@ use crate::pipeline::{RequestTrace, GATEWAY_HOP, WATCHDOG_HOP};
 use crate::RuntimeProvider;
 use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
 use simclock::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A deployed function: its application profile and runtime configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +68,134 @@ impl FunctionSpec {
     }
 }
 
+/// The function table: name → deployed spec.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    functions: BTreeMap<String, FunctionSpec>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn insert(&mut self, spec: FunctionSpec) {
+        self.functions.insert(spec.name.clone(), spec);
+    }
+
+    /// Looks up one function's spec.
+    pub fn get(&self, name: &str) -> Option<&FunctionSpec> {
+        self.functions.get(name)
+    }
+
+    /// All deployed functions, name-ordered.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionSpec> {
+        self.functions.values()
+    }
+
+    /// Number of deployed functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether no function is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Aggregate request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that required a container cold start.
+    pub cold_starts: u64,
+}
+
+/// Lock-free request counters: concurrent frontends bump these from any
+/// thread without serializing on the gateway.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    requests: AtomicU64,
+    cold_starts: AtomicU64,
+}
+
+impl SharedStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        SharedStats::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, cold: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if cold {
+            self.cold_starts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cold_starts: self.cold_starts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which app last executed in each container: HotC pools *runtimes*, so a
+/// reused container serving a different app must re-pay that app's
+/// initialization ("we load user code into that candidate container").
+///
+/// Entries are pruned when the provider disposes of containers
+/// ([`AppTracker::prune`]) — without that, every container ever created
+/// stays tracked forever and a long-running gateway leaks memory.
+#[derive(Debug, Default)]
+pub struct AppTracker {
+    last_app: HashMap<ContainerId, &'static str>,
+}
+
+impl AppTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        AppTracker::default()
+    }
+
+    /// Whether dispatching `app` to `container` must pay app initialization
+    /// (fresh runtime, or the runtime last ran a different app), recording
+    /// the dispatch.
+    pub fn needs_app_init(
+        &mut self,
+        container: ContainerId,
+        app: &'static str,
+        first_exec: bool,
+    ) -> bool {
+        let needs = first_exec || self.last_app.get(&container) != Some(&app);
+        self.last_app.insert(container, app);
+        needs
+    }
+
+    /// Drops entries for containers the engine no longer knows (retired,
+    /// evicted, or crashed-and-removed).
+    pub fn prune(&mut self, engine: &ContainerEngine) {
+        self.last_app.retain(|&id, _| engine.config(id).is_some());
+    }
+
+    /// Drops entries for containers outside the given live set — for callers
+    /// that snapshot the engine's live ids rather than holding the engine.
+    pub fn prune_to(&mut self, live: &std::collections::HashSet<ContainerId>) {
+        self.last_app.retain(|id, _| live.contains(id));
+    }
+
+    /// Number of containers currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_app.len()
+    }
+}
+
 /// Gateway errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GatewayError {
@@ -92,21 +231,42 @@ pub struct InFlight {
     pub container: ContainerId,
     /// When the function process will stop (schedule `finish` here).
     pub t4_func_end: SimTime,
-    t1: SimTime,
-    t2: SimTime,
-    t3: SimTime,
-    cold: bool,
-    first_exec: bool,
-    crashed: bool,
+    /// (1) request hits the gateway.
+    pub t1: SimTime,
+    /// (2) watchdog receives the forwarded request.
+    pub t2: SimTime,
+    /// (3) function process starts.
+    pub t3: SimTime,
+    /// Whether obtaining the runtime cold-started a container.
+    pub cold: bool,
+    /// Whether this is the runtime's first execution.
+    pub first_exec: bool,
+    /// Whether the function process will crash (fault injection).
+    pub crashed: bool,
 }
 
-/// Aggregate request counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GatewayStats {
-    /// Requests completed.
-    pub requests: u64,
-    /// Requests that required a container cold start.
-    pub cold_starts: u64,
+impl InFlight {
+    /// Stamps the response-path timestamps (5)–(6) and produces the
+    /// request's trace. Shared by every gateway frontend so the pipeline
+    /// arithmetic lives in one place.
+    pub fn complete(&self) -> RequestTrace {
+        let t4 = self.t4_func_end;
+        let t5 = t4 + WATCHDOG_HOP;
+        let t6 = t5 + GATEWAY_HOP;
+        let trace = RequestTrace {
+            t1_gateway_in: self.t1,
+            t2_watchdog_in: self.t2,
+            t3_func_start: self.t3,
+            t4_func_end: t4,
+            t5_watchdog_out: t5,
+            t6_gateway_out: t6,
+            cold: self.cold,
+            first_exec: self.first_exec,
+            failed: self.crashed,
+        };
+        debug_assert!(trace.is_well_formed());
+        trace
+    }
 }
 
 /// The serverless gateway.
@@ -128,12 +288,9 @@ pub struct GatewayStats {
 pub struct Gateway<P: RuntimeProvider> {
     engine: ContainerEngine,
     provider: P,
-    functions: BTreeMap<String, FunctionSpec>,
-    stats: GatewayStats,
-    /// Which app last executed in each container: HotC pools *runtimes*, so
-    /// a reused container serving a different app must re-pay that app's
-    /// initialization ("we load user code into that candidate container").
-    last_app: std::collections::HashMap<ContainerId, &'static str>,
+    functions: Registry,
+    stats: SharedStats,
+    tracker: AppTracker,
 }
 
 impl<P: RuntimeProvider> Gateway<P> {
@@ -142,15 +299,15 @@ impl<P: RuntimeProvider> Gateway<P> {
         Gateway {
             engine,
             provider,
-            functions: BTreeMap::new(),
-            stats: GatewayStats::default(),
-            last_app: std::collections::HashMap::new(),
+            functions: Registry::new(),
+            stats: SharedStats::new(),
+            tracker: AppTracker::new(),
         }
     }
 
     /// Registers (or replaces) a function.
     pub fn register(&mut self, spec: FunctionSpec) {
-        self.functions.insert(spec.name.clone(), spec);
+        self.functions.insert(spec);
     }
 
     /// Convenience: registers an app under its own name with its default
@@ -161,7 +318,7 @@ impl<P: RuntimeProvider> Gateway<P> {
 
     /// The function registry.
     pub fn functions(&self) -> impl Iterator<Item = &FunctionSpec> {
-        self.functions.values()
+        self.functions.iter()
     }
 
     /// Looks up one function's spec.
@@ -191,13 +348,29 @@ impl<P: RuntimeProvider> Gateway<P> {
 
     /// Aggregate counters.
     pub fn stats(&self) -> GatewayStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Number of containers with a tracked last-app entry (bounded by the
+    /// engine's live count thanks to pruning).
+    pub fn tracked_containers(&self) -> usize {
+        self.tracker.tracked()
     }
 
     /// Runs provider maintenance (keep-alive expiry, HotC pool control).
     pub fn tick(&mut self, now: SimTime) -> Result<(), GatewayError> {
         self.provider.tick(&mut self.engine, now)?;
+        self.prune_tracker();
         Ok(())
+    }
+
+    /// Drops last-app entries for containers the provider disposed of —
+    /// otherwise the map grows monotonically over a long run. Cheap guard:
+    /// only scan when the map has outgrown the live set.
+    fn prune_tracker(&mut self) {
+        if self.tracker.tracked() > self.engine.live_count() {
+            self.tracker.prune(&self.engine);
+        }
     }
 
     /// Starts serving a request that arrived at the gateway at `now`.
@@ -216,9 +389,9 @@ impl<P: RuntimeProvider> Gateway<P> {
         let first_exec = self.engine.exec_count(acq.container) == Some(0);
         // App init is due on a fresh runtime AND when the pooled runtime
         // last ran a different app (fuzzy keys / shared runtime types).
-        let needs_app_init =
-            first_exec || self.last_app.get(&acq.container) != Some(&spec.app.name);
-        self.last_app.insert(acq.container, spec.app.name);
+        let needs_app_init = self
+            .tracker
+            .needs_app_init(acq.container, spec.app.name, first_exec);
         let work = spec.app.work_for(needs_app_init);
         // Function initiation: watchdog shim + obtaining the runtime.
         let t3 = t2 + WATCHDOG_HOP + acq.cost;
@@ -245,25 +418,11 @@ impl<P: RuntimeProvider> Gateway<P> {
         self.engine.end_exec(inflight.container, t4)?;
         self.provider
             .release(&mut self.engine, inflight.container, t4)?;
-        let t5 = t4 + WATCHDOG_HOP;
-        let t6 = t5 + GATEWAY_HOP;
-        self.stats.requests += 1;
-        if inflight.cold {
-            self.stats.cold_starts += 1;
-        }
-        let trace = RequestTrace {
-            t1_gateway_in: inflight.t1,
-            t2_watchdog_in: inflight.t2,
-            t3_func_start: inflight.t3,
-            t4_func_end: t4,
-            t5_watchdog_out: t5,
-            t6_gateway_out: t6,
-            cold: inflight.cold,
-            first_exec: inflight.first_exec,
-            failed: inflight.crashed,
-        };
-        debug_assert!(trace.is_well_formed());
-        Ok(trace)
+        self.stats.record(inflight.cold);
+        // The provider may have disposed of the container (crash) or evicted
+        // others (limits): drop stale last-app entries.
+        self.prune_tracker();
+        Ok(inflight.complete())
     }
 
     /// Serves one request start-to-finish (no overlap with other requests).
@@ -401,6 +560,100 @@ mod tests {
         assert_eq!(gw.engine().live_count(), 1);
         gw.tick(SimTime::from_secs(300)).unwrap();
         assert_eq!(gw.engine().live_count(), 0, "expired container reclaimed");
+    }
+
+    /// Regression (last-app leak): entries for containers the provider has
+    /// disposed of must be dropped — before the fix, `last_app` kept every
+    /// container ever created, growing without bound in long runs.
+    #[test]
+    fn disposed_containers_are_dropped_from_app_tracking() {
+        let mut gw = gateway(FixedKeepAlive::new(SimDuration::from_secs(60)));
+        gw.handle("random-number", SimTime::ZERO).unwrap();
+        assert_eq!(gw.tracked_containers(), 1);
+        // Keep-alive expiry disposes of the container on tick.
+        gw.tick(SimTime::from_secs(300)).unwrap();
+        assert_eq!(gw.engine().live_count(), 0);
+        assert_eq!(
+            gw.tracked_containers(),
+            0,
+            "tracking must not outlive the container"
+        );
+    }
+
+    /// Same leak via the crash path: a crashed container is disposed of by
+    /// the provider inside `finish`, and its entry goes with it.
+    #[test]
+    fn tracking_stays_bounded_across_crash_heavy_traffic() {
+        let mut engine = ContainerEngine::with_local_images(HardwareProfile::server());
+        engine.set_fault_injection(1.0, 7); // every execution crashes
+        let mut gw = Gateway::new(engine, FixedKeepAlive::aws_default());
+        gw.register_app(AppProfile::random_number());
+        for i in 0..30u64 {
+            let trace = gw.handle("random-number", SimTime::from_secs(i)).unwrap();
+            assert!(trace.failed);
+        }
+        assert!(
+            gw.tracked_containers() <= gw.engine().live_count(),
+            "tracked {} > live {}",
+            gw.tracked_containers(),
+            gw.engine().live_count()
+        );
+    }
+}
+
+#[cfg(test)]
+mod component_tests {
+    use super::*;
+    use containersim::HardwareProfile;
+
+    #[test]
+    fn shared_stats_count_from_many_threads() {
+        let stats = SharedStats::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let stats = &stats;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        stats.record((i + t) % 4 == 0);
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 400);
+        assert_eq!(snap.cold_starts, 100);
+    }
+
+    #[test]
+    fn registry_replaces_by_name() {
+        let mut reg = Registry::new();
+        reg.insert(FunctionSpec::from_app(AppProfile::random_number()));
+        assert_eq!(reg.len(), 1);
+        let replacement = FunctionSpec::from_app(AppProfile::random_number());
+        reg.insert(replacement.clone());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("random-number"), Some(&replacement));
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn app_tracker_detects_app_switches_and_prunes() {
+        let mut e = ContainerEngine::with_local_images(HardwareProfile::server());
+        let (id, _) = e
+            .create_container(
+                ContainerConfig::bridge(containersim::ImageId::parse("alpine:3.12")),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let mut tracker = AppTracker::new();
+        assert!(tracker.needs_app_init(id, "alpha", true), "fresh runtime");
+        assert!(!tracker.needs_app_init(id, "alpha", false), "same app");
+        assert!(tracker.needs_app_init(id, "beta", false), "app switch");
+        assert_eq!(tracker.tracked(), 1);
+
+        e.stop_and_remove(id, SimTime::from_secs(1)).unwrap();
+        tracker.prune(&e);
+        assert_eq!(tracker.tracked(), 0);
     }
 }
 

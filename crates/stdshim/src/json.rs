@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn strings_escape() {
         let s = "a\"b\\c\nd\te\u{1}";
-        assert_eq!(s.to_json().to_string(), r#""a\"b\\c\nd\te""#);
+        assert_eq!(s.to_json().to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
     }
 
     #[test]

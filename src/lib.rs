@@ -18,7 +18,9 @@ pub mod prelude {
         ContainerConfig, ContainerEngine, HardwareProfile, ImageId, LanguageRuntime, NetworkMode,
     };
     pub use faas::{AppProfile, FixedKeepAlive, Gateway, PeriodicWarmup, RuntimeProvider};
-    pub use hotc::{ConcurrentGateway, HotC, HotCConfig, KeyPolicy, PoolLimits};
+    pub use hotc::{
+        ConcurrentGateway, HotC, HotCConfig, KeyPolicy, PoolLimits, ShardedGateway, ShardedPool,
+    };
     pub use metrics_lite::{LatencyRecorder, Table};
     pub use simclock::{SimDuration, SimTime};
 }
