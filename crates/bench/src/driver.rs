@@ -56,6 +56,12 @@ impl<P: RuntimeProvider> RunOutcome<P> {
         self.traces.iter().filter(|t| t.failed).count() as f64 / self.traces.len() as f64
     }
 
+    /// Telemetry snapshot of the run: per-stage decomposition, counters,
+    /// and the `pool/live` series sampled at every tick.
+    pub fn metrics_snapshot(&self) -> metrics_lite::MetricsSnapshot {
+        self.gateway.metrics().snapshot()
+    }
+
     /// Mean live containers across the tick samples — a resource-footprint
     /// proxy ("container-hours") for comparing keep-warm policies.
     pub fn mean_live_containers(&self) -> f64 {
@@ -110,8 +116,11 @@ where
     while t <= horizon {
         sim.schedule_at(t, move |s, st: &mut DriverState<P>| {
             st.gateway.tick(s.now()).expect("tick must not fail");
-            st.live_samples
-                .push((s.now(), st.gateway.engine().live_count()));
+            let live = st.gateway.engine().live_count();
+            st.gateway
+                .metrics()
+                .sample_series("pool/live", s.now(), live as f64);
+            st.live_samples.push((s.now(), live));
         });
         t += tick_interval;
     }
@@ -206,6 +215,30 @@ mod tests {
         assert!(out.cold_fraction() <= 0.1);
         assert!(out.mean_latency() < SimDuration::from_millis(120));
         assert!(out.finished_at >= SimTime::from_secs(19 * 30));
+    }
+
+    #[test]
+    fn driver_populates_metrics_snapshot() {
+        let w = patterns::serial(SimDuration::from_secs(30), 10, 0);
+        let out = run_workload(
+            gateway(FixedKeepAlive::aws_default()),
+            &w,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+        );
+        let snap = out.metrics_snapshot();
+        assert_eq!(snap.counter("gateway/requests"), Some(10));
+        assert_eq!(snap.counter("gateway/cold_starts"), Some(1));
+        assert_eq!(snap.stage_count("all", metrics_lite::Stage::Exec), 10);
+        // One pool/live point per tick, mirroring `live_samples`.
+        let (_, series) = snap
+            .series
+            .iter()
+            .find(|(n, _)| n == "pool/live")
+            .expect("pool/live series present");
+        assert_eq!(series.points().len(), out.live_samples.len());
+        let trace_total: u64 = out.traces.iter().map(|t| t.total().as_nanos()).sum();
+        assert_eq!(snap.scope_total_ns("all"), trace_total);
     }
 
     #[test]

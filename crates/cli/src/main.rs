@@ -5,13 +5,24 @@ use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hotc-sim <scenario-file> [--verbose]\n       hotc-sim -        (read scenario from stdin)\n       hotc-sim --demo   (print an example scenario)"
+        "usage: hotc-sim <scenario-file> [--verbose] [--metrics-out <path>]\n       hotc-sim -        (read scenario from stdin)\n       hotc-sim --demo   (print an example scenario)"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--metrics-out <path>`: write the run's MetricsSnapshot as JSON.
+    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        Some(_) => usage(),
+        None => None,
+    };
+
     if args.is_empty() {
         usage();
     }
@@ -45,5 +56,14 @@ fn main() {
         eprintln!("scenario error: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = metrics_out {
+        use stdshim::ToJson as _;
+        let json = report.metrics.to_json().to_pretty_string();
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| {
+            eprintln!("error writing metrics to '{path}': {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     print!("{}", report.render(verbose));
 }

@@ -34,6 +34,9 @@ pub struct ScenarioReport {
     pub background_s: f64,
     /// Per-request latencies (ms), arrival order.
     pub latencies_ms: Vec<f64>,
+    /// Full telemetry snapshot taken at the end of the run (counters,
+    /// stage histograms, pool series) — exported by `--metrics-out`.
+    pub metrics: metrics_lite::MetricsSnapshot,
 }
 
 impl ScenarioReport {
@@ -219,6 +222,7 @@ fn run_with_provider<P: faas::RuntimeProvider + 'static>(
             failed += 1;
         }
     }
+    let metrics = out.gateway.metrics().snapshot();
     Ok(ScenarioReport {
         requests: out.traces.len(),
         mean_ms: recorder.mean().as_millis_f64(),
@@ -233,6 +237,7 @@ fn run_with_provider<P: faas::RuntimeProvider + 'static>(
             .iter()
             .map(|t| t.total().as_millis_f64())
             .collect(),
+        metrics,
     })
 }
 
@@ -361,6 +366,33 @@ duration = 120s
         let report = run_scenario(&scenario).unwrap();
         assert!(report.requests > 100);
         assert!(report.cold_fraction < 0.2);
+    }
+
+    #[test]
+    fn report_metrics_reconcile_with_summary() {
+        let scenario = Scenario::parse(DEMO_SCENARIO).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        let snap = &report.metrics;
+        assert_eq!(
+            snap.counter("gateway/requests"),
+            Some(report.requests as u64)
+        );
+        let cold = snap.counter("gateway/cold_starts").unwrap() as f64;
+        assert!((cold / report.requests as f64 - report.cold_fraction).abs() < 1e-9);
+        // The stage decomposition covers every request and sums to the
+        // recorded e2e totals.
+        let total_ns: u64 = report
+            .latencies_ms
+            .iter()
+            .map(|ms| (ms * 1_000_000.0).round() as u64)
+            .sum();
+        assert_eq!(
+            snap.stage_count("all", metrics_lite::Stage::Exec),
+            report.requests as u64
+        );
+        assert_eq!(snap.scope_total_ns("all"), total_ns);
+        // Cold starts ran the runtime-init stage at least once.
+        assert!(snap.stage_count("all", metrics_lite::Stage::RuntimeInit) > 0);
     }
 
     #[test]

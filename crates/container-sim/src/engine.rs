@@ -22,8 +22,10 @@ pub struct CostBreakdown {
     /// Waiting for the container daemon to pick the request up (non-zero
     /// only when daemon serialization is enabled and creates queue up).
     pub daemon_queue: SimDuration,
-    /// Registry pull + layer unpack (zero when the image is cached locally).
+    /// Registry download of missing layers (zero when cached locally).
     pub image_pull: SimDuration,
+    /// Decompressing/unpacking the downloaded layers (zero when cached).
+    pub image_unpack: SimDuration,
     /// cgroup/namespace/rootfs allocation.
     pub resource_alloc: SimDuration,
     /// Network mode setup (Fig. 4(c)).
@@ -41,6 +43,7 @@ impl CostBreakdown {
     pub fn total(&self) -> SimDuration {
         self.daemon_queue
             + self.image_pull
+            + self.image_unpack
             + self.resource_alloc
             + self.network_setup
             + self.volume_mount
@@ -54,6 +57,10 @@ impl CostBreakdown {
 pub struct ExecWork {
     /// Pure compute time on the reference server at 1.0× (hot runtime).
     pub compute: SimDuration,
+    /// App-level initialization compute to run before the handler in *this*
+    /// execution (the caller sets it nonzero only for the first execution of
+    /// an app in a runtime). Subject to the same penalties as `compute`.
+    pub init: SimDuration,
     /// Peak memory of the process.
     pub mem_bytes: u64,
     /// Cores consumed while running.
@@ -70,6 +77,7 @@ impl ExecWork {
     pub fn light(compute: SimDuration) -> Self {
         ExecWork {
             compute,
+            init: SimDuration::ZERO,
             mem_bytes: 16 * 1024 * 1024,
             cpu_cores: 0.5,
             files_written: 2,
@@ -84,6 +92,10 @@ pub struct ExecOutcome {
     /// Virtual latency of the execution (compute × penalties + net overhead).
     /// For a crashing execution, the (shorter) time until the crash.
     pub latency: SimDuration,
+    /// Portion of `latency` spent in app-level initialization (the scaled
+    /// `ExecWork::init`; zero when the work carried none). Never exceeds
+    /// `latency`, even when a crash truncates the execution mid-init.
+    pub init_latency: SimDuration,
     /// Whether this was the first execution in a fresh runtime (JIT/cache
     /// penalties applied).
     pub first_exec: bool,
@@ -282,7 +294,7 @@ impl ContainerEngine {
             .clone();
         let hw = self.host.hardware().clone();
 
-        let image_pull = self.store.pull(&spec, &hw);
+        let pull = self.store.pull_split(&spec, &hw);
         let (volume, volume_mount) = self.volumes.create_mounted(&hw);
         let resource_alloc = hw.control(costmodel::RESOURCE_ALLOC);
         // Daemon serialization: the allocation section runs under the
@@ -297,7 +309,8 @@ impl ContainerEngine {
         };
         let breakdown = CostBreakdown {
             daemon_queue,
-            image_pull,
+            image_pull: pull.download,
+            image_unpack: pull.unpack,
             resource_alloc,
             network_setup: config.network.setup_cost(&hw),
             volume_mount,
@@ -355,7 +368,8 @@ impl ContainerEngine {
 
         let first_exec = rec.exec_count == 0;
         rec.exec_count += 1;
-        let mut compute = hw.compute(work.compute);
+        let raw = work.compute + work.init;
+        let mut compute = hw.compute(raw);
         if first_exec {
             // JIT warm-up (language dependent) plus cold caches/TLB.
             compute = compute
@@ -371,6 +385,13 @@ impl ContainerEngine {
                 compute = compute.mul_f64(demand / capacity);
             }
         }
+        // The penalty chain scales init and handler compute by the same
+        // factor, so init's share of the scaled compute is its raw share.
+        let mut init_latency = if work.init.is_zero() {
+            SimDuration::ZERO
+        } else {
+            compute.mul_f64(work.init.as_secs_f64() / raw.as_secs_f64())
+        };
         let mut latency = compute + rec.config.network.mode.per_request_overhead();
 
         // Fault injection: the process may crash partway through.
@@ -382,6 +403,7 @@ impl ContainerEngine {
                 latency = latency.mul_f64(faults.rng.unit().max(0.05));
             }
         }
+        init_latency = init_latency.min(latency);
         if let Some(rec) = self.containers.get_mut(&id) {
             rec.crashing = crashed;
         }
@@ -389,6 +411,7 @@ impl ContainerEngine {
         self.host.app_started(work.mem_bytes, work.cpu_cores);
         Ok(ExecOutcome {
             latency,
+            init_latency,
             first_exec,
             crashed,
         })
@@ -529,9 +552,11 @@ impl ContainerEngine {
         let pull = if self.store.has_image(&spec.id) {
             SimDuration::ZERO
         } else {
+            // Mirrors the download + unpack split charged by an actual pull.
             hw.io(SimDuration::from_secs_f64(
-                missing as f64 / costmodel::PULL_BYTES_PER_SEC as f64
-                    + missing as f64 / costmodel::UNPACK_BYTES_PER_SEC as f64,
+                missing as f64 / costmodel::PULL_BYTES_PER_SEC as f64,
+            )) + hw.io(SimDuration::from_secs_f64(
+                missing as f64 / costmodel::UNPACK_BYTES_PER_SEC as f64,
             ))
         };
         Ok(pull
@@ -608,6 +633,7 @@ mod tests {
             .create_container(cfg("python:3.8-alpine"), SimTime::ZERO)
             .unwrap();
         assert!(cost.image_pull.is_zero(), "images are pre-pulled");
+        assert!(cost.image_unpack.is_zero(), "nothing to unpack when cached");
         assert!(!cost.resource_alloc.is_zero());
         assert!(!cost.network_setup.is_zero());
         assert!(!cost.volume_mount.is_zero());
@@ -631,11 +657,13 @@ mod tests {
             .create_container(cfg("python:3.8"), SimTime::ZERO)
             .unwrap();
         assert!(!cost.image_pull.is_zero());
+        assert!(!cost.image_unpack.is_zero());
         // Second container of the same image: cached.
         let (_, cost2) = e
             .create_container(cfg("python:3.8"), SimTime::ZERO)
             .unwrap();
         assert!(cost2.image_pull.is_zero());
+        assert!(cost2.image_unpack.is_zero());
     }
 
     #[test]
@@ -673,6 +701,35 @@ mod tests {
     }
 
     #[test]
+    fn init_split_partitions_latency() {
+        let mut e = engine();
+        let (id, _) = e
+            .create_container(cfg("openjdk:8-jre"), SimTime::ZERO)
+            .unwrap();
+        let mut work = ExecWork::light(SimDuration::from_millis(60));
+        work.init = SimDuration::from_millis(40);
+        let first = e.exec(id, work, SimTime::ZERO).unwrap();
+        assert!(first.first_exec);
+        assert!(!first.init_latency.is_zero());
+        assert!(first.init_latency < first.latency);
+        // Init keeps its raw share (40 %) of the penalized compute, so its
+        // share of total latency is slightly below 40 % (the per-request
+        // network overhead is all handler-side).
+        let share = first.init_latency.as_secs_f64() / first.latency.as_secs_f64();
+        assert!((0.30..0.40).contains(&share), "share={share}");
+
+        // A warm execution carries no init.
+        let later = e
+            .exec(
+                id,
+                ExecWork::light(SimDuration::from_millis(60)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(later.init_latency, SimDuration::ZERO);
+    }
+
+    #[test]
     fn begin_exec_requires_idle() {
         let mut e = engine();
         let (id, _) = e
@@ -707,6 +764,7 @@ mod tests {
             .unwrap();
         let work = ExecWork {
             compute: SimDuration::from_millis(10),
+            init: SimDuration::ZERO,
             mem_bytes: 1024,
             cpu_cores: 0.1,
             files_written: 500,
@@ -843,6 +901,7 @@ mod contention_tests {
     fn work(cores: f64) -> ExecWork {
         ExecWork {
             compute: SimDuration::from_millis(100),
+            init: SimDuration::ZERO,
             mem_bytes: 1024,
             cpu_cores: cores,
             files_written: 0,

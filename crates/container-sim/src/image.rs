@@ -315,6 +315,15 @@ impl PullStrategy {
     }
 }
 
+/// Cost of one image pull, split into its two phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PullCost {
+    /// Transferring missing layer bytes (bandwidth-bound).
+    pub download: SimDuration,
+    /// Decompressing/unpacking them (CPU/disk-bound).
+    pub unpack: SimDuration,
+}
+
 /// Per-host cache of unpacked layers and image metadata.
 #[derive(Debug, Clone, Default)]
 pub struct LocalImageStore {
@@ -358,8 +367,16 @@ impl LocalImageStore {
     /// the strategy's effective bandwidth + decompress) and marks its layers
     /// cached. Pulling a cached image is free.
     pub fn pull(&mut self, spec: &ImageSpec, hw: &HardwareProfile) -> SimDuration {
+        let cost = self.pull_split(spec, hw);
+        cost.download + cost.unpack
+    }
+
+    /// Like [`Self::pull`], but reports the download (bandwidth-bound) and
+    /// unpack (decompression-bound) phases separately, for per-stage
+    /// telemetry.
+    pub fn pull_split(&mut self, spec: &ImageSpec, hw: &HardwareProfile) -> PullCost {
         if self.has_image(&spec.id) {
-            return SimDuration::ZERO;
+            return PullCost::default();
         }
         let missing = self.missing_bytes(spec);
         let (critical_bytes, speedup) = self.strategy.critical_path(missing);
@@ -373,7 +390,10 @@ impl LocalImageStore {
             self.cached_layers.insert(layer.digest.clone());
         }
         self.cached_images.insert(spec.id.clone());
-        hw.io(download + unpack)
+        PullCost {
+            download: hw.io(download),
+            unpack: hw.io(unpack),
+        }
     }
 
     /// Pre-pulls every image in a registry (the paper's "images were stored

@@ -47,7 +47,7 @@ pub use container::{ContainerConfig, ContainerId, ContainerState, ExecOptions, I
 pub use engine::{ContainerEngine, CostBreakdown, EngineError, ExecOutcome};
 pub use hardware::HardwareProfile;
 pub use host::HostResources;
-pub use image::{ImageId, ImageRegistry, ImageSpec, LocalImageStore, PullStrategy};
+pub use image::{ImageId, ImageRegistry, ImageSpec, LocalImageStore, PullCost, PullStrategy};
 pub use network::{NetworkConfig, NetworkMode, NetworkScope};
 pub use runtime::LanguageRuntime;
 pub use volume::{VolumeId, VolumeStore};

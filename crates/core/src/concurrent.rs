@@ -32,6 +32,7 @@ use faas::gateway::{Gateway, GatewayError, InFlight};
 use faas::pipeline::{GATEWAY_HOP, WATCHDOG_HOP};
 use faas::AppTracker;
 use faas::{AppProfile, FunctionSpec, GatewayStats, RequestTrace, RuntimeProvider, SharedStats};
+use metrics_lite::{Counter, MetricsRegistry, StageSet};
 use simclock::shared::ThreadTimeline;
 use simclock::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -92,10 +93,14 @@ impl<P: RuntimeProvider> ConcurrentGateway<P> {
 
 /// A registered function with its runtime key derived once, at registration
 /// time — request paths hand out `Arc`s instead of deep-cloning the spec and
-/// re-formatting the key on every call.
+/// re-formatting the key on every call. The per-function stage-set handle is
+/// resolved here too, so the request path records telemetry without any
+/// registry name lookup (the `key/` scope is a snapshot-time union of the
+/// key's member functions — no second lock per request).
 struct FunctionEntry {
     spec: FunctionSpec,
     key: crate::key::RuntimeKey,
+    stage_fn: Arc<StageSet>,
 }
 
 /// Last-app tracking sharded by container id, so the per-request app-switch
@@ -157,11 +162,34 @@ pub struct ShardedGateway {
     /// Cumulative background cost in virtual nanoseconds (atomic: bumped on
     /// every release, so a mutex here would reserialize the warm path).
     background_nanos: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    /// Read-time telemetry handles (the request path records only into the
+    /// per-function/per-key stage sets; counters, `all`, and the e2e
+    /// histogram are derived at snapshot time).
+    requests_counter: Arc<Counter>,
+    cold_counter: Arc<Counter>,
 }
 
 impl ShardedGateway {
-    /// Builds the gateway over an engine from a HotC configuration.
+    /// Builds the gateway over an engine from a HotC configuration, with its
+    /// own fresh metrics registry.
     pub fn new(engine: ContainerEngine, config: HotCConfig) -> Self {
+        Self::with_metrics(engine, config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Builds the gateway recording into a shared metrics registry.
+    pub fn with_metrics(
+        engine: ContainerEngine,
+        config: HotCConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        // Requests land once in their `fn/` scope (and once in `key/`); the
+        // `all` scope and e2e histogram merge the `fn/` scopes at snapshot
+        // time, keeping the multi-threaded record path to two stripe locks.
+        metrics.stage_union("all", "fn/");
+        metrics.histogram_union("gateway/e2e", "fn/");
+        let requests_counter = metrics.counter("gateway/requests");
+        let cold_counter = metrics.counter("gateway/cold_starts");
         ShardedGateway {
             engine: Mutex::new(engine),
             functions: RwLock::new(HashMap::new()),
@@ -172,6 +200,9 @@ impl ShardedGateway {
             limits: config.limits,
             disable_prediction: config.disable_prediction,
             background_nanos: AtomicU64::new(0),
+            metrics,
+            requests_counter,
+            cold_counter,
         }
     }
 
@@ -180,13 +211,40 @@ impl ShardedGateway {
         Self::new(engine, HotCConfig::default())
     }
 
-    /// Registers (or replaces) a function. The runtime key is derived here,
-    /// once, so the per-request path never re-formats it.
+    /// The gateway's metrics registry. Mirrors the request/cold-start tally
+    /// into the registry's counters so a subsequent snapshot is current
+    /// (`tick` refreshes them too).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.sync_counters();
+        &self.metrics
+    }
+
+    /// Copies the hot-path atomic tallies into the registry counters: one
+    /// store per counter here instead of a second contended increment per
+    /// request in `finish`.
+    fn sync_counters(&self) {
+        let stats = self.stats.snapshot();
+        self.requests_counter.store(stats.requests);
+        self.cold_counter.store(stats.cold_starts);
+    }
+
+    /// Registers (or replaces) a function. The runtime key and the
+    /// per-function/per-key stage-set handles are derived here, once, so the
+    /// per-request path never re-formats or re-looks-up either.
     pub fn register(&self, spec: FunctionSpec) {
         let key = self.pool.key_of(&spec.config);
-        self.functions
-            .write()
-            .insert(spec.name.clone(), Arc::new(FunctionEntry { spec, key }));
+        let fn_scope = format!("fn/{}", spec.name);
+        let stage_fn = self.metrics.stage_set(&fn_scope);
+        self.metrics
+            .stage_union_member(&format!("key/{key}"), &fn_scope);
+        self.functions.write().insert(
+            spec.name.clone(),
+            Arc::new(FunctionEntry {
+                spec,
+                key,
+                stage_fn,
+            }),
+        );
     }
 
     /// Convenience: registers an app under its own name with its default
@@ -279,6 +337,10 @@ impl ShardedGateway {
             cold: acq.cold,
             first_exec,
             crashed: outcome.crashed,
+            breakdown: acq.breakdown,
+            reconfig: acq.reconfig,
+            init_latency: outcome.init_latency,
+            exec_latency: outcome.latency,
         })
     }
 
@@ -291,7 +353,7 @@ impl ShardedGateway {
         // key, so the end-exec + cleanup pair runs in one engine critical
         // section instead of three, with no key re-derivation.
         let entry = self.functions.read().get(&inflight.function).cloned();
-        let finished = match entry {
+        let finished = match &entry {
             Some(entry) => self.pool.try_finish_release(
                 &self.engine,
                 &entry.key,
@@ -320,7 +382,15 @@ impl ShardedGateway {
             // are pruned by the next `tick`.
             self.prune_tracker();
         }
-        Ok(inflight.complete())
+        let trace = inflight.complete();
+        // Always-on stage telemetry: ONE cache-padded stripe lock per
+        // request, through the registration-time handle (no name lookup).
+        // Counters, the `all` scope, the `key/` scopes, and the e2e
+        // histogram are all derived at read time.
+        if let Some(entry) = &entry {
+            entry.stage_fn.record(&inflight.stage_sample());
+        }
+        Ok(trace)
     }
 
     /// Serves one request on the calling thread's timeline (begin, advance
@@ -338,15 +408,57 @@ impl ShardedGateway {
     }
 
     /// Periodic maintenance: one adaptive-controller step (per shard), limit
-    /// enforcement, tracker pruning.
+    /// enforcement, tracker pruning — plus sampling the controller/pool
+    /// gauges and time series into the metrics registry.
     pub fn tick(&self, now: SimTime) -> Result<(), GatewayError> {
         if !self.disable_prediction {
-            self.controller
-                .lock()
-                .maybe_step_sharded(&self.pool, &self.engine, now)?;
+            let report =
+                self.controller
+                    .lock()
+                    .maybe_step_sharded(&self.pool, &self.engine, now)?;
+            if let Some(report) = report {
+                self.metrics
+                    .counter("controller/prewarmed")
+                    .add(report.prewarmed as u64);
+                self.metrics
+                    .counter("controller/retired")
+                    .add(report.retired as u64);
+                self.metrics
+                    .counter("controller/gc_keys")
+                    .add(report.gc_keys as u64);
+                self.metrics.sample_series(
+                    "controller/predicted_demand",
+                    now,
+                    report.predicted_total(),
+                );
+                self.metrics.sample_series(
+                    "controller/actual_demand",
+                    now,
+                    report.actual_total() as f64,
+                );
+            }
         }
-        let cost = self.limits.enforce_sharded(&self.pool, &self.engine, now)?;
+        let (cost, evicted) = self
+            .limits
+            .enforce_sharded_counted(&self.pool, &self.engine, now)?;
         self.add_background(cost);
+        if evicted > 0 {
+            self.metrics.counter("pool/evictions").add(evicted as u64);
+        }
+        let sizes = self.pool.shard_sizes();
+        let (avail, in_use) = sizes
+            .iter()
+            .fold((0usize, 0usize), |(a, u), &(sa, su)| (a + sa, u + su));
+        for (i, &(sa, su)) in sizes.iter().enumerate() {
+            self.metrics
+                .gauge(&format!("pool/shard{i}/live"))
+                .set((sa + su) as f64);
+        }
+        self.metrics.gauge("pool/available").set(avail as f64);
+        self.metrics.gauge("pool/in_use").set(in_use as f64);
+        self.metrics
+            .sample_series("pool/live", now, (avail + in_use) as f64);
+        self.sync_counters();
         self.prune_tracker();
         Ok(())
     }
@@ -594,6 +706,69 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(sharded, global);
+    }
+
+    /// The always-on registry sees every request from every worker thread:
+    /// counters match the atomic stats, per-function and per-key stage
+    /// histograms are populated, the aggregate stage sums reconcile exactly
+    /// with the sum of e2e trace totals, and a tick samples the pool gauges
+    /// and controller series.
+    #[test]
+    fn sharded_telemetry_reconciles_across_threads() {
+        let gw = sharded_gateway();
+        let threads = 4usize;
+        let per_thread = 25usize;
+        let totals: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let gw = Arc::clone(&gw);
+                    s.spawn(move || {
+                        let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
+                        let mut sum = 0u64;
+                        let function = format!("qr-{t}");
+                        for _ in 0..per_thread {
+                            let trace = gw.handle(&function, &mut timeline).unwrap();
+                            sum += trace.total().as_nanos();
+                            timeline.advance(SimDuration::from_secs(1));
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        gw.tick(SimTime::from_secs(60)).unwrap();
+
+        let snap = gw.metrics().snapshot();
+        let n = (threads * per_thread) as u64;
+        assert_eq!(snap.counter("gateway/requests"), Some(n));
+        assert_eq!(
+            snap.counter("gateway/cold_starts"),
+            Some(gw.stats().cold_starts)
+        );
+        assert_eq!(snap.stage_count("all", metrics_lite::Stage::Exec), n);
+        // Exact reconciliation: stage sums == Σ trace.total() over all
+        // requests, across scopes.
+        let expected: u64 = totals.iter().sum();
+        assert_eq!(snap.scope_total_ns("all"), expected);
+        let per_scope: u64 = (0..threads)
+            .map(|t| snap.scope_total_ns(&format!("fn/qr-{t}")))
+            .sum();
+        assert_eq!(per_scope, expected);
+        // Every function got its per-key scope too (distinct configs here).
+        let key_scopes = snap
+            .stages
+            .iter()
+            .filter(|(s, _)| s.starts_with("key/"))
+            .count();
+        assert_eq!(key_scopes, threads);
+        // The tick sampled pool gauges and the live series.
+        assert!(snap.gauge("pool/available").is_some());
+        assert!(snap.gauge("pool/shard0/live").is_some());
+        assert!(snap
+            .series
+            .iter()
+            .any(|(name, ts)| name == "pool/live" && ts.len() == 1));
     }
 
     #[test]

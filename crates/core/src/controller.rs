@@ -62,6 +62,32 @@ impl Default for ControllerConfig {
     }
 }
 
+/// What one control step did — the counters and predicted-vs-actual demand
+/// the telemetry layer samples into the metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// Containers pre-warmed ahead of predicted demand.
+    pub prewarmed: usize,
+    /// Idle containers retired beyond predicted demand.
+    pub retired: usize,
+    /// Keys whose empty slots (and predictors) were garbage collected.
+    pub gc_keys: usize,
+    /// Per-key `(predicted, actual)` demand for the interval.
+    pub demand: Vec<(RuntimeKey, f64, usize)>,
+}
+
+impl StepReport {
+    /// Total predicted demand across keys.
+    pub fn predicted_total(&self) -> f64 {
+        self.demand.iter().map(|&(_, p, _)| p).sum()
+    }
+
+    /// Total actual demand across keys.
+    pub fn actual_total(&self) -> usize {
+        self.demand.iter().map(|&(_, _, d)| d).sum()
+    }
+}
+
 /// The per-key adaptive controller.
 pub struct AdaptiveController {
     config: ControllerConfig,
@@ -113,13 +139,14 @@ impl AdaptiveController {
         self.background
     }
 
-    /// Runs a control step if the interval has elapsed since the last one.
+    /// Runs a control step if the interval has elapsed since the last one,
+    /// returning the step's report when one ran.
     pub fn maybe_step(
         &mut self,
         pool: &mut ContainerPool,
         engine: &mut ContainerEngine,
         now: SimTime,
-    ) -> Result<bool, EngineError> {
+    ) -> Result<Option<StepReport>, EngineError> {
         self.maybe_step_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
     }
 
@@ -130,7 +157,7 @@ impl AdaptiveController {
         pool: &mut ContainerPool,
         engine: &mut ContainerEngine,
         now: SimTime,
-    ) -> Result<(), EngineError> {
+    ) -> Result<StepReport, EngineError> {
         self.step_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
     }
 
@@ -140,16 +167,15 @@ impl AdaptiveController {
         pool: &ShardedPool,
         engine: &impl EngineRef,
         now: SimTime,
-    ) -> Result<bool, EngineError> {
+    ) -> Result<Option<StepReport>, EngineError> {
         let due = match self.last_step {
             None => true,
             Some(last) => now.duration_since(last) >= self.config.interval,
         };
         if !due {
-            return Ok(false);
+            return Ok(None);
         }
-        self.step_sharded(pool, engine, now)?;
-        Ok(true)
+        self.step_sharded(pool, engine, now).map(Some)
     }
 
     /// One control step over the sharded pool, one shard at a time: snapshot
@@ -161,15 +187,17 @@ impl AdaptiveController {
         pool: &ShardedPool,
         engine: &impl EngineRef,
         now: SimTime,
-    ) -> Result<(), EngineError> {
+    ) -> Result<StepReport, EngineError> {
         self.last_step = Some(now);
         self.last_predictions.clear();
+        let mut report = StepReport::default();
         for shard in 0..pool.num_shards() {
             let snapshot = pool.take_shard_snapshot(shard);
             for key in &snapshot.retired {
                 // The pool dropped the slot: drop its predictor with it.
                 self.predictors.remove(key);
             }
+            report.gc_keys += snapshot.retired.len();
             for (key, demand) in snapshot.demands {
                 let cfg = &self.config;
                 let predictor = self.predictors.entry(key.clone()).or_insert_with(|| {
@@ -178,6 +206,7 @@ impl AdaptiveController {
                 predictor.observe(demand as f64);
                 let predicted = predictor.predict() * (1.0 + self.config.headroom);
                 self.last_predictions.insert(key.clone(), predicted);
+                report.demand.push((key.clone(), predicted, demand));
 
                 // Scale-down floor: never size below what the *last* interval
                 // actually needed — on a growing workload the smoother lags
@@ -196,7 +225,10 @@ impl AdaptiveController {
                     // Prepare runtimes in advance of predicted demand.
                     for _ in 0..(target - current) {
                         match pool.prewarm_key(engine, &key, now)? {
-                            Some(cost) => self.background += cost,
+                            Some(cost) => {
+                                self.background += cost;
+                                report.prewarmed += 1;
+                            }
                             None => break, // slot GC'd since the snapshot
                         }
                     }
@@ -209,14 +241,18 @@ impl AdaptiveController {
                         .min(excess);
                     for _ in 0..retire {
                         match pool.retire_one(engine, &key, now)? {
-                            Some(c) => self.background += c,
+                            Some(c) => {
+                                self.background += c;
+                                report.retired += 1;
+                            }
                             None => break, // the rest are in use
                         }
                     }
                 }
             }
         }
-        Ok(())
+        report.demand.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(report)
     }
 }
 
@@ -336,14 +372,50 @@ mod tests {
     #[test]
     fn maybe_step_respects_interval() {
         let (mut e, mut pool, mut ctl) = setup();
-        assert!(ctl.maybe_step(&mut pool, &mut e, SimTime::ZERO).unwrap());
+        assert!(ctl
+            .maybe_step(&mut pool, &mut e, SimTime::ZERO)
+            .unwrap()
+            .is_some());
         // 10 s later: not due (interval 30 s).
-        assert!(!ctl
+        assert!(ctl
             .maybe_step(&mut pool, &mut e, SimTime::from_secs(10))
-            .unwrap());
+            .unwrap()
+            .is_none());
         assert!(ctl
             .maybe_step(&mut pool, &mut e, SimTime::from_secs(30))
-            .unwrap());
+            .unwrap()
+            .is_some());
+    }
+
+    /// The step report tallies what the controller actually did, so the
+    /// telemetry layer can export prewarm/retire/GC counts and
+    /// predicted-vs-actual demand without re-deriving them.
+    #[test]
+    fn step_report_tallies_actions() {
+        let (mut e, mut pool, _) = setup();
+        let mut ctl = AdaptiveController::new(ControllerConfig {
+            headroom: 0.5,
+            ..Default::default()
+        });
+        pool.set_gc_intervals(1);
+        drive_demand(&mut pool, &mut e, 4, SimTime::ZERO);
+        let report = ctl.step(&mut pool, &mut e, SimTime::ZERO).unwrap();
+        assert_eq!(report.demand.len(), 1);
+        assert_eq!(report.actual_total(), 4);
+        assert!(report.predicted_total() > 0.0);
+        // Headroom over the observed demand forces pre-warms; four released
+        // containers already exist, so the target of ceil(pred*1.5) adds more.
+        assert!(report.prewarmed > 0, "report: {report:?}");
+        assert_eq!(report.gc_keys, 0);
+        // Drain the pool, then let the empty slot hit the GC threshold.
+        let key = pool.key_of(&cfg());
+        while pool
+            .retire_one(&mut e, &key, SimTime::from_secs(1))
+            .unwrap()
+            .is_some()
+        {}
+        let report = ctl.step(&mut pool, &mut e, SimTime::from_secs(30)).unwrap();
+        assert_eq!(report.gc_keys, 1, "report: {report:?}");
     }
 
     #[test]

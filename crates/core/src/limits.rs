@@ -77,14 +77,31 @@ impl PoolLimits {
         engine: &impl EngineRef,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
+        self.enforce_sharded_counted(pool, engine, now)
+            .map(|(cost, _)| cost)
+    }
+
+    /// [`Self::enforce_sharded`], also reporting how many containers were
+    /// evicted — the telemetry layer counts forced evictions separately from
+    /// controller-driven retires.
+    pub fn enforce_sharded_counted(
+        &self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<(SimDuration, usize), EngineError> {
         let mut cost = SimDuration::ZERO;
+        let mut evicted = 0;
         while self.violated_sharded(pool, engine) {
             match pool.evict_oldest(engine, now)? {
-                Some(c) => cost += c,
+                Some(c) => {
+                    cost += c;
+                    evicted += 1;
+                }
                 None => break,
             }
         }
-        Ok(cost)
+        Ok((cost, evicted))
     }
 }
 

@@ -29,7 +29,7 @@
 //!   collected together with their controller state.
 
 use crate::key::{needs_reconfig, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
-use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown, EngineError};
 use faas::Acquisition;
 use simclock::{SimDuration, SimTime};
 use std::collections::hash_map::DefaultHasher;
@@ -153,6 +153,10 @@ pub struct PoolAcquisition {
     /// pre-warmed) — exactly `engine.exec_count(container) == Some(0)`, but
     /// known from pool bookkeeping alone.
     pub first_exec: bool,
+    /// Per-stage decomposition of a cold start (`None` on reuse).
+    pub breakdown: Option<CostBreakdown>,
+    /// Reconfiguration cost of a fuzzy-matched reuse (zero otherwise).
+    pub reconfig: SimDuration,
 }
 
 impl From<PoolAcquisition> for Acquisition {
@@ -161,6 +165,8 @@ impl From<PoolAcquisition> for Acquisition {
             container: a.container,
             cost: a.cost,
             cold: a.cold,
+            breakdown: a.breakdown,
+            reconfig: a.reconfig,
         }
     }
 }
@@ -293,6 +299,8 @@ impl ShardedPool {
                 cost,
                 cold: false,
                 first_exec: !execed,
+                breakdown: None,
+                reconfig: cost,
             });
         }
         // Not existing, or existing but not available: start a new one. The
@@ -311,6 +319,8 @@ impl ShardedPool {
             cost: breakdown.total(),
             cold: true,
             first_exec: true,
+            breakdown: Some(breakdown),
+            reconfig: SimDuration::ZERO,
         })
     }
 
@@ -582,6 +592,20 @@ impl ShardedPool {
                     .sum::<usize>()
             })
             .sum()
+    }
+
+    /// Per-shard `(available, in_use)` container counts, indexed by shard —
+    /// the telemetry layer exports these as per-shard pool-size gauges.
+    pub fn shard_sizes(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.lock();
+                state.slots.values().fold((0, 0), |(a, u), s| {
+                    (a + s.available.len(), u + s.in_use.len())
+                })
+            })
+            .collect()
     }
 
     /// Total available containers across all types.

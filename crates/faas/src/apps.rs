@@ -33,6 +33,7 @@ impl AppProfile {
             image: ImageId::parse("python:3.8-alpine"),
             app_init: SimDuration::from_millis(20),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_millis(5),
                 mem_bytes: 8 * 1024 * 1024,
                 cpu_cores: 0.2,
@@ -58,6 +59,7 @@ impl AppProfile {
             image: ImageId::parse(image),
             app_init: SimDuration::from_millis(30),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_millis(60),
                 mem_bytes: 24 * 1024 * 1024,
                 cpu_cores: 0.5,
@@ -84,6 +86,7 @@ impl AppProfile {
             image: ImageId::parse(image),
             app_init: SimDuration::from_millis(40),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_millis(compute_ms),
                 mem_bytes: 64 * 1024 * 1024,
                 cpu_cores: 0.8,
@@ -101,6 +104,7 @@ impl AppProfile {
             image: ImageId::parse("tensorflow:1.13-py3"),
             app_init: SimDuration::from_millis(500),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_millis(3200),
                 mem_bytes: 1200 * 1024 * 1024,
                 cpu_cores: 4.0,
@@ -118,6 +122,7 @@ impl AppProfile {
             image: ImageId::parse("golang:1.13"),
             app_init: SimDuration::from_millis(300),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_millis(3200),
                 mem_bytes: 850 * 1024 * 1024,
                 cpu_cores: 4.0,
@@ -135,6 +140,7 @@ impl AppProfile {
             image: ImageId::parse("cassandra:3.11"),
             app_init: SimDuration::from_millis(2800),
             work: ExecWork {
+                init: SimDuration::ZERO,
                 compute: SimDuration::from_secs(7),
                 mem_bytes: 6 * 1024 * 1024 * 1024,
                 cpu_cores: 6.0,
@@ -161,13 +167,16 @@ impl AppProfile {
         ContainerConfig::bridge(self.image.clone()).with_network(network)
     }
 
-    /// The work for an invocation, folding the one-time app initialization
-    /// into the first execution in a container.
+    /// The work for an invocation: the one-time app initialization rides
+    /// along as `ExecWork::init` on the first execution in a container, so
+    /// the engine can report the init/handler latency split.
     pub fn work_for(&self, first_exec_in_container: bool) -> ExecWork {
         let mut work = self.work;
-        if first_exec_in_container {
-            work.compute += self.app_init;
-        }
+        work.init = if first_exec_in_container {
+            self.app_init
+        } else {
+            SimDuration::ZERO
+        };
         work
     }
 }
@@ -203,7 +212,9 @@ mod tests {
         let app = AppProfile::v3_app();
         let first = app.work_for(true);
         let later = app.work_for(false);
-        assert_eq!(first.compute, later.compute + app.app_init);
+        assert_eq!(first.init, app.app_init);
+        assert_eq!(later.init, SimDuration::ZERO);
+        assert_eq!(first.compute, later.compute);
         assert_eq!(first.mem_bytes, later.mem_bytes);
     }
 

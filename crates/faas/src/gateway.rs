@@ -26,10 +26,12 @@
 use crate::apps::AppProfile;
 use crate::pipeline::{RequestTrace, GATEWAY_HOP, WATCHDOG_HOP};
 use crate::RuntimeProvider;
-use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
-use simclock::SimTime;
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown, EngineError};
+use metrics_lite::{MetricsRegistry, Stage, StageSample};
+use simclock::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A deployed function: its application profile and runtime configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,10 +119,15 @@ pub struct GatewayStats {
 
 /// Lock-free request counters: concurrent frontends bump these from any
 /// thread without serializing on the gateway.
+///
+/// Both counters live in **one** atomic word (requests in the low 32 bits,
+/// cold starts in the high 32), so a snapshot is a single load and the
+/// invariant `cold_starts <= requests` holds in every observation. With two
+/// separate atomics a reader racing concurrent `record(true)` calls could
+/// observe more cold starts than requests.
 #[derive(Debug, Default)]
 pub struct SharedStats {
-    requests: AtomicU64,
-    cold_starts: AtomicU64,
+    packed: AtomicU64,
 }
 
 impl SharedStats {
@@ -131,17 +138,17 @@ impl SharedStats {
 
     /// Records one completed request.
     pub fn record(&self, cold: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if cold {
-            self.cold_starts.fetch_add(1, Ordering::Relaxed);
-        }
+        self.packed
+            .fetch_add(1 | ((cold as u64) << 32), Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters (a single atomic load, so the
+    /// pair is internally consistent).
     pub fn snapshot(&self) -> GatewayStats {
+        let v = self.packed.load(Ordering::Relaxed);
         GatewayStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            cold_starts: self.cold_starts.load(Ordering::Relaxed),
+            requests: v & 0xFFFF_FFFF,
+            cold_starts: v >> 32,
         }
     }
 }
@@ -243,9 +250,41 @@ pub struct InFlight {
     pub first_exec: bool,
     /// Whether the function process will crash (fault injection).
     pub crashed: bool,
+    /// Cold-start stage decomposition (`None` on reuse).
+    pub breakdown: Option<CostBreakdown>,
+    /// Reconfiguration cost of a fuzzy-matched reuse (zero otherwise).
+    pub reconfig: SimDuration,
+    /// Portion of the execution latency spent in app-level initialization.
+    pub init_latency: SimDuration,
+    /// Total execution latency (t4 − t3).
+    pub exec_latency: SimDuration,
 }
 
 impl InFlight {
+    /// Decomposes this request into per-stage durations. The stages always
+    /// sum exactly to the trace's end-to-end `total()`: the four fixed hops,
+    /// the acquisition cost (cold breakdown or reconfig), and the
+    /// init/handler split of the execution segment.
+    pub fn stage_sample(&self) -> StageSample {
+        let mut s = StageSample::new();
+        s.set(Stage::GatewayHop, GATEWAY_HOP + GATEWAY_HOP);
+        s.set(Stage::WatchdogHop, WATCHDOG_HOP + WATCHDOG_HOP);
+        if let Some(b) = &self.breakdown {
+            s.set(Stage::QueueWait, b.daemon_queue);
+            s.set(Stage::ImagePull, b.image_pull);
+            s.set(Stage::ImageUnpack, b.image_unpack);
+            s.set(Stage::ResourceAlloc, b.resource_alloc);
+            s.set(Stage::NetworkSetup, b.network_setup);
+            s.set(Stage::VolumeMount, b.volume_mount);
+            s.set(Stage::RuntimeInit, b.runtime_init);
+            s.set(Stage::CodeLoad, b.code_load);
+        }
+        s.set(Stage::Reconfig, self.reconfig);
+        s.set(Stage::AppInit, self.init_latency);
+        s.set(Stage::Exec, self.exec_latency - self.init_latency);
+        s
+    }
+
     /// Stamps the response-path timestamps (5)–(6) and produces the
     /// request's trace. Shared by every gateway frontend so the pipeline
     /// arithmetic lives in one place.
@@ -291,18 +330,48 @@ pub struct Gateway<P: RuntimeProvider> {
     functions: Registry,
     stats: SharedStats,
     tracker: AppTracker,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<P: RuntimeProvider> Gateway<P> {
-    /// Creates a gateway over an engine and a runtime provider.
+    /// Creates a gateway over an engine and a runtime provider, with its own
+    /// fresh metrics registry.
     pub fn new(engine: ContainerEngine, provider: P) -> Self {
+        Self::with_metrics(engine, provider, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates a gateway recording into a shared metrics registry (so a
+    /// driver can aggregate several gateways, or export after the run).
+    pub fn with_metrics(
+        engine: ContainerEngine,
+        provider: P,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        // Requests land once in their `fn/` scope; the `all` scope and the
+        // e2e histogram are synthesized from those at snapshot time.
+        metrics.stage_union("all", "fn/");
+        metrics.histogram_union("gateway/e2e", "fn/");
         Gateway {
             engine,
             provider,
             functions: Registry::new(),
             stats: SharedStats::new(),
             tracker: AppTracker::new(),
+            metrics,
         }
+    }
+
+    /// The gateway's metrics registry. Mirrors the request/cold-start tally
+    /// into the registry's counters so a subsequent snapshot is current.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        let stats = self.stats.snapshot();
+        self.metrics
+            .counter("gateway/requests")
+            .store(stats.requests);
+        self.metrics
+            .counter("gateway/cold_starts")
+            .store(stats.cold_starts);
+        &self.metrics
     }
 
     /// Registers (or replaces) a function.
@@ -407,6 +476,10 @@ impl<P: RuntimeProvider> Gateway<P> {
             cold: acq.cold,
             first_exec,
             crashed: outcome.crashed,
+            breakdown: acq.breakdown,
+            reconfig: acq.reconfig,
+            init_latency: outcome.init_latency,
+            exec_latency: outcome.latency,
         })
     }
 
@@ -422,7 +495,13 @@ impl<P: RuntimeProvider> Gateway<P> {
         // The provider may have disposed of the container (crash) or evicted
         // others (limits): drop stale last-app entries.
         self.prune_tracker();
-        Ok(inflight.complete())
+        let trace = inflight.complete();
+        // One stage-set record per request: `all`, `gateway/e2e`, and the
+        // counters are derived from the `fn/` scopes at snapshot time.
+        self.metrics
+            .stage_set(&format!("fn/{}", inflight.function))
+            .record(&inflight.stage_sample());
+        Ok(trace)
     }
 
     /// Serves one request start-to-finish (no overlap with other requests).
@@ -543,6 +622,75 @@ mod tests {
         assert!(!b2.cold);
     }
 
+    /// The tentpole invariant: a request's per-stage decomposition sums to
+    /// its e2e latency exactly, cold and warm alike, and the always-on
+    /// registry sees every request.
+    #[test]
+    fn stage_sample_reconciles_with_trace_total() {
+        let mut gw = gateway(FixedKeepAlive::aws_default());
+        let cold = gw.begin("random-number", SimTime::ZERO).unwrap();
+        let cold_sample = cold.stage_sample();
+        let cold_trace = gw.finish(cold).unwrap();
+        assert_eq!(cold_sample.total(), cold_trace.total());
+        assert!(!cold_sample.get(Stage::ImagePull).is_zero() || cold_trace.cold);
+        assert!(!cold_sample.get(Stage::RuntimeInit).is_zero());
+        assert!(!cold_sample.get(Stage::AppInit).is_zero(), "first exec");
+
+        let warm = gw.begin("random-number", SimTime::from_secs(10)).unwrap();
+        let warm_sample = warm.stage_sample();
+        let warm_trace = gw.finish(warm).unwrap();
+        assert_eq!(warm_sample.total(), warm_trace.total());
+        assert!(
+            warm_sample.get(Stage::RuntimeInit).is_zero(),
+            "no cold stages"
+        );
+        assert!(warm_sample.get(Stage::AppInit).is_zero(), "no re-init");
+
+        let snap = gw.metrics().snapshot();
+        assert_eq!(snap.counter("gateway/requests"), Some(2));
+        assert_eq!(snap.counter("gateway/cold_starts"), Some(1));
+        assert_eq!(snap.stage_count("all", Stage::Exec), 2);
+        assert_eq!(snap.stage_count("fn/random-number", Stage::Exec), 2);
+        assert_eq!(snap.stage_count("all", Stage::RuntimeInit), 1);
+        assert_eq!(
+            snap.scope_total_ns("all"),
+            (cold_trace.total() + warm_trace.total()).as_nanos()
+        );
+    }
+
+    /// Property: over random traffic (mixed apps, random gaps — cold, warm,
+    /// and app-switch reuse all occur), every request's stage decomposition
+    /// sums to its trace total, and the registry's aggregate stage sums
+    /// reconcile exactly with the sum of e2e totals.
+    #[test]
+    fn prop_stage_sums_reconcile_with_trace_totals() {
+        testkit::check(16, |g| {
+            let mut gw = gateway(FixedKeepAlive::aws_default());
+            gw.register_app(AppProfile::qr_code(containersim::LanguageRuntime::Go));
+            let names = ["random-number", "qr-code"];
+            let mut now = SimTime::ZERO;
+            let mut expected_total = 0u64;
+            let n = 3 + g.u64_in(0..20);
+            for _ in 0..n {
+                let function = names[g.u64_in(0..names.len() as u64) as usize];
+                let inflight = gw.begin(function, now).unwrap();
+                let sample = inflight.stage_sample();
+                let trace = gw.finish(inflight).unwrap();
+                assert_eq!(sample.total(), trace.total(), "per-request split");
+                expected_total += trace.total().as_nanos();
+                now = trace.t6_gateway_out + SimDuration::from_millis(g.u64_in(0..120_000));
+            }
+            let snap = gw.metrics().snapshot();
+            assert_eq!(snap.counter("gateway/requests"), Some(n));
+            assert_eq!(snap.scope_total_ns("all"), expected_total);
+            let per_fn: u64 = names
+                .iter()
+                .map(|f| snap.scope_total_ns(&format!("fn/{f}")))
+                .sum();
+            assert_eq!(per_fn, expected_total);
+        });
+    }
+
     #[test]
     fn handle_equals_begin_finish() {
         let mut gw1 = gateway(ColdStartAlways::new());
@@ -622,6 +770,52 @@ mod component_tests {
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 400);
         assert_eq!(snap.cold_starts, 100);
+    }
+
+    /// Regression (torn snapshot): with `requests` and `cold_starts` in two
+    /// separate atomics, a reader could load `requests`, lose the race to a
+    /// burst of `record(true)` calls, then load `cold_starts` — and observe
+    /// more cold starts than requests. Packing both counts into one atomic
+    /// makes every snapshot internally consistent; before the fix this test
+    /// fails within a few thousand iterations.
+    #[test]
+    fn snapshot_never_shows_more_cold_starts_than_requests() {
+        let stats = SharedStats::new();
+        std::thread::scope(|s| {
+            let mut writers = Vec::new();
+            for _ in 0..4 {
+                let stats = &stats;
+                writers.push(s.spawn(move || {
+                    for _ in 0..200_000 {
+                        stats.record(true);
+                    }
+                }));
+            }
+            let stats = &stats;
+            let reader = s.spawn(move || {
+                let mut worst: Option<GatewayStats> = None;
+                for _ in 0..200_000 {
+                    let snap = stats.snapshot();
+                    if snap.cold_starts > snap.requests {
+                        worst = Some(snap);
+                        break;
+                    }
+                }
+                worst
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            if let Some(snap) = reader.join().unwrap() {
+                panic!(
+                    "torn snapshot: cold_starts {} > requests {}",
+                    snap.cold_starts, snap.requests
+                );
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 800_000);
+        assert_eq!(snap.cold_starts, 800_000);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::{Acquisition, RuntimeProvider};
 use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
 use simclock::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Tuning for [`HybridKeepAlive`].
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +50,13 @@ impl Default for HybridConfig {
 
 #[derive(Debug, Default)]
 struct TypeHistory {
-    /// Observed idle gaps (bounded window).
-    gaps: Vec<SimDuration>,
+    /// Observed idle gaps, oldest first (bounded ring: push at the back,
+    /// evict at the front in O(1) instead of `Vec::remove(0)`'s O(n) shift).
+    gaps: VecDeque<SimDuration>,
+    /// The same gaps kept sorted, adjusted incrementally on each insert so
+    /// `learned_ttl` — called per warm entry on every tick — never has to
+    /// clone and re-sort the window.
+    sorted: Vec<SimDuration>,
     /// When this type last went fully idle (release with no reuse since).
     idle_since: Option<SimTime>,
 }
@@ -61,19 +66,25 @@ const GAP_WINDOW: usize = 256;
 impl TypeHistory {
     fn record_gap(&mut self, gap: SimDuration) {
         if self.gaps.len() == GAP_WINDOW {
-            self.gaps.remove(0);
+            let out = self.gaps.pop_front().expect("window is non-empty");
+            let at = self
+                .sorted
+                .binary_search(&out)
+                .expect("evicted gap is present in the sorted view");
+            self.sorted.remove(at);
         }
-        self.gaps.push(gap);
+        self.gaps.push_back(gap);
+        let at = self.sorted.binary_search(&gap).unwrap_or_else(|i| i);
+        self.sorted.insert(at, gap);
     }
 
     fn learned_ttl(&self, cfg: &HybridConfig) -> SimDuration {
-        if self.gaps.len() < cfg.min_samples {
+        if self.sorted.len() < cfg.min_samples {
             return cfg.default_ttl;
         }
-        let mut sorted = self.gaps.clone();
-        sorted.sort_unstable();
-        let rank = ((cfg.percentile * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        let rank = ((cfg.percentile * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
             .mul_f64(cfg.margin)
             .max(cfg.min_ttl)
             .min(cfg.max_ttl)
@@ -166,19 +177,11 @@ impl RuntimeProvider for HybridKeepAlive {
         }
         if let Some(entries) = self.warm.get_mut(config) {
             if let Some(entry) = entries.pop() {
-                return Ok(Acquisition {
-                    container: entry.container,
-                    cost: SimDuration::ZERO,
-                    cold: false,
-                });
+                return Ok(Acquisition::warm(entry.container));
             }
         }
         let (container, cost) = engine.create_container(config.clone(), now)?;
-        Ok(Acquisition {
-            container,
-            cost: cost.total(),
-            cold: true,
-        })
+        Ok(Acquisition::cold(container, cost))
     }
 
     fn release(
@@ -304,6 +307,47 @@ mod tests {
         // An anomalous 5-minute silence: far beyond the ~22 s learned TTL.
         gw.tick(end + SimDuration::from_mins(5)).expect("tick");
         assert_eq!(gw.provider().warm_count(), 0, "short TTL reclaimed it");
+    }
+
+    /// The ring-buffer rewrite must keep the exact sliding-window semantics
+    /// of the old `Vec::remove(0)` + clone-and-sort implementation: once the
+    /// window wraps, the oldest gap leaves both views and `learned_ttl`
+    /// equals a from-scratch sort of the surviving window.
+    #[test]
+    fn gap_window_matches_naive_resort_across_wraparound() {
+        let cfg = HybridConfig::default();
+        let mut history = TypeHistory::default();
+        let mut naive: Vec<SimDuration> = Vec::new();
+        // Deterministic pseudo-random gaps with plenty of duplicates.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..(GAP_WINDOW * 2 + 17) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let gap = SimDuration::from_millis(1 + state % 50);
+            history.record_gap(gap);
+            if naive.len() == GAP_WINDOW {
+                naive.remove(0);
+            }
+            naive.push(gap);
+
+            let mut resorted = naive.clone();
+            resorted.sort_unstable();
+            assert_eq!(history.sorted, resorted, "diverged at insert {i}");
+            assert_eq!(
+                history.gaps.iter().copied().collect::<Vec<_>>(),
+                naive,
+                "ring order diverged at insert {i}"
+            );
+            let naive_hist = TypeHistory {
+                gaps: naive.iter().copied().collect(),
+                sorted: resorted,
+                idle_since: None,
+            };
+            assert_eq!(history.learned_ttl(&cfg), naive_hist.learned_ttl(&cfg));
+        }
+        assert_eq!(history.gaps.len(), GAP_WINDOW);
+        assert_eq!(history.sorted.len(), GAP_WINDOW);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use hybrid::{HybridConfig, HybridKeepAlive};
 pub use pipeline::RequestTrace;
 pub use policy::{ColdStartAlways, FixedKeepAlive, PeriodicWarmup};
 
-use containersim::{ContainerConfig, ContainerEngine, ContainerId, EngineError};
+use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown, EngineError};
 use simclock::{SimDuration, SimTime};
 
 /// How a provider satisfied an acquire request.
@@ -54,6 +54,47 @@ pub struct Acquisition {
     pub cost: SimDuration,
     /// Whether a new container had to be created (a cold start).
     pub cold: bool,
+    /// Per-stage decomposition of a cold start (`None` on reuse). When
+    /// present, `breakdown.total() + reconfig == cost`.
+    pub breakdown: Option<CostBreakdown>,
+    /// Cost of reconfiguring a fuzzy-matched reused runtime (zero for exact
+    /// reuse and cold starts).
+    pub reconfig: SimDuration,
+}
+
+impl Acquisition {
+    /// A cold start, carrying its stage breakdown.
+    pub fn cold(container: ContainerId, breakdown: CostBreakdown) -> Self {
+        Acquisition {
+            container,
+            cost: breakdown.total(),
+            cold: true,
+            breakdown: Some(breakdown),
+            reconfig: SimDuration::ZERO,
+        }
+    }
+
+    /// An exact warm reuse (free).
+    pub fn warm(container: ContainerId) -> Self {
+        Acquisition {
+            container,
+            cost: SimDuration::ZERO,
+            cold: false,
+            breakdown: None,
+            reconfig: SimDuration::ZERO,
+        }
+    }
+
+    /// A fuzzy-matched reuse that paid `reconfig` to apply config deltas.
+    pub fn warm_reconfigured(container: ContainerId, reconfig: SimDuration) -> Self {
+        Acquisition {
+            container,
+            cost: reconfig,
+            cold: false,
+            breakdown: None,
+            reconfig,
+        }
+    }
 }
 
 /// A strategy for providing container runtimes to the gateway.

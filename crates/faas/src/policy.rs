@@ -38,11 +38,7 @@ impl RuntimeProvider for ColdStartAlways {
         now: SimTime,
     ) -> Result<Acquisition, EngineError> {
         let (container, cost) = engine.create_container(config.clone(), now)?;
-        Ok(Acquisition {
-            container,
-            cost: cost.total(),
-            cold: true,
-        })
+        Ok(Acquisition::cold(container, cost))
     }
 
     fn release(
@@ -118,19 +114,11 @@ impl RuntimeProvider for FixedKeepAlive {
                 if entries.is_empty() {
                     self.warm.remove(config);
                 }
-                return Ok(Acquisition {
-                    container: entry.container,
-                    cost: SimDuration::ZERO,
-                    cold: false,
-                });
+                return Ok(Acquisition::warm(entry.container));
             }
         }
         let (container, cost) = engine.create_container(config.clone(), now)?;
-        Ok(Acquisition {
-            container,
-            cost: cost.total(),
-            cold: true,
-        })
+        Ok(Acquisition::cold(container, cost))
     }
 
     fn release(
@@ -226,19 +214,11 @@ impl RuntimeProvider for PeriodicWarmup {
         self.tick(engine, now)?;
         if let Some(entries) = self.warm.get_mut(config) {
             if let Some(entry) = entries.pop() {
-                return Ok(Acquisition {
-                    container: entry.container,
-                    cost: SimDuration::ZERO,
-                    cold: false,
-                });
+                return Ok(Acquisition::warm(entry.container));
             }
         }
         let (container, cost) = engine.create_container(config.clone(), now)?;
-        Ok(Acquisition {
-            container,
-            cost: cost.total(),
-            cold: true,
-        })
+        Ok(Acquisition::cold(container, cost))
     }
 
     fn release(

@@ -10,6 +10,9 @@
 pub mod cdf;
 pub mod histogram;
 pub mod latency;
+pub mod registry;
+pub mod snapshot;
+pub mod stage;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
@@ -17,6 +20,9 @@ pub mod timeseries;
 pub use cdf::Cdf;
 pub use histogram::LatencyHistogram;
 pub use latency::LatencyRecorder;
+pub use registry::{Counter, Gauge, MetricsRegistry, SharedHistogram, StageSet};
+pub use snapshot::{HistogramSummary, MetricsSnapshot};
+pub use stage::{Stage, StageSample, N_STAGES};
 pub use stats::StreamingStats;
 pub use table::{render_series, Table};
 pub use timeseries::TimeSeries;

@@ -1,0 +1,596 @@
+//! Always-on metrics registry with a cheap concurrent recording path.
+//!
+//! The registry is the process-wide (or gateway-wide) home for named
+//! [`Counter`]s, [`Gauge`]s, latency [`SharedHistogram`]s, per-scope
+//! [`StageSet`]s, and sampled [`TimeSeries`]. Recording is designed for the
+//! `ShardedGateway` worker threads: counters and gauges are single relaxed
+//! atomics; histograms and stage sets are striped by thread so concurrent
+//! recorders land on different locks. Hot-path callers obtain their `Arc`
+//! handles once (get-or-create by name) and record through the handle —
+//! no per-request name lookup or allocation.
+//!
+//! Stripes materialize lazily: a scope touched by one thread allocates one
+//! stripe's histograms, not all of them, which keeps a registry with
+//! hundreds of per-function/per-key scopes small.
+
+use crate::histogram::LatencyHistogram;
+use crate::stage::{Stage, StageSample, N_STAGES};
+use crate::timeseries::TimeSeries;
+use simclock::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use stdshim::{Mutex, RwLock};
+
+/// Lock stripes per histogram/stage-set. Worker threads hash onto stripes,
+/// so up to this many threads record without contending.
+const N_STRIPES: usize = 8;
+
+/// Monotone per-thread stripe assignment: the first time a thread records,
+/// it claims the next stripe index round-robin and keeps it for life.
+fn thread_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    STRIPE.with(|s| *s) % N_STRIPES
+}
+
+/// One lazily created stripe, padded to its own cache-line pair. Without the
+/// alignment, adjacent stripes' lock words (and the histogram headers mutated
+/// on every record) share cache lines, and concurrent recorders on *distinct*
+/// stripes still ping-pong those lines between cores (false sharing).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Stripe<T>(OnceLock<Mutex<T>>);
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counter. For gateways that already tally requests in
+    /// an existing atomic: mirroring that tally into the registry at read
+    /// time costs one store here instead of a second contended
+    /// read-modify-write per request on the hot path.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits in one atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A latency histogram recordable from many threads: [`N_STRIPES`] lazily
+/// allocated [`LatencyHistogram`] stripes, merged on read.
+#[derive(Debug, Default)]
+pub struct SharedHistogram {
+    stripes: [Stripe<LatencyHistogram>; N_STRIPES],
+}
+
+impl SharedHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample into the calling thread's stripe.
+    pub fn record(&self, latency: SimDuration) {
+        let stripe = self.stripes[thread_stripe()]
+            .0
+            .get_or_init(|| Mutex::new(LatencyHistogram::new()));
+        stripe.lock().record(latency);
+    }
+
+    /// Merges all stripes into one histogram.
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for stripe in &self.stripes {
+            if let Some(m) = stripe.0.get() {
+                out.merge(&m.lock());
+            }
+        }
+        out
+    }
+}
+
+/// Per-scope stage histograms: one [`LatencyHistogram`] per [`Stage`] plus
+/// one for the sample totals (the e2e distribution), striped like
+/// [`SharedHistogram`]. Recording a [`StageSample`] takes one stripe lock
+/// for all stages of the request — including its total, so a gateway gets
+/// the e2e histogram for free instead of locking a second structure.
+#[derive(Debug, Default)]
+pub struct StageSet {
+    stripes: [Stripe<Box<[LatencyHistogram; N_STAGES + 1]>>; N_STRIPES],
+}
+
+impl StageSet {
+    /// An empty stage set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records every nonzero stage of `sample` into the calling thread's
+    /// stripe (zero stages did not occur and are not counted), plus the
+    /// sample total into the totals slot.
+    pub fn record(&self, sample: &StageSample) {
+        let stripe = self.stripes[thread_stripe()]
+            .0
+            .get_or_init(|| Mutex::new(Box::new(std::array::from_fn(|_| LatencyHistogram::new()))));
+        let mut hists = stripe.lock();
+        let mut total = 0u64;
+        for (i, &ns) in sample.nanos().iter().enumerate() {
+            if ns > 0 {
+                hists[i].record(SimDuration::from_nanos(ns));
+                total += ns;
+            }
+        }
+        hists[N_STAGES].record(SimDuration::from_nanos(total));
+    }
+
+    /// Merged histogram for one stage.
+    pub fn merged(&self, stage: Stage) -> LatencyHistogram {
+        self.merged_index(stage.index())
+    }
+
+    /// Merged histogram of the recorded sample totals (one per sample).
+    pub fn merged_total(&self) -> LatencyHistogram {
+        self.merged_index(N_STAGES)
+    }
+
+    fn merged_index(&self, index: usize) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for stripe in &self.stripes {
+            if let Some(m) = stripe.0.get() {
+                out.merge(&m.lock()[index]);
+            }
+        }
+        out
+    }
+
+    /// Merged histograms for all stages, in [`Stage::ALL`] order.
+    pub fn merged_all(&self) -> Vec<(Stage, LatencyHistogram)> {
+        Stage::ALL.iter().map(|&s| (s, self.merged(s))).collect()
+    }
+}
+
+/// The named-metric registry.
+///
+/// ```
+/// use metrics_lite::{MetricsRegistry, Stage, StageSample};
+/// use simclock::{SimDuration, SimTime};
+///
+/// let reg = MetricsRegistry::new();
+/// let requests = reg.counter("gateway/requests");
+/// requests.incr();
+///
+/// let mut sample = StageSample::new();
+/// sample.set(Stage::Exec, SimDuration::from_millis(5));
+/// reg.stage_set("fn/demo").record(&sample);
+/// reg.sample_series("pool/size", SimTime::from_secs(30), 3.0);
+///
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("gateway/requests"), Some(1));
+/// assert_eq!(snap.stage_count("fn/demo", Stage::Exec), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<SharedHistogram>>>,
+    stages: RwLock<HashMap<String, Arc<StageSet>>>,
+    series: Mutex<HashMap<String, TimeSeries>>,
+    /// `(union scope, member prefix)`: at snapshot time the union scope's
+    /// stage histograms are synthesized by merging every stage set whose
+    /// scope starts with the prefix, so the hot path records each sample
+    /// once instead of once per enclosing scope.
+    stage_unions: Mutex<Vec<(String, String)>>,
+    /// `(histogram name, member prefix)`: the named histogram is synthesized
+    /// at snapshot time from the member stage sets' total distributions.
+    histogram_unions: Mutex<Vec<(String, String)>>,
+    /// `member scope → union scope`: each member stage set feeds exactly one
+    /// named union scope, synthesized at snapshot time (e.g. every
+    /// `fn/<name>` feeding its function's `key/<runtime-key>`). Reassigning
+    /// a member moves its whole history to the new union.
+    member_unions: Mutex<HashMap<String, String>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().get(name) {
+        return Arc::clone(v);
+    }
+    Arc::clone(
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create a counter. Cache the handle; don't look up per event.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Get-or-create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Get-or-create a latency histogram.
+    pub fn histogram(&self, name: &str) -> Arc<SharedHistogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Get-or-create a per-scope stage set (scopes are conventionally
+    /// `"all"`, `"fn/<function>"`, or `"key/<runtime-key>"`).
+    pub fn stage_set(&self, scope: &str) -> Arc<StageSet> {
+        get_or_create(&self.stages, scope)
+    }
+
+    /// Declares `scope` as the snapshot-time merge of every stage set whose
+    /// scope starts with `member_prefix` (e.g. `"all"` over `"fn/"`).
+    /// Recording into the member scopes then feeds the union for free;
+    /// samples recorded directly into `scope` are merged in as well.
+    pub fn stage_union(&self, scope: &str, member_prefix: &str) {
+        let mut unions = self.stage_unions.lock();
+        if !unions.iter().any(|(s, p)| s == scope && p == member_prefix) {
+            unions.push((scope.to_string(), member_prefix.to_string()));
+        }
+    }
+
+    /// Assigns `member_scope`'s stage set to feed the synthesized
+    /// `union_scope` at snapshot time. A member feeds at most one union;
+    /// assigning it again (e.g. a function re-registered under a different
+    /// runtime key) moves its entire recorded history to the new union.
+    pub fn stage_union_member(&self, union_scope: &str, member_scope: &str) {
+        self.member_unions
+            .lock()
+            .insert(member_scope.to_string(), union_scope.to_string());
+    }
+
+    /// Declares the named histogram as the snapshot-time merge of the
+    /// *total* distributions of every stage set whose scope starts with
+    /// `member_prefix` (e.g. `"gateway/e2e"` over `"fn/"` — each request's
+    /// stage sum is its e2e latency).
+    pub fn histogram_union(&self, name: &str, member_prefix: &str) {
+        let mut unions = self.histogram_unions.lock();
+        if !unions.iter().any(|(n, p)| n == name && p == member_prefix) {
+            unions.push((name.to_string(), member_prefix.to_string()));
+        }
+    }
+
+    /// Appends one sample to a named time series. Out-of-order samples (only
+    /// possible when unrelated threads race on the same series) are dropped
+    /// rather than panicking the series' ordering invariant.
+    pub fn sample_series(&self, name: &str, at: SimTime, value: f64) {
+        let mut series = self.series.lock();
+        let ts = series.entry(name.to_string()).or_default();
+        match ts.points().last() {
+            Some(&(last, _)) if at < last => {}
+            _ => ts.push(at, value),
+        }
+    }
+
+    /// Snapshot of every named time series.
+    pub fn series_snapshot(&self) -> Vec<(String, TimeSeries)> {
+        let mut out: Vec<_> = self
+            .series
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub(crate) fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub(crate) fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<_> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub(crate) fn histograms_snapshot(&self) -> Vec<(String, LatencyHistogram)> {
+        let mut out: HashMap<String, LatencyHistogram> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.merged()))
+            .collect();
+        let stages = self.stages.read();
+        for (name, prefix) in self.histogram_unions.lock().iter() {
+            let mut merged = LatencyHistogram::new();
+            for (scope, set) in stages.iter() {
+                if scope.starts_with(prefix.as_str()) {
+                    merged.merge(&set.merged_total());
+                }
+            }
+            if let Some(existing) = out.get(name) {
+                merged.merge(existing);
+            }
+            out.insert(name.clone(), merged);
+        }
+        let mut out: Vec<_> = out.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    pub(crate) fn stages_snapshot(&self) -> Vec<(String, Vec<(Stage, LatencyHistogram)>)> {
+        let stages = self.stages.read();
+        let mut out: HashMap<String, Vec<(Stage, LatencyHistogram)>> = stages
+            .iter()
+            .map(|(k, v)| (k.clone(), v.merged_all()))
+            .collect();
+        for (scope, prefix) in self.stage_unions.lock().iter() {
+            let mut merged: Vec<(Stage, LatencyHistogram)> = Stage::ALL
+                .iter()
+                .map(|&s| (s, LatencyHistogram::new()))
+                .collect();
+            for (member, set) in stages.iter() {
+                if member.starts_with(prefix.as_str()) {
+                    for (slot, (_, hist)) in merged.iter_mut().zip(set.merged_all()) {
+                        slot.1.merge(&hist);
+                    }
+                }
+            }
+            if let Some(existing) = out.get(scope) {
+                for (slot, (_, hist)) in merged.iter_mut().zip(existing.iter()) {
+                    slot.1.merge(hist);
+                }
+            }
+            out.insert(scope.clone(), merged);
+        }
+        for (member, scope) in self.member_unions.lock().iter() {
+            let Some(set) = stages.get(member) else {
+                continue; // assigned but never recorded into
+            };
+            let entry = out.entry(scope.clone()).or_insert_with(|| {
+                Stage::ALL
+                    .iter()
+                    .map(|&s| (s, LatencyHistogram::new()))
+                    .collect()
+            });
+            for (slot, (_, hist)) in entry.iter_mut().zip(set.merged_all()) {
+                slot.1.merge(&hist);
+            }
+        }
+        let mut out: Vec<_> = out.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_named_and_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.incr();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        assert_eq!(reg.counter("y").get(), 0);
+
+        reg.gauge("g").set(2.5);
+        assert_eq!(reg.gauge("g").get(), 2.5);
+    }
+
+    #[test]
+    fn shared_histogram_merges_stripes() {
+        let h = SharedHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        h.record(SimDuration::from_micros(t * 100 + i + 1));
+                    }
+                });
+            }
+        });
+        let merged = h.merged();
+        assert_eq!(merged.count(), 400);
+        assert_eq!(merged.min(), SimDuration::from_micros(1));
+        assert_eq!(merged.max(), SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn stage_set_skips_zero_stages() {
+        let set = StageSet::new();
+        let mut sample = StageSample::new();
+        sample.set(Stage::Exec, SimDuration::from_millis(2));
+        set.record(&sample);
+        assert_eq!(set.merged(Stage::Exec).count(), 1);
+        assert_eq!(set.merged(Stage::ImagePull).count(), 0);
+    }
+
+    /// Property: recording a value set concurrently through the striped
+    /// histogram yields exactly the same distribution as recording it
+    /// single-threaded into one histogram — striping must not lose, double,
+    /// or distort samples.
+    #[test]
+    fn prop_striped_recording_equals_single_threaded() {
+        testkit::check(16, |g| {
+            let vals = g.vec(1..400, |g| g.u64_in(1..100_000_000));
+            let threads = 1 + (g.u64_in(1..8) as usize);
+
+            let mut reference = LatencyHistogram::new();
+            for &v in &vals {
+                reference.record(SimDuration::from_nanos(v));
+            }
+
+            let shared = SharedHistogram::new();
+            std::thread::scope(|s| {
+                for chunk in vals.chunks(vals.len().div_ceil(threads)) {
+                    let shared = &shared;
+                    s.spawn(move || {
+                        for &v in chunk {
+                            shared.record(SimDuration::from_nanos(v));
+                        }
+                    });
+                }
+            });
+            let merged = shared.merged();
+            assert_eq!(merged.count(), reference.count());
+            assert_eq!(merged.sum_ns(), reference.sum_ns());
+            assert_eq!(merged.min(), reference.min());
+            assert_eq!(merged.max(), reference.max());
+            for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(merged.quantile(q), reference.quantile(q), "q={q}");
+            }
+        });
+    }
+
+    /// Same property for stage sets: per-stage merged histograms equal
+    /// single-threaded recording of the same samples.
+    #[test]
+    fn prop_stage_set_striping_preserves_samples() {
+        testkit::check(16, |g| {
+            let samples: Vec<StageSample> = g.vec(1..100, |g| {
+                let mut s = StageSample::new();
+                s.set(Stage::Exec, SimDuration::from_nanos(g.u64_in(1..1_000_000)));
+                if g.u64_in(0..2) == 0 {
+                    s.set(
+                        Stage::RuntimeInit,
+                        SimDuration::from_nanos(g.u64_in(1..1_000_000)),
+                    );
+                }
+                s
+            });
+            let set = StageSet::new();
+            std::thread::scope(|s| {
+                for chunk in samples.chunks(samples.len().div_ceil(4)) {
+                    let set = &set;
+                    s.spawn(move || {
+                        for sample in chunk {
+                            set.record(sample);
+                        }
+                    });
+                }
+            });
+            let mut exec_ref = LatencyHistogram::new();
+            let mut init_ref = LatencyHistogram::new();
+            for s in &samples {
+                exec_ref.record(s.get(Stage::Exec));
+                if !s.get(Stage::RuntimeInit).is_zero() {
+                    init_ref.record(s.get(Stage::RuntimeInit));
+                }
+            }
+            assert_eq!(set.merged(Stage::Exec).count(), exec_ref.count());
+            assert_eq!(set.merged(Stage::Exec).sum_ns(), exec_ref.sum_ns());
+            assert_eq!(set.merged(Stage::RuntimeInit).count(), init_ref.count());
+            assert_eq!(set.merged(Stage::RuntimeInit).sum_ns(), init_ref.sum_ns());
+        });
+    }
+
+    #[test]
+    fn unions_synthesize_scopes_at_snapshot_time() {
+        let reg = MetricsRegistry::new();
+        reg.stage_union("all", "fn/");
+        reg.histogram_union("gateway/e2e", "fn/");
+        reg.stage_union_member("key/go", "fn/a");
+        reg.stage_union_member("key/go", "fn/b");
+
+        let mut a = StageSample::new();
+        a.set(Stage::Exec, SimDuration::from_millis(2));
+        a.set(Stage::RuntimeInit, SimDuration::from_millis(1));
+        reg.stage_set("fn/a").record(&a);
+        let mut b = StageSample::new();
+        b.set(Stage::Exec, SimDuration::from_millis(3));
+        reg.stage_set("fn/b").record(&b);
+
+        let snap = reg.snapshot();
+        // Prefix union: `all` is the merge of both fn scopes.
+        assert_eq!(snap.stage_count("all", Stage::Exec), 2);
+        assert_eq!(snap.stage_count("all", Stage::RuntimeInit), 1);
+        assert_eq!(
+            snap.scope_total_ns("all"),
+            SimDuration::from_millis(6).as_nanos()
+        );
+        // Member union: both functions share the `key/go` runtime key.
+        assert_eq!(snap.stage_count("key/go", Stage::Exec), 2);
+        assert_eq!(
+            snap.stage_sum_ns("key/go", Stage::Exec),
+            SimDuration::from_millis(5).as_nanos()
+        );
+        // Histogram union: e2e is the per-sample total distribution.
+        let e2e = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "gateway/e2e")
+            .map(|(_, h)| h)
+            .expect("synthesized e2e histogram");
+        assert_eq!(e2e.count, 2);
+        assert_eq!(e2e.sum_ns, SimDuration::from_millis(6).as_nanos());
+        assert_eq!(e2e.max_ns, SimDuration::from_millis(3).as_nanos());
+
+        // Reassigning a member moves its history to the new union scope.
+        reg.stage_union_member("key/py", "fn/b");
+        let snap = reg.snapshot();
+        assert_eq!(snap.stage_count("key/go", Stage::Exec), 1);
+        assert_eq!(snap.stage_count("key/py", Stage::Exec), 1);
+    }
+
+    #[test]
+    fn series_drop_out_of_order() {
+        let reg = MetricsRegistry::new();
+        reg.sample_series("s", SimTime::from_secs(10), 1.0);
+        reg.sample_series("s", SimTime::from_secs(5), 2.0); // dropped
+        reg.sample_series("s", SimTime::from_secs(20), 3.0);
+        let series = reg.series_snapshot();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].1.len(), 2);
+    }
+}

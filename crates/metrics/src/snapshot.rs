@@ -1,0 +1,285 @@
+//! Point-in-time JSON export of a [`MetricsRegistry`].
+//!
+//! A [`MetricsSnapshot`] freezes every named metric into plain data —
+//! histogram summaries keep the exact sample count and nanosecond sum next
+//! to the approximate quantiles, so a snapshot can be reconciled against
+//! e2e request totals exactly. All durations are reported in nanoseconds
+//! (`*_ns` fields); serialization goes through [`stdshim::ToJson`].
+
+use crate::histogram::LatencyHistogram;
+use crate::registry::MetricsRegistry;
+use crate::stage::Stage;
+use crate::timeseries::TimeSeries;
+use stdshim::{JsonValue, ToJson};
+
+/// Summary of one histogram: exact count/sum/min/max/mean plus approximate
+/// quantiles (all nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of all samples, in nanoseconds (saturating at `u64::MAX`).
+    pub sum_ns: u64,
+    /// Exact minimum.
+    pub min_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+    /// Exact mean.
+    pub mean_ns: u64,
+    /// Approximate median.
+    pub p50_ns: u64,
+    /// Approximate 90th percentile.
+    pub p90_ns: u64,
+    /// Approximate 99th percentile.
+    pub p99_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram (all-zero for an empty one).
+    pub fn of(h: &LatencyHistogram) -> Self {
+        if h.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                sum_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                mean_ns: 0,
+                p50_ns: 0,
+                p90_ns: 0,
+                p99_ns: 0,
+            };
+        }
+        HistogramSummary {
+            count: h.count(),
+            sum_ns: u64::try_from(h.sum_ns()).unwrap_or(u64::MAX),
+            min_ns: h.min().as_nanos(),
+            max_ns: h.max().as_nanos(),
+            mean_ns: h.mean().as_nanos(),
+            p50_ns: h.quantile(0.5).as_nanos(),
+            p90_ns: h.quantile(0.9).as_nanos(),
+            p99_ns: h.quantile(0.99).as_nanos(),
+        }
+    }
+}
+
+impl ToJson for HistogramSummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count", self.count.to_json()),
+            ("sum_ns", self.sum_ns.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("max_ns", self.max_ns.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("p50_ns", self.p50_ns.to_json()),
+            ("p90_ns", self.p90_ns.to_json()),
+            ("p99_ns", self.p99_ns.to_json()),
+        ])
+    }
+}
+
+/// A frozen view of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Named histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-scope stage summaries (`Stage::ALL` order within a scope),
+    /// sorted by scope.
+    pub stages: Vec<(String, Vec<(Stage, HistogramSummary)>)>,
+    /// Named time series, sorted by name.
+    pub series: Vec<(String, TimeSeries)>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// A gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// One stage's summary within a scope, if the scope exists.
+    pub fn stage(&self, scope: &str, stage: Stage) -> Option<HistogramSummary> {
+        let (_, stages) = self.stages.iter().find(|(s, _)| s == scope)?;
+        stages.iter().find(|&&(s, _)| s == stage).map(|&(_, h)| h)
+    }
+
+    /// Sample count of one stage in a scope (0 when absent).
+    pub fn stage_count(&self, scope: &str, stage: Stage) -> u64 {
+        self.stage(scope, stage).map_or(0, |h| h.count)
+    }
+
+    /// Exact nanosecond sum of one stage in a scope (0 when absent).
+    pub fn stage_sum_ns(&self, scope: &str, stage: Stage) -> u64 {
+        self.stage(scope, stage).map_or(0, |h| h.sum_ns)
+    }
+
+    /// Exact nanosecond sum across all stages of a scope — reconciles with
+    /// the sum of `RequestTrace::total()` over the scope's requests.
+    pub fn scope_total_ns(&self, scope: &str) -> u64 {
+        Stage::ALL
+            .iter()
+            .map(|&s| self.stage_sum_ns(scope, s))
+            .sum()
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> JsonValue {
+        let counters = JsonValue::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let gauges = JsonValue::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let histograms = JsonValue::Object(
+            self.histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let stages = JsonValue::Object(
+            self.stages
+                .iter()
+                .map(|(scope, stages)| {
+                    (
+                        scope.clone(),
+                        JsonValue::Object(
+                            stages
+                                .iter()
+                                .filter(|(_, h)| h.count > 0)
+                                .map(|(s, h)| (s.name().to_string(), h.to_json()))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let series = JsonValue::Object(
+            self.series
+                .iter()
+                .map(|(k, ts)| {
+                    (
+                        k.clone(),
+                        JsonValue::Array(
+                            ts.points()
+                                .iter()
+                                .map(|&(at, v)| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::Float(at.as_secs_f64()),
+                                        JsonValue::Float(v),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::object([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+            ("stages", stages),
+            ("series", series),
+        ])
+    }
+}
+
+impl MetricsRegistry {
+    /// Freezes every metric into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters_snapshot(),
+            gauges: self.gauges_snapshot(),
+            histograms: self
+                .histograms_snapshot()
+                .into_iter()
+                .map(|(k, h)| (k, HistogramSummary::of(&h)))
+                .collect(),
+            stages: self
+                .stages_snapshot()
+                .into_iter()
+                .map(|(scope, stages)| {
+                    (
+                        scope,
+                        stages
+                            .into_iter()
+                            .map(|(s, h)| (s, HistogramSummary::of(&h)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            series: self.series_snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::StageSample;
+    use simclock::{SimDuration, SimTime};
+
+    #[test]
+    fn snapshot_round_trips_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a/requests").add(7);
+        reg.gauge("pool/size").set(3.0);
+        reg.histogram("e2e").record(SimDuration::from_millis(10));
+        let mut s = StageSample::new();
+        s.set(Stage::Exec, SimDuration::from_millis(4));
+        s.set(Stage::RuntimeInit, SimDuration::from_millis(6));
+        reg.stage_set("fn/x").record(&s);
+        reg.sample_series("demand", SimTime::from_secs(30), 2.0);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a/requests"), Some(7));
+        assert_eq!(snap.gauge("pool/size"), Some(3.0));
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.stage_count("fn/x", Stage::Exec), 1);
+        assert_eq!(
+            snap.scope_total_ns("fn/x"),
+            SimDuration::from_millis(10).as_nanos()
+        );
+        assert_eq!(snap.series[0].1.len(), 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gateway/requests").incr();
+        let mut s = StageSample::new();
+        s.set(Stage::Exec, SimDuration::from_millis(1));
+        reg.stage_set("all").record(&s);
+        let text = reg.snapshot().to_json().to_pretty_string();
+        assert!(text.contains("\"gateway/requests\": 1"));
+        assert!(text.contains("\"exec\""));
+        assert!(text.contains("\"sum_ns\""));
+        // Zero-count stages are omitted from the scope object.
+        assert!(!text.contains("\"image_pull\""));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let s = HistogramSummary::of(&LatencyHistogram::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The request-path stage taxonomy for the Fig.-2-style decomposition.
+//!
+//! The paper's six-timestamp instrumentation (§III-A) splits a request into
+//! forwarding, initiation, and execution segments; its Fig. 2 further
+//! decomposes initiation into the container-engine internals. [`Stage`] is
+//! that combined taxonomy: the fixed gateway/watchdog hops, every cold-start
+//! stage the engine reports in its `CostBreakdown`, the fuzzy-reuse
+//! reconfiguration cost, and the app-init/exec split of the execution
+//! segment. A [`StageSample`] holds one request's duration per stage; the
+//! stage durations of a request always sum to its end-to-end
+//! `RequestTrace::total()`, which is what lets live stage histograms be
+//! reconciled against e2e latency exactly.
+
+use simclock::SimDuration;
+
+/// One stage of the instrumented request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Gateway proxy hops: client→gateway (1→2) plus gateway→client (5→6).
+    GatewayHop,
+    /// Watchdog hops: gateway→function (2→3 fixed part) plus
+    /// function→gateway (4→5).
+    WatchdogHop,
+    /// Waiting for the serialized container daemon (queueing/lock wait).
+    QueueWait,
+    /// Registry download of missing image layers.
+    ImagePull,
+    /// Decompressing/unpacking downloaded layers.
+    ImageUnpack,
+    /// Namespace + cgroup + rootfs allocation.
+    ResourceAlloc,
+    /// Network mode setup.
+    NetworkSetup,
+    /// Volume create + bind mount.
+    VolumeMount,
+    /// Language runtime cold initialization.
+    RuntimeInit,
+    /// Loading the function code into the runtime.
+    CodeLoad,
+    /// Applying configuration deltas to a fuzzy-matched reused runtime.
+    Reconfig,
+    /// App-level initialization on the first execution in a runtime.
+    AppInit,
+    /// The function handler itself.
+    Exec,
+}
+
+/// Number of stages in [`Stage::ALL`].
+pub const N_STAGES: usize = 13;
+
+impl Stage {
+    /// Every stage, in request-path order.
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::GatewayHop,
+        Stage::WatchdogHop,
+        Stage::QueueWait,
+        Stage::ImagePull,
+        Stage::ImageUnpack,
+        Stage::ResourceAlloc,
+        Stage::NetworkSetup,
+        Stage::VolumeMount,
+        Stage::RuntimeInit,
+        Stage::CodeLoad,
+        Stage::Reconfig,
+        Stage::AppInit,
+        Stage::Exec,
+    ];
+
+    /// Stable snake_case name, used as the JSON key in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::GatewayHop => "gateway_hop",
+            Stage::WatchdogHop => "watchdog_hop",
+            Stage::QueueWait => "queue_wait",
+            Stage::ImagePull => "image_pull",
+            Stage::ImageUnpack => "image_unpack",
+            Stage::ResourceAlloc => "resource_alloc",
+            Stage::NetworkSetup => "network_setup",
+            Stage::VolumeMount => "volume_mount",
+            Stage::RuntimeInit => "runtime_init",
+            Stage::CodeLoad => "code_load",
+            Stage::Reconfig => "reconfig",
+            Stage::AppInit => "app_init",
+            Stage::Exec => "exec",
+        }
+    }
+
+    /// Index into [`Stage::ALL`]-ordered arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One request's duration per stage. Stages that did not occur stay zero
+/// and are not recorded into histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageSample {
+    ns: [u64; N_STAGES],
+}
+
+impl StageSample {
+    /// A sample with every stage at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a stage's duration.
+    pub fn set(&mut self, stage: Stage, d: SimDuration) {
+        self.ns[stage.index()] = d.as_nanos();
+    }
+
+    /// Adds to a stage's duration (for stages visited more than once per
+    /// request, like the two gateway hops).
+    pub fn add(&mut self, stage: Stage, d: SimDuration) {
+        self.ns[stage.index()] += d.as_nanos();
+    }
+
+    /// A stage's duration.
+    pub fn get(&self, stage: Stage) -> SimDuration {
+        SimDuration::from_nanos(self.ns[stage.index()])
+    }
+
+    /// Raw nanoseconds per stage, in [`Stage::ALL`] order.
+    pub fn nanos(&self) -> &[u64; N_STAGES] {
+        &self.ns
+    }
+
+    /// Sum over all stages — equals the request's e2e total when the sample
+    /// was filled from a complete request path.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.ns.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_stage_in_order() {
+        assert_eq!(Stage::ALL.len(), N_STAGES);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s:?}");
+        }
+        let mut names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), N_STAGES, "stage names must be unique");
+    }
+
+    #[test]
+    fn sample_set_add_total() {
+        let mut s = StageSample::new();
+        s.set(Stage::Exec, SimDuration::from_millis(5));
+        s.add(Stage::GatewayHop, SimDuration::from_micros(1500));
+        s.add(Stage::GatewayHop, SimDuration::from_micros(1500));
+        assert_eq!(s.get(Stage::GatewayHop), SimDuration::from_millis(3));
+        assert_eq!(s.get(Stage::AppInit), SimDuration::ZERO);
+        assert_eq!(s.total(), SimDuration::from_millis(8));
+    }
+}

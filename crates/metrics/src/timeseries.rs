@@ -61,11 +61,19 @@ impl TimeSeries {
 
     /// Bins the series into fixed windows of `width`, averaging the samples
     /// in each bin. Empty bins repeat the previous bin's value (step-hold),
-    /// starting from 0. Returns one value per bin covering `[start, end)`.
+    /// starting from 0. Returns one value per bin covering `[start, end)`;
+    /// when the range is not an exact multiple of `width` the final bin is a
+    /// partial window (shorter than `width`) so no sample is dropped.
     pub fn bin_average(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<f64> {
         assert!(!width.is_zero(), "bin width must be positive");
         assert!(end > start, "empty binning range");
-        let nbins = end.duration_since(start).div_duration(width) as usize;
+        let span = end.duration_since(start);
+        let whole = span.div_duration(width) as usize;
+        let nbins = if span.as_nanos().is_multiple_of(width.as_nanos()) {
+            whole
+        } else {
+            whole + 1
+        };
         let mut sums = vec![0.0; nbins];
         let mut counts = vec![0u32; nbins];
         for &(at, v) in &self.points {
@@ -156,6 +164,19 @@ mod tests {
         ts.push(t(7), 8.0); // bin 3: 8
         let bins = ts.bin_average(t(0), t(8), SimDuration::from_secs(2));
         assert_eq!(bins, vec![3.0, 10.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn bin_average_includes_trailing_partial_window() {
+        // [0s, 5s) at width 2s covers [0,2), [2,4), [4,5): three bins, the
+        // last one partial. The pre-fix code truncated nbins to 2 and
+        // silently dropped the t=4 sample despite the doc's [start, end)
+        // coverage promise.
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 2.0);
+        ts.push(t(4), 9.0);
+        let bins = ts.bin_average(t(0), t(5), SimDuration::from_secs(2));
+        assert_eq!(bins, vec![2.0, 2.0, 9.0]);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn compress_app() -> AppProfile {
         work: ExecWork {
             compute: SimDuration::from_millis(180),
             mem_bytes: 96 * 1024 * 1024,
+            init: SimDuration::ZERO,
             cpu_cores: 1.0,
             files_written: 2,
             bytes_written: 900 * 1024,
@@ -40,6 +41,7 @@ fn watermark_app() -> AppProfile {
         work: ExecWork {
             compute: SimDuration::from_millis(70),
             mem_bytes: 48 * 1024 * 1024,
+            init: SimDuration::ZERO,
             cpu_cores: 0.5,
             files_written: 1,
             bytes_written: 950 * 1024,
@@ -56,6 +58,7 @@ fn recognition_app(name: &'static str, compute_ms: u64) -> AppProfile {
         work: ExecWork {
             compute: SimDuration::from_millis(compute_ms),
             mem_bytes: 700 * 1024 * 1024,
+            init: SimDuration::ZERO,
             cpu_cores: 3.0,
             files_written: 1,
             bytes_written: 64 * 1024,
