@@ -21,11 +21,17 @@ run cargo metadata --offline --format-version 1 >/dev/null
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# 3. Tier-1: release build + full test suite, offline.
+# 3. Repo-specific conformance analyzer: determinism and concurrency rules
+#    clippy cannot express (wall-clock, raw locks, hash-order iteration,
+#    unwrap on the request path, hermetic manifests). Deny by default;
+#    escapes need `// lint:allow(rule, reason)`.
+run cargo run --offline -q -p hotc-lint
+
+# 4. Tier-1: release build + full test suite, offline.
 run cargo build --release --offline
 run cargo test -q --offline
 
-# 4. Perf smoke: every bench suite in --smoke mode, accumulating one
+# 5. Perf smoke: every bench suite in --smoke mode, accumulating one
 #    JSON-Lines record per suite into BENCH_ci.json (the CI perf artifact).
 export BENCH_OUT_DIR="$PWD"
 rm -f "$BENCH_OUT_DIR/BENCH_ci.json"
@@ -48,8 +54,21 @@ for name in shared_gateway/8_threads sharded_gateway/8_threads; do
         || { echo "missing bench '$name' in BENCH_ci.json" >&2; exit 1; }
 done
 wc -l "$BENCH_OUT_DIR/BENCH_ci.json"
+# Contention parity: the sanitizer instrumentation (PR 4) must not erase the
+# sharding speedup. Release builds compile the sanitizer out entirely, so the
+# sharded gateway at 8 threads must still beat the single-lock gateway.
+mean_of() {
+    grep '"suite":"contention"' "$BENCH_OUT_DIR/BENCH_ci.json" \
+        | sed -e "s/.*\"$1\\/8_threads\",\"mean_ns\"://" -e 's/,.*//'
+}
+shared_mean="$(mean_of shared_gateway)"
+sharded_mean="$(mean_of sharded_gateway)"
+echo "contention 8_threads mean_ns: shared=$shared_mean sharded=$sharded_mean"
+awk -v a="$sharded_mean" -v b="$shared_mean" \
+    'BEGIN { exit !(a + 0 > 0 && b + 0 > 0 && a < b) }' \
+    || { echo "sharded_gateway/8_threads ($sharded_mean ns) is not faster than shared_gateway/8_threads ($shared_mean ns)" >&2; exit 1; }
 
-# 5. Telemetry smoke: run the demo scenario with --metrics-out and assert the
+# 6. Telemetry smoke: run the demo scenario with --metrics-out and assert the
 #    snapshot is well-formed with nonzero cold-start stage counts. stdshim has
 #    no JSON parser, so the shape check is textual.
 METRICS_OUT="$(mktemp)"

@@ -369,7 +369,12 @@ impl Scenario {
                     other => return err(line_no, format!("unknown global key '{other}'")),
                 },
                 Section::Function(_) => {
-                    let decl = functions.last_mut().expect("inside a function section");
+                    // Entering a function section pushes its declaration, so
+                    // one is always present here — but a parser bug should
+                    // surface as a parse error, not a panic.
+                    let Some(decl) = functions.last_mut() else {
+                        return err(line_no, "function key outside a [function] section");
+                    };
                     if let Some(env_key) = key.strip_prefix("env.") {
                         decl.env.insert(env_key.to_string(), value.to_string());
                         continue;

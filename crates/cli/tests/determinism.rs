@@ -1,0 +1,39 @@
+//! Output-determinism regression test (satellite of ISSUE 4).
+//!
+//! The lint rule `map-iteration` forbids hash-ordered iteration on the
+//! deterministic result path; this test is the runtime counterpart: the demo
+//! scenario, run twice in the same process, must produce byte-identical
+//! reports and byte-identical `--metrics-out` JSON. Hash containers randomize
+//! their seed per process *and* per instantiation, so any hash-order leak
+//! into the snapshot (or the report tables) shows up as a diff here.
+
+use hotc_cli::scenario::DEMO_SCENARIO;
+use hotc_cli::{run_scenario, Scenario, ScenarioReport};
+use stdshim::ToJson;
+
+fn run_once() -> ScenarioReport {
+    let scenario = Scenario::parse(DEMO_SCENARIO).expect("demo scenario parses");
+    run_scenario(&scenario).expect("demo scenario runs")
+}
+
+#[test]
+fn demo_scenario_metrics_json_is_byte_identical_across_runs() {
+    let a = run_once().metrics.to_json().to_pretty_string();
+    let b = run_once().metrics.to_json().to_pretty_string();
+    assert!(
+        a == b,
+        "metrics JSON differs between identical runs:\nfirst {} bytes vs {} bytes",
+        a.len(),
+        b.len()
+    );
+    // The snapshot is non-trivial: it must contain sorted stage histograms.
+    assert!(a.contains("\"stages\""), "snapshot missing stages section");
+}
+
+#[test]
+fn demo_scenario_report_is_byte_identical_across_runs() {
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.render(false), b.render(false));
+    assert_eq!(a.render(true), b.render(true));
+}

@@ -206,6 +206,7 @@ impl Cluster {
             .iter()
             .map(|n| n.inflight)
             .min()
+            // lint:allow(unwrap, place() returns ClusterError::NoNodes before scheduling on an empty cluster)
             .expect("non-empty cluster");
         let candidates: Vec<usize> = self
             .nodes

@@ -122,6 +122,10 @@ pub enum EngineError {
     },
     /// The configuration failed validation.
     InvalidConfig(String),
+    /// An engine bookkeeping invariant was violated (container/volume tables
+    /// out of sync). Always a bug in the engine itself — surfaced as a typed
+    /// error so a gateway degrades to a failed request instead of a panic.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for EngineError {
@@ -133,6 +137,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "container {id} is {state:?}, operation needs {needed}")
             }
             EngineError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            EngineError::Internal(msg) => write!(f, "engine invariant violated: {msg}"),
         }
     }
 }
@@ -433,10 +438,9 @@ impl ContainerEngine {
                 needed: "Running",
             });
         }
-        let work = rec
-            .running_work
-            .take()
-            .expect("Running container must have in-flight work");
+        let work = rec.running_work.take().ok_or(EngineError::Internal(
+            "Running container has no in-flight work",
+        ))?;
         let crashed = std::mem::take(&mut rec.crashing);
         rec.state = if crashed {
             ContainerState::Stopped
@@ -451,11 +455,11 @@ impl ContainerEngine {
             // container is disposed of. The mount is released by the crash.
             self.volumes
                 .unmount(volume)
-                .expect("live container volume must exist");
+                .map_err(|_| EngineError::Internal("live container volume missing on crash"))?;
         } else {
             self.volumes
                 .write(volume, work.files_written, work.bytes_written)
-                .expect("live container volume must exist");
+                .map_err(|_| EngineError::Internal("live container volume missing on write"))?;
         }
         Ok(())
     }
@@ -493,7 +497,7 @@ impl ContainerEngine {
         let cost = self
             .volumes
             .wipe_and_remount(volume, &hw)
-            .expect("live container volume must exist");
+            .map_err(|_| EngineError::Internal("live container volume missing on cleanup"))?;
         Ok(cost)
     }
 
@@ -521,16 +525,18 @@ impl ContainerEngine {
                 needed: "Idle, Created, or Stopped",
             });
         }
-        let rec = self.containers.remove(&id).expect("checked above");
+        let rec = self.containers.remove(&id).ok_or(EngineError::Internal(
+            "container vanished between check and removal",
+        ))?;
         if rec.state != ContainerState::Stopped {
             // Stopped (crashed) containers already released their mount.
             self.volumes
                 .unmount(rec.volume)
-                .expect("live container volume must exist");
+                .map_err(|_| EngineError::Internal("live container volume missing on removal"))?;
         }
         self.volumes
             .delete(rec.volume)
-            .expect("unmounted volume deletes cleanly");
+            .map_err(|_| EngineError::Internal("unmounted volume failed to delete"))?;
         self.host.remove_live_container(rec.idle_mem);
         Ok(hw.control(costmodel::CONTAINER_STOP + costmodel::CONTAINER_REMOVE))
     }
@@ -604,6 +610,7 @@ impl ContainerEngine {
     /// HotC uses: "the oldest live container is forcibly terminated").
     pub fn live_ids_oldest_first(&self) -> Vec<ContainerId> {
         let mut ids: Vec<_> = self
+            // lint:allow(map-iteration, sorted by (created_at, id) below, so hash order cannot reach the result)
             .containers
             .iter()
             .map(|(&id, r)| (r.created_at, id))

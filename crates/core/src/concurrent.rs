@@ -49,7 +49,7 @@ impl<P: RuntimeProvider> ConcurrentGateway<P> {
     /// Wraps a gateway for concurrent use.
     pub fn new(gateway: Gateway<P>) -> Self {
         ConcurrentGateway {
-            inner: Mutex::new(gateway),
+            inner: Mutex::labeled(gateway, "gateway/global"),
         }
     }
 
@@ -113,7 +113,7 @@ impl ShardedTracker {
     fn new(shards: usize) -> Self {
         ShardedTracker {
             shards: (0..shards.max(1))
-                .map(|_| Mutex::new(AppTracker::new()))
+                .map(|_| Mutex::labeled(AppTracker::new(), "gateway/tracker"))
                 .collect(),
         }
     }
@@ -191,12 +191,15 @@ impl ShardedGateway {
         let requests_counter = metrics.counter("gateway/requests");
         let cold_counter = metrics.counter("gateway/cold_starts");
         ShardedGateway {
-            engine: Mutex::new(engine),
-            functions: RwLock::new(HashMap::new()),
+            engine: Mutex::labeled(engine, "core/engine"),
+            functions: RwLock::labeled(HashMap::new(), "gateway/functions"),
             stats: SharedStats::new(),
             tracker: ShardedTracker::new(config.shards),
             pool: ShardedPool::with_shards(config.key_policy, config.shards),
-            controller: Mutex::new(AdaptiveController::new(config.controller)),
+            controller: Mutex::labeled(
+                AdaptiveController::new(config.controller),
+                "gateway/controller",
+            ),
             limits: config.limits,
             disable_prediction: config.disable_prediction,
             background_nanos: AtomicU64::new(0),
@@ -294,6 +297,9 @@ impl ShardedGateway {
     /// state is locked by itself, in a fixed order, and never across the
     /// container-creation path of another key's shard.
     pub fn begin(&self, function: &str, now: SimTime) -> Result<InFlight, GatewayError> {
+        // DESIGN.md §5: the request path holds at most one of {function
+        // table, tracker shard, pool shard, engine} at a time.
+        let _scope = stdshim::request_path_scope();
         let entry = self
             .functions
             .read()
@@ -348,6 +354,8 @@ impl ShardedGateway {
     /// the container to the pool (a crashed one is disposed of), bump the
     /// atomic counters, and prune app-tracking entries that just went stale.
     pub fn finish(&self, inflight: InFlight) -> Result<RequestTrace, GatewayError> {
+        // DESIGN.md §5: at most one lock at a time on the finish path too.
+        let _scope = stdshim::request_path_scope();
         let t4 = inflight.t4_func_end;
         // Fast path: the registration-time entry already carries the runtime
         // key, so the end-exec + cleanup pair runs in one engine critical

@@ -195,7 +195,7 @@ impl ShardedPool {
         ShardedPool {
             policy,
             shards: (0..shards)
-                .map(|_| Mutex::new(ShardState::default()))
+                .map(|_| Mutex::labeled(ShardState::default(), "pool/shard"))
                 .collect(),
             gc_intervals: DEFAULT_GC_INTERVALS,
         }
@@ -274,6 +274,9 @@ impl ShardedPool {
         now: SimTime,
     ) -> Result<PoolAcquisition, EngineError> {
         debug_assert_eq!(*key, self.key_of(config));
+        // DESIGN.md §5: the acquire path takes its locks (shard, engine)
+        // strictly one at a time; the sanitizer enforces it in debug builds.
+        let _scope = stdshim::request_path_scope();
         let shard = self.shard(key);
         let reused = {
             let mut state = shard.lock();
@@ -336,6 +339,8 @@ impl ShardedPool {
         container: ContainerId,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
+        // DESIGN.md §5: engine and shard locks are taken one at a time.
+        let _scope = stdshim::request_path_scope();
         let (key, state_now, crashed) = engine.with_engine(|e| {
             let config = e
                 .config(container)
@@ -403,6 +408,9 @@ impl ShardedPool {
         now: SimTime,
         crashed: bool,
     ) -> Result<Option<SimDuration>, EngineError> {
+        // DESIGN.md §5: shard claim, engine critical section, and pool
+        // hand-back are three disjoint lock regions, never nested.
+        let _scope = stdshim::request_path_scope();
         let shard = self.shard(key);
         let claimed = {
             let mut state = shard.lock();
@@ -705,7 +713,10 @@ mod tests {
     use containersim::{HardwareProfile, ImageId};
 
     fn engine() -> Mutex<ContainerEngine> {
-        Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()))
+        Mutex::labeled(
+            ContainerEngine::with_local_images(HardwareProfile::server()),
+            "core/engine",
+        )
     }
 
     fn cfg(image: &str) -> ContainerConfig {

@@ -66,12 +66,13 @@ const GAP_WINDOW: usize = 256;
 impl TypeHistory {
     fn record_gap(&mut self, gap: SimDuration) {
         if self.gaps.len() == GAP_WINDOW {
-            let out = self.gaps.pop_front().expect("window is non-empty");
-            let at = self
-                .sorted
-                .binary_search(&out)
-                .expect("evicted gap is present in the sorted view");
-            self.sorted.remove(at);
+            if let Some(out) = self.gaps.pop_front() {
+                // Every gap pushed into the window was also inserted into
+                // the sorted view, so the evicted one is present.
+                if let Ok(at) = self.sorted.binary_search(&out) {
+                    self.sorted.remove(at);
+                }
+            }
         }
         self.gaps.push_back(gap);
         let at = self.sorted.binary_search(&gap).unwrap_or_else(|i| i);
@@ -195,9 +196,10 @@ impl RuntimeProvider for HybridKeepAlive {
             return Ok(());
         }
         self.background += engine.cleanup(container, now)?;
+        // `cleanup` succeeded, so the container is live and configured.
         let config = engine
             .config(container)
-            .expect("released container must be live")
+            .ok_or(EngineError::UnknownContainer(container))?
             .clone();
         self.history.entry(config.clone()).or_default().idle_since = Some(now);
         self.warm.entry(config).or_default().push(WarmEntry {

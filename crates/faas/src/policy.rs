@@ -134,9 +134,10 @@ impl RuntimeProvider for FixedKeepAlive {
         }
         // Clean the used container off the request path, then shelve it.
         self.background += engine.cleanup(container, now)?;
+        // `cleanup` succeeded, so the container is live and configured.
         let config = engine
             .config(container)
-            .expect("released container must be live")
+            .ok_or(EngineError::UnknownContainer(container))?
             .clone();
         self.warm.entry(config).or_default().push(WarmEntry {
             container,
@@ -232,9 +233,10 @@ impl RuntimeProvider for PeriodicWarmup {
             return Ok(());
         }
         self.background += engine.cleanup(container, now)?;
+        // `cleanup` succeeded, so the container is live and configured.
         let config = engine
             .config(container)
-            .expect("released container must be live")
+            .ok_or(EngineError::UnknownContainer(container))?
             .clone();
         self.warm.entry(config).or_default().push(WarmEntry {
             container,

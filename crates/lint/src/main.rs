@@ -1,0 +1,101 @@
+//! `hotc-lint` — the workspace conformance analyzer.
+//!
+//! Scans every `.rs` and `Cargo.toml` file in the workspace (excluding
+//! `target/` and dot-directories) and enforces the determinism and
+//! concurrency rules documented in DESIGN.md §7. Deny by default: any
+//! violation exits 1; the only escape is a reasoned
+//! `// lint:allow(rule, reason)` on or directly above the offending line.
+//!
+//! Usage: `cargo run -p hotc-lint` (from anywhere in the workspace), or
+//! `hotc-lint [workspace-root]`.
+
+mod rules;
+mod scan;
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` and `Cargo.toml` files, skipping build output
+/// and VCS/tooling directories.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("dir entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                collect_files(&path, out)?;
+            }
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root: an explicit CLI argument, or two levels up from this
+/// crate's manifest directory (`crates/lint` → workspace).
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn run() -> i32 {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    if let Err(e) = collect_files(&root, &mut files) {
+        eprintln!("hotc-lint: {e}");
+        return 2;
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("hotc-lint: read {rel}: {e}");
+                return 2;
+            }
+        };
+        scanned += 1;
+        if rel.ends_with("Cargo.toml") {
+            violations.extend(rules::check_manifest(&rel, &src));
+        } else {
+            violations.extend(rules::check_rust_file(&rel, &src));
+        }
+    }
+
+    if violations.is_empty() {
+        println!("hotc-lint: clean ({scanned} files)");
+        return 0;
+    }
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+    }
+    eprintln!(
+        "hotc-lint: {} violation(s) in {} file(s) scanned — fix, or annotate with \
+         `// lint:allow(rule, reason)` (see DESIGN.md §7)",
+        violations.len(),
+        scanned
+    );
+    1
+}
+
+fn main() {
+    std::process::exit(run());
+}

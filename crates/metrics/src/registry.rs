@@ -104,9 +104,10 @@ impl SharedHistogram {
 
     /// Records one sample into the calling thread's stripe.
     pub fn record(&self, latency: SimDuration) {
+        let _scope = stdshim::request_path_scope();
         let stripe = self.stripes[thread_stripe()]
             .0
-            .get_or_init(|| Mutex::new(LatencyHistogram::new()));
+            .get_or_init(|| Mutex::labeled(LatencyHistogram::new(), "metrics/stripe"));
         stripe.lock().record(latency);
     }
 
@@ -142,9 +143,13 @@ impl StageSet {
     /// stripe (zero stages did not occur and are not counted), plus the
     /// sample total into the totals slot.
     pub fn record(&self, sample: &StageSample) {
-        let stripe = self.stripes[thread_stripe()]
-            .0
-            .get_or_init(|| Mutex::new(Box::new(std::array::from_fn(|_| LatencyHistogram::new()))));
+        let _scope = stdshim::request_path_scope();
+        let stripe = self.stripes[thread_stripe()].0.get_or_init(|| {
+            Mutex::labeled(
+                Box::new(std::array::from_fn(|_| LatencyHistogram::new())),
+                "metrics/stripe",
+            )
+        });
         let mut hists = stripe.lock();
         let mut total = 0u64;
         for (i, &ns) in sample.nanos().iter().enumerate() {
@@ -201,7 +206,7 @@ impl StageSet {
 /// assert_eq!(snap.counter("gateway/requests"), Some(1));
 /// assert_eq!(snap.stage_count("fn/demo", Stage::Exec), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
     gauges: RwLock<HashMap<String, Arc<Gauge>>>,
@@ -221,6 +226,24 @@ pub struct MetricsRegistry {
     /// `fn/<name>` feeding its function's `key/<runtime-key>`). Reassigning
     /// a member moves its whole history to the new union.
     member_unions: Mutex<HashMap<String, String>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        // Snapshot paths hold the name-table locks across union and stripe
+        // locks (always in that order); each field gets its own lock class
+        // so the sanitizer sees those edges as distinct, acyclic orderings.
+        MetricsRegistry {
+            counters: RwLock::labeled(HashMap::new(), "metrics/counters"),
+            gauges: RwLock::labeled(HashMap::new(), "metrics/gauges"),
+            histograms: RwLock::labeled(HashMap::new(), "metrics/histograms"),
+            stages: RwLock::labeled(HashMap::new(), "metrics/stages"),
+            series: Mutex::labeled(HashMap::new(), "metrics/series"),
+            stage_unions: Mutex::labeled(Vec::new(), "metrics/stage-unions"),
+            histogram_unions: Mutex::labeled(Vec::new(), "metrics/histogram-unions"),
+            member_unions: Mutex::labeled(HashMap::new(), "metrics/member-unions"),
+        }
+    }
 }
 
 fn get_or_create<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {

@@ -63,7 +63,9 @@ impl Predictor for MovingAverage {
         self.buf.push_back(value);
         self.sum += value;
         if self.buf.len() > self.window {
-            self.sum -= self.buf.pop_front().expect("non-empty");
+            if let Some(evicted) = self.buf.pop_front() {
+                self.sum -= evicted;
+            }
         }
         self.observations += 1;
     }

@@ -131,10 +131,11 @@ impl Predictor for EsMarkov {
             // No evidence of where demand goes from here: trust the trend.
             return trend.max(0.0);
         }
-        let next = self
-            .chain
-            .predict_state()
-            .expect("current_state exists, so predict_state does");
+        // `current_state` exists (checked above), so `predict_state` does
+        // too — but degrade to the bare trend rather than panicking.
+        let Some(next) = self.chain.predict_state() else {
+            return trend.max(0.0);
+        };
         let (lo, hi) = self.chain.partition().bounds(next);
         trend.clamp(lo, hi).max(0.0)
     }

@@ -6,7 +6,9 @@
 //! the two small pieces that third-party crates used to provide:
 //!
 //! * [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std::sync`
-//!   with parking_lot-style ergonomics (`.lock()` returns the guard), and
+//!   with parking_lot-style ergonomics (`.lock()` returns the guard) and a
+//!   debug-build lock-order sanitizer (class labels, ABBA cycle detection,
+//!   re-entry detection, [`sync::request_path_scope`]), and
 //! * [`json`] — a write-only JSON tree ([`json::JsonValue`]) and the
 //!   [`json::ToJson`] trait that result structs implement instead of
 //!   deriving `serde::Serialize`.
@@ -19,4 +21,4 @@ pub mod json;
 pub mod sync;
 
 pub use json::{JsonValue, ToJson};
-pub use sync::{Mutex, RwLock};
+pub use sync::{request_path_scope, Mutex, RwLock};

@@ -154,6 +154,7 @@ impl DockerfileSurvey {
             let category = CATALOGUE
                 .iter()
                 .find(|p| p.image == image)
+                // lint:allow(unwrap, survey counts are keyed by catalogue profiles, so every image is in CATALOGUE)
                 .expect("surveyed image must come from the catalogue")
                 .category;
             *shares.entry(category).or_default() += count as f64;
