@@ -42,8 +42,8 @@ run cargo bench --offline -p hotc-bench --benches -- --smoke
 echo
 echo "==> BENCH_ci.json:"
 test -s "$BENCH_OUT_DIR/BENCH_ci.json"
-# Shape check: one JSON object per suite, all six suites present.
-for suite in cluster contention pipeline pool predictor simkernel; do
+# Shape check: one JSON object per suite, all seven suites present.
+for suite in cluster contention controller_tick pipeline pool predictor simkernel; do
     grep -q "\"suite\":\"$suite\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
         || { echo "missing suite '$suite' in BENCH_ci.json" >&2; exit 1; }
 done
@@ -54,19 +54,54 @@ for name in shared_gateway/8_threads sharded_gateway/8_threads; do
         || { echo "missing bench '$name' in BENCH_ci.json" >&2; exit 1; }
 done
 wc -l "$BENCH_OUT_DIR/BENCH_ci.json"
+# mean_of <suite> <bench-name>: pull one mean_ns out of the JSON-Lines
+# artifact. Bench names contain slashes, so sed delimits with `|`.
+mean_of() {
+    grep "\"suite\":\"$1\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
+        | sed -e "s|.*\"name\":\"$2\",\"mean_ns\":||" -e 's|,.*||'
+}
+# gate_below <label> <value_ns> <limit_ns>: fail when the record missed the
+# performance target (or was not recorded at all).
+gate_below() {
+    awk -v v="$2" -v lim="$3" 'BEGIN { exit !(v + 0 > 0 && v + 0 < lim + 0) }' \
+        || { echo "$1 = '$2' ns is not under the $3 ns gate" >&2; exit 1; }
+}
+
 # Contention parity: the sanitizer instrumentation (PR 4) must not erase the
 # sharding speedup. Release builds compile the sanitizer out entirely, so the
 # sharded gateway at 8 threads must still beat the single-lock gateway.
-mean_of() {
-    grep '"suite":"contention"' "$BENCH_OUT_DIR/BENCH_ci.json" \
-        | sed -e "s/.*\"$1\\/8_threads\",\"mean_ns\"://" -e 's/,.*//'
-}
-shared_mean="$(mean_of shared_gateway)"
-sharded_mean="$(mean_of sharded_gateway)"
+shared_mean="$(mean_of contention shared_gateway/8_threads)"
+sharded_mean="$(mean_of contention sharded_gateway/8_threads)"
 echo "contention 8_threads mean_ns: shared=$shared_mean sharded=$sharded_mean"
 awk -v a="$sharded_mean" -v b="$shared_mean" \
     'BEGIN { exit !(a + 0 > 0 && b + 0 > 0 && a < b) }' \
     || { echo "sharded_gateway/8_threads ($sharded_mean ns) is not faster than shared_gateway/8_threads ($shared_mean ns)" >&2; exit 1; }
+
+# Perf gates against the PR 4 BENCH_ci.json records (see that file's git
+# history). Thresholds leave headroom for single-core CI noise while still
+# pinning the O(changed) control-plane wins of PR 5:
+#  - hotc_tick_100_types: ≥5x over the PR 4 record of 1234531 ns;
+#  - sharded_gateway/8_threads: no regression vs 690046 ns (1.25x headroom);
+#  - acquire_exec_release_reuse: parity vs 1411 ns (1.25x headroom);
+#  - reuse_among_100_types: the per-request keying cost that scaled with
+#    type count collapsed from the PR 4 record of 1849 ns.
+tick_mean="$(mean_of pipeline hotc_tick_100_types)"
+acquire_mean="$(mean_of pool acquire_exec_release_reuse)"
+reuse100_mean="$(mean_of pool reuse_among_100_types)"
+echo "perf gates: tick=$tick_mean acquire=$acquire_mean reuse100=$reuse100_mean"
+gate_below "pipeline/hotc_tick_100_types" "$tick_mean" 246906
+gate_below "contention/sharded_gateway/8_threads" "$sharded_mean" 862557
+gate_below "pool/acquire_exec_release_reuse" "$acquire_mean" 1764
+gate_below "pool/reuse_among_100_types" "$reuse100_mean" 1400
+
+# The dirty-set tick must stay cheaper than the full sweep at 1000 types —
+# the controller's whole point is O(active types), not O(tracked types).
+dirty_mean="$(mean_of controller_tick dirty_1000types)"
+full_mean="$(mean_of controller_tick full_sweep_1000types)"
+echo "controller_tick 1000types mean_ns: dirty=$dirty_mean full=$full_mean"
+awk -v a="$dirty_mean" -v b="$full_mean" \
+    'BEGIN { exit !(a + 0 > 0 && b + 0 > 0 && a < b) }' \
+    || { echo "dirty_1000types ($dirty_mean ns) is not cheaper than full_sweep_1000types ($full_mean ns)" >&2; exit 1; }
 
 # 6. Telemetry smoke: run the demo scenario with --metrics-out and assert the
 #    snapshot is well-formed with nonzero cold-start stage counts. stdshim has

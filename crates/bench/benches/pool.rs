@@ -33,6 +33,14 @@ fn bench_key_canonicalization(h: &mut Harness) {
     h.bench("key/fuzzy_from_config", || {
         RuntimeKey::from_config(black_box(config), KeyPolicy::Fuzzy)
     });
+    // The steady-state replacement for the formatting above: a re-intern of
+    // a known configuration hashes the key-relevant fields and returns the
+    // u32 id — no string is built, nothing is allocated.
+    let pool = hotc::ShardedPool::new(KeyPolicy::Exact);
+    let id = pool.intern_config(config);
+    h.bench("key/intern_hit", || {
+        assert_eq!(id, pool.intern_config(black_box(config)));
+    });
 }
 
 fn bench_acquire_release_reuse(h: &mut Harness) {

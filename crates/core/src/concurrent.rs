@@ -91,15 +91,18 @@ impl<P: RuntimeProvider> ConcurrentGateway<P> {
     }
 }
 
-/// A registered function with its runtime key derived once, at registration
+/// A registered function with its runtime key interned once, at registration
 /// time — request paths hand out `Arc`s instead of deep-cloning the spec and
-/// re-formatting the key on every call. The per-function stage-set handle is
-/// resolved here too, so the request path records telemetry without any
-/// registry name lookup (the `key/` scope is a snapshot-time union of the
-/// key's member functions — no second lock per request).
+/// re-deriving the key on every call. The pool's [`crate::key::KeyId`] is
+/// resolved here, so steady-state requests never even fingerprint the
+/// configuration: the pool is addressed by a copyable `u32`. The
+/// per-function stage-set handle is resolved here too, so the request path
+/// records telemetry without any registry name lookup (the `key/` scope is a
+/// snapshot-time union of the key's member functions — no second lock per
+/// request).
 struct FunctionEntry {
     spec: FunctionSpec,
-    key: crate::key::RuntimeKey,
+    key_id: crate::key::KeyId,
     stage_fn: Arc<StageSet>,
 }
 
@@ -231,10 +234,11 @@ impl ShardedGateway {
         self.cold_counter.store(stats.cold_starts);
     }
 
-    /// Registers (or replaces) a function. The runtime key and the
-    /// per-function/per-key stage-set handles are derived here, once, so the
-    /// per-request path never re-formats or re-looks-up either.
+    /// Registers (or replaces) a function. The runtime key is interned and
+    /// the per-function/per-key stage-set handles are derived here, once, so
+    /// the per-request path never formats, hashes, or looks up a key string.
     pub fn register(&self, spec: FunctionSpec) {
+        let key_id = self.pool.intern_config(&spec.config);
         let key = self.pool.key_of(&spec.config);
         let fn_scope = format!("fn/{}", spec.name);
         let stage_fn = self.metrics.stage_set(&fn_scope);
@@ -244,7 +248,7 @@ impl ShardedGateway {
             spec.name.clone(),
             Arc::new(FunctionEntry {
                 spec,
-                key,
+                key_id,
                 stage_fn,
             }),
         );
@@ -309,12 +313,13 @@ impl ShardedGateway {
 
         let t1 = now;
         let t2 = t1 + GATEWAY_HOP;
-        // `acquire_with_key` reports `first_exec` from pool bookkeeping and
-        // reuses the registration-time key, so the warm path touches the
-        // engine lock only for `begin_exec` and never re-derives the key.
+        // `acquire_id` reports `first_exec` from pool bookkeeping and reuses
+        // the registration-time interned id, so the warm path touches the
+        // engine lock only for `begin_exec` and never hashes or formats a
+        // key.
         let acq = self
             .pool
-            .acquire_with_key(&self.engine, &entry.key, &entry.spec.config, t2)?;
+            .acquire_id(&self.engine, entry.key_id, &entry.spec.config, t2)?;
         if acq.cold {
             // A cold start may have pushed the pool over its limits.
             let cost = self.limits.enforce_sharded(&self.pool, &self.engine, t2)?;
@@ -357,14 +362,14 @@ impl ShardedGateway {
         // DESIGN.md §5: at most one lock at a time on the finish path too.
         let _scope = stdshim::request_path_scope();
         let t4 = inflight.t4_func_end;
-        // Fast path: the registration-time entry already carries the runtime
-        // key, so the end-exec + cleanup pair runs in one engine critical
-        // section instead of three, with no key re-derivation.
+        // Fast path: the registration-time entry already carries the
+        // interned key id, so the end-exec + cleanup pair runs in one engine
+        // critical section instead of three, with no key re-derivation.
         let entry = self.functions.read().get(&inflight.function).cloned();
         let finished = match &entry {
             Some(entry) => self.pool.try_finish_release(
                 &self.engine,
-                &entry.key,
+                entry.key_id,
                 inflight.container,
                 t4,
                 inflight.crashed,

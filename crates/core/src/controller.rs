@@ -11,18 +11,28 @@
 //! The controller walks the sharded pool one shard at a time
 //! ([`AdaptiveController::step_sharded`]), so a control step never stalls
 //! the whole pool: requests on other shards proceed while one shard's
-//! snapshot is taken. Keys whose slots the pool garbage-collects (empty for
-//! several consecutive zero-demand intervals) have their predictors dropped
-//! in the same step, so the predictor map cannot grow without bound across
+//! snapshot is taken. By default each step takes the pool's **dirty-set**
+//! snapshot — only keys touched since the last interval (or still holding
+//! containers) are visited, so a step costs O(active types) rather than
+//! O(registered types). Keys the dirty snapshot skipped saw zero demand by
+//! construction; when such a key resurfaces, the controller backfills the
+//! missed intervals as zero observations (one per skipped tick), so every
+//! predictor sees exactly the demand series a full sweep would have fed it.
+//! [`AdaptiveController::step_sharded_full`] keeps the O(all types)
+//! reference path; a property test asserts the two produce identical
+//! prewarm/retire/GC actions on the same trace.
+//!
+//! Keys whose slots the pool garbage-collects (empty for several
+//! consecutive zero-demand intervals) have their predictors dropped in the
+//! same step, so the predictor map cannot grow without bound across
 //! distinct configurations.
 
-use crate::key::RuntimeKey;
+use crate::key::KeyId;
 use crate::pool::ContainerPool;
 use crate::shard::{EngineRef, ExclusiveEngine, ShardedPool};
 use containersim::{ContainerEngine, EngineError};
 use predictor::{EsMarkov, InitialValue, Predictor};
 use simclock::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Controller tuning.
 #[derive(Debug, Clone)]
@@ -72,8 +82,10 @@ pub struct StepReport {
     pub retired: usize,
     /// Keys whose empty slots (and predictors) were garbage collected.
     pub gc_keys: usize,
-    /// Per-key `(predicted, actual)` demand for the interval.
-    pub demand: Vec<(RuntimeKey, f64, usize)>,
+    /// Per-key `(predicted, actual)` demand for the interval, for the keys
+    /// the step visited (a dirty step omits cold keys, which contribute
+    /// zero to both totals).
+    pub demand: Vec<(KeyId, f64, usize)>,
 }
 
 impl StepReport {
@@ -88,12 +100,28 @@ impl StepReport {
     }
 }
 
+/// One key's predictor plus the last tick it was fed, so dirty steps can
+/// backfill the zero-demand intervals the key was skipped for.
+struct KeyedPredictor {
+    model: EsMarkov,
+    last_tick: u64,
+}
+
 /// The per-key adaptive controller.
 pub struct AdaptiveController {
     config: ControllerConfig,
-    predictors: HashMap<RuntimeKey, EsMarkov>,
+    /// Predictor slots indexed by [`KeyId::index`] — interned ids are dense
+    /// per pool, so a direct-indexed table beats hashing on the per-key tick
+    /// path. GC'd keys leave a boxed-pointer-sized `None` hole (ids are
+    /// never reused).
+    predictors: Vec<Option<Box<KeyedPredictor>>>,
+    /// Number of live (`Some`) predictor slots.
+    live_predictors: usize,
+    /// Monotone control-step counter; predictors record the tick they last
+    /// observed so skipped (zero-demand) intervals can be backfilled.
+    ticks: u64,
     last_step: Option<SimTime>,
-    last_predictions: HashMap<RuntimeKey, f64>,
+    last_predictions: Vec<(KeyId, f64)>,
     /// Cumulative background cost of pre-warm/retire actions.
     background: SimDuration,
 }
@@ -107,9 +135,11 @@ impl AdaptiveController {
         );
         AdaptiveController {
             config,
-            predictors: HashMap::new(),
+            predictors: Vec::new(),
+            live_predictors: 0,
+            ticks: 0,
             last_step: None,
-            last_predictions: HashMap::new(),
+            last_predictions: Vec::new(),
             background: SimDuration::ZERO,
         }
     }
@@ -124,14 +154,15 @@ impl AdaptiveController {
         &self.config
     }
 
-    /// Most recent per-key predictions (diagnostics / Fig. 10).
-    pub fn last_predictions(&self) -> &HashMap<RuntimeKey, f64> {
+    /// Most recent per-key predictions (diagnostics / Fig. 10), for the keys
+    /// the last step visited, sorted by key id.
+    pub fn last_predictions(&self) -> &[(KeyId, f64)] {
         &self.last_predictions
     }
 
     /// Number of keys with a live predictor (bounded by the pool's slot GC).
     pub fn predictor_count(&self) -> usize {
-        self.predictors.len()
+        self.live_predictors
     }
 
     /// Cumulative cost of controller actions.
@@ -178,42 +209,104 @@ impl AdaptiveController {
         self.step_sharded(pool, engine, now).map(Some)
     }
 
-    /// One control step over the sharded pool, one shard at a time: snapshot
-    /// the shard's demand (which also garbage-collects long-empty slots),
-    /// update predictors, and resize toward the predictions. Only one shard's
-    /// lock is held at any moment, and never together with the engine lock.
+    /// One O(active types) control step over the sharded pool, one shard at
+    /// a time: take each shard's dirty-set demand snapshot (which also
+    /// garbage-collects long-empty slots via the idle sweep), update
+    /// predictors, and resize toward the predictions. Only one shard's lock
+    /// is held at any moment, and never together with the engine lock.
     pub fn step_sharded(
         &mut self,
         pool: &ShardedPool,
         engine: &impl EngineRef,
         now: SimTime,
     ) -> Result<StepReport, EngineError> {
+        self.step_shards(pool, engine, now, false)
+    }
+
+    /// The O(all types) reference step: full-sweep snapshots that visit
+    /// every tracked slot. Produces the same pool-resize actions as
+    /// [`Self::step_sharded`] on the same trace (property-tested below);
+    /// kept for validation and as the comparison baseline in the
+    /// `controller_tick` benches.
+    pub fn step_sharded_full(
+        &mut self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+    ) -> Result<StepReport, EngineError> {
+        self.step_shards(pool, engine, now, true)
+    }
+
+    fn step_shards(
+        &mut self,
+        pool: &ShardedPool,
+        engine: &impl EngineRef,
+        now: SimTime,
+        full: bool,
+    ) -> Result<StepReport, EngineError> {
         self.last_step = Some(now);
+        self.ticks += 1;
+        let tick = self.ticks;
         self.last_predictions.clear();
         let mut report = StepReport::default();
         for shard in 0..pool.num_shards() {
-            let snapshot = pool.take_shard_snapshot(shard);
-            for key in &snapshot.retired {
+            let snapshot = if full {
+                pool.take_shard_snapshot(shard)
+            } else {
+                pool.take_shard_snapshot_dirty(shard)
+            };
+            for id in &snapshot.retired {
                 // The pool dropped the slot: drop its predictor with it.
-                self.predictors.remove(key);
+                if let Some(slot) = self.predictors.get_mut(id.index()) {
+                    if slot.take().is_some() {
+                        self.live_predictors -= 1;
+                    }
+                }
             }
             report.gc_keys += snapshot.retired.len();
-            for (key, demand) in snapshot.demands {
+            for sample in snapshot.demands {
+                let (id, demand) = (sample.id, sample.demand);
                 let cfg = &self.config;
-                let predictor = self.predictors.entry(key.clone()).or_insert_with(|| {
-                    EsMarkov::with_params(cfg.alpha, cfg.init, cfg.regions, cfg.window)
-                });
-                predictor.observe(demand as f64);
-                let predicted = predictor.predict() * (1.0 + self.config.headroom);
-                self.last_predictions.insert(key.clone(), predicted);
-                report.demand.push((key.clone(), predicted, demand));
+                if self.predictors.len() <= id.index() {
+                    self.predictors.resize_with(id.index() + 1, || None);
+                }
+                let slot = &mut self.predictors[id.index()];
+                let entry = match slot {
+                    Some(entry) => entry,
+                    None => {
+                        self.live_predictors += 1;
+                        slot.insert(Box::new(KeyedPredictor {
+                            model: EsMarkov::with_params(
+                                cfg.alpha,
+                                cfg.init,
+                                cfg.regions,
+                                cfg.window,
+                            ),
+                            last_tick: tick - 1,
+                        }))
+                    }
+                };
+                // A key absent from a dirty snapshot saw zero demand by
+                // construction (any touch keeps it on the active list):
+                // feed the skipped intervals now so the predictor's series
+                // is identical to what a full sweep would have produced.
+                for _ in entry.last_tick + 1..tick {
+                    entry.model.observe(0.0);
+                }
+                entry.last_tick = tick;
+                entry.model.observe(demand as f64);
+                let predicted = entry.model.predict() * (1.0 + self.config.headroom);
+                self.last_predictions.push((id, predicted));
+                report.demand.push((id, predicted, demand));
 
                 // Scale-down floor: never size below what the *last* interval
                 // actually needed — on a growing workload the smoother lags
                 // and would otherwise retire runtimes the next wave is about
                 // to use (the Fig. 14(a) "at least half reuse" property).
                 let target = (predicted.ceil().max(0.0) as usize).max(demand);
-                let current = pool.num_avail(&key) + pool.num_in_use(&key);
+                // The snapshot read the live population under the shard lock
+                // it already held — no per-key re-lock.
+                let current = sample.live();
                 // No-resurrect rule: a key with no demand and no containers
                 // is on its way to being GC'd — pre-warming it would keep a
                 // dead key alive forever on the ceil()-ed tail of a decaying
@@ -224,7 +317,7 @@ impl AdaptiveController {
                 if target > current {
                     // Prepare runtimes in advance of predicted demand.
                     for _ in 0..(target - current) {
-                        match pool.prewarm_key(engine, &key, now)? {
+                        match pool.prewarm_key_id(engine, id, now)? {
                             Some(cost) => {
                                 self.background += cost;
                                 report.prewarmed += 1;
@@ -240,7 +333,7 @@ impl AdaptiveController {
                         as usize)
                         .min(excess);
                     for _ in 0..retire {
-                        match pool.retire_one(engine, &key, now)? {
+                        match pool.retire_one_id(engine, id, now)? {
                             Some(c) => {
                                 self.background += c;
                                 report.retired += 1;
@@ -251,7 +344,8 @@ impl AdaptiveController {
                 }
             }
         }
-        report.demand.sort_by(|a, b| a.0.cmp(&b.0));
+        report.demand.sort_unstable_by_key(|&(id, _, _)| id);
+        self.last_predictions.sort_unstable_by_key(|&(id, _)| id);
         Ok(report)
     }
 }
@@ -275,15 +369,16 @@ mod tests {
         ContainerConfig::bridge(ImageId::parse("python:3.8-alpine"))
     }
 
-    /// Simulates `n` concurrent requests in one interval.
-    fn drive_demand(
+    /// Simulates `n` concurrent requests for `config` in one interval.
+    fn drive_config_demand(
         pool: &mut ContainerPool,
         engine: &mut ContainerEngine,
+        config: &ContainerConfig,
         n: usize,
         now: SimTime,
     ) {
         let acqs: Vec<_> = (0..n)
-            .map(|_| pool.acquire(engine, &cfg(), now).unwrap())
+            .map(|_| pool.acquire(engine, config, now).unwrap())
             .collect();
         for a in acqs {
             let out = engine
@@ -297,6 +392,16 @@ mod tests {
             pool.release(engine, a.container, now + out.latency)
                 .unwrap();
         }
+    }
+
+    /// Simulates `n` concurrent requests in one interval.
+    fn drive_demand(
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        n: usize,
+        now: SimTime,
+    ) {
+        drive_config_demand(pool, engine, &cfg(), n, now);
     }
 
     #[test]
@@ -423,8 +528,8 @@ mod tests {
         let (mut e, mut pool, mut ctl) = setup();
         drive_demand(&mut pool, &mut e, 3, SimTime::ZERO);
         ctl.step(&mut pool, &mut e, SimTime::ZERO).unwrap();
-        let key = pool.key_of(&cfg());
-        assert!(ctl.last_predictions().contains_key(&key));
+        let id = pool.sharded().id_of(&pool.key_of(&cfg())).unwrap();
+        assert!(ctl.last_predictions().iter().any(|&(k, _)| k == id));
     }
 
     /// Regression (unbounded predictor maps): when the pool GCs a dead
@@ -456,6 +561,68 @@ mod tests {
         assert_eq!(pool.total_live(), 0, "dead key must not be resurrected");
         assert!(pool.keys().is_empty());
         assert_eq!(ctl.predictor_count(), 0, "predictor GC'd with the slot");
+    }
+
+    /// The tentpole equivalence: on any shared trace, the dirty-set step
+    /// and the full-sweep step take the same prewarm/retire/GC actions at
+    /// every interval and leave the pool and predictor map in the same
+    /// final state — the dirty path only skips work, never decisions.
+    #[test]
+    fn prop_dirty_step_matches_full_sweep() {
+        testkit::check(48, |g| {
+            let gc = g.u32_in(1..4);
+            let intervals = g.usize_in(3..10);
+            let configs = [
+                ContainerConfig::bridge(ImageId::parse("python:3.8-alpine")),
+                ContainerConfig::bridge(ImageId::parse("alpine:3.12")),
+                ContainerConfig::bridge(ImageId::parse("golang:1.13")),
+            ];
+            // One op trace, applied identically to both stacks.
+            let plan: Vec<Vec<(usize, u8, usize)>> = (0..intervals)
+                .map(|_| {
+                    g.vec(0..6, |g| {
+                        (g.usize_in(0..3), g.u8_in(0..3), g.usize_in(1..4))
+                    })
+                })
+                .collect();
+            let (mut ef, mut pf, mut cf) = setup();
+            let (mut ed, mut pd, mut cd) = setup();
+            pf.set_gc_intervals(gc);
+            pd.set_gc_intervals(gc);
+            for (t, ops) in plan.iter().enumerate() {
+                let now = SimTime::from_secs(t as u64 * 30);
+                for &(ci, op, n) in ops {
+                    let c = &configs[ci];
+                    match op {
+                        0 => {
+                            drive_config_demand(&mut pf, &mut ef, c, n, now);
+                            drive_config_demand(&mut pd, &mut ed, c, n, now);
+                        }
+                        1 => {
+                            pf.prewarm(&mut ef, c, now).unwrap();
+                            pd.prewarm(&mut ed, c, now).unwrap();
+                        }
+                        _ => {
+                            pf.retire_one(&mut ef, &pf.key_of(c), now).unwrap();
+                            pd.retire_one(&mut ed, &pd.key_of(c), now).unwrap();
+                        }
+                    }
+                }
+                let rf = cf
+                    .step_sharded_full(pf.sharded(), &ExclusiveEngine::new(&mut ef), now)
+                    .unwrap();
+                let rd = cd.step(&mut pd, &mut ed, now).unwrap();
+                assert_eq!(rf.prewarmed, rd.prewarmed, "interval {t}: prewarm diverged");
+                assert_eq!(rf.retired, rd.retired, "interval {t}: retire diverged");
+                assert_eq!(rf.gc_keys, rd.gc_keys, "interval {t}: GC diverged");
+            }
+            assert_eq!(pf.keys(), pd.keys(), "tracked key sets diverged");
+            for key in pf.keys() {
+                assert_eq!(pf.num_avail(&key), pd.num_avail(&key), "sizing of {key}");
+                assert_eq!(pf.num_in_use(&key), pd.num_in_use(&key));
+            }
+            assert_eq!(cf.predictor_count(), cd.predictor_count());
+        });
     }
 
     #[test]

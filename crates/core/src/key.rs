@@ -21,7 +21,11 @@
 use containersim::container::{IpcMode, UtsMode};
 use containersim::ContainerConfig;
 use simclock::SimDuration;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use stdshim::RwLock;
+use stdshim::{FastHasher, FastMap};
 
 /// Which configuration fields participate in the runtime key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -111,6 +115,175 @@ impl RuntimeKey {
 impl std::fmt::Display for RuntimeKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.0)
+    }
+}
+
+/// A compact, copyable handle for an interned [`RuntimeKey`].
+///
+/// Steady-state request paths hash and compare this `u32` instead of the
+/// canonical key string; the string itself is formatted once per distinct
+/// configuration, at intern time. Ids are dense (handed out consecutively
+/// from 0 by a [`KeyInterner`]) and only meaningful within the interner —
+/// and thus the pool — that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(u32);
+
+impl KeyId {
+    /// Dense index of this id within its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KeyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+/// Interns runtime configurations into [`KeyId`]s.
+///
+/// The fast path hashes only the configuration fields that participate in
+/// the key under the active [`KeyPolicy`] (the *config fingerprint*) and
+/// verifies candidates by structural comparison of those same fields — no
+/// canonical string is formatted and nothing is allocated for a
+/// configuration that has been seen before. Fingerprint collisions are
+/// handled by chaining ids per fingerprint.
+///
+/// Lock class `pool/interner`: acquired read-mostly, strictly *before* (and
+/// released before) any `pool/shard` lock, so the request path still holds
+/// at most one lock at a time (DESIGN §5).
+#[derive(Debug)]
+pub struct KeyInterner {
+    policy: KeyPolicy,
+    state: RwLock<InternerState>,
+}
+
+#[derive(Debug, Default)]
+struct InternerState {
+    /// `KeyId::index()` → interned entry.
+    entries: Vec<InternedKey>,
+    /// Config fingerprint → candidate ids (chained on collision). A
+    /// [`FastMap`]: the key is already a hash, so re-SipHashing it on every
+    /// intern is pure overhead.
+    by_fingerprint: FastMap<u64, Vec<KeyId>>,
+    /// Canonical string → id, for the key-based compatibility APIs.
+    by_key: HashMap<RuntimeKey, KeyId>,
+}
+
+#[derive(Debug)]
+struct InternedKey {
+    key: RuntimeKey,
+    config: ContainerConfig,
+}
+
+impl KeyInterner {
+    /// Creates an empty interner for `policy`.
+    pub fn new(policy: KeyPolicy) -> Self {
+        KeyInterner {
+            policy,
+            state: RwLock::labeled(InternerState::default(), "pool/interner"),
+        }
+    }
+
+    /// Hashes exactly the fields that participate in the runtime key under
+    /// the active policy. Uses [`FastHasher`]: collisions only cost a
+    /// structural comparison in [`Self::find`], never a wrong answer, so the
+    /// hash needs speed, not adversarial resistance.
+    fn fingerprint(&self, config: &ContainerConfig) -> u64 {
+        let mut h = FastHasher::default();
+        match self.policy {
+            KeyPolicy::Exact => config.hash(&mut h),
+            KeyPolicy::Fuzzy => {
+                // Mirrors the fuzzy key string: image + network attachment;
+                // published ports and everything else are reconfigured on
+                // reuse instead of splitting the key.
+                config.image.hash(&mut h);
+                config.network.mode.hash(&mut h);
+                config.network.scope.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Structural equality over the same field set as [`Self::fingerprint`].
+    fn key_fields_eq(&self, a: &ContainerConfig, b: &ContainerConfig) -> bool {
+        match self.policy {
+            KeyPolicy::Exact => a == b,
+            KeyPolicy::Fuzzy => {
+                a.image == b.image
+                    && a.network.mode == b.network.mode
+                    && a.network.scope == b.network.scope
+            }
+        }
+    }
+
+    fn find(
+        &self,
+        state: &InternerState,
+        fingerprint: u64,
+        config: &ContainerConfig,
+    ) -> Option<KeyId> {
+        let candidates = state.by_fingerprint.get(&fingerprint)?;
+        candidates
+            .iter()
+            .copied()
+            .find(|id| self.key_fields_eq(&state.entries[id.index()].config, config))
+    }
+
+    /// Interns `config`, returning its stable id. Formats the canonical
+    /// [`RuntimeKey`] only on first sight of a configuration.
+    pub fn intern(&self, config: &ContainerConfig) -> KeyId {
+        let fingerprint = self.fingerprint(config);
+        {
+            let state = self.state.read();
+            if let Some(id) = self.find(&state, fingerprint, config) {
+                return id;
+            }
+        }
+        // First sight (or a racing thread got here first): build the
+        // canonical key outside the write lock, then double-check.
+        let key = RuntimeKey::from_config(config, self.policy);
+        let mut state = self.state.write();
+        if let Some(id) = self.find(&state, fingerprint, config) {
+            return id;
+        }
+        let id = KeyId(state.entries.len() as u32);
+        state.entries.push(InternedKey {
+            key: key.clone(),
+            config: config.clone(),
+        });
+        state
+            .by_fingerprint
+            .entry(fingerprint)
+            .or_default()
+            .push(id);
+        state.by_key.insert(key, id);
+        id
+    }
+
+    /// Looks up the id of an already-interned canonical key.
+    pub fn lookup(&self, key: &RuntimeKey) -> Option<KeyId> {
+        self.state.read().by_key.get(key).copied()
+    }
+
+    /// The canonical key string for an id issued by this interner.
+    pub fn resolve(&self, id: KeyId) -> Option<RuntimeKey> {
+        self.state
+            .read()
+            .entries
+            .get(id.index())
+            .map(|e| e.key.clone())
+    }
+
+    /// Number of distinct keys interned so far.
+    pub fn len(&self) -> usize {
+        self.state.read().entries.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -221,6 +394,42 @@ mod tests {
         let text = key.to_string();
         assert!(text.contains("img=python:3.8-alpine"));
         assert!(text.contains("net=bridge"));
+    }
+
+    #[test]
+    fn interner_ids_are_stable_and_dense() {
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let a = base();
+        let b = base().with_exec(ExecOptions::default().with_env("A", "1"));
+        let ia = interner.intern(&a);
+        let ib = interner.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(ia.index(), 0);
+        assert_eq!(ib.index(), 1);
+        assert_eq!(interner.intern(&a), ia);
+        assert_eq!(
+            interner.resolve(ia),
+            Some(RuntimeKey::from_config(&a, KeyPolicy::Exact))
+        );
+        assert_eq!(
+            interner.lookup(&RuntimeKey::from_config(&b, KeyPolicy::Exact)),
+            Some(ib)
+        );
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn fuzzy_interner_collapses_exec_options() {
+        let interner = KeyInterner::new(KeyPolicy::Fuzzy);
+        let a = base().with_exec(ExecOptions::default().with_env("A", "1"));
+        let b = base().with_exec(ExecOptions::default().with_env("A", "2"));
+        assert_eq!(interner.intern(&a), interner.intern(&b));
+        let ports =
+            base().with_network(NetworkConfig::single(NetworkMode::Bridge).publish(80, 8080));
+        // Fuzzy keys ignore published ports, exactly like the string form.
+        assert_eq!(interner.intern(&a), interner.intern(&ports));
+        let other = ContainerConfig::bridge(ImageId::parse("golang:1.13"));
+        assert_ne!(interner.intern(&a), interner.intern(&other));
     }
 
     #[test]

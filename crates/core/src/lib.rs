@@ -67,7 +67,7 @@ pub mod shard;
 
 pub use concurrent::{ConcurrentGateway, ShardedGateway};
 pub use controller::{AdaptiveController, ControllerConfig};
-pub use key::{KeyPolicy, RuntimeKey};
+pub use key::{KeyId, KeyInterner, KeyPolicy, RuntimeKey};
 pub use limits::PoolLimits;
 pub use middleware::{HotC, HotCConfig};
 pub use pool::ContainerPool;

@@ -1,18 +1,21 @@
 //! The sharded concurrent runtime pool (§IV-B at production scale).
 //!
-//! The paper's key-value pool shards naturally along [`RuntimeKey`]: a key's
-//! slot never interacts with another key's slot except during global
-//! eviction. [`ShardedPool`] hashes each key onto one of N shards, each shard
+//! The paper's key-value pool shards naturally along the runtime key: a
+//! key's slot never interacts with another key's slot except during global
+//! eviction. [`ShardedPool`] interns each configuration into a dense
+//! [`KeyId`] and places it on one of N shards round-robin, each shard
 //! guarding its slots with its own [`stdshim::sync::Mutex`], so warm
 //! acquisitions for different runtime types proceed in parallel instead of
 //! serializing on one pool-wide lock.
 //!
-//! Lock discipline (see DESIGN.md §"Sharded pool"):
+//! Lock discipline (see DESIGN.md §"Sharded pool" and §8):
 //!
-//! * a thread holds **at most one shard lock** at a time, and **never** a
-//!   shard lock and the engine lock together — engine calls (container
-//!   creation, cleanup, teardown) always happen after the shard lock is
-//!   released, so cold starts on different keys overlap;
+//! * a thread holds **at most one lock** at a time on the request path — the
+//!   interner's read-mostly `pool/interner` lock, a `pool/shard` lock, and
+//!   the engine lock are acquired strictly in sequence, never nested —
+//!   engine calls (container creation, cleanup, teardown) always happen
+//!   after the shard lock is released, so cold starts on different keys
+//!   overlap;
 //! * global eviction is a **two-phase scan**: collect candidates shard by
 //!   shard, pick the oldest via the engine, then re-lock the owning shard and
 //!   claim the victim (retrying if a racing acquire took it first) — no
@@ -28,14 +31,13 @@
 //!   creates never materialize slots, and long-dead slots are garbage
 //!   collected together with their controller state.
 
-use crate::key::{needs_reconfig, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
+use crate::key::{needs_reconfig, KeyId, KeyInterner, KeyPolicy, RuntimeKey, FUZZY_RECONFIG_COST};
 use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown, EngineError};
 use faas::Acquisition;
 use simclock::{SimDuration, SimTime};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::collections::VecDeque;
 use stdshim::sync::Mutex;
+use stdshim::FastMap;
 
 /// Default shard count — enough to spread a handful of worker threads'
 /// runtime types without measurable cost for single-threaded use.
@@ -97,9 +99,14 @@ struct Slot {
     /// Peak concurrent in-use count since the last demand snapshot — the
     /// `history[k][t]` series the adaptive controller feeds the predictor.
     watermark: usize,
-    /// Consecutive zero-demand snapshots while the slot held no container;
-    /// reaching the pool's GC threshold retires the slot.
-    zero_streak: u32,
+    /// Whether this key is on the shard's active list (touched since the
+    /// last snapshot, or still holding containers). The flag keeps the list
+    /// duplicate-free without a per-touch hash probe.
+    active: bool,
+    /// The snapshot sequence number at which this slot went empty with zero
+    /// demand, if it is currently cold; the slot is GC'd once it stays cold
+    /// for the pool's GC threshold. Any touch clears it.
+    cold_since: Option<u64>,
     /// A representative configuration for this key, kept so the controller
     /// can pre-warm by key alone.
     config: ContainerConfig,
@@ -111,7 +118,8 @@ impl Slot {
             available: VecDeque::new(),
             in_use: Vec::new(),
             watermark: 0,
-            zero_streak: 0,
+            active: false,
+            cold_since: None,
             config,
         }
     }
@@ -119,13 +127,66 @@ impl Slot {
     fn note_in_use(&mut self, container: ContainerId) {
         self.in_use.push(container);
         self.watermark = self.watermark.max(self.in_use.len());
-        self.zero_streak = 0;
     }
 }
 
 #[derive(Debug, Default)]
 struct ShardState {
-    slots: HashMap<RuntimeKey, Slot>,
+    /// Keyed by interned id with [`FastMap`] — the id is an internal dense
+    /// integer, so the default hasher's DoS resistance buys nothing on this
+    /// per-request lookup.
+    slots: FastMap<KeyId, Slot>,
+    /// Keys the next control snapshot must visit: touched since the last
+    /// snapshot or holding containers. Duplicate-free (see [`Slot::active`]).
+    active: Vec<KeyId>,
+    /// Cold slots awaiting GC, queued as `(key, went_cold_at_seq)` in
+    /// nondecreasing sequence order — the dirty snapshot's "idle sweep" pops
+    /// exactly the entries whose deadline arrived. Entries are lazily
+    /// invalidated by re-touches (the slot's `cold_since` moves on).
+    cold: VecDeque<(KeyId, u64)>,
+    /// Snapshot sequence number (one per demand snapshot of this shard).
+    seq: u64,
+    /// Containers currently tracked by this shard (available + in use),
+    /// maintained at every pool entry/exit so [`ShardedPool::total_live`]
+    /// is O(shards) instead of a scan of every slot. The full-sweep
+    /// snapshot cross-checks it against the slots in debug builds.
+    live: usize,
+}
+
+impl ShardState {
+    /// Flags `id` as touched this control interval (O(1) when already
+    /// active) and cancels any pending cold-GC countdown.
+    fn mark_active(&mut self, id: KeyId) {
+        if let Some(slot) = self.slots.get_mut(&id) {
+            slot.cold_since = None;
+            if !slot.active {
+                slot.active = true;
+                self.active.push(id);
+            }
+        }
+    }
+}
+
+/// One key's demand sample within a [`ShardSnapshot`]. Carries the slot's
+/// live population as seen while the shard lock was already held, so the
+/// controller can size the key without re-locking the shard per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyDemand {
+    /// The runtime key.
+    pub id: KeyId,
+    /// Peak concurrent use over the interval (`history[k][t]`).
+    pub demand: usize,
+    /// Available containers at snapshot time.
+    pub avail: usize,
+    /// In-use containers at snapshot time.
+    pub in_use: usize,
+}
+
+impl KeyDemand {
+    /// Total live containers (available + in use) at snapshot time.
+    pub fn live(&self) -> usize {
+        self.avail + self.in_use
+    }
 }
 
 /// One shard's demand snapshot: per-key demand for the controller, plus the
@@ -133,10 +194,10 @@ struct ShardState {
 /// controller drops their predictors).
 #[derive(Debug, Clone)]
 pub struct ShardSnapshot {
-    /// `history[k][t]` entries for the interval, sorted by key.
-    pub demands: Vec<(RuntimeKey, usize)>,
+    /// `history[k][t]` entries for the interval, sorted by key id.
+    pub demands: Vec<KeyDemand>,
     /// Keys GC'd by this snapshot, sorted.
-    pub retired: Vec<RuntimeKey>,
+    pub retired: Vec<KeyId>,
 }
 
 /// An acquisition with the pool-side detail the sharded gateway needs to
@@ -180,6 +241,10 @@ impl From<PoolAcquisition> for Acquisition {
 pub struct ShardedPool {
     policy: KeyPolicy,
     shards: Box<[Mutex<ShardState>]>,
+    /// Interns configurations into dense [`KeyId`]s; the shard maps, the
+    /// controller, and the gateway all key on the id, so the canonical key
+    /// string is formatted once per distinct configuration.
+    interner: KeyInterner,
     gc_intervals: u32,
 }
 
@@ -197,6 +262,7 @@ impl ShardedPool {
             shards: (0..shards)
                 .map(|_| Mutex::labeled(ShardState::default(), "pool/shard"))
                 .collect(),
+            interner: KeyInterner::new(policy),
             gc_intervals: DEFAULT_GC_INTERVALS,
         }
     }
@@ -226,15 +292,32 @@ impl ShardedPool {
         RuntimeKey::from_config(config, self.policy)
     }
 
-    /// The shard a key lives on.
-    pub fn shard_of(&self, key: &RuntimeKey) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+    /// Interns a configuration, returning its stable [`KeyId`] under this
+    /// pool's policy. Steady-state calls hash only the key-relevant config
+    /// fields — no string is formatted, nothing is allocated.
+    pub fn intern_config(&self, config: &ContainerConfig) -> KeyId {
+        self.interner.intern(config)
     }
 
-    fn shard(&self, key: &RuntimeKey) -> &Mutex<ShardState> {
-        &self.shards[self.shard_of(key)]
+    /// The id of an already-interned canonical key, if the pool has seen a
+    /// configuration with that key.
+    pub fn id_of(&self, key: &RuntimeKey) -> Option<KeyId> {
+        self.interner.lookup(key)
+    }
+
+    /// The canonical key string behind an id issued by this pool.
+    pub fn resolve_key(&self, id: KeyId) -> Option<RuntimeKey> {
+        self.interner.resolve(id)
+    }
+
+    /// The shard a key lives on. Ids are dense, so round-robin by index
+    /// gives a perfect spread without hashing.
+    pub fn shard_of(&self, id: KeyId) -> usize {
+        id.index() % self.shards.len()
+    }
+
+    fn shard(&self, id: KeyId) -> &Mutex<ShardState> {
+        &self.shards[self.shard_of(id)]
     }
 
     /// Algorithm 1: obtain a runtime for `config`. Reuses the first
@@ -258,31 +341,37 @@ impl ShardedPool {
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<PoolAcquisition, EngineError> {
-        let key = self.key_of(config);
-        self.acquire_with_key(engine, &key, config, now)
+        let id = self.interner.intern(config);
+        self.acquire_id(engine, id, config, now)
     }
 
-    /// [`Self::acquire_detailed`] with a pre-derived key: callers that serve
-    /// the same function repeatedly (the sharded gateway) derive the runtime
-    /// key once at registration instead of re-formatting the configuration
-    /// on every request. `key` must be `self.key_of(config)`.
-    pub fn acquire_with_key(
+    /// [`Self::acquire_detailed`] with a pre-interned key id: callers that
+    /// serve the same function repeatedly (the sharded gateway) intern the
+    /// key once at registration instead of even fingerprinting the
+    /// configuration per request. `id` must be `self.intern_config(config)`.
+    pub fn acquire_id(
         &self,
         engine: &impl EngineRef,
-        key: &RuntimeKey,
+        id: KeyId,
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<PoolAcquisition, EngineError> {
-        debug_assert_eq!(*key, self.key_of(config));
+        debug_assert_eq!(id, self.intern_config(config));
         // DESIGN.md §5: the acquire path takes its locks (shard, engine)
         // strictly one at a time; the sanitizer enforces it in debug builds.
         let _scope = stdshim::request_path_scope();
-        let shard = self.shard(key);
+        let shard = self.shard(id);
         let reused = {
-            let mut state = shard.lock();
-            state.slots.get_mut(key).and_then(|slot| {
+            let mut guard = shard.lock();
+            let state = &mut *guard;
+            state.slots.get_mut(&id).and_then(|slot| {
                 let (container, execed) = slot.available.pop_front()?;
                 slot.note_in_use(container);
+                slot.cold_since = None;
+                if !slot.active {
+                    slot.active = true;
+                    state.active.push(id);
+                }
                 Some((container, execed))
             })
         };
@@ -311,12 +400,21 @@ impl ShardedPool {
         // create leaves no phantom slot behind for the controller to track.
         let (container, breakdown) =
             engine.with_engine(|e| e.create_container(config.clone(), now))?;
-        let mut state = shard.lock();
-        state
-            .slots
-            .entry(key.clone())
-            .or_insert_with(|| Slot::new(config.clone()))
-            .note_in_use(container);
+        {
+            let mut guard = shard.lock();
+            let state = &mut *guard;
+            let slot = state
+                .slots
+                .entry(id)
+                .or_insert_with(|| Slot::new(config.clone()));
+            slot.note_in_use(container);
+            slot.cold_since = None;
+            if !slot.active {
+                slot.active = true;
+                state.active.push(id);
+            }
+            state.live += 1;
+        }
         Ok(PoolAcquisition {
             container,
             cost: breakdown.total(),
@@ -341,22 +439,25 @@ impl ShardedPool {
     ) -> Result<SimDuration, EngineError> {
         // DESIGN.md §5: engine and shard locks are taken one at a time.
         let _scope = stdshim::request_path_scope();
-        let (key, state_now, crashed) = engine.with_engine(|e| {
+        let (config, state_now, crashed) = engine.with_engine(|e| {
             let config = e
                 .config(container)
                 .cloned()
                 .ok_or(EngineError::UnknownContainer(container))?;
             let state = e.state(container);
             Ok::<_, EngineError>((
-                self.key_of(&config),
+                config,
                 state,
                 state == containersim::ContainerState::Stopped,
             ))
         })?;
-        let shard = self.shard(&key);
+        // The container came from an acquire, so its config is already
+        // interned — this is the fingerprint fast path, no string work.
+        let id = self.interner.intern(&config);
+        let shard = self.shard(id);
         {
             let mut shard_state = shard.lock();
-            let claimed = shard_state.slots.get_mut(&key).and_then(|slot| {
+            let claimed = shard_state.slots.get_mut(&id).and_then(|slot| {
                 let at = slot.in_use.iter().position(|&c| c == container)?;
                 Some(slot.in_use.swap_remove(at))
             });
@@ -367,6 +468,7 @@ impl ShardedPool {
                     needed: "a container acquired from this pool",
                 });
             }
+            shard_state.live -= 1;
         }
         let cost = match engine.with_engine(|e| {
             if crashed {
@@ -379,16 +481,29 @@ impl ShardedPool {
             Err(err) => {
                 // The engine rejected the cleanup (e.g. released while still
                 // Running): hand the claim back so bookkeeping stays honest.
-                if let Some(slot) = shard.lock().slots.get_mut(&key) {
+                let mut guard = shard.lock();
+                let state = &mut *guard;
+                if let Some(slot) = state.slots.get_mut(&id) {
                     slot.in_use.push(container);
+                    state.live += 1;
                 }
+                guard.mark_active(id);
                 return Err(err);
             }
         };
-        if !crashed {
-            if let Some(slot) = shard.lock().slots.get_mut(&key) {
-                slot.available.push_back((container, true));
+        {
+            let mut guard = shard.lock();
+            let state = &mut *guard;
+            if !crashed {
+                if let Some(slot) = state.slots.get_mut(&id) {
+                    slot.available.push_back((container, true));
+                    state.live += 1;
+                }
             }
+            // A release (even of a crashed container) is a touch: the
+            // controller must see this key's interval even if demand fell
+            // to zero, so retire/GC decisions keep firing.
+            guard.mark_active(id);
         }
         Ok(cost)
     }
@@ -403,7 +518,7 @@ impl ShardedPool {
     pub fn try_finish_release(
         &self,
         engine: &impl EngineRef,
-        key: &RuntimeKey,
+        id: KeyId,
         container: ContainerId,
         now: SimTime,
         crashed: bool,
@@ -411,13 +526,17 @@ impl ShardedPool {
         // DESIGN.md §5: shard claim, engine critical section, and pool
         // hand-back are three disjoint lock regions, never nested.
         let _scope = stdshim::request_path_scope();
-        let shard = self.shard(key);
+        let shard = self.shard(id);
         let claimed = {
             let mut state = shard.lock();
-            state.slots.get_mut(key).and_then(|slot| {
+            let claimed = state.slots.get_mut(&id).and_then(|slot| {
                 let at = slot.in_use.iter().position(|&c| c == container)?;
                 Some(slot.in_use.swap_remove(at))
-            })
+            });
+            if claimed.is_some() {
+                state.live -= 1;
+            }
+            claimed
         };
         if claimed.is_none() {
             return Ok(None);
@@ -434,16 +553,26 @@ impl ShardedPool {
             Err(err) => {
                 // The engine rejected the hand-back; restore the claim so
                 // bookkeeping stays honest.
-                if let Some(slot) = shard.lock().slots.get_mut(key) {
+                let mut guard = shard.lock();
+                let state = &mut *guard;
+                if let Some(slot) = state.slots.get_mut(&id) {
                     slot.in_use.push(container);
+                    state.live += 1;
                 }
+                guard.mark_active(id);
                 return Err(err);
             }
         };
-        if !crashed {
-            if let Some(slot) = shard.lock().slots.get_mut(key) {
-                slot.available.push_back((container, true));
+        {
+            let mut guard = shard.lock();
+            let state = &mut *guard;
+            if !crashed {
+                if let Some(slot) = state.slots.get_mut(&id) {
+                    slot.available.push_back((container, true));
+                    state.live += 1;
+                }
             }
+            guard.mark_active(id);
         }
         Ok(Some(cost))
     }
@@ -457,33 +586,35 @@ impl ShardedPool {
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
+        let id = self.interner.intern(config);
         let (container, breakdown) =
             engine.with_engine(|e| e.create_container(config.clone(), now))?;
-        let key = self.key_of(config);
-        let mut state = self.shard(&key).lock();
-        state
+        let mut guard = self.shard(id).lock();
+        guard
             .slots
-            .entry(key)
+            .entry(id)
             .or_insert_with(|| Slot::new(config.clone()))
             .available
             .push_back((container, false));
+        guard.live += 1;
+        guard.mark_active(id);
         Ok(breakdown.total())
     }
 
     /// Pre-warms one container for a key the pool already tracks, using the
     /// slot's representative configuration. Returns `Ok(None)` if the key is
     /// unknown (e.g. its slot was GC'd since the snapshot).
-    pub fn prewarm_key(
+    pub fn prewarm_key_id(
         &self,
         engine: &impl EngineRef,
-        key: &RuntimeKey,
+        id: KeyId,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
         let config = self
-            .shard(key)
+            .shard(id)
             .lock()
             .slots
-            .get(key)
+            .get(&id)
             .map(|s| s.config.clone());
         match config {
             Some(config) => self.prewarm(engine, &config, now).map(Some),
@@ -491,26 +622,57 @@ impl ShardedPool {
         }
     }
 
+    /// [`Self::prewarm_key_id`] by canonical key (compatibility path).
+    pub fn prewarm_key(
+        &self,
+        engine: &impl EngineRef,
+        key: &RuntimeKey,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        match self.id_of(key) {
+            Some(id) => self.prewarm_key_id(engine, id, now),
+            None => Ok(None),
+        }
+    }
+
     /// Retires one available container of the given type (adaptive
     /// controller's scale-down action). Returns the teardown cost, or `None`
     /// if none was available.
+    pub fn retire_one_id(
+        &self,
+        engine: &impl EngineRef,
+        id: KeyId,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, EngineError> {
+        let popped = {
+            let mut guard = self.shard(id).lock();
+            let popped = guard
+                .slots
+                .get_mut(&id)
+                .and_then(|slot| slot.available.pop_front());
+            if popped.is_some() {
+                guard.live -= 1;
+                guard.mark_active(id);
+            }
+            popped
+        };
+        match popped {
+            Some((container, _)) => engine
+                .with_engine(|e| e.stop_and_remove(container, now))
+                .map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// [`Self::retire_one_id`] by canonical key (compatibility path).
     pub fn retire_one(
         &self,
         engine: &impl EngineRef,
         key: &RuntimeKey,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
-        let popped = {
-            let mut state = self.shard(key).lock();
-            state
-                .slots
-                .get_mut(key)
-                .and_then(|slot| slot.available.pop_front())
-        };
-        match popped {
-            Some((container, _)) => engine
-                .with_engine(|e| e.stop_and_remove(container, now))
-                .map(Some),
+        match self.id_of(key) {
+            Some(id) => self.retire_one_id(engine, id, now),
             None => Ok(None),
         }
     }
@@ -531,12 +693,12 @@ impl ShardedPool {
         // Bounded retries: each retry means a racing acquire claimed our
         // candidate, which is progress for the system as a whole.
         for _ in 0..8 {
-            let mut candidates: Vec<(RuntimeKey, ContainerId)> = Vec::new();
+            let mut candidates: Vec<(KeyId, ContainerId)> = Vec::new();
             for shard in self.shards.iter() {
                 let state = shard.lock();
-                for (key, slot) in &state.slots {
+                for (&key, slot) in &state.slots {
                     for &(id, _) in &slot.available {
-                        candidates.push((key.clone(), id));
+                        candidates.push((key, id));
                     }
                 }
             }
@@ -555,12 +717,19 @@ impl ShardedPool {
                 continue;
             };
             let claimed = {
-                let mut state = self.shard(&key).lock();
-                state.slots.get_mut(&key).is_some_and(|slot| {
+                let mut guard = self.shard(key).lock();
+                let claimed = guard.slots.get_mut(&key).is_some_and(|slot| {
                     let before = slot.available.len();
                     slot.available.retain(|&(c, _)| c != id);
                     slot.available.len() != before
-                })
+                });
+                if claimed {
+                    guard.live -= 1;
+                    // An eviction is a touch: the controller must re-examine
+                    // this key at the next interval.
+                    guard.mark_active(key);
+                }
+                claimed
             };
             if claimed {
                 return engine.with_engine(|e| e.stop_and_remove(id, now)).map(Some);
@@ -570,36 +739,49 @@ impl ShardedPool {
     }
 
     /// `num_avail[key]`: available containers of the given type.
-    pub fn num_avail(&self, key: &RuntimeKey) -> usize {
-        self.shard(key)
+    pub fn num_avail_id(&self, id: KeyId) -> usize {
+        self.shard(id)
             .lock()
             .slots
-            .get(key)
+            .get(&id)
             .map_or(0, |s| s.available.len())
     }
 
     /// In-use containers of the given type.
-    pub fn num_in_use(&self, key: &RuntimeKey) -> usize {
-        self.shard(key)
+    pub fn num_in_use_id(&self, id: KeyId) -> usize {
+        self.shard(id)
             .lock()
             .slots
-            .get(key)
+            .get(&id)
             .map_or(0, |s| s.in_use.len())
     }
 
+    /// `(available, in_use)` for a key id in one lock acquisition — the
+    /// controller's per-key sizing read.
+    pub fn live_of_id(&self, id: KeyId) -> (usize, usize) {
+        self.shard(id)
+            .lock()
+            .slots
+            .get(&id)
+            .map_or((0, 0), |s| (s.available.len(), s.in_use.len()))
+    }
+
+    /// [`Self::num_avail_id`] by canonical key (compatibility path).
+    pub fn num_avail(&self, key: &RuntimeKey) -> usize {
+        self.id_of(key).map_or(0, |id| self.num_avail_id(id))
+    }
+
+    /// [`Self::num_in_use_id`] by canonical key (compatibility path).
+    pub fn num_in_use(&self, key: &RuntimeKey) -> usize {
+        self.id_of(key).map_or(0, |id| self.num_in_use_id(id))
+    }
+
     /// Total live containers tracked by the pool (available + in use).
+    /// Reads the per-shard counters — O(shards), not O(tracked keys), so
+    /// the limit check the controller runs every tick stays independent of
+    /// fleet size.
     pub fn total_live(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| {
-                let state = shard.lock();
-                state
-                    .slots
-                    .values()
-                    .map(|s| s.available.len() + s.in_use.len())
-                    .sum::<usize>()
-            })
-            .sum()
+        self.shards.iter().map(|shard| shard.lock().live).sum()
     }
 
     /// Per-shard `(available, in_use)` container counts, indexed by shard —
@@ -650,59 +832,216 @@ impl ShardedPool {
         }
     }
 
-    /// Takes one shard's demand snapshot (`history[k][t]`), resets its
-    /// watermarks for the next control interval, and garbage-collects slots
-    /// that have been empty for [`Self::gc_intervals`] consecutive
-    /// zero-demand snapshots. Keys with live containers are always reported,
-    /// including zero-demand intervals.
+    /// Takes one shard's **full-sweep** demand snapshot (`history[k][t]`):
+    /// visits every slot, resets watermarks for the next control interval,
+    /// and garbage-collects slots that have been empty for
+    /// [`Self::gc_intervals`] consecutive zero-demand snapshots. Keys with
+    /// live containers are always reported, including zero-demand intervals.
+    ///
+    /// This is the O(tracked keys) reference path; the controller's default
+    /// is [`Self::take_shard_snapshot_dirty`], which visits only the active
+    /// list and produces the same GC timing (asserted by a property test in
+    /// `controller.rs`).
     pub fn take_shard_snapshot(&self, shard: usize) -> ShardSnapshot {
         let mut demands = Vec::new();
         let mut retired = Vec::new();
-        let gc_after = self.gc_intervals;
+        let gc_after = u64::from(self.gc_intervals);
         {
-            let mut state = self.shards[shard].lock();
-            state.slots.retain(|key, slot| {
+            let mut guard = self.shards[shard].lock();
+            guard.seq += 1;
+            let seq = guard.seq;
+            let ShardState {
+                slots,
+                active,
+                cold,
+                live,
+                ..
+            } = &mut *guard;
+            slots.retain(|&id, slot| {
                 let in_use = slot.in_use.len();
+                let avail = slot.available.len();
                 let demand = slot.watermark.max(in_use);
                 slot.watermark = in_use;
-                if demand == 0 && in_use == 0 && slot.available.is_empty() {
-                    slot.zero_streak += 1;
-                    if slot.zero_streak >= gc_after {
-                        retired.push(key.clone());
+                if demand == 0 && in_use == 0 && avail == 0 {
+                    let since = match slot.cold_since {
+                        Some(since) => since,
+                        None => {
+                            // First zero-demand interval: leave the active
+                            // list and start the GC countdown.
+                            slot.cold_since = Some(seq);
+                            slot.active = false;
+                            queue_cold(cold, id, seq, gc_after);
+                            seq
+                        }
+                    };
+                    if seq - since + 1 >= gc_after {
+                        retired.push(id);
                         return false;
                     }
                 } else {
-                    slot.zero_streak = 0;
+                    slot.cold_since = None;
+                    if !slot.active {
+                        slot.active = true;
+                        active.push(id);
+                    }
                 }
-                demands.push((key.clone(), demand));
+                demands.push(KeyDemand {
+                    id,
+                    demand,
+                    avail,
+                    in_use,
+                });
                 true
             });
+            // The full sweep visits every slot anyway: cross-check the
+            // shard's live counter against the ground truth it summarises.
+            debug_assert_eq!(
+                *live,
+                slots
+                    .values()
+                    .map(|s| s.available.len() + s.in_use.len())
+                    .sum::<usize>(),
+                "shard live counter diverged from slot contents"
+            );
+            // Heal the active list: GC'd and newly-cold keys drop out.
+            active.retain(|id| slots.get(id).is_some_and(|s| s.active));
+            // The retain above already GC'd everything due, so this only
+            // discards stale queue entries; it keeps the queue bounded when
+            // full sweeps and dirty snapshots interleave.
+            drain_due_cold(slots, cold, &mut retired, seq, gc_after);
         }
-        demands.sort_by(|a, b| a.0.cmp(&b.0));
-        retired.sort();
+        demands.sort_unstable_by_key(|d| d.id);
+        retired.sort_unstable();
         ShardSnapshot { demands, retired }
     }
 
-    /// Takes the demand snapshot across every shard (GC included), merged
-    /// and sorted — the single-threaded controller path.
-    pub fn take_demand_snapshot(&self) -> Vec<(RuntimeKey, usize)> {
-        let mut out = Vec::new();
-        for shard in 0..self.num_shards() {
-            out.extend(self.take_shard_snapshot(shard).demands);
+    /// Takes one shard's **dirty-set** demand snapshot: visits only the keys
+    /// touched since the last snapshot or still holding containers, plus the
+    /// cold queue's due GC deadlines (the "idle sweep" that guarantees
+    /// zero-demand GC fires within [`Self::gc_intervals`] snapshots of a key
+    /// going cold — identical timing to the full sweep).
+    ///
+    /// Work is O(active keys + due GCs), independent of how many keys the
+    /// shard tracks. Cold keys are reported once (their final zero-demand
+    /// interval) and then skipped until GC'd or re-touched; the controller
+    /// backfills the skipped zero observations from the snapshot sequence
+    /// gap, so predictor state matches the full sweep exactly.
+    pub fn take_shard_snapshot_dirty(&self, shard: usize) -> ShardSnapshot {
+        let mut demands = Vec::new();
+        let mut retired = Vec::new();
+        let gc_after = u64::from(self.gc_intervals);
+        {
+            let mut guard = self.shards[shard].lock();
+            guard.seq += 1;
+            let seq = guard.seq;
+            let ShardState {
+                slots,
+                active,
+                cold,
+                ..
+            } = &mut *guard;
+            for id in std::mem::take(active) {
+                let Some(slot) = slots.get_mut(&id) else {
+                    continue;
+                };
+                let in_use = slot.in_use.len();
+                let avail = slot.available.len();
+                let demand = slot.watermark.max(in_use);
+                slot.watermark = in_use;
+                if demand == 0 && in_use == 0 && avail == 0 {
+                    // Final zero-demand report; the slot then waits on the
+                    // cold queue for GC (or a re-touch).
+                    slot.active = false;
+                    slot.cold_since = Some(seq);
+                    if gc_after <= 1 {
+                        // The full sweep GCs a just-cold slot in this same
+                        // snapshot without reporting it; match that.
+                        slots.remove(&id);
+                        retired.push(id);
+                        continue;
+                    }
+                    cold.push_back((id, seq));
+                } else {
+                    // Keys holding containers stay on the active list: the
+                    // controller sizes them every interval, exactly like
+                    // the full sweep.
+                    slot.active = true;
+                    active.push(id);
+                }
+                demands.push(KeyDemand {
+                    id,
+                    demand,
+                    avail,
+                    in_use,
+                });
+            }
+            drain_due_cold(slots, cold, &mut retired, seq, gc_after);
         }
+        demands.sort_unstable_by_key(|d| d.id);
+        retired.sort_unstable();
+        ShardSnapshot { demands, retired }
+    }
+
+    /// Takes the demand snapshot across every shard (full sweep, GC
+    /// included), merged and sorted — the single-threaded controller path.
+    pub fn take_demand_snapshot(&self) -> Vec<(RuntimeKey, usize)> {
+        let mut ids = Vec::new();
+        for shard in 0..self.num_shards() {
+            ids.extend(self.take_shard_snapshot(shard).demands);
+        }
+        let mut out: Vec<(RuntimeKey, usize)> = ids
+            .into_iter()
+            .filter_map(|d| Some((self.resolve_key(d.id)?, d.demand)))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
     /// The keys the pool currently tracks, sorted.
     pub fn keys(&self) -> Vec<RuntimeKey> {
-        let mut keys: Vec<RuntimeKey> = self
+        let ids: Vec<KeyId> = self
             .shards
             .iter()
-            .flat_map(|shard| shard.lock().slots.keys().cloned().collect::<Vec<_>>())
+            .flat_map(|shard| shard.lock().slots.keys().copied().collect::<Vec<_>>())
+            .collect();
+        let mut keys: Vec<RuntimeKey> = ids
+            .into_iter()
+            .filter_map(|id| self.resolve_key(id))
             .collect();
         keys.sort();
         keys
+    }
+}
+
+/// Queues a newly-cold key for the idle sweep, unless it is due immediately
+/// (the caller GCs it in the same snapshot).
+fn queue_cold(cold: &mut VecDeque<(KeyId, u64)>, id: KeyId, seq: u64, gc_after: u64) {
+    if gc_after > 1 {
+        cold.push_back((id, seq));
+    }
+}
+
+/// Pops every cold-queue entry whose GC deadline arrived at `seq` and
+/// retires the slots that are still cold since then. Entries invalidated by
+/// a re-touch (the slot's `cold_since` moved or cleared) or by an earlier GC
+/// are discarded. The queue is in nondecreasing `since` order, so this stops
+/// at the first not-yet-due entry.
+fn drain_due_cold(
+    slots: &mut FastMap<KeyId, Slot>,
+    cold: &mut VecDeque<(KeyId, u64)>,
+    retired: &mut Vec<KeyId>,
+    seq: u64,
+    gc_after: u64,
+) {
+    while let Some(&(id, since)) = cold.front() {
+        if seq.saturating_sub(since) + 1 < gc_after {
+            break;
+        }
+        cold.pop_front();
+        if slots.get(&id).is_some_and(|s| s.cold_since == Some(since)) {
+            slots.remove(&id);
+            retired.push(id);
+        }
     }
 }
 
@@ -727,10 +1066,11 @@ mod tests {
     fn shard_of_is_stable_and_in_range() {
         let pool = ShardedPool::with_shards(KeyPolicy::Exact, 4);
         for image in ["alpine:3.12", "python:3.8-alpine", "golang:1.13"] {
-            let key = pool.key_of(&cfg(image));
-            let s = pool.shard_of(&key);
+            let id = pool.intern_config(&cfg(image));
+            let s = pool.shard_of(id);
             assert!(s < 4);
-            assert_eq!(s, pool.shard_of(&key), "hash must be stable");
+            assert_eq!(s, pool.shard_of(id), "placement must be stable");
+            assert_eq!(id, pool.intern_config(&cfg(image)), "ids must be stable");
         }
     }
 
@@ -768,10 +1108,86 @@ mod tests {
             .map(|i| {
                 let mut c = cfg("alpine:3.12");
                 c.exec.env.insert("K".into(), i.to_string());
-                pool.shard_of(&pool.key_of(&c))
+                pool.shard_of(pool.intern_config(&c))
             })
             .collect();
         assert!(shards.len() > 1, "8 keys should spread across shards");
+    }
+
+    #[test]
+    fn dirty_snapshot_skips_cold_keys_but_gcs_them_on_schedule() {
+        let e = engine();
+        let mut pool = ShardedPool::with_shards(KeyPolicy::Exact, 1);
+        pool.set_gc_intervals(2);
+        let a = cfg("alpine:3.12");
+        let b = cfg("python:3.8-alpine");
+        pool.prewarm(&e, &a, SimTime::ZERO).unwrap();
+        pool.prewarm(&e, &b, SimTime::ZERO).unwrap();
+        let ida = pool.intern_config(&a);
+        let idb = pool.intern_config(&b);
+        // Both warm: both visited every interval even without touches.
+        let visited = |s: &ShardSnapshot| -> Vec<(KeyId, usize)> {
+            s.demands.iter().map(|d| (d.id, d.demand)).collect()
+        };
+        let s1 = pool.take_shard_snapshot_dirty(0);
+        assert_eq!(visited(&s1), vec![(ida, 0), (idb, 0)]);
+        // The snapshot carries each slot's live population (one prewarmed
+        // container apiece), so the controller needs no second lookup.
+        assert!(s1.demands.iter().all(|d| d.avail == 1 && d.in_use == 0));
+        // Drain A to empty; the retire is a touch, so the next snapshot
+        // reports its final zero-demand interval and starts the countdown.
+        pool.retire_one_id(&e, ida, SimTime::from_secs(1)).unwrap();
+        let s2 = pool.take_shard_snapshot_dirty(0);
+        assert_eq!(visited(&s2), vec![(ida, 0), (idb, 0)]);
+        assert!(s2.retired.is_empty());
+        // Cold now: skipped from the demand scan, GC'd by the idle sweep
+        // exactly gc_intervals snapshots after going cold.
+        let s3 = pool.take_shard_snapshot_dirty(0);
+        assert_eq!(visited(&s3), vec![(idb, 0)]);
+        assert_eq!(s3.retired, vec![ida]);
+        assert_eq!(pool.keys(), vec![pool.key_of(&b)]);
+        // A re-touch after going cold cancels the countdown.
+        pool.prewarm(&e, &a, SimTime::from_secs(2)).unwrap();
+        pool.retire_one_id(&e, pool.intern_config(&a), SimTime::from_secs(3))
+            .unwrap();
+        let _ = pool.take_shard_snapshot_dirty(0); // goes cold again
+        pool.prewarm(&e, &a, SimTime::from_secs(4)).unwrap(); // re-touched
+        let s5 = pool.take_shard_snapshot_dirty(0);
+        assert!(s5.retired.is_empty(), "re-touched key must not be GC'd");
+        assert!(s5.demands.iter().any(|d| d.id == pool.intern_config(&a)));
+    }
+
+    #[test]
+    fn full_and_dirty_snapshots_agree_on_gc_timing() {
+        for gc in [1u32, 2, 3] {
+            let (ef, ed) = (engine(), engine());
+            let mut full = ShardedPool::with_shards(KeyPolicy::Exact, 1);
+            let mut dirty = ShardedPool::with_shards(KeyPolicy::Exact, 1);
+            full.set_gc_intervals(gc);
+            dirty.set_gc_intervals(gc);
+            let c = cfg("alpine:3.12");
+            full.prewarm(&ef, &c, SimTime::ZERO).unwrap();
+            dirty.prewarm(&ed, &c, SimTime::ZERO).unwrap();
+            full.retire_one(&ef, &full.key_of(&c), SimTime::ZERO)
+                .unwrap();
+            dirty
+                .retire_one(&ed, &dirty.key_of(&c), SimTime::ZERO)
+                .unwrap();
+            // The slot is empty; both modes must GC it at the same snapshot.
+            for step in 1..=gc + 1 {
+                let f = full.take_shard_snapshot(0);
+                let d = dirty.take_shard_snapshot_dirty(0);
+                assert_eq!(
+                    f.retired, d.retired,
+                    "gc={gc} step={step}: retire timing diverged"
+                );
+                assert_eq!(
+                    full.keys().is_empty(),
+                    dirty.keys().is_empty(),
+                    "gc={gc} step={step}"
+                );
+            }
+        }
     }
 
     #[test]

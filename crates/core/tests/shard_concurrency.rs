@@ -117,6 +117,62 @@ fn random_interleavings_preserve_ownership_and_bookkeeping() {
 }
 
 #[test]
+fn interning_is_stable_under_concurrency() {
+    // 8 threads race to intern the same 6 configurations (plus their own
+    // re-interns, warm acquires, and releases). Every thread must observe
+    // the same config → KeyId mapping, distinct configs must get distinct
+    // ids, and the ids must agree with the canonical-key lookup — the
+    // double-checked insert in the interner must never hand out two ids for
+    // one key, or two shards would track the same runtime type.
+    for policy in [KeyPolicy::Exact, KeyPolicy::Fuzzy] {
+        let keys = 6usize;
+        let pool = ShardedPool::with_shards(policy, 8);
+        let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+        let maps: Mutex<Vec<Vec<hotc::KeyId>>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let pool = &pool;
+                let engine = &engine;
+                let maps = &maps;
+                s.spawn(move || {
+                    let mut seen = Vec::with_capacity(keys);
+                    for k in 0..keys {
+                        // Stagger the first-touch order per thread so every
+                        // key has several racing first interns.
+                        let k = (k + t) % keys;
+                        let cfg = config_for_key(k);
+                        let id = pool.intern_config(&cfg);
+                        let acq = pool
+                            .acquire(engine, &cfg, SimTime::from_millis(t as u64))
+                            .expect("acquire");
+                        pool.release(engine, acq.container, SimTime::from_secs(1))
+                            .expect("release");
+                        assert_eq!(id, pool.intern_config(&cfg), "re-intern moved the id");
+                        assert_eq!(Some(id), pool.id_of(&pool.key_of(&cfg)));
+                        seen.push((k, id));
+                    }
+                    seen.sort_unstable_by_key(|&(k, _)| k);
+                    maps.lock()
+                        .push(seen.into_iter().map(|(_, id)| id).collect());
+                });
+            }
+        });
+        // Fuzzy keys ignore env differences, so the distinct-id count is
+        // the distinct-*key* count (1 under Fuzzy, `keys` under Exact).
+        let distinct_keys: HashSet<_> =
+            (0..keys).map(|k| pool.key_of(&config_for_key(k))).collect();
+        let maps = maps.into_inner();
+        for map in &maps {
+            assert_eq!(map, &maps[0], "threads disagree on config → id");
+            let mut dedup = map.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), distinct_keys.len(), "one id per distinct key");
+        }
+    }
+}
+
+#[test]
 fn cold_starts_on_distinct_keys_make_distinct_containers() {
     // 8 threads, 8 disjoint keys, no warm pool: every acquire is a cold
     // start through a different shard, and all 8 ids must be distinct.

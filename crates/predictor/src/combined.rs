@@ -32,8 +32,25 @@ use crate::markov::{MarkovChain, RegionPartition};
 use crate::smoothing::{ExponentialSmoothing, InitialValue};
 use crate::Predictor;
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use stdshim::{JsonValue, ToJson};
+
+/// Maps an `f64` to a `u64` whose unsigned order matches IEEE-754 total
+/// order, so a `BTreeMap` keyed on it acts as an ordered multiset of raw
+/// samples (min/max in O(log n), exact under duplicate values).
+fn total_order_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`total_order_bits`].
+fn from_total_order_bits(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
+}
 
 /// Exponential smoothing with a Markov-chain region correction.
 ///
@@ -56,8 +73,17 @@ pub struct EsMarkov {
     window_cap: usize,
     /// Number of demand regions.
     regions: usize,
-    /// Chain over the windowed demand regions, rebuilt as the range drifts.
+    /// Chain over the windowed demand regions, maintained incrementally and
+    /// rebuilt only when the window's value range drifts.
     chain: MarkovChain,
+    /// Ordered multiset of the windowed values; its ends are the exact
+    /// min/max, which decide whether the partition (and thus every region
+    /// assignment) is still valid after an eviction. Built lazily when the
+    /// window first saturates: while it is still growing nothing is ever
+    /// evicted, so a running min/max tracks the span without tree upkeep.
+    values: BTreeMap<u64, u32>,
+    /// The `(min, max)` the current partition was built from.
+    span: Option<(f64, f64)>,
     observations: usize,
 }
 
@@ -74,10 +100,18 @@ impl EsMarkov {
         assert!(window_cap >= 2, "window must hold at least two samples");
         EsMarkov {
             es: ExponentialSmoothing::with_init(alpha, init),
-            window: VecDeque::with_capacity(window_cap),
+            // The window grows on demand past a small initial capacity: a
+            // controller builds one predictor per runtime key, and most keys
+            // never fill a 256-sample window, so preallocating `window_cap`
+            // would waste ~2 KB per key. Starting at 16 keeps the first
+            // doublings (the common lifetime of a short-lived key) out of
+            // the controller's steady-state ticks.
+            window: VecDeque::with_capacity(window_cap.min(16)),
             window_cap,
             regions,
             chain: MarkovChain::new(RegionPartition::new(0.0, 1.0, regions)),
+            values: BTreeMap::new(),
+            span: None,
             observations: 0,
         }
     }
@@ -102,12 +136,21 @@ impl EsMarkov {
         &self.chain
     }
 
-    /// Rebuilds the chain from the current window. The window is small (the
-    /// control loop runs at coarse intervals), so a full rebuild per
-    /// observation is cheap and keeps the partition aligned with the range.
+    /// Rebuilds the chain from the current window. Only reached when the
+    /// window's min/max actually moved — a partition shift reassigns regions
+    /// wholesale, so there is nothing to update incrementally. Steady demand
+    /// series revisit the same range, making this the rare path;
+    /// [`Predictor::observe`] handles the common case in O(log window).
     fn rebuild_chain(&mut self) {
-        let history: Vec<f64> = self.window.iter().copied().collect();
-        self.chain = MarkovChain::fit(&history, self.regions);
+        let (head, tail) = self.window.as_slices();
+        self.chain.refit(head, tail, self.regions);
+    }
+
+    /// Exact `(min, max)` of the windowed values via the ordered multiset.
+    fn window_span(&self) -> Option<(f64, f64)> {
+        let (&lo, _) = self.values.first_key_value()?;
+        let (&hi, _) = self.values.last_key_value()?;
+        Some((from_total_order_bits(lo), from_total_order_bits(hi)))
     }
 }
 
@@ -115,11 +158,71 @@ impl Predictor for EsMarkov {
     fn observe(&mut self, value: f64) {
         self.observations += 1;
         self.es.observe(value);
-        if self.window.len() == self.window_cap {
-            self.window.pop_front();
-        }
+        let evicted = if self.window.len() == self.window_cap {
+            self.window.pop_front()
+        } else {
+            None
+        };
         self.window.push_back(value);
-        self.rebuild_chain();
+        let span = if let Some(old) = evicted {
+            let bits = total_order_bits(old);
+            if let Some(count) = self.values.get_mut(&bits) {
+                *count -= 1;
+                if *count == 0 {
+                    self.values.remove(&bits);
+                }
+            }
+            *self.values.entry(total_order_bits(value)).or_insert(0) += 1;
+            self.window_span()
+        } else if self.window.len() == self.window_cap {
+            // The window just saturated: evictions start with the next
+            // observation, so materialise the multiset once here.
+            for &x in &self.window {
+                *self.values.entry(total_order_bits(x)).or_insert(0) += 1;
+            }
+            self.window_span()
+        } else {
+            // Growing window: nothing is ever evicted, so the span only
+            // extends. Running min/max in IEEE total order matches the
+            // multiset's ends exactly, without any tree upkeep.
+            let bits = total_order_bits(value);
+            Some(match self.span {
+                None => (value, value),
+                Some((lo, hi)) => (
+                    if bits < total_order_bits(lo) {
+                        value
+                    } else {
+                        lo
+                    },
+                    if bits > total_order_bits(hi) {
+                        value
+                    } else {
+                        hi
+                    },
+                ),
+            })
+        };
+        // NaN spans compare unequal to themselves, which safely forces the
+        // rebuild path until the offending sample leaves the window.
+        if span != self.span {
+            self.span = span;
+            self.rebuild_chain();
+            return;
+        }
+        // Range unchanged ⇒ the partition is byte-identical to what a batch
+        // fit over this window would build, and every retained sample keeps
+        // its region. Retract the evicted head's outgoing transition, then
+        // append the new observation — counts now equal a full refit. The
+        // evicted sample's region (and the new head's) is recomputed from
+        // the unchanged partition in O(1) rather than stored alongside it.
+        if let Some(old) = evicted {
+            let partition = self.chain.partition();
+            let from = partition.state_of(old);
+            if let Some(&head) = self.window.front() {
+                self.chain.forget_oldest(from, partition.state_of(head));
+            }
+        }
+        self.chain.observe(value);
     }
 
     fn predict(&self) -> f64 {
@@ -285,5 +388,56 @@ mod tests {
     #[should_panic(expected = "at least one region")]
     fn zero_regions_rejected() {
         let _ = EsMarkov::with_params(0.5, InitialValue::FirstObservation, 0, 16);
+    }
+
+    /// The incremental chain (subtract-on-evict + online counts) must equal
+    /// a batch `MarkovChain::fit` over the same sliding window after every
+    /// observation, including window wraparound and duplicate values.
+    #[test]
+    fn prop_incremental_matches_batch_fit() {
+        testkit::check(64, |g| {
+            let cap = g.usize_in(2..16);
+            let regions = g.usize_in(1..8);
+            let len = g.usize_in(1..64);
+            let mut p = EsMarkov::with_params(0.8, InitialValue::FirstObservation, regions, cap);
+            let mut history: Vec<f64> = Vec::new();
+            for _ in 0..len {
+                // Mostly revisit a few discrete levels (duplicate values,
+                // stable span ⇒ the O(1) path), sometimes a fresh value
+                // (span drift ⇒ the rebuild path).
+                let value = if g.u8_in(0..4) == 0 {
+                    g.f64_in(0.0..40.0)
+                } else {
+                    g.usize_in(0..5) as f64 * 7.0
+                };
+                p.observe(value);
+                history.push(value);
+                let start = history.len().saturating_sub(cap);
+                let batch = MarkovChain::fit(&history[start..], regions);
+                assert_eq!(p.chain().partition(), batch.partition());
+                assert_eq!(p.chain().current_state(), batch.current_state());
+                assert_eq!(p.chain().transition_counts(), batch.transition_counts());
+                assert_eq!(p.chain().observations(), batch.observations());
+            }
+        });
+    }
+
+    /// Saturated-window regression: a long constant tail after a level shift
+    /// keeps evicting duplicates of the old level; counts must track the
+    /// batch fit exactly as the old level drains out of the window.
+    #[test]
+    fn incremental_eviction_drains_old_level() {
+        let cap = 8;
+        let mut p = EsMarkov::with_params(0.8, InitialValue::FirstObservation, 3, cap);
+        let mut history = Vec::new();
+        for i in 0..40 {
+            let value = if i < 10 { 4.0 } else { 16.0 };
+            p.observe(value);
+            history.push(value);
+            let start = history.len().saturating_sub(cap);
+            let batch = MarkovChain::fit(&history[start..], 3);
+            assert_eq!(p.chain().partition(), batch.partition());
+            assert_eq!(p.chain().transition_counts(), batch.transition_counts());
+        }
     }
 }

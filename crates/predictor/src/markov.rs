@@ -77,10 +77,24 @@ impl RegionPartition {
 #[derive(Debug, Clone)]
 pub struct MarkovChain {
     partition: RegionPartition,
-    /// counts[i][j] = observed 1-step transitions i → j.
-    counts: Vec<Vec<u64>>,
+    /// Row-major `n×n` matrix: `counts[i*n + j]` = observed 1-step
+    /// transitions i → j. Flat so a chain costs one allocation — per-key
+    /// controllers build (and re-fit) thousands of these.
+    counts: Vec<u64>,
     last_state: Option<usize>,
     observations: usize,
+    /// Bumped on every count mutation; the k-step cache keys off it.
+    version: u64,
+    /// Memoized `(k, version) → P^k`: a tick can ask for the same power
+    /// repeatedly while the counts are unchanged.
+    kstep_cache: std::cell::RefCell<Option<KStepCache>>,
+}
+
+#[derive(Debug, Clone)]
+struct KStepCache {
+    k: u32,
+    version: u64,
+    matrix: Vec<Vec<f64>>,
 }
 
 impl MarkovChain {
@@ -89,9 +103,11 @@ impl MarkovChain {
         let n = partition.len();
         MarkovChain {
             partition,
-            counts: vec![vec![0; n]; n],
+            counts: vec![0; n * n],
             last_state: None,
             observations: 0,
+            version: 0,
+            kstep_cache: std::cell::RefCell::new(None),
         }
     }
 
@@ -105,13 +121,65 @@ impl MarkovChain {
         chain
     }
 
+    /// Re-fits this chain in place over a history given as two slices (a
+    /// ring buffer's halves), reusing the counts allocation. Equivalent to
+    /// replacing the chain with `MarkovChain::fit` over the concatenation,
+    /// minus the allocations — the sliding-window predictor re-partitions
+    /// this way every time its value range drifts.
+    pub fn refit(&mut self, head: &[f64], tail: &[f64], regions: usize) {
+        let values = || head.iter().chain(tail).copied();
+        let lo = values().fold(f64::INFINITY, f64::min);
+        let hi = values().fold(f64::NEG_INFINITY, f64::max);
+        self.partition = if !lo.is_finite() || !hi.is_finite() {
+            RegionPartition::new(0.0, 1.0, regions)
+        } else {
+            RegionPartition::new(lo, hi, regions)
+        };
+        self.counts.clear();
+        self.counts.resize(regions * regions, 0);
+        self.last_state = None;
+        self.observations = 0;
+        self.version = self.version.wrapping_add(1);
+        for x in values() {
+            self.observe_value(x);
+        }
+    }
+
     fn observe_value(&mut self, value: f64) {
         let state = self.partition.state_of(value);
         if let Some(prev) = self.last_state {
-            self.counts[prev][state] += 1;
+            self.counts[prev * self.partition.len() + state] += 1;
         }
         self.last_state = Some(state);
         self.observations += 1;
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Retracts the oldest windowed observation: its outgoing transition
+    /// `from → to` and its contribution to the observation count. Together
+    /// with [`Predictor::observe`] this keeps the counts equal to a batch
+    /// [`MarkovChain::fit`] over a sliding window, without refitting —
+    /// evicting the window head removes exactly its one outgoing edge.
+    pub fn forget_oldest(&mut self, from: usize, to: usize) {
+        let cell = &mut self.counts[from * self.partition.len() + to];
+        debug_assert!(
+            *cell > 0,
+            "retracting a transition {from}→{to} that was never observed"
+        );
+        *cell = cell.saturating_sub(1);
+        self.observations = self.observations.saturating_sub(1);
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// The raw 1-step transition counts `T_ij`, row-major (`n×n` flat).
+    pub fn transition_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Row `i` of the raw transition counts.
+    fn counts_row(&self, i: usize) -> &[u64] {
+        let n = self.partition.len();
+        &self.counts[i * n..(i + 1) * n]
     }
 
     /// The region partition.
@@ -128,17 +196,14 @@ impl MarkovChain {
     /// no outgoing observations fall back to "stay in place" (identity row),
     /// which is the least-surprising prior for a demand series.
     pub fn transition_row(&self, i: usize) -> Vec<f64> {
-        let total: u64 = self.counts[i].iter().sum();
-        let n = self.partition.len();
+        let row = self.counts_row(i);
+        let total: u64 = row.iter().sum();
         if total == 0 {
-            let mut row = vec![0.0; n];
-            row[i] = 1.0;
-            return row;
+            let mut out = vec![0.0; row.len()];
+            out[i] = 1.0;
+            return out;
         }
-        self.counts[i]
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect()
+        row.iter().map(|&c| c as f64 / total as f64).collect()
     }
 
     /// The full 1-step transition matrix.
@@ -149,7 +214,16 @@ impl MarkovChain {
     }
 
     /// The k-step transition matrix `P(k) = P^k` (Eq. 2's matrix power).
+    ///
+    /// The result is memoized per `(k, counts-version)`: repeated calls
+    /// between count mutations return a clone of the cached power instead of
+    /// redoing the matrix multiplications.
     pub fn k_step_matrix(&self, k: u32) -> Vec<Vec<f64>> {
+        if let Some(cache) = self.kstep_cache.borrow().as_ref() {
+            if cache.k == k && cache.version == self.version {
+                return cache.matrix.clone();
+            }
+        }
         let n = self.partition.len();
         let mut result: Vec<Vec<f64>> = (0..n)
             .map(|i| {
@@ -162,20 +236,26 @@ impl MarkovChain {
         for _ in 0..k {
             result = mat_mul(&result, &p);
         }
+        *self.kstep_cache.borrow_mut() = Some(KStepCache {
+            k,
+            version: self.version,
+            matrix: result.clone(),
+        });
         result
     }
 
     /// Most probable next state from the current one (ties break toward the
-    /// lower region, matching a conservative resource allocation).
+    /// lower region, matching a conservative resource allocation). Works on
+    /// the raw counts directly — no row normalization, no allocation.
     pub fn predict_state(&self) -> Option<usize> {
         let cur = self.last_state?;
-        let row = self.transition_row(cur);
-        let mut best = 0;
-        let mut best_p = f64::NEG_INFINITY;
-        for (j, &p) in row.iter().enumerate() {
-            if p > best_p {
+        let row = self.counts_row(cur);
+        let mut best = cur; // identity fallback for rows never exited
+        let mut best_c = 0u64;
+        for (j, &c) in row.iter().enumerate() {
+            if c > best_c {
                 best = j;
-                best_p = p;
+                best_c = c;
             }
         }
         Some(best)
@@ -197,7 +277,7 @@ impl MarkovChain {
     /// Whether the chain has ever been observed *leaving* `state` (i.e. the
     /// transition row has real evidence rather than the identity fallback).
     pub fn has_outgoing(&self, state: usize) -> bool {
-        self.counts[state].iter().sum::<u64>() > 0
+        self.counts_row(state).iter().sum::<u64>() > 0
     }
 
     /// Like [`Self::expected_next`], but returns `None` when the current
@@ -207,7 +287,7 @@ impl MarkovChain {
     /// overshooting on first-time regime shifts.
     pub fn expected_next_observed(&self) -> Option<f64> {
         let cur = self.last_state?;
-        if self.counts[cur].iter().sum::<u64>() == 0 {
+        if !self.has_outgoing(cur) {
             return None;
         }
         self.expected_next()
@@ -342,6 +422,37 @@ mod tests {
         // P⁰ = identity by definition.
         let p0 = chain.k_step_matrix(0);
         assert!((p0[0][0] - 1.0).abs() < 1e-12 && p0[0][1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_step_cache_invalidates_on_count_changes() {
+        let series: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 9.0 })
+            .collect();
+        let mut chain = MarkovChain::fit(&series, 2);
+        let before = chain.k_step_matrix(3);
+        assert_eq!(before, chain.k_step_matrix(3)); // cache hit
+                                                    // Break the perfect alternation (9 → 9); the cached power must not
+                                                    // survive the count change. The range is unchanged, so a fresh fit
+                                                    // over the extended series is the ground truth.
+        chain.observe(9.0);
+        let mut extended = series.clone();
+        extended.push(9.0);
+        let reference = MarkovChain::fit(&extended, 2);
+        assert_eq!(chain.k_step_matrix(3), reference.k_step_matrix(3));
+        assert_ne!(chain.k_step_matrix(3), before);
+    }
+
+    #[test]
+    fn forget_oldest_retracts_head_transition() {
+        let series = [1.0, 9.0, 1.0, 9.0];
+        let mut chain = MarkovChain::fit(&series, 2);
+        // Evicting the head removes its outgoing 1→9 edge; the remainder
+        // matches a fit over the shortened window.
+        chain.forget_oldest(0, 1);
+        let shorter = MarkovChain::fit(&series[1..], 2);
+        assert_eq!(chain.transition_counts(), shorter.transition_counts());
+        assert_eq!(chain.observations(), shorter.observations());
     }
 
     #[test]

@@ -28,8 +28,11 @@ pub struct ExponentialSmoothing {
     init: InitialValue,
     /// Smoothed value `e_t`, once seeded.
     smoothed: Option<f64>,
-    /// Buffer of early observations while seeding with MeanOfFirst5.
-    warmup: Vec<f64>,
+    /// Inline buffer of early observations while seeding with MeanOfFirst5
+    /// (`warmup_len` entries are live); a controller builds one smoother per
+    /// runtime key, so seeding must not allocate.
+    warmup: [f64; 5],
+    warmup_len: u8,
     observations: usize,
 }
 
@@ -52,7 +55,8 @@ impl ExponentialSmoothing {
             alpha,
             init,
             smoothed: None,
-            warmup: Vec::new(),
+            warmup: [0.0; 5],
+            warmup_len: 0,
             observations: 0,
         }
     }
@@ -84,11 +88,12 @@ impl Predictor for ExponentialSmoothing {
                 self.smoothed = Some(value);
             }
             (None, InitialValue::MeanOfFirst5) => {
-                self.warmup.push(value);
-                if self.warmup.len() == 5 {
-                    let mean = self.warmup.iter().sum::<f64>() / 5.0;
+                self.warmup[usize::from(self.warmup_len)] = value;
+                self.warmup_len += 1;
+                if usize::from(self.warmup_len) == self.warmup.len() {
+                    let mean = self.warmup.iter().sum::<f64>() / self.warmup.len() as f64;
                     self.smoothed = Some(mean);
-                    self.warmup.clear();
+                    self.warmup_len = 0;
                 }
             }
         }
@@ -98,8 +103,9 @@ impl Predictor for ExponentialSmoothing {
         match self.smoothed {
             Some(e) => e,
             // Still warming up: running mean of what we have, else 0.
-            None if !self.warmup.is_empty() => {
-                self.warmup.iter().sum::<f64>() / self.warmup.len() as f64
+            None if self.warmup_len > 0 => {
+                let n = usize::from(self.warmup_len);
+                self.warmup[..n].iter().sum::<f64>() / n as f64
             }
             None => 0.0,
         }

@@ -1,0 +1,149 @@
+//! A fast, non-cryptographic hasher for small trusted keys.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! collision-resistant, which matters for maps keyed by attacker-chosen
+//! strings — and costs tens of nanoseconds per lookup. The workspace's hot
+//! maps are keyed by *internal* integers (interned `KeyId`s, config
+//! fingerprints) where that resistance buys nothing: the key space is
+//! program-generated and dense. [`FastHasher`] is an FxHash-style
+//! multiplicative hasher — one `rotate ^ mul` per word — that cuts a map
+//! lookup to a few nanoseconds on those paths.
+//!
+//! **Do not** use it for maps keyed by externally-supplied strings; the
+//! default hasher's DoS resistance is the right trade there.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the 64-bit golden ratio (same constant Fx/ahash lineage
+/// uses); spreads consecutive integers across the full word.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An FxHash-style word-at-a-time multiplicative [`Hasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in so "ab" + "" and "a" + "b" differ.
+            self.mix(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]; plug into `HashMap::with_hasher` or the
+/// [`FastMap`]/[`FastSet`] aliases.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`] — for maps keyed by internal integers.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        FastBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_ne!(hash_of(42u32), hash_of(43u32));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+        // Consecutive small integers spread across the word.
+        let a = hash_of(1u32);
+        let b = hash_of(2u32);
+        assert!((a ^ b).count_ones() > 8, "{a:#x} vs {b:#x}");
+    }
+
+    #[test]
+    fn byte_streams_with_different_boundaries_differ() {
+        let mut h1 = FastHasher::default();
+        h1.write(b"abcdefgh");
+        h1.write(b"i");
+        let mut h2 = FastHasher::default();
+        h2.write(b"abcdefghi");
+        // Same content, same split-independent words ⇒ equal is fine; the
+        // important property is tail-length mixing:
+        let mut h3 = FastHasher::default();
+        h3.write(b"abcdefgh");
+        let mut h4 = FastHasher::default();
+        h4.write(b"abcdefgh\0");
+        assert_ne!(h3.finish(), h4.finish());
+        let _ = (h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: FastMap<u32, &str> = FastMap::default();
+        for i in 0..1000u32 {
+            map.insert(i, "x");
+        }
+        assert_eq!(map.len(), 1000);
+        assert!(map.contains_key(&999));
+        assert!(!map.contains_key(&1000));
+        let mut set: FastSet<u64> = FastSet::default();
+        set.insert(7);
+        assert!(set.contains(&7));
+    }
+}

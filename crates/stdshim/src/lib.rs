@@ -3,22 +3,26 @@
 //! Zero-dependency standard-library shims for the HotC workspace.
 //!
 //! The workspace builds offline with no registry crates; this crate hosts
-//! the two small pieces that third-party crates used to provide:
+//! the small pieces that third-party crates used to provide:
 //!
 //! * [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std::sync`
 //!   with parking_lot-style ergonomics (`.lock()` returns the guard) and a
 //!   debug-build lock-order sanitizer (class labels, ABBA cycle detection,
-//!   re-entry detection, [`sync::request_path_scope`]), and
+//!   re-entry detection, [`sync::request_path_scope`]),
 //! * [`json`] — a write-only JSON tree ([`json::JsonValue`]) and the
 //!   [`json::ToJson`] trait that result structs implement instead of
-//!   deriving `serde::Serialize`.
+//!   deriving `serde::Serialize`, and
+//! * [`hash`] — an FxHash-style fast hasher ([`hash::FastMap`]) for maps
+//!   keyed by internal integers on the request path.
 //!
 //! Everything here is std-only and auditable in one sitting; the hermeticity
 //! guard test (`tests/hermetic.rs` at the workspace root) enforces that it
 //! stays that way.
 
+pub mod hash;
 pub mod json;
 pub mod sync;
 
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use json::{JsonValue, ToJson};
 pub use sync::{request_path_scope, Mutex, RwLock};
