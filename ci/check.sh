@@ -1,5 +1,14 @@
 #!/usr/bin/env bash
-# Single local entry point for everything CI runs. Usage: ci/check.sh
+# Single local entry point for everything CI runs.
+#
+# Usage: ci/check.sh [--fast]
+#
+#   (no flag)  full CI: hermeticity, format, lints, conformance, release
+#              build, workspace tests, bench smoke + perf gates, metrics
+#              smoke — what the release CI job runs.
+#   --fast     inner-loop subset: format, lints, conformance, and the debug
+#              workspace test suite (lock sanitizer armed). No release
+#              build, no benches; finishes in under two minutes warm.
 #
 # The whole suite is offline by design: every dependency is a path dep into
 # this repository (enforced by tests/hermetic.rs), so `--offline` both proves
@@ -7,6 +16,14 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "usage: ci/check.sh [--fast]" >&2; exit 2 ;;
+    esac
+done
 
 run() {
     echo
@@ -27,85 +44,37 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 #    escapes need `// lint:allow(rule, reason)`.
 run cargo run --offline -q -p hotc-lint
 
-# 4. Tier-1: release build + full test suite, offline.
-run cargo build --release --offline
+# 4. Workspace test suite. Debug profile arms the lock-order sanitizer and
+#    the zero-lock warm-path assertions (request_path_scope). In --fast
+#    mode this is the last step.
+run cargo test -q --workspace --offline
+if [ "$FAST" = 1 ]; then
+    echo
+    echo "Fast checks passed."
+    exit 0
+fi
+
+# 5. Tier-1: release build + root test suite, offline (release compiles the
+#    sanitizer out; the perf numbers below come from this profile).
+#    --workspace so the metrics smoke below gets its hotc-sim binary from
+#    this build rather than from whatever was in target/ already.
+run cargo build --workspace --release --offline
 run cargo test -q --offline
 
-# 5. Perf smoke: every bench suite in --smoke mode, accumulating one
-#    JSON-Lines record per suite into BENCH_ci.json (the CI perf artifact).
+# 6. Perf smoke: every bench suite in --smoke mode, accumulating one
+#    JSON-Lines record per suite into BENCH_ci.json (the CI perf artifact),
+#    then the perf-gate checker evaluates ci/gates.json against it —
+#    suite/record presence, max-mean thresholds, and scaling ratios all
+#    live in that file, not in shell.
 export BENCH_OUT_DIR="$PWD"
 rm -f "$BENCH_OUT_DIR/BENCH_ci.json"
 # --benches keeps cargo from also running the crate's libtest unit-test
 # target, which would reject the custom --smoke flag.
 run cargo bench --offline -p hotc-bench --benches -- --smoke
+run cargo run --offline -q -p hotc-bench --bin gate -- "$BENCH_OUT_DIR/BENCH_ci.json" ci/gates.json
 
-echo
-echo "==> BENCH_ci.json:"
-test -s "$BENCH_OUT_DIR/BENCH_ci.json"
-# Shape check: one JSON object per suite, all seven suites present.
-for suite in cluster contention controller_tick pipeline pool predictor simkernel; do
-    grep -q "\"suite\":\"$suite\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
-        || { echo "missing suite '$suite' in BENCH_ci.json" >&2; exit 1; }
-done
-# The contention suite must record both sides of the sharded-vs-global-lock
-# comparison, so the perf trajectory captures the speedup over time.
-for name in shared_gateway/8_threads sharded_gateway/8_threads; do
-    grep -q "\"$name\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
-        || { echo "missing bench '$name' in BENCH_ci.json" >&2; exit 1; }
-done
-wc -l "$BENCH_OUT_DIR/BENCH_ci.json"
-# mean_of <suite> <bench-name>: pull one mean_ns out of the JSON-Lines
-# artifact. Bench names contain slashes, so sed delimits with `|`.
-mean_of() {
-    grep "\"suite\":\"$1\"" "$BENCH_OUT_DIR/BENCH_ci.json" \
-        | sed -e "s|.*\"name\":\"$2\",\"mean_ns\":||" -e 's|,.*||'
-}
-# gate_below <label> <value_ns> <limit_ns>: fail when the record missed the
-# performance target (or was not recorded at all).
-gate_below() {
-    awk -v v="$2" -v lim="$3" 'BEGIN { exit !(v + 0 > 0 && v + 0 < lim + 0) }' \
-        || { echo "$1 = '$2' ns is not under the $3 ns gate" >&2; exit 1; }
-}
-
-# Contention parity: the sanitizer instrumentation (PR 4) must not erase the
-# sharding speedup. Release builds compile the sanitizer out entirely, so the
-# sharded gateway at 8 threads must still beat the single-lock gateway.
-shared_mean="$(mean_of contention shared_gateway/8_threads)"
-sharded_mean="$(mean_of contention sharded_gateway/8_threads)"
-echo "contention 8_threads mean_ns: shared=$shared_mean sharded=$sharded_mean"
-awk -v a="$sharded_mean" -v b="$shared_mean" \
-    'BEGIN { exit !(a + 0 > 0 && b + 0 > 0 && a < b) }' \
-    || { echo "sharded_gateway/8_threads ($sharded_mean ns) is not faster than shared_gateway/8_threads ($shared_mean ns)" >&2; exit 1; }
-
-# Perf gates against the PR 4 BENCH_ci.json records (see that file's git
-# history). Thresholds leave headroom for single-core CI noise while still
-# pinning the O(changed) control-plane wins of PR 5:
-#  - hotc_tick_100_types: ≥5x over the PR 4 record of 1234531 ns;
-#  - sharded_gateway/8_threads: no regression vs 690046 ns (1.25x headroom);
-#  - acquire_exec_release_reuse: parity vs 1411 ns (1.25x headroom);
-#  - reuse_among_100_types: the per-request keying cost that scaled with
-#    type count collapsed from the PR 4 record of 1849 ns.
-tick_mean="$(mean_of pipeline hotc_tick_100_types)"
-acquire_mean="$(mean_of pool acquire_exec_release_reuse)"
-reuse100_mean="$(mean_of pool reuse_among_100_types)"
-echo "perf gates: tick=$tick_mean acquire=$acquire_mean reuse100=$reuse100_mean"
-gate_below "pipeline/hotc_tick_100_types" "$tick_mean" 246906
-gate_below "contention/sharded_gateway/8_threads" "$sharded_mean" 862557
-gate_below "pool/acquire_exec_release_reuse" "$acquire_mean" 1764
-gate_below "pool/reuse_among_100_types" "$reuse100_mean" 1400
-
-# The dirty-set tick must stay cheaper than the full sweep at 1000 types —
-# the controller's whole point is O(active types), not O(tracked types).
-dirty_mean="$(mean_of controller_tick dirty_1000types)"
-full_mean="$(mean_of controller_tick full_sweep_1000types)"
-echo "controller_tick 1000types mean_ns: dirty=$dirty_mean full=$full_mean"
-awk -v a="$dirty_mean" -v b="$full_mean" \
-    'BEGIN { exit !(a + 0 > 0 && b + 0 > 0 && a < b) }' \
-    || { echo "dirty_1000types ($dirty_mean ns) is not cheaper than full_sweep_1000types ($full_mean ns)" >&2; exit 1; }
-
-# 6. Telemetry smoke: run the demo scenario with --metrics-out and assert the
-#    snapshot is well-formed with nonzero cold-start stage counts. stdshim has
-#    no JSON parser, so the shape check is textual.
+# 7. Telemetry smoke: run the demo scenario with --metrics-out and assert the
+#    snapshot is well-formed with nonzero cold-start stage counts.
 METRICS_OUT="$(mktemp)"
 trap 'rm -f "$METRICS_OUT"' EXIT
 run sh -c "./target/release/hotc-sim --demo | ./target/release/hotc-sim - --metrics-out '$METRICS_OUT' >/dev/null"

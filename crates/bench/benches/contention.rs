@@ -1,13 +1,21 @@
 //! Lock-contention benchmark: real OS threads sharing one HotC gateway,
-//! measuring control-plane throughput as parallelism grows (1–8 threads).
-//! The virtual execution happens outside the lock, so this isolates the
-//! serialized pool bookkeeping — the scalability question for the paper's
-//! middleware design.
+//! measuring control-plane throughput as parallelism grows. The global-lock
+//! gateway is driven at 1–8 threads (the legacy comparison); the sharded
+//! gateway is driven across [`hotc_bench::CONTENTION_THREADS`] (1–32), the
+//! curve the CI perf gate checks. The virtual execution happens outside any
+//! lock, so this isolates the pool bookkeeping — the scalability question
+//! for the paper's middleware design.
+//!
+//! Each iteration issues `threads x requests_per_thread` requests, so with
+//! perfect scaling the per-iteration mean is flat as threads grow; the
+//! recorded `scaling_efficiency_{n}` derived metric is exactly
+//! `mean_ns(1 thread) / mean_ns(n threads)` — throughput at n divided by
+//! n times the single-thread throughput.
 
 use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
 use faas::{AppProfile, Gateway};
-use hotc::{ConcurrentGateway, HotC, ShardedGateway};
-use hotc_bench::Harness;
+use hotc::{ConcurrentGateway, FunctionHandle, HotC, ShardedGateway};
+use hotc_bench::{Harness, CONTENTION_THREADS};
 use simclock::shared::ThreadTimeline;
 use simclock::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -105,25 +113,42 @@ fn bench_contention(h: &mut Harness) {
             });
         });
     }
-    // Same traffic shapes through the sharded frontend: per-key shard locks
-    // plus atomics instead of one gateway-wide mutex.
-    for &threads in &[1usize, 2, 4, 8] {
+    // Same traffic shapes through the sharded frontend: lock-free bitmap
+    // claims on the warm path instead of one gateway-wide mutex. Driven
+    // further up the curve (16, 32) than the global lock, because this is
+    // the side whose scaling the CI gate pins. Handles are pre-resolved so
+    // the steady-state request skips even the function-table read lock.
+    for &threads in CONTENTION_THREADS {
         let gw = sharded_gateway_setup(threads.max(2));
+        let handles: Vec<FunctionHandle> = (0..threads)
+            .map(|t| gw.function_handle(&format!("fn-{t}")).expect("registered"))
+            .collect();
         h.bench(&format!("sharded_gateway/{threads}_threads"), || {
             std::thread::scope(|s| {
-                for t in 0..threads {
+                for handle in &handles {
                     let gw = Arc::clone(&gw);
                     s.spawn(move || {
                         let mut timeline = ThreadTimeline::starting_at(SimTime::ZERO);
-                        let function = format!("fn-{t}");
                         for _ in 0..requests_per_thread {
-                            gw.handle(&function, &mut timeline).expect("request");
+                            gw.handle_with(handle, &mut timeline).expect("request");
                             timeline.advance(SimDuration::from_millis(200));
                         }
                     });
                 }
             });
         });
+    }
+    // Scaling efficiency: work per iteration grows with the thread count,
+    // so efficiency reduces to mean(1)/mean(n). 1.0 is perfect scaling.
+    if let Some(base) = h.mean_of("sharded_gateway/1_threads") {
+        for &threads in CONTENTION_THREADS {
+            if let Some(mean) = h.mean_of(&format!("sharded_gateway/{threads}_threads")) {
+                h.record_derived(
+                    &format!("sharded_gateway/scaling_efficiency_{threads}"),
+                    base / mean,
+                );
+            }
+        }
     }
 }
 

@@ -71,6 +71,7 @@ pub struct Harness {
     warmup: Duration,
     measure: Duration,
     results: Vec<BenchResult>,
+    derived: Vec<(String, f64)>,
 }
 
 impl Harness {
@@ -91,12 +92,34 @@ impl Harness {
             warmup,
             measure,
             results: Vec::new(),
+            derived: Vec::new(),
         }
     }
 
     /// Whether the harness runs in shortened CI-smoke mode.
     pub fn is_smoke(&self) -> bool {
         self.smoke
+    }
+
+    /// Mean of an already-recorded routine, for computing derived metrics
+    /// from sibling results (e.g. a scaling-efficiency curve).
+    pub fn mean_of(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+    }
+
+    /// Records a derived (computed, not timed) metric. Derived metrics ride
+    /// along in the suite's JSON under `"derived"` so trend tooling and CI
+    /// gates can read them without re-deriving the arithmetic.
+    pub fn record_derived(&mut self, name: &str, value: f64) {
+        println!(
+            "{:<44} {:>12.4}  (derived)",
+            format!("{}/{}", self.suite, name),
+            value,
+        );
+        self.derived.push((name.to_string(), value));
     }
 
     /// Times `routine` in calibrated batches. The routine's return value is
@@ -193,10 +216,19 @@ impl Harness {
     }
 
     fn to_json(&self) -> JsonValue {
+        let derived = JsonValue::array(self.derived.iter().map(|(name, value)| {
+            JsonValue::object([("name", name.to_json()), ("value", value.to_json())])
+        }));
+        // Host parallelism rides along so gates on multi-thread scaling can
+        // tell "regression" apart from "the runner has fewer cores than the
+        // curve needs" (the perf-gate binary skips such gates, visibly).
+        let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
         JsonValue::object([
             ("suite", self.suite.to_json()),
             ("mode", if self.smoke { "smoke" } else { "full" }.to_json()),
+            ("parallelism", parallelism.to_json()),
             ("results", self.results.to_json()),
+            ("derived", derived),
         ])
     }
 

@@ -104,6 +104,20 @@ struct FunctionEntry {
     spec: FunctionSpec,
     key_id: crate::key::KeyId,
     stage_fn: Arc<StageSet>,
+    /// The function's application, as a dense nonzero token from the
+    /// gateway's registration-time app registry. The warm path compares this
+    /// `u64` against the pool slot's atomic last-app word instead of taking
+    /// a tracker lock to compare name strings.
+    app_token: u64,
+}
+
+/// A pre-resolved function handle: pins the registration-time
+/// [`FunctionEntry`] so steady-state callers (benchmark drivers, dedicated
+/// per-function workers) skip even the function-table read lock — a warm
+/// request then reaches `begin_exec` without a single lock acquisition.
+/// The handle is a snapshot: re-registering the function does not update it.
+pub struct FunctionHandle {
+    entry: Arc<FunctionEntry>,
 }
 
 /// Last-app tracking sharded by container id, so the per-request app-switch
@@ -157,7 +171,12 @@ pub struct ShardedGateway {
     engine: Mutex<ContainerEngine>,
     functions: RwLock<HashMap<String, Arc<FunctionEntry>>>,
     stats: SharedStats,
+    /// Last-app fallback for overflow containers (no bitmap slot). Bitmap
+    /// containers — the steady state — use the pool's atomic last-app words.
     tracker: ShardedTracker,
+    /// Registration-time app-name → token registry (see
+    /// [`FunctionEntry::app_token`]). Locked only while registering.
+    app_tokens: Mutex<Vec<&'static str>>,
     pool: ShardedPool,
     controller: Mutex<AdaptiveController>,
     limits: PoolLimits,
@@ -198,6 +217,7 @@ impl ShardedGateway {
             functions: RwLock::labeled(HashMap::new(), "gateway/functions"),
             stats: SharedStats::new(),
             tracker: ShardedTracker::new(config.shards),
+            app_tokens: Mutex::labeled(Vec::new(), "gateway/app-tokens"),
             pool: ShardedPool::with_shards(config.key_policy, config.shards),
             controller: Mutex::labeled(
                 AdaptiveController::new(config.controller),
@@ -244,14 +264,40 @@ impl ShardedGateway {
         let stage_fn = self.metrics.stage_set(&fn_scope);
         self.metrics
             .stage_union_member(&format!("key/{key}"), &fn_scope);
+        let app_token = self.app_token(spec.app.name);
         self.functions.write().insert(
             spec.name.clone(),
             Arc::new(FunctionEntry {
                 spec,
                 key_id,
                 stage_fn,
+                app_token,
             }),
         );
+    }
+
+    /// The dense nonzero token for an app name, registering it on first use.
+    /// Registration-time only; tokens are stable for the gateway's lifetime.
+    fn app_token(&self, app: &'static str) -> u64 {
+        let mut tokens = self.app_tokens.lock();
+        match tokens.iter().position(|&a| a == app) {
+            Some(at) => at as u64 + 1,
+            None => {
+                tokens.push(app);
+                tokens.len() as u64
+            }
+        }
+    }
+
+    /// Resolves a function to a reusable [`FunctionHandle`], or `None` if it
+    /// is not registered. One function-table read here replaces one per
+    /// request in [`Self::begin`]/[`Self::finish`].
+    pub fn function_handle(&self, function: &str) -> Option<FunctionHandle> {
+        self.functions
+            .read()
+            .get(function)
+            .cloned()
+            .map(|entry| FunctionHandle { entry })
     }
 
     /// Convenience: registers an app under its own name with its default
@@ -301,36 +347,70 @@ impl ShardedGateway {
     /// state is locked by itself, in a fixed order, and never across the
     /// container-creation path of another key's shard.
     pub fn begin(&self, function: &str, now: SimTime) -> Result<InFlight, GatewayError> {
-        // DESIGN.md §5: the request path holds at most one of {function
-        // table, tracker shard, pool shard, engine} at a time.
-        let _scope = stdshim::request_path_scope();
         let entry = self
             .functions
             .read()
             .get(function)
             .cloned()
             .ok_or_else(|| GatewayError::UnknownFunction(function.to_string()))?;
+        self.begin_entry(&entry, now)
+    }
 
+    /// [`Self::begin`] through a pre-resolved [`FunctionHandle`]: no
+    /// function-table lock, so a warm hit performs **zero** lock
+    /// acquisitions before the engine's `begin_exec` critical section.
+    pub fn begin_handle(
+        &self,
+        handle: &FunctionHandle,
+        now: SimTime,
+    ) -> Result<InFlight, GatewayError> {
+        self.begin_entry(&handle.entry, now)
+    }
+
+    fn begin_entry(
+        &self,
+        entry: &Arc<FunctionEntry>,
+        now: SimTime,
+    ) -> Result<InFlight, GatewayError> {
+        // DESIGN.md §5: the request path holds at most one of {function
+        // table, pool shard, engine} at a time — and the warm acquire +
+        // app-switch check below hold none at all.
+        let _scope = stdshim::request_path_scope();
         let t1 = now;
         let t2 = t1 + GATEWAY_HOP;
         // `acquire_id` reports `first_exec` from pool bookkeeping and reuses
-        // the registration-time interned id, so the warm path touches the
-        // engine lock only for `begin_exec` and never hashes or formats a
-        // key.
+        // the registration-time interned id, so a warm hit is a bitmap CAS —
+        // no shard lock, no engine lock, no key hashing. The app-switch
+        // check then swaps the slot's atomic last-app word; only overflow
+        // containers (beyond the per-key slot array) fall back to the
+        // tracker mutex.
+        let warm_scope = stdshim::request_path_scope();
         let acq = self
             .pool
             .acquire_id(&self.engine, entry.key_id, &entry.spec.config, t2)?;
+        let first_exec = acq.first_exec;
+        // App init is due on a fresh runtime AND when the pooled runtime
+        // last ran a different app (fuzzy keys / shared runtime types).
+        let needs_app_init = acq
+            .slot
+            .and_then(|slot| self.pool.note_app(entry.key_id, slot, entry.app_token))
+            .map_or_else(
+                || {
+                    self.tracker
+                        .needs_app_init(acq.container, entry.spec.app.name, first_exec)
+                },
+                |prev| first_exec || prev != entry.app_token,
+            );
+        debug_assert!(
+            !acq.lock_free || warm_scope.locks_taken() == 0,
+            "warm gateway hit took a lock before begin_exec"
+        );
+        drop(warm_scope);
         if acq.cold {
             // A cold start may have pushed the pool over its limits.
             let cost = self.limits.enforce_sharded(&self.pool, &self.engine, t2)?;
             self.add_background(cost);
         }
-        let first_exec = acq.first_exec;
-        // App init is due on a fresh runtime AND when the pooled runtime
-        // last ran a different app (fuzzy keys / shared runtime types).
-        let needs_app_init =
-            self.tracker
-                .needs_app_init(acq.container, entry.spec.app.name, first_exec);
         let work = entry.spec.app.work_for(needs_app_init);
         // Function initiation: watchdog shim + obtaining the runtime.
         let t3 = t2 + WATCHDOG_HOP + acq.cost;
@@ -359,13 +439,35 @@ impl ShardedGateway {
     /// the container to the pool (a crashed one is disposed of), bump the
     /// atomic counters, and prune app-tracking entries that just went stale.
     pub fn finish(&self, inflight: InFlight) -> Result<RequestTrace, GatewayError> {
-        // DESIGN.md §5: at most one lock at a time on the finish path too.
+        let entry = self.functions.read().get(&inflight.function).cloned();
+        self.finish_entry(entry.as_ref(), inflight)
+    }
+
+    /// [`Self::finish`] through a pre-resolved [`FunctionHandle`]: no
+    /// function-table lock. The handle must be the one the request began
+    /// with.
+    pub fn finish_handle(
+        &self,
+        handle: &FunctionHandle,
+        inflight: InFlight,
+    ) -> Result<RequestTrace, GatewayError> {
+        self.finish_entry(Some(&handle.entry), inflight)
+    }
+
+    fn finish_entry(
+        &self,
+        entry: Option<&Arc<FunctionEntry>>,
+        inflight: InFlight,
+    ) -> Result<RequestTrace, GatewayError> {
+        // DESIGN.md §5: at most one lock at a time on the finish path too —
+        // and a warm release takes none outside the single engine critical
+        // section (the container resolves through the pool's lock-free
+        // reverse index).
         let _scope = stdshim::request_path_scope();
         let t4 = inflight.t4_func_end;
         // Fast path: the registration-time entry already carries the
         // interned key id, so the end-exec + cleanup pair runs in one engine
         // critical section instead of three, with no key re-derivation.
-        let entry = self.functions.read().get(&inflight.function).cloned();
         let finished = match &entry {
             Some(entry) => self.pool.try_finish_release(
                 &self.engine,
@@ -400,7 +502,7 @@ impl ShardedGateway {
         // request, through the registration-time handle (no name lookup).
         // Counters, the `all` scope, the `key/` scopes, and the e2e
         // histogram are all derived at read time.
-        if let Some(entry) = &entry {
+        if let Some(entry) = entry {
             entry.stage_fn.record(&inflight.stage_sample());
         }
         Ok(trace)
@@ -416,6 +518,21 @@ impl ShardedGateway {
         let inflight = self.begin(function, timeline.now())?;
         timeline.wait_until(inflight.t4_func_end);
         let trace = self.finish(inflight)?;
+        timeline.wait_until(trace.t6_gateway_out);
+        Ok(trace)
+    }
+
+    /// [`Self::handle`] through a pre-resolved [`FunctionHandle`] — the
+    /// steady-state warm request performs zero lock acquisitions outside the
+    /// engine's `begin_exec`/`end_exec` critical sections.
+    pub fn handle_with(
+        &self,
+        handle: &FunctionHandle,
+        timeline: &mut ThreadTimeline,
+    ) -> Result<RequestTrace, GatewayError> {
+        let inflight = self.begin_handle(handle, timeline.now())?;
+        timeline.wait_until(inflight.t4_func_end);
+        let trace = self.finish_handle(handle, inflight)?;
         timeline.wait_until(trace.t6_gateway_out);
         Ok(trace)
     }

@@ -133,6 +133,14 @@ impl KeyId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a dense index previously obtained via
+    /// [`KeyId::index`]. Crate-private: only the pool's container reverse
+    /// index round-trips ids this way, and it only stores indices of ids
+    /// the interner already issued.
+    pub(crate) fn from_index(index: u32) -> KeyId {
+        KeyId(index)
+    }
 }
 
 impl std::fmt::Display for KeyId {

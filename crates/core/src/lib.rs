@@ -65,7 +65,7 @@ pub mod middleware;
 pub mod pool;
 pub mod shard;
 
-pub use concurrent::{ConcurrentGateway, ShardedGateway};
+pub use concurrent::{ConcurrentGateway, FunctionHandle, ShardedGateway};
 pub use controller::{AdaptiveController, ControllerConfig};
 pub use key::{KeyId, KeyInterner, KeyPolicy, RuntimeKey};
 pub use limits::PoolLimits;

@@ -3,29 +3,44 @@
 //! The paper's key-value pool shards naturally along the runtime key: a
 //! key's slot never interacts with another key's slot except during global
 //! eviction. [`ShardedPool`] interns each configuration into a dense
-//! [`KeyId`] and places it on one of N shards round-robin, each shard
-//! guarding its slots with its own [`stdshim::sync::Mutex`], so warm
-//! acquisitions for different runtime types proceed in parallel instead of
-//! serializing on one pool-wide lock.
+//! [`KeyId`] and places it on one of N shards round-robin — but the warm
+//! hit itself no longer touches the shard lock at all. Each key owns a
+//! fixed-capacity slot array indexed by two [`stdshim::sync::SlotBitmap`]
+//! free-lists (`avail` and `in_use`), so a warm acquire is a claim-bit CAS
+//! plus a container-handle load, and a warm release is the mirror image.
 //!
-//! Lock discipline (see DESIGN.md §"Sharded pool" and §8):
+//! Lock discipline (see DESIGN.md §5):
 //!
-//! * a thread holds **at most one lock** at a time on the request path — the
-//!   interner's read-mostly `pool/interner` lock, a `pool/shard` lock, and
-//!   the engine lock are acquired strictly in sequence, never nested —
-//!   engine calls (container creation, cleanup, teardown) always happen
-//!   after the shard lock is released, so cold starts on different keys
-//!   overlap;
-//! * global eviction is a **two-phase scan**: collect candidates shard by
-//!   shard, pick the oldest via the engine, then re-lock the owning shard and
-//!   claim the victim (retrying if a racing acquire took it first) — no
-//!   operation ever takes all shard locks at once.
+//! * **warm hit: zero locks.** `acquire_id` claims an `avail` bit with a
+//!   CAS and loads the packed container entry; `release` resolves the
+//!   container through a lock-free reverse index and claims its `in_use`
+//!   bit. Under `KeyPolicy::Exact` the request-path sanitizer scope asserts
+//!   a lock depth of zero on this path in debug builds.
+//! * **miss / cold start / evict / controller / GC: shard lock.** The shard
+//!   `Mutex` serializes slot-array *occupancy* changes (which slot index
+//!   holds which container) and the overflow lists; engine calls (container
+//!   creation, cleanup, teardown) always happen outside it, one lock at a
+//!   time, so cold starts on different keys overlap.
+//! * **publish-before-bit-set.** A newly cold-started or pre-warmed
+//!   container's packed entry and reverse-index mapping are stored *before*
+//!   its bitmap bit is set, and the bit-set is a release store — a claimer's
+//!   acquire-CAS therefore always observes a fully published slot.
+//! * global eviction is a **two-phase scan**: collect available candidates
+//!   shard by shard, pick the oldest via the engine, then re-lock the owning
+//!   shard, re-verify the entry, and claim the victim's `avail` bit
+//!   (retrying if a racing acquire took it first) — no operation ever takes
+//!   all shard locks at once.
 //!
 //! The pool's bookkeeping invariants (enforced by the property tests):
 //!
 //! * `total_live() == engine.live_count()` at quiescence;
-//! * a container is in `available` or `in_use` of exactly one slot, never
-//!   both, never two requests' hands at once;
+//! * a slot index is in `avail` or `in_use`, never both; a container is
+//!   owned by at most one request at a time (the `in_use` bit is the
+//!   ownership token a release must claim);
+//! * the `free` bitmap (slot-array occupancy) and the overflow lists are
+//!   mutated only under the shard lock, so a key's live population is exact
+//!   whenever the lock is held — the controller's GC decisions can never
+//!   race a half-finished warm operation into stranding a container;
 //! * a slot exists only while a container of its type exists or existed
 //!   within the last [`ShardedPool::gc_intervals`] demand snapshots — failed
 //!   creates never materialize slots, and long-dead slots are garbage
@@ -36,7 +51,9 @@ use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown,
 use faas::Acquisition;
 use simclock::{SimDuration, SimTime};
 use std::collections::VecDeque;
-use stdshim::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use stdshim::sync::{LazySlotTable, Mutex, SlotBitmap};
 use stdshim::FastMap;
 
 /// Default shard count — enough to spread a handful of worker threads'
@@ -46,6 +63,20 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// Default number of consecutive zero-demand snapshots after which an empty
 /// slot is garbage collected.
 pub const DEFAULT_GC_INTERVALS: u32 = 3;
+
+/// Lock-free slot-array capacity per key. Containers beyond this population
+/// (or keys beyond the lock-free key table) spill into the shard-locked
+/// overflow lists, trading the CAS fast path for unbounded capacity.
+const SLOTS_PER_KEY: usize = 128;
+
+/// Lock-free key table shape: `KEY_TABLE_CHUNKS × KEY_TABLE_CHUNK` dense key
+/// ids are reachable without a lock.
+const KEY_TABLE_CHUNKS: usize = 512;
+const KEY_TABLE_CHUNK: usize = 64;
+
+/// Container reverse-index shape (container id → packed key/slot).
+const RINDEX_CHUNKS: usize = 4096;
+const RINDEX_CHUNK: usize = 4096;
 
 /// Scoped access to the container engine. The pool never holds a shard lock
 /// across an engine call, so the engine guard's scope is chosen per call:
@@ -83,22 +114,188 @@ impl EngineRef for ExclusiveEngine<'_> {
     }
 }
 
-/// One runtime type's containers (Fig. 7 value list), plus the bookkeeping
-/// the adaptive controller feeds on.
+/// Packs a container handle and its has-executed flag into one atomic word:
+/// `(id << 1) | execed`, with 0 meaning "slot empty" (engine ids start at 1).
+fn pack_entry(container: ContainerId, execed: bool) -> u64 {
+    (container.0 << 1) | u64::from(execed)
+}
+
+/// The container packed into a slot entry, or `None` for an empty slot.
+fn entry_container(entry: u64) -> Option<ContainerId> {
+    if entry == 0 {
+        None
+    } else {
+        Some(ContainerId(entry >> 1))
+    }
+}
+
+/// One key's lock-free slot array: the warm-path state ([Fig. 7]'s value
+/// list, flattened into atomics).
+///
+/// Index lifecycle: `free` (unoccupied, mutated **only** under the shard
+/// lock) → publish stores the packed entry + reverse-index mapping, then
+/// sets exactly one of `avail`/`in_use` — the release-store that makes the
+/// slot claimable. While a slot index is occupied its entry names the same
+/// container; only lock-holding paths (publish, dispose) rewrite it, so
+/// lock-free claimers can re-verify entries without ABA hazards.
+#[derive(Debug)]
+struct KeySlots {
+    /// Packed `(container, execed)` per slot index; 0 = empty.
+    entries: Box<[AtomicU64]>,
+    /// Set = slot index unoccupied. Claimed at publish, released at dispose,
+    /// both under the shard lock — `SLOTS_PER_KEY - free.count()` is the
+    /// key's exact bitmap population whenever the lock is held.
+    free: SlotBitmap,
+    /// Set = warm container ready to claim (Existing-Available).
+    avail: SlotBitmap,
+    /// Set = handed out (Existing-Not-Available). The bit is the ownership
+    /// token: a release must claim it, so double releases are rejected.
+    in_use: SlotBitmap,
+    /// Last application token executed per slot (0 = unknown/fresh); the
+    /// gateway's lock-free replacement for its per-container app tracker.
+    last_app: Box<[AtomicU64]>,
+    /// In-use containers of this key, bitmap + overflow, including releases
+    /// still in transit through their engine critical section. Decremented
+    /// only once the container is available again (or disposed), so the
+    /// demand watermark never under-reports a mid-release container.
+    in_use_total: AtomicUsize,
+    /// Peak `in_use_total` since the last demand snapshot — the
+    /// `history[k][t]` series the adaptive controller feeds the predictor.
+    watermark: AtomicUsize,
+}
+
+impl KeySlots {
+    fn new() -> KeySlots {
+        let free = SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-free");
+        for i in 0..SLOTS_PER_KEY {
+            free.release(i);
+        }
+        KeySlots {
+            entries: (0..SLOTS_PER_KEY).map(|_| AtomicU64::new(0)).collect(),
+            free,
+            avail: SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-avail"),
+            in_use: SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-inuse"),
+            last_app: (0..SLOTS_PER_KEY).map(|_| AtomicU64::new(0)).collect(),
+            in_use_total: AtomicUsize::new(0),
+            watermark: AtomicUsize::new(0),
+        }
+    }
+
+    /// Occupied bitmap slots. Exact under the shard lock (see `free`).
+    fn occupied(&self) -> usize {
+        SLOTS_PER_KEY - self.free.count()
+    }
+
+    /// Counts an acquisition into the demand bookkeeping.
+    fn note_acquire(&self) {
+        let now = self.in_use_total.fetch_add(1, Ordering::Relaxed) + 1;
+        self.watermark.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lock-free warm claim: CAS an `avail` bit, load the published entry,
+    /// take the `in_use` ownership token. Returns the slot index, container,
+    /// and whether it has executed before.
+    fn claim_warm(&self) -> Option<(usize, ContainerId, bool)> {
+        let i = self.avail.claim()?;
+        // The claim's acquire CAS synchronizes with the publisher's release
+        // bit-set, so the entry (stored before the bit) is fully visible.
+        let entry = self.entries[i].load(Ordering::Relaxed);
+        debug_assert_ne!(entry, 0, "claimed an avail bit over an empty slot");
+        let fresh = self.in_use.release(i);
+        debug_assert!(fresh, "slot was avail and in_use at once");
+        self.note_acquire();
+        Some((i, ContainerId(entry >> 1), entry & 1 == 1))
+    }
+
+    /// Lock-free release claim: verify the entry names `container`, take the
+    /// `in_use` ownership token, then re-verify. Entries only change while a
+    /// slot is unoccupied or under the shard lock, so a double release (bit
+    /// already claimed) or a stale reverse-index mapping fails here and
+    /// falls back to the locked slow path.
+    fn try_claim_release(&self, i: usize, container: ContainerId) -> bool {
+        if entry_container(self.entries[i].load(Ordering::Acquire)) != Some(container) {
+            return false;
+        }
+        if !self.in_use.claim_at(i) {
+            return false;
+        }
+        if entry_container(self.entries[i].load(Ordering::Relaxed)) != Some(container) {
+            let fresh = self.in_use.release(i);
+            debug_assert!(fresh, "restored claim found the in_use bit set");
+            return false;
+        }
+        true
+    }
+
+    /// Scans the in-use bitmap for `container` and claims it. Called under
+    /// the shard lock (slow-path release when the reverse index missed), but
+    /// the claim itself still races lock-free releasers, so a lost CAS means
+    /// the container was already released.
+    fn claim_in_use_scan(&self, container: ContainerId) -> Option<usize> {
+        let mut found = None;
+        self.in_use.for_each_set(|i| {
+            if found.is_none()
+                && entry_container(self.entries[i].load(Ordering::Acquire)) == Some(container)
+            {
+                found = Some(i);
+            }
+        });
+        let i = found?;
+        self.in_use.claim_at(i).then_some(i)
+    }
+
+    /// Returns a claimed slot's container to the warm pool. Lock-free: the
+    /// entry store (now flagged as executed) happens before the `avail`
+    /// release-store, upholding publish-before-bit-set.
+    fn hand_back(&self, i: usize, container: ContainerId) {
+        self.entries[i].store(pack_entry(container, true), Ordering::Relaxed);
+        let fresh = self.avail.release(i);
+        debug_assert!(fresh, "hand-back found the avail bit already set");
+        self.in_use_total.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Empties a slot index whose bits are already claimed by the caller.
+    /// Shard lock required: this mutates `free` (occupancy).
+    fn dispose_idle(&self, i: usize) {
+        self.entries[i].store(0, Ordering::Relaxed);
+        self.last_app[i].store(0, Ordering::Relaxed);
+        let fresh = self.free.release(i);
+        debug_assert!(fresh, "disposed slot was already free");
+    }
+
+    /// True if `container` sits available in this key's bitmap (diagnostic
+    /// scan for keys outside the lock-free reverse index).
+    fn avail_contains(&self, container: ContainerId) -> bool {
+        let mut found = false;
+        self.avail.for_each_set(|i| {
+            if entry_container(self.entries[i].load(Ordering::Acquire)) == Some(container) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// One runtime type's containers, plus the bookkeeping the adaptive
+/// controller feeds on. The warm-path state lives in the shared [`KeySlots`];
+/// this struct holds the shard-locked remainder: overflow lists, controller
+/// flags, and a representative configuration.
 #[derive(Debug)]
 struct Slot {
-    /// Existing-Available containers, FIFO ("the client just reuses the
-    /// first available container"). The flag records whether the container
-    /// has ever executed (false for pre-warmed, true once released after a
-    /// request) so acquires can report `first_exec` without an engine call.
-    available: VecDeque<(ContainerId, bool)>,
-    /// Existing-Not-Available containers, by id — membership is what makes
-    /// a `release` legal, so a double release (or a release of a container
-    /// the pool never handed out) is detected instead of double-pooling.
-    in_use: Vec<ContainerId>,
-    /// Peak concurrent in-use count since the last demand snapshot — the
-    /// `history[k][t]` series the adaptive controller feeds the predictor.
-    watermark: usize,
+    /// The key's lock-free slot array, shared with the pool-level key table
+    /// so warm paths reach it without this `Slot` (or its lock).
+    ks: Arc<KeySlots>,
+    /// Available containers beyond the bitmap capacity, FIFO. The flag
+    /// records whether the container has ever executed (false for
+    /// pre-warmed) so acquires report `first_exec` without an engine call.
+    overflow_avail: VecDeque<(ContainerId, bool)>,
+    /// In-use overflow containers, by id — membership makes a `release`
+    /// legal, exactly like an `in_use` bitmap bit.
+    overflow_in_use: Vec<ContainerId>,
+    /// Overflow releases in transit through their engine critical section:
+    /// claimed off `overflow_in_use` but not yet handed back or disposed.
+    /// Keeps the live population exact for the GC decision.
+    overflow_transit: usize,
     /// Whether this key is on the shard's active list (touched since the
     /// last snapshot, or still holding containers). The flag keeps the list
     /// duplicate-free without a per-touch hash probe.
@@ -113,20 +310,30 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(config: ContainerConfig) -> Self {
+    fn new(config: ContainerConfig, ks: Arc<KeySlots>) -> Self {
         Slot {
-            available: VecDeque::new(),
-            in_use: Vec::new(),
-            watermark: 0,
+            ks,
+            overflow_avail: VecDeque::new(),
+            overflow_in_use: Vec::new(),
+            overflow_transit: 0,
             active: false,
             cold_since: None,
             config,
         }
     }
 
-    fn note_in_use(&mut self, container: ContainerId) {
-        self.in_use.push(container);
-        self.watermark = self.watermark.max(self.in_use.len());
+    /// Exact live population (bitmap + overflow, including releases in
+    /// transit). Only meaningful under the shard lock.
+    fn live_now(&self) -> usize {
+        self.ks.occupied()
+            + self.overflow_avail.len()
+            + self.overflow_in_use.len()
+            + self.overflow_transit
+    }
+
+    /// Available containers right now (bitmap + overflow).
+    fn avail_now(&self) -> usize {
+        self.ks.avail.count() + self.overflow_avail.len()
     }
 }
 
@@ -138,6 +345,8 @@ struct ShardState {
     slots: FastMap<KeyId, Slot>,
     /// Keys the next control snapshot must visit: touched since the last
     /// snapshot or holding containers. Duplicate-free (see [`Slot::active`]).
+    /// Lock-free warm hits never need to push here — any key with live
+    /// containers is already on the list and stays on it until it drains.
     active: Vec<KeyId>,
     /// Cold slots awaiting GC, queued as `(key, went_cold_at_seq)` in
     /// nondecreasing sequence order — the dirty snapshot's "idle sweep" pops
@@ -147,9 +356,10 @@ struct ShardState {
     /// Snapshot sequence number (one per demand snapshot of this shard).
     seq: u64,
     /// Containers currently tracked by this shard (available + in use),
-    /// maintained at every pool entry/exit so [`ShardedPool::total_live`]
-    /// is O(shards) instead of a scan of every slot. The full-sweep
-    /// snapshot cross-checks it against the slots in debug builds.
+    /// maintained under the lock at every occupancy change so
+    /// [`ShardedPool::total_live`] is O(shards). Warm hits and warm
+    /// releases do not change occupancy, so they never touch it. The
+    /// full-sweep snapshot cross-checks it in debug builds.
     live: usize,
 }
 
@@ -218,6 +428,15 @@ pub struct PoolAcquisition {
     pub breakdown: Option<CostBreakdown>,
     /// Reconfiguration cost of a fuzzy-matched reuse (zero otherwise).
     pub reconfig: SimDuration,
+    /// The bitmap slot index the container occupies, when it is tracked by
+    /// the key's lock-free slot array (`None` for overflow containers). The
+    /// gateway keys its lock-free last-app check on this.
+    pub slot: Option<usize>,
+    /// True when the acquisition completed without a single lock — a warm
+    /// bitmap hit under an exact policy (fuzzy reuse checks the engine's
+    /// config, locked-retry hits hold the shard lock). Callers assert a
+    /// sanitizer lock depth of zero against this in debug builds.
+    pub lock_free: bool,
 }
 
 impl From<PoolAcquisition> for Acquisition {
@@ -232,11 +451,26 @@ impl From<PoolAcquisition> for Acquisition {
     }
 }
 
+/// A claimed bitmap slot: the caller holds the slot's ownership token (its
+/// `in_use` bit is cleared) and must hand it back or dispose of it.
+struct ClaimedSlot<'a> {
+    id: KeyId,
+    ks: &'a KeySlots,
+    slot: usize,
+}
+
+/// How a slow-path release claimed its container under the shard lock.
+enum SlowClaim {
+    Bitmap(Arc<KeySlots>, usize),
+    Overflow,
+}
+
 /// The sharded HotC container pool (Algorithms 1–2 per shard).
 ///
-/// All methods take `&self`; the per-shard mutexes serialize only the
-/// bookkeeping of keys that hash to the same shard. Engine work happens
-/// outside any shard lock via [`EngineRef`].
+/// All methods take `&self`; warm hits are lock-free (bitmap CAS), while
+/// the per-shard mutexes serialize occupancy changes of keys that hash to
+/// the same shard. Engine work happens outside any shard lock via
+/// [`EngineRef`].
 #[derive(Debug)]
 pub struct ShardedPool {
     policy: KeyPolicy,
@@ -245,7 +479,24 @@ pub struct ShardedPool {
     /// controller, and the gateway all key on the id, so the canonical key
     /// string is formatted once per distinct configuration.
     interner: KeyInterner,
+    /// Lock-free key table: dense key id → that key's slot array. Entries
+    /// are created once (first cold start / prewarm of the key) and persist
+    /// across slot GC — their counters are provably zero while the key is
+    /// untracked, and a revived key reuses the same array.
+    key_slots: LazySlotTable<Arc<KeySlots>>,
+    /// Lock-free reverse index: container id → packed `(key, slot)` (see
+    /// [`pack_rindex`]), 0 = untracked. Written at publish and cleared at
+    /// dispose, both under the owning shard's lock; read lock-free by
+    /// `release`, which gets its key and slot without touching the engine
+    /// or the interner.
+    rindex: LazySlotTable<AtomicU64>,
     gc_intervals: u32,
+}
+
+/// Packs a key/slot pair for the container reverse index. Both halves are
+/// stored +1 so the zero word means "no mapping".
+fn pack_rindex(id: KeyId, slot: usize) -> u64 {
+    ((id.index() as u64 + 1) << 32) | (slot as u64 + 1)
 }
 
 impl ShardedPool {
@@ -263,6 +514,8 @@ impl ShardedPool {
                 .map(|_| Mutex::labeled(ShardState::default(), "pool/shard"))
                 .collect(),
             interner: KeyInterner::new(policy),
+            key_slots: LazySlotTable::new(KEY_TABLE_CHUNKS, KEY_TABLE_CHUNK),
+            rindex: LazySlotTable::new(RINDEX_CHUNKS, RINDEX_CHUNK),
             gc_intervals: DEFAULT_GC_INTERVALS,
         }
     }
@@ -320,6 +573,57 @@ impl ShardedPool {
         &self.shards[self.shard_of(id)]
     }
 
+    /// The key's slot array, creating the key-table entry on first use.
+    /// Keys beyond the table's capacity get a private array reachable only
+    /// through their `Slot` — every touch of it holds the shard lock.
+    fn slots_for(&self, id: KeyId) -> Arc<KeySlots> {
+        match self
+            .key_slots
+            .get_or_init(id.index(), || Arc::new(KeySlots::new()))
+        {
+            Some(ks) => Arc::clone(ks),
+            None => Arc::new(KeySlots::new()),
+        }
+    }
+
+    /// Resolves a container through the lock-free reverse index. `None` for
+    /// untracked containers, overflow containers, and keys beyond the
+    /// lock-free key table — all of which the locked slow paths handle.
+    fn rindex_lookup(&self, container: ContainerId) -> Option<ClaimedSlot<'_>> {
+        let packed = self
+            .rindex
+            .get(container.0 as usize)?
+            .load(Ordering::Acquire);
+        if packed == 0 {
+            return None;
+        }
+        let key_index = (packed >> 32) as usize - 1;
+        let slot = (packed & u64::from(u32::MAX)) as usize - 1;
+        let ks = &**self.key_slots.get(key_index)?;
+        Some(ClaimedSlot {
+            id: KeyId::from_index(key_index as u32),
+            ks,
+            slot,
+        })
+    }
+
+    /// Publishes a container's reverse-index mapping (shard lock held).
+    fn rindex_set(&self, container: ContainerId, id: KeyId, slot: usize) {
+        if let Some(cell) = self
+            .rindex
+            .get_or_init(container.0 as usize, || AtomicU64::new(0))
+        {
+            cell.store(pack_rindex(id, slot), Ordering::Release);
+        }
+    }
+
+    /// Clears a container's reverse-index mapping (shard lock held).
+    fn rindex_clear(&self, container: ContainerId) {
+        if let Some(cell) = self.rindex.get(container.0 as usize) {
+            cell.store(0, Ordering::Release);
+        }
+    }
+
     /// Algorithm 1: obtain a runtime for `config`. Reuses the first
     /// available container of the same type if one exists, otherwise starts
     /// a new container — with the creation outside the shard lock, so cold
@@ -349,6 +653,11 @@ impl ShardedPool {
     /// serve the same function repeatedly (the sharded gateway) intern the
     /// key once at registration instead of even fingerprinting the
     /// configuration per request. `id` must be `self.intern_config(config)`.
+    ///
+    /// A warm hit takes **zero locks**: an `avail`-bit CAS claims the slot,
+    /// the packed entry yields the container. Only a miss (no warm
+    /// container) falls to the shard lock, and only a cold start touches
+    /// the engine.
     pub fn acquire_id(
         &self,
         engine: &impl EngineRef,
@@ -356,36 +665,54 @@ impl ShardedPool {
         config: &ContainerConfig,
         now: SimTime,
     ) -> Result<PoolAcquisition, EngineError> {
-        debug_assert_eq!(id, self.intern_config(config));
-        // DESIGN.md §5: the acquire path takes its locks (shard, engine)
-        // strictly one at a time; the sanitizer enforces it in debug builds.
+        // DESIGN.md §5: warm hits are lock-free; every other transition
+        // takes its locks (shard, engine) strictly one at a time. The
+        // sanitizer enforces both in debug builds.
         let _scope = stdshim::request_path_scope();
+        if let Some(ks) = self.key_slots.get(id.index()) {
+            if let Some((i, container, execed)) = ks.claim_warm() {
+                let lock_free = self.policy != KeyPolicy::Fuzzy;
+                let cost = self.fuzzy_reuse_cost(engine, container, config);
+                // Exact keys never consult the engine on reuse, so the whole
+                // warm hit must have run without a single lock.
+                debug_assert!(
+                    !lock_free || _scope.locks_taken() == 0,
+                    "warm hit took a lock"
+                );
+                return Ok(PoolAcquisition {
+                    container,
+                    cost,
+                    cold: false,
+                    first_exec: !execed,
+                    breakdown: None,
+                    reconfig: cost,
+                    slot: Some(i),
+                    lock_free,
+                });
+            }
+        }
+        // The id↔config contract is verified off the lock-free path only:
+        // the check interns, and the interner's read lock would break the
+        // warm hit's zero-lock guarantee in debug builds.
+        debug_assert_eq!(id, self.intern_config(config));
         let shard = self.shard(id);
-        let reused = {
+        let warm = {
             let mut guard = shard.lock();
-            let state = &mut *guard;
-            state.slots.get_mut(&id).and_then(|slot| {
-                let (container, execed) = slot.available.pop_front()?;
-                slot.note_in_use(container);
-                slot.cold_since = None;
-                if !slot.active {
-                    slot.active = true;
-                    state.active.push(id);
+            guard.slots.get_mut(&id).and_then(|slot| {
+                // Retry the bitmap under the lock — a racing release may
+                // have refilled it after the lock-free claim missed — then
+                // fall back to the overflow list.
+                if let Some((i, container, execed)) = slot.ks.claim_warm() {
+                    return Some((Some(i), container, execed));
                 }
-                Some((container, execed))
+                let (container, execed) = slot.overflow_avail.pop_front()?;
+                slot.ks.note_acquire();
+                slot.overflow_in_use.push(container);
+                Some((None, container, execed))
             })
         };
-        if let Some((container, execed)) = reused {
-            // An exact key pins every config field, so only fuzzy keys can
-            // hand back a container that needs reconfiguration.
-            let cost = if self.policy == KeyPolicy::Fuzzy {
-                engine.with_engine(|e| match e.config(container) {
-                    Some(existing) if needs_reconfig(existing, config) => FUZZY_RECONFIG_COST,
-                    _ => SimDuration::ZERO,
-                })
-            } else {
-                SimDuration::ZERO
-            };
+        if let Some((slot_idx, container, execed)) = warm {
+            let cost = self.fuzzy_reuse_cost(engine, container, config);
             return Ok(PoolAcquisition {
                 container,
                 cost,
@@ -393,6 +720,8 @@ impl ShardedPool {
                 first_exec: !execed,
                 breakdown: None,
                 reconfig: cost,
+                slot: slot_idx,
+                lock_free: false,
             });
         }
         // Not existing, or existing but not available: start a new one. The
@@ -400,21 +729,17 @@ impl ShardedPool {
         // create leaves no phantom slot behind for the controller to track.
         let (container, breakdown) =
             engine.with_engine(|e| e.create_container(config.clone(), now))?;
-        {
+        let slot_idx = {
             let mut guard = shard.lock();
-            let state = &mut *guard;
-            let slot = state
+            let slot = guard
                 .slots
                 .entry(id)
-                .or_insert_with(|| Slot::new(config.clone()));
-            slot.note_in_use(container);
-            slot.cold_since = None;
-            if !slot.active {
-                slot.active = true;
-                state.active.push(id);
-            }
-            state.live += 1;
-        }
+                .or_insert_with(|| Slot::new(config.clone(), self.slots_for(id)));
+            let slot_idx = self.publish_in_use(slot, id, container);
+            guard.live += 1;
+            guard.mark_active(id);
+            slot_idx
+        };
         Ok(PoolAcquisition {
             container,
             cost: breakdown.total(),
@@ -422,7 +747,62 @@ impl ShardedPool {
             first_exec: true,
             breakdown: Some(breakdown),
             reconfig: SimDuration::ZERO,
+            slot: slot_idx,
+            lock_free: false,
         })
+    }
+
+    /// Reconfiguration cost of reusing `container` for `config` — zero for
+    /// exact keys (every key-relevant field is pinned), an engine config
+    /// check for fuzzy keys.
+    fn fuzzy_reuse_cost(
+        &self,
+        engine: &impl EngineRef,
+        container: ContainerId,
+        config: &ContainerConfig,
+    ) -> SimDuration {
+        if self.policy != KeyPolicy::Fuzzy {
+            return SimDuration::ZERO;
+        }
+        engine.with_engine(|e| match e.config(container) {
+            Some(existing) if needs_reconfig(existing, config) => FUZZY_RECONFIG_COST,
+            _ => SimDuration::ZERO,
+        })
+    }
+
+    /// Publishes a just-created container straight into the in-use state
+    /// (cold-start acquire). Shard lock held; the entry and reverse-index
+    /// stores precede the `in_use` bit-set.
+    fn publish_in_use(&self, slot: &mut Slot, id: KeyId, container: ContainerId) -> Option<usize> {
+        let ks = &slot.ks;
+        if let Some(i) = ks.free.claim() {
+            ks.entries[i].store(pack_entry(container, false), Ordering::Relaxed);
+            ks.last_app[i].store(0, Ordering::Relaxed);
+            self.rindex_set(container, id, i);
+            let fresh = ks.in_use.release(i);
+            debug_assert!(fresh, "published slot's in_use bit was already set");
+            ks.note_acquire();
+            Some(i)
+        } else {
+            ks.note_acquire();
+            slot.overflow_in_use.push(container);
+            None
+        }
+    }
+
+    /// Publishes a just-created container into the available state
+    /// (prewarm). Shard lock held; publish-before-bit-set as above.
+    fn publish_avail(&self, slot: &mut Slot, id: KeyId, container: ContainerId, execed: bool) {
+        let ks = &slot.ks;
+        if let Some(i) = ks.free.claim() {
+            ks.entries[i].store(pack_entry(container, execed), Ordering::Relaxed);
+            ks.last_app[i].store(0, Ordering::Relaxed);
+            self.rindex_set(container, id, i);
+            let fresh = ks.avail.release(i);
+            debug_assert!(fresh, "published slot's avail bit was already set");
+        } else {
+            slot.overflow_avail.push_back((container, execed));
+        }
     }
 
     /// Algorithm 2: clean the used container and add it back to the pool.
@@ -431,6 +811,12 @@ impl ShardedPool {
     /// — or releasing the same container twice — is an
     /// [`EngineError::InvalidState`]: the duplicate must not be pooled, or
     /// one container could serve two requests at once.
+    ///
+    /// The warm path takes **zero pool locks**: the reverse index resolves
+    /// the container to its key and slot, the `in_use` bit-claim proves
+    /// ownership, and the hand-back is an entry store plus an `avail`
+    /// release-store. Only crashed containers, overflow containers, and
+    /// reverse-index misses fall to the shard lock.
     pub fn release(
         &self,
         engine: &impl EngineRef,
@@ -439,6 +825,89 @@ impl ShardedPool {
     ) -> Result<SimDuration, EngineError> {
         // DESIGN.md §5: engine and shard locks are taken one at a time.
         let _scope = stdshim::request_path_scope();
+        if let Some(claim) = self.rindex_lookup(container) {
+            if claim.ks.try_claim_release(claim.slot, container) {
+                return self.finish_claimed_release(engine, claim, container, now, None);
+            }
+        }
+        self.release_slow(engine, container, now)
+    }
+
+    /// Ends a claimed bitmap container's pool tenure: one engine critical
+    /// section (optionally ending the execution first), then hand-back
+    /// (lock-free) or disposal (shard lock). The caller holds the slot's
+    /// ownership token; an engine rejection restores it.
+    fn finish_claimed_release(
+        &self,
+        engine: &impl EngineRef,
+        claim: ClaimedSlot<'_>,
+        container: ContainerId,
+        now: SimTime,
+        end_exec_then_crashed: Option<bool>,
+    ) -> Result<SimDuration, EngineError> {
+        let outcome = engine.with_engine(|e| {
+            let crashed = match end_exec_then_crashed {
+                Some(crashed) => {
+                    e.end_exec(container, now)?;
+                    crashed
+                }
+                None => e.state(container) == containersim::ContainerState::Stopped,
+            };
+            let cost = if crashed {
+                e.stop_and_remove(container, now)
+            } else {
+                e.cleanup(container, now)
+            }?;
+            Ok::<_, EngineError>((cost, crashed))
+        });
+        match outcome {
+            Ok((cost, crashed)) => {
+                if crashed {
+                    self.dispose_claimed(claim, container);
+                } else {
+                    claim.ks.hand_back(claim.slot, container);
+                }
+                Ok(cost)
+            }
+            Err(err) => {
+                // The engine rejected the hand-back (e.g. released while
+                // still Running): return the ownership token so bookkeeping
+                // stays honest. The key still holds the container, so it is
+                // necessarily on the active list already.
+                let fresh = claim.ks.in_use.release(claim.slot);
+                debug_assert!(fresh, "restored claim found the in_use bit set");
+                Err(err)
+            }
+        }
+    }
+
+    /// Disposes of a claimed bitmap container (crashed release, or evicted
+    /// under the lock). Takes the shard lock: occupancy changes here.
+    fn dispose_claimed(&self, claim: ClaimedSlot<'_>, container: ContainerId) {
+        let mut guard = self.shard(claim.id).lock();
+        debug_assert!(
+            guard.slots.contains_key(&claim.id),
+            "claimed container's key has no slot"
+        );
+        if guard.slots.contains_key(&claim.id) {
+            claim.ks.dispose_idle(claim.slot);
+            claim.ks.in_use_total.fetch_sub(1, Ordering::Relaxed);
+            self.rindex_clear(container);
+            guard.live -= 1;
+        }
+        // A disposal is a touch: the controller must re-examine this key.
+        guard.mark_active(claim.id);
+    }
+
+    /// The locked release path: overflow containers, reverse-index misses
+    /// (keys beyond the lock-free table), and failed fast-path claims
+    /// (double releases, which must error here).
+    fn release_slow(
+        &self,
+        engine: &impl EngineRef,
+        container: ContainerId,
+        now: SimTime,
+    ) -> Result<SimDuration, EngineError> {
         let (config, state_now, crashed) = engine.with_engine(|e| {
             let config = e
                 .config(container)
@@ -454,67 +923,98 @@ impl ShardedPool {
         // The container came from an acquire, so its config is already
         // interned — this is the fingerprint fast path, no string work.
         let id = self.interner.intern(&config);
-        let shard = self.shard(id);
-        {
-            let mut shard_state = shard.lock();
-            let claimed = shard_state.slots.get_mut(&id).and_then(|slot| {
-                let at = slot.in_use.iter().position(|&c| c == container)?;
-                Some(slot.in_use.swap_remove(at))
+        let claimed = self.claim_slow(id, container);
+        let Some(claimed) = claimed else {
+            return Err(EngineError::InvalidState {
+                id: container,
+                state: state_now,
+                needed: "a container acquired from this pool",
             });
-            if claimed.is_none() {
-                return Err(EngineError::InvalidState {
-                    id: container,
-                    state: state_now,
-                    needed: "a container acquired from this pool",
-                });
-            }
-            shard_state.live -= 1;
-        }
-        let cost = match engine.with_engine(|e| {
-            if crashed {
-                e.stop_and_remove(container, now)
-            } else {
-                e.cleanup(container, now)
-            }
-        }) {
-            Ok(cost) => cost,
-            Err(err) => {
-                // The engine rejected the cleanup (e.g. released while still
-                // Running): hand the claim back so bookkeeping stays honest.
-                let mut guard = shard.lock();
-                let state = &mut *guard;
-                if let Some(slot) = state.slots.get_mut(&id) {
-                    slot.in_use.push(container);
-                    state.live += 1;
-                }
-                guard.mark_active(id);
-                return Err(err);
-            }
         };
-        {
-            let mut guard = shard.lock();
-            let state = &mut *guard;
-            if !crashed {
-                if let Some(slot) = state.slots.get_mut(&id) {
-                    slot.available.push_back((container, true));
-                    state.live += 1;
+        match claimed {
+            SlowClaim::Bitmap(ks, slot) => self.finish_claimed_release(
+                engine,
+                ClaimedSlot { id, ks: &ks, slot },
+                container,
+                now,
+                None,
+            ),
+            SlowClaim::Overflow => {
+                let result = engine.with_engine(|e| {
+                    if crashed {
+                        e.stop_and_remove(container, now)
+                    } else {
+                        e.cleanup(container, now)
+                    }
+                });
+                self.settle_overflow(id, container, crashed, result)
+            }
+        }
+    }
+
+    /// Claims `container` from `id`'s in-use bookkeeping under the shard
+    /// lock: the overflow list first, then the in-use bitmap (keys beyond
+    /// the reverse index). `None` means the pool never handed it out — or
+    /// it was already released.
+    fn claim_slow(&self, id: KeyId, container: ContainerId) -> Option<SlowClaim> {
+        let mut guard = self.shard(id).lock();
+        guard.slots.get_mut(&id).and_then(|slot| {
+            if let Some(at) = slot.overflow_in_use.iter().position(|&c| c == container) {
+                slot.overflow_in_use.swap_remove(at);
+                slot.overflow_transit += 1;
+                Some(SlowClaim::Overflow)
+            } else {
+                slot.ks
+                    .claim_in_use_scan(container)
+                    .map(|i| SlowClaim::Bitmap(Arc::clone(&slot.ks), i))
+            }
+        })
+    }
+
+    /// Settles an overflow release after its engine critical section:
+    /// hand back, dispose, or restore on engine rejection.
+    fn settle_overflow(
+        &self,
+        id: KeyId,
+        container: ContainerId,
+        crashed: bool,
+        result: Result<SimDuration, EngineError>,
+    ) -> Result<SimDuration, EngineError> {
+        let mut guard = self.shard(id).lock();
+        if let Some(slot) = guard.slots.get_mut(&id) {
+            slot.overflow_transit -= 1;
+            match &result {
+                Ok(_) if !crashed => {
+                    slot.overflow_avail.push_back((container, true));
+                    slot.ks.in_use_total.fetch_sub(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    slot.ks.in_use_total.fetch_sub(1, Ordering::Relaxed);
+                    guard.live -= 1;
+                }
+                Err(_) => {
+                    // The engine rejected the hand-back; restore the claim
+                    // so bookkeeping stays honest.
+                    slot.overflow_in_use.push(container);
                 }
             }
-            // A release (even of a crashed container) is a touch: the
-            // controller must see this key's interval even if demand fell
-            // to zero, so retire/GC decisions keep firing.
-            guard.mark_active(id);
         }
-        Ok(cost)
+        // A release (even of a crashed container) is a touch: the
+        // controller must see this key's interval even if demand fell
+        // to zero, so retire/GC decisions keep firing.
+        guard.mark_active(id);
+        result
     }
 
     /// The concurrent frontend's combined end-of-request path: claims the
-    /// container from `key`'s in-use list, then ends the execution and
-    /// cleans (or, if `crashed`, disposes of) the container in a **single**
-    /// engine critical section. Returns `Ok(None)` without touching the
-    /// engine when the container is not in-use under `key` — e.g. the
-    /// function was re-registered with a different configuration mid-flight —
-    /// so the caller can fall back to the engine-derived [`Self::release`].
+    /// container, then ends the execution and cleans (or, if `crashed`,
+    /// disposes of) the container in a **single** engine critical section.
+    /// Bitmap containers resolve lock-free through the reverse index — which
+    /// also knows the container's *true* key when the function was
+    /// re-registered with a different configuration mid-flight. Returns
+    /// `Ok(None)` without touching the engine when the container is unknown
+    /// to both the reverse index and `id`'s locked bookkeeping, so the
+    /// caller can fall back to the engine-derived [`Self::release`].
     pub fn try_finish_release(
         &self,
         engine: &impl EngineRef,
@@ -523,58 +1023,55 @@ impl ShardedPool {
         now: SimTime,
         crashed: bool,
     ) -> Result<Option<SimDuration>, EngineError> {
-        // DESIGN.md §5: shard claim, engine critical section, and pool
-        // hand-back are three disjoint lock regions, never nested.
+        // DESIGN.md §5: claim, engine critical section, and hand-back are
+        // disjoint regions — lock-free, engine-locked, lock-free (or shard-
+        // locked on disposal) — never nested.
         let _scope = stdshim::request_path_scope();
-        let shard = self.shard(id);
-        let claimed = {
-            let mut state = shard.lock();
-            let claimed = state.slots.get_mut(&id).and_then(|slot| {
-                let at = slot.in_use.iter().position(|&c| c == container)?;
-                Some(slot.in_use.swap_remove(at))
-            });
-            if claimed.is_some() {
-                state.live -= 1;
+        if let Some(claim) = self.rindex_lookup(container) {
+            if claim.ks.try_claim_release(claim.slot, container) {
+                return self
+                    .finish_claimed_release(engine, claim, container, now, Some(crashed))
+                    .map(Some);
             }
-            claimed
-        };
-        if claimed.is_none() {
+        }
+        let Some(claimed) = self.claim_slow(id, container) else {
             return Ok(None);
-        }
-        let cost = match engine.with_engine(|e| {
-            e.end_exec(container, now)?;
-            if crashed {
-                e.stop_and_remove(container, now)
-            } else {
-                e.cleanup(container, now)
-            }
-        }) {
-            Ok(cost) => cost,
-            Err(err) => {
-                // The engine rejected the hand-back; restore the claim so
-                // bookkeeping stays honest.
-                let mut guard = shard.lock();
-                let state = &mut *guard;
-                if let Some(slot) = state.slots.get_mut(&id) {
-                    slot.in_use.push(container);
-                    state.live += 1;
-                }
-                guard.mark_active(id);
-                return Err(err);
-            }
         };
-        {
-            let mut guard = shard.lock();
-            let state = &mut *guard;
-            if !crashed {
-                if let Some(slot) = state.slots.get_mut(&id) {
-                    slot.available.push_back((container, true));
-                    state.live += 1;
-                }
+        match claimed {
+            SlowClaim::Bitmap(ks, slot) => self
+                .finish_claimed_release(
+                    engine,
+                    ClaimedSlot { id, ks: &ks, slot },
+                    container,
+                    now,
+                    Some(crashed),
+                )
+                .map(Some),
+            SlowClaim::Overflow => {
+                let result = engine.with_engine(|e| {
+                    e.end_exec(container, now)?;
+                    if crashed {
+                        e.stop_and_remove(container, now)
+                    } else {
+                        e.cleanup(container, now)
+                    }
+                });
+                self.settle_overflow(id, container, crashed, result)
+                    .map(Some)
             }
-            guard.mark_active(id);
         }
-        Ok(Some(cost))
+    }
+
+    /// Records the application token last executed in a bitmap slot,
+    /// returning the previous token (0 = fresh or unknown). The caller must
+    /// own the slot via a live acquisition. `None` when the key is beyond
+    /// the lock-free table — the gateway falls back to its hash tracker.
+    pub fn note_app(&self, id: KeyId, slot: usize, token: u64) -> Option<u64> {
+        if slot >= SLOTS_PER_KEY {
+            return None;
+        }
+        let ks = self.key_slots.get(id.index())?;
+        Some(ks.last_app[slot].swap(token, Ordering::Relaxed))
     }
 
     /// Pre-warms one container of the given configuration (adaptive
@@ -590,12 +1087,11 @@ impl ShardedPool {
         let (container, breakdown) =
             engine.with_engine(|e| e.create_container(config.clone(), now))?;
         let mut guard = self.shard(id).lock();
-        guard
+        let slot = guard
             .slots
             .entry(id)
-            .or_insert_with(|| Slot::new(config.clone()))
-            .available
-            .push_back((container, false));
+            .or_insert_with(|| Slot::new(config.clone(), self.slots_for(id)));
+        self.publish_avail(slot, id, container, false);
         guard.live += 1;
         guard.mark_active(id);
         Ok(breakdown.total())
@@ -646,18 +1142,27 @@ impl ShardedPool {
     ) -> Result<Option<SimDuration>, EngineError> {
         let popped = {
             let mut guard = self.shard(id).lock();
-            let popped = guard
-                .slots
-                .get_mut(&id)
-                .and_then(|slot| slot.available.pop_front());
-            if popped.is_some() {
+            let popped = guard.slots.get_mut(&id).and_then(|slot| {
+                // The avail-bit claim is atomic against racing lock-free
+                // acquires: whoever wins the CAS owns the slot.
+                if let Some(i) = slot.ks.avail.claim() {
+                    let container = entry_container(slot.ks.entries[i].load(Ordering::Relaxed));
+                    debug_assert!(container.is_some(), "avail bit over an empty slot");
+                    slot.ks.dispose_idle(i);
+                    container
+                } else {
+                    slot.overflow_avail.pop_front().map(|(c, _)| c)
+                }
+            });
+            if let Some(container) = popped {
+                self.rindex_clear(container);
                 guard.live -= 1;
                 guard.mark_active(id);
             }
             popped
         };
         match popped {
-            Some((container, _)) => engine
+            Some(container) => engine
                 .with_engine(|e| e.stop_and_remove(container, now))
                 .map(Some),
             None => Ok(None),
@@ -682,9 +1187,10 @@ impl ShardedPool {
     ///
     /// Two-phase: (1) scan shard by shard (one lock at a time) collecting
     /// available candidates, pick the globally oldest via the engine;
-    /// (2) re-lock the owning shard and claim the victim — if a racing
-    /// acquire took it in between, rescan. Returns the teardown cost, or
-    /// `None` if the pool holds no available container.
+    /// (2) re-lock the owning shard, re-verify the slot entry still names
+    /// the candidate, and claim its `avail` bit — if a racing acquire took
+    /// it in between, rescan. Returns the teardown cost, or `None` if the
+    /// pool holds no available container.
     pub fn evict_oldest(
         &self,
         engine: &impl EngineRef,
@@ -693,12 +1199,18 @@ impl ShardedPool {
         // Bounded retries: each retry means a racing acquire claimed our
         // candidate, which is progress for the system as a whole.
         for _ in 0..8 {
-            let mut candidates: Vec<(KeyId, ContainerId)> = Vec::new();
+            let mut candidates: Vec<(KeyId, ContainerId, Option<usize>)> = Vec::new();
             for shard in self.shards.iter() {
                 let state = shard.lock();
                 for (&key, slot) in &state.slots {
-                    for &(id, _) in &slot.available {
-                        candidates.push((key, id));
+                    slot.ks.avail.for_each_set(|i| {
+                        if let Some(c) = entry_container(slot.ks.entries[i].load(Ordering::Relaxed))
+                        {
+                            candidates.push((key, c, Some(i)));
+                        }
+                    });
+                    for &(c, _) in &slot.overflow_avail {
+                        candidates.push((key, c, None));
                     }
                 }
             }
@@ -710,18 +1222,33 @@ impl ShardedPool {
             let oldest = engine.with_engine(|e| {
                 candidates
                     .into_iter()
-                    .filter_map(|(key, id)| e.created_at(id).map(|t| (t, id, key)))
+                    .filter_map(|(key, c, at)| e.created_at(c).map(|t| (t, c, key, at)))
                     .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
             });
-            let Some((_, id, key)) = oldest else {
+            let Some((_, container, key, at)) = oldest else {
                 continue;
             };
             let claimed = {
                 let mut guard = self.shard(key).lock();
-                let claimed = guard.slots.get_mut(&key).is_some_and(|slot| {
-                    let before = slot.available.len();
-                    slot.available.retain(|&(c, _)| c != id);
-                    slot.available.len() != before
+                let claimed = guard.slots.get_mut(&key).is_some_and(|slot| match at {
+                    Some(i) => {
+                        // Entries are frozen while occupied, so candidate
+                        // still present ⇔ entry still names it; the bit
+                        // claim then races only lock-free acquirers.
+                        let entry = slot.ks.entries[i].load(Ordering::Relaxed);
+                        if entry_container(entry) == Some(container) && slot.ks.avail.claim_at(i) {
+                            slot.ks.dispose_idle(i);
+                            self.rindex_clear(container);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => {
+                        let before = slot.overflow_avail.len();
+                        slot.overflow_avail.retain(|&(c, _)| c != container);
+                        slot.overflow_avail.len() != before
+                    }
                 });
                 if claimed {
                     guard.live -= 1;
@@ -732,7 +1259,9 @@ impl ShardedPool {
                 claimed
             };
             if claimed {
-                return engine.with_engine(|e| e.stop_and_remove(id, now)).map(Some);
+                return engine
+                    .with_engine(|e| e.stop_and_remove(container, now))
+                    .map(Some);
             }
         }
         Ok(None)
@@ -744,26 +1273,25 @@ impl ShardedPool {
             .lock()
             .slots
             .get(&id)
-            .map_or(0, |s| s.available.len())
+            .map_or(0, Slot::avail_now)
     }
 
-    /// In-use containers of the given type.
+    /// In-use containers of the given type (including releases in transit
+    /// through their engine critical section).
     pub fn num_in_use_id(&self, id: KeyId) -> usize {
         self.shard(id)
             .lock()
             .slots
             .get(&id)
-            .map_or(0, |s| s.in_use.len())
+            .map_or(0, |s| s.ks.in_use_total.load(Ordering::Relaxed))
     }
 
     /// `(available, in_use)` for a key id in one lock acquisition — the
     /// controller's per-key sizing read.
     pub fn live_of_id(&self, id: KeyId) -> (usize, usize) {
-        self.shard(id)
-            .lock()
-            .slots
-            .get(&id)
-            .map_or((0, 0), |s| (s.available.len(), s.in_use.len()))
+        self.shard(id).lock().slots.get(&id).map_or((0, 0), |s| {
+            (s.avail_now(), s.ks.in_use_total.load(Ordering::Relaxed))
+        })
     }
 
     /// [`Self::num_avail_id`] by canonical key (compatibility path).
@@ -792,7 +1320,10 @@ impl ShardedPool {
             .map(|shard| {
                 let state = shard.lock();
                 state.slots.values().fold((0, 0), |(a, u), s| {
-                    (a + s.available.len(), u + s.in_use.len())
+                    (
+                        a + s.avail_now(),
+                        u + s.ks.in_use_total.load(Ordering::Relaxed),
+                    )
                 })
             })
             .collect()
@@ -804,11 +1335,7 @@ impl ShardedPool {
             .iter()
             .map(|shard| {
                 let state = shard.lock();
-                state
-                    .slots
-                    .values()
-                    .map(|s| s.available.len())
-                    .sum::<usize>()
+                state.slots.values().map(Slot::avail_now).sum::<usize>()
             })
             .sum()
     }
@@ -816,13 +1343,18 @@ impl ShardedPool {
     /// The Fig. 7 pool-view code for a container: 1 Existing-Available, 0
     /// Existing-Not-Available, -1 Not-Existing.
     pub fn pool_code(&self, engine: &ContainerEngine, container: ContainerId) -> i8 {
-        let pooled = self.shards.iter().any(|shard| {
-            shard
-                .lock()
-                .slots
-                .values()
-                .any(|s| s.available.iter().any(|&(c, _)| c == container))
-        });
+        // Reverse-index hit: the avail bit answers directly.
+        let pooled = match self.rindex_lookup(container) {
+            Some(claim) => claim.ks.avail.is_set(claim.slot),
+            // Otherwise: overflow containers and beyond-table keys, scanned
+            // under the shard locks (diagnostic path only).
+            None => self.shards.iter().any(|shard| {
+                shard.lock().slots.values().any(|s| {
+                    s.overflow_avail.iter().any(|&(c, _)| c == container)
+                        || s.ks.avail_contains(container)
+                })
+            }),
+        };
         if pooled {
             1
         } else if engine.config(container).is_some() {
@@ -837,6 +1369,11 @@ impl ShardedPool {
     /// and garbage-collects slots that have been empty for
     /// [`Self::gc_intervals`] consecutive zero-demand snapshots. Keys with
     /// live containers are always reported, including zero-demand intervals.
+    ///
+    /// GC fires only when the key's live population — bitmap occupancy plus
+    /// overflow lists plus releases in transit, all exact under the shard
+    /// lock — is zero, so a warm operation caught between its CAS and its
+    /// bookkeeping can never have its container stranded by a GC.
     ///
     /// This is the O(tracked keys) reference path; the controller's default
     /// is [`Self::take_shard_snapshot_dirty`], which visits only the active
@@ -858,11 +1395,14 @@ impl ShardedPool {
                 ..
             } = &mut *guard;
             slots.retain(|&id, slot| {
-                let in_use = slot.in_use.len();
-                let avail = slot.available.len();
-                let demand = slot.watermark.max(in_use);
-                slot.watermark = in_use;
-                if demand == 0 && in_use == 0 && avail == 0 {
+                let in_use = slot.ks.in_use_total.load(Ordering::Relaxed);
+                let avail = slot.avail_now();
+                let demand = slot
+                    .ks
+                    .watermark
+                    .swap(in_use, Ordering::Relaxed)
+                    .max(in_use);
+                if demand == 0 && slot.live_now() == 0 {
                     let since = match slot.cold_since {
                         Some(since) => since,
                         None => {
@@ -897,10 +1437,7 @@ impl ShardedPool {
             // shard's live counter against the ground truth it summarises.
             debug_assert_eq!(
                 *live,
-                slots
-                    .values()
-                    .map(|s| s.available.len() + s.in_use.len())
-                    .sum::<usize>(),
+                slots.values().map(Slot::live_now).sum::<usize>(),
                 "shard live counter diverged from slot contents"
             );
             // Heal the active list: GC'd and newly-cold keys drop out.
@@ -925,7 +1462,10 @@ impl ShardedPool {
     /// shard tracks. Cold keys are reported once (their final zero-demand
     /// interval) and then skipped until GC'd or re-touched; the controller
     /// backfills the skipped zero observations from the snapshot sequence
-    /// gap, so predictor state matches the full sweep exactly.
+    /// gap, so predictor state matches the full sweep exactly. Lock-free
+    /// warm hits keep the dirty set honest for free: a key serving warm
+    /// traffic holds containers, and any key holding containers is already
+    /// on the active list.
     pub fn take_shard_snapshot_dirty(&self, shard: usize) -> ShardSnapshot {
         let mut demands = Vec::new();
         let mut retired = Vec::new();
@@ -944,11 +1484,14 @@ impl ShardedPool {
                 let Some(slot) = slots.get_mut(&id) else {
                     continue;
                 };
-                let in_use = slot.in_use.len();
-                let avail = slot.available.len();
-                let demand = slot.watermark.max(in_use);
-                slot.watermark = in_use;
-                if demand == 0 && in_use == 0 && avail == 0 {
+                let in_use = slot.ks.in_use_total.load(Ordering::Relaxed);
+                let avail = slot.avail_now();
+                let demand = slot
+                    .ks
+                    .watermark
+                    .swap(in_use, Ordering::Relaxed)
+                    .max(in_use);
+                if demand == 0 && slot.live_now() == 0 {
                     // Final zero-demand report; the slot then waits on the
                     // cold queue for GC (or a re-touch).
                     slot.active = false;
@@ -1097,6 +1640,64 @@ mod tests {
         let b = pool.acquire(&e, &c, SimTime::from_secs(2)).unwrap();
         assert!(!b.cold);
         assert_eq!(b.container, a.container);
+    }
+
+    #[test]
+    fn warm_hit_reports_its_bitmap_slot_and_reuses_it() {
+        let e = engine();
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 4);
+        let c = cfg("alpine:3.12");
+        let id = pool.intern_config(&c);
+        let a = pool.acquire_detailed(&e, &c, SimTime::ZERO).unwrap();
+        assert!(a.slot.is_some(), "cold start should land in the bitmap");
+        e.with_engine(|e| {
+            let out = e
+                .begin_exec(
+                    a.container,
+                    ExecWork::light(SimDuration::from_millis(1)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            e.end_exec(a.container, SimTime::ZERO + out.latency)
+                .unwrap();
+        });
+        pool.release(&e, a.container, SimTime::from_secs(1))
+            .unwrap();
+        let b = pool
+            .acquire_detailed(&e, &c, SimTime::from_secs(2))
+            .unwrap();
+        assert!(!b.cold);
+        assert!(!b.first_exec, "reused container has executed before");
+        assert_eq!(b.slot, a.slot, "container keeps its slot across reuse");
+        // The app-token slot survives the round trip too.
+        assert_eq!(pool.note_app(id, b.slot.unwrap(), 7), Some(0));
+        assert_eq!(pool.note_app(id, b.slot.unwrap(), 7), Some(7));
+    }
+
+    #[test]
+    fn double_release_is_rejected_not_double_pooled() {
+        let e = engine();
+        let pool = ShardedPool::with_shards(KeyPolicy::Exact, 2);
+        let c = cfg("alpine:3.12");
+        let a = pool.acquire(&e, &c, SimTime::ZERO).unwrap();
+        e.with_engine(|e| {
+            let out = e
+                .begin_exec(
+                    a.container,
+                    ExecWork::light(SimDuration::from_millis(1)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            e.end_exec(a.container, SimTime::ZERO + out.latency)
+                .unwrap();
+        });
+        pool.release(&e, a.container, SimTime::from_secs(1))
+            .unwrap();
+        assert!(pool
+            .release(&e, a.container, SimTime::from_secs(2))
+            .is_err());
+        assert_eq!(pool.total_available(), 1, "no double-pooling");
+        assert_eq!(pool.total_live(), 1);
     }
 
     #[test]

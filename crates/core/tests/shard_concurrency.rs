@@ -117,6 +117,97 @@ fn random_interleavings_preserve_ownership_and_bookkeeping() {
 }
 
 #[test]
+fn one_key_hammered_from_32_threads_survives_controller_ticks() {
+    // The lock-free warm path's worst case: every thread wants the SAME
+    // key, so every warm acquire and release races on one `SlotBitmap`
+    // while a controller thread concurrently takes dirty snapshots (which
+    // swap the demand watermark and can GC the key) and evicts idle
+    // containers (which claims available bits out from under the warm
+    // path). Exclusive ownership must hold bit-for-bit, and at quiescence
+    // the per-shard live counters must reconcile with the engine.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let threads = 32usize;
+    let ops = 200usize;
+    let pool = ShardedPool::with_shards(KeyPolicy::Exact, 8);
+    let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+    let owned = Mutex::new(HashSet::new());
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let controller = {
+            let (pool, engine, stop) = (&pool, &engine, &stop);
+            s.spawn(move || {
+                let mut tick = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for shard in 0..pool.num_shards() {
+                        pool.take_shard_snapshot_dirty(shard);
+                    }
+                    pool.evict_oldest(engine, SimTime::from_millis(tick))
+                        .expect("evict");
+                    tick += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let (pool, engine, owned) = (&pool, &engine, &owned);
+                s.spawn(move || {
+                    let mut g = Gen::from_seed(0xC0FFEE ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                    let mut held: Vec<ContainerId> = Vec::new();
+                    for op in 0..ops {
+                        let now = SimTime::from_millis(op as u64);
+                        // Hold up to 3 containers so warm hits, cold starts,
+                        // and releases all stay in the mix.
+                        if held.len() < 3 && g.u8_in(0..3) != 0 {
+                            let acq = pool
+                                .acquire(engine, &config_for_key(0), now)
+                                .expect("acquire");
+                            let fresh = owned.lock().insert(acq.container);
+                            assert!(fresh, "container {:?} handed out twice", acq.container);
+                            held.push(acq.container);
+                        } else if !held.is_empty() {
+                            let c = held.swap_remove(g.usize_in(0..held.len()));
+                            assert!(owned.lock().remove(&c), "released unowned container");
+                            pool.release(engine, c, now).expect("release");
+                        }
+                    }
+                    for c in held {
+                        assert!(owned.lock().remove(&c));
+                        pool.release(engine, c, SimTime::from_secs(3600))
+                            .expect("final release");
+                    }
+                })
+            })
+            .collect();
+
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        controller.join().expect("controller panicked");
+    });
+
+    // Quiescence: nothing owned, nothing in use, and the pool's shard-level
+    // bookkeeping agrees with the engine's ground truth.
+    assert!(owned.lock().is_empty());
+    let live = engine.lock().live_count();
+    assert_eq!(pool.total_live(), live, "pool live diverged from engine");
+    assert_eq!(pool.total_available(), live, "in-use containers leaked");
+    let (avail_sum, in_use_sum) = pool
+        .shard_sizes()
+        .into_iter()
+        .fold((0, 0), |(a, u), (sa, su)| (a + sa, u + su));
+    assert_eq!(in_use_sum, 0, "a shard still reports in-use containers");
+    assert_eq!(avail_sum, live, "shard avail counters diverged from engine");
+    for key in pool.keys() {
+        assert_eq!(pool.num_in_use(&key), 0);
+    }
+}
+
+#[test]
 fn interning_is_stable_under_concurrency() {
     // 8 threads race to intern the same 6 configurations (plus their own
     // re-interns, warm acquires, and releases). Every thread must observe

@@ -23,8 +23,10 @@ use std::sync::{Arc, OnceLock};
 use stdshim::{Mutex, RwLock};
 
 /// Lock stripes per histogram/stage-set. Worker threads hash onto stripes,
-/// so up to this many threads record without contending.
-const N_STRIPES: usize = 8;
+/// so up to this many threads record without contending. Sized to the
+/// widest contention point the bench suite drives (32 gateway threads);
+/// stripes are lazily allocated, so idle width costs one pointer each.
+const N_STRIPES: usize = 32;
 
 /// Monotone per-thread stripe assignment: the first time a thread records,
 /// it claims the next stripe index round-robin and keeps it for life.

@@ -1,10 +1,16 @@
-//! Minimal JSON writer for experiment and benchmark output.
+//! Minimal JSON reader/writer for experiment and benchmark artifacts.
 //!
-//! The workspace emits JSON in exactly one direction — results out to disk
-//! (`BENCH_*.json`, figure artifacts) — so this module implements only that:
-//! a [`JsonValue`] tree, a [`ToJson`] trait, and a serializer. There is no
-//! parser and no derive machinery; result structs implement [`ToJson`] by
-//! hand, which keeps the output schema explicit and reviewable.
+//! The workspace's primary JSON direction is results out to disk
+//! (`BENCH_*.json`, figure artifacts): a [`JsonValue`] tree, a [`ToJson`]
+//! trait, and a serializer. Result structs implement [`ToJson`] by hand,
+//! which keeps the output schema explicit and reviewable — there is no
+//! derive machinery.
+//!
+//! The CI perf-gate binary also needs to read those artifacts back, so
+//! [`JsonValue::parse`] provides the matching recursive-descent parser
+//! (strict JSON, byte-offset errors, bounded nesting depth) together with
+//! the typed accessors ([`JsonValue::get`], [`JsonValue::as_f64`], …) gate
+//! checks are written against.
 //!
 //! Object fields keep insertion order so emitted files are stable and
 //! diffable across runs.
@@ -116,6 +122,313 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (strict grammar, no trailing data
+    /// other than whitespace). Errors carry the byte offset and a short
+    /// message; nesting deeper than 128 levels is rejected rather than
+    /// risking stack exhaustion on hostile input.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup: `Some(value)` if `self` is an object containing
+    /// `key` (first occurrence wins), else `None`.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (`Int` widens), else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The integer value, else `None` (floats do not truncate).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string contents, else `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, else `None`.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error from [`JsonValue::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Consumes `lit` if the input starts with it here.
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The slice boundaries sit on ASCII delimiters, so this is
+            // always valid UTF-8 (the input is &str to begin with).
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        // Delegating validation to the std float parser keeps the grammar
+        // slightly lax (e.g. `1.`), which is fine for our own artifacts.
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            })
     }
 }
 
@@ -326,5 +639,92 @@ mod tests {
         m.insert("k", Some(3u8));
         m.insert("gone", None);
         assert_eq!(m.to_json().to_string(), r#"{"gone":null,"k":3}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = JsonValue::object([
+            ("name", "pool\n\"x\"".to_json()),
+            ("samples", vec![1u64, 2, 3].to_json()),
+            ("p99", 1.25f64.to_json()),
+            ("neg", (-7i64).to_json()),
+            ("flag", true.to_json()),
+            ("skipped", JsonValue::Null),
+            (
+                "nested",
+                JsonValue::object([("deep", vec![0.5f64].to_json())]),
+            ),
+        ]);
+        assert_eq!(JsonValue::parse(&v.to_string()).expect("compact"), v);
+        assert_eq!(JsonValue::parse(&v.to_pretty_string()).expect("pretty"), v);
+    }
+
+    #[test]
+    fn parse_scalars_and_numbers() {
+        assert_eq!(JsonValue::parse(" null ").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("-42").unwrap(), JsonValue::Int(-42));
+        assert_eq!(JsonValue::parse("1.5e2").unwrap(), JsonValue::Float(150.0));
+        // Integer overflowing i64 degrades to float instead of erroring.
+        assert!(matches!(
+            JsonValue::parse("99999999999999999999").unwrap(),
+            JsonValue::Float(_)
+        ));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        // Surrogate pair for 𝄞 (U+1D11E).
+        let v = JsonValue::parse(r#""𝄞""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1D11E}"));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        for (input, needle) in [
+            ("", "end of input"),
+            ("[1, 2", "expected ',' or ']'"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("\"abc", "unterminated"),
+            ("[1] tail", "trailing"),
+            ("nul", "unexpected character"),
+            (r#""\ud834""#, "unpaired surrogate"),
+        ] {
+            let err = JsonValue::parse(input).expect_err(input);
+            assert!(
+                err.message.contains(needle),
+                "input {input:?}: got {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_runaway_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = JsonValue::parse(&deep).expect_err("deep nesting");
+        assert!(err.message.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn accessors_select_by_type() {
+        let v = JsonValue::parse(r#"{"a": 1, "b": 2.5, "c": "x", "d": [1]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_i64), Some(1));
+        assert_eq!(v.get("a").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(
+            v.get("b").and_then(JsonValue::as_i64),
+            None,
+            "no truncation"
+        );
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(
+            v.get("d").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("a"), None);
     }
 }

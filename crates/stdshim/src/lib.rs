@@ -6,12 +6,14 @@
 //! the small pieces that third-party crates used to provide:
 //!
 //! * [`sync`] — non-poisoning `Mutex`/`RwLock` wrappers over `std::sync`
-//!   with parking_lot-style ergonomics (`.lock()` returns the guard) and a
+//!   with parking_lot-style ergonomics (`.lock()` returns the guard), a
 //!   debug-build lock-order sanitizer (class labels, ABBA cycle detection,
-//!   re-entry detection, [`sync::request_path_scope`]),
-//! * [`json`] — a write-only JSON tree ([`json::JsonValue`]) and the
-//!   [`json::ToJson`] trait that result structs implement instead of
-//!   deriving `serde::Serialize`, and
+//!   re-entry detection, [`sync::request_path_scope`]), and the lock-free
+//!   slot primitives the warm path is built on ([`sync::SlotBitmap`],
+//!   [`sync::LazySlotTable`]),
+//! * [`json`] — a JSON tree ([`json::JsonValue`]) with a hand-written
+//!   serializer and parser, plus the [`json::ToJson`] trait that result
+//!   structs implement instead of deriving `serde::Serialize`, and
 //! * [`hash`] — an FxHash-style fast hasher ([`hash::FastMap`]) for maps
 //!   keyed by internal integers on the request path.
 //!
@@ -22,7 +24,8 @@
 pub mod hash;
 pub mod json;
 pub mod sync;
+mod sync_slots;
 
 pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use json::{JsonValue, ToJson};
-pub use sync::{request_path_scope, Mutex, RwLock};
+pub use sync::{request_path_scope, LazySlotTable, Mutex, RwLock, SlotBitmap};

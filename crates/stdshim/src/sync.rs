@@ -46,6 +46,8 @@
 
 use std::ops::{Deref, DerefMut};
 
+pub use crate::sync_slots::{LazySlotTable, SlotBitmap};
+
 #[cfg(debug_assertions)]
 use sanitizer::Tracked;
 #[cfg(debug_assertions)]
@@ -66,6 +68,15 @@ pub struct RequestPathScope {
     // The scope is a per-thread assertion; keep the type `!Send` in both
     // build profiles so code cannot compile in release and fail in debug.
     _not_send: std::marker::PhantomData<*const ()>,
+}
+
+#[cfg(not(debug_assertions))]
+impl RequestPathScope {
+    /// Release-build twin of the debug lock counter: always `0`. Callers
+    /// assert on it via `debug_assert!`, which also compiles away.
+    pub fn locks_taken(&self) -> usize {
+        0
+    }
 }
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
@@ -358,12 +369,24 @@ pub mod sanitizer {
         site: &'static Location<'static>,
     }
 
+    /// State of one active `request_path_scope` on this thread.
+    #[derive(Clone, Copy)]
+    struct Scope {
+        /// Held-stack depth at scope entry; the at-most-one-lock assertion
+        /// is relative to this baseline.
+        baseline: usize,
+        /// Lock acquisitions (blocking or `try_*`) since scope entry —
+        /// readable via [`RequestPathScope::locks_taken`] so warm paths can
+        /// assert they took *zero* locks, not merely at most one.
+        locks_taken: usize,
+    }
+
     thread_local! {
         /// Stack of locks this thread currently holds (acquisition order).
         static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
-        /// Baselines of active `request_path_scope`s: held-stack depth at
-        /// scope entry. Innermost scope governs.
-        static SCOPES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+        /// Active `request_path_scope`s. Innermost scope governs the
+        /// at-most-one-lock assertion; all active scopes count acquisitions.
+        static SCOPES: RefCell<Vec<Scope>> = const { RefCell::new(Vec::new()) };
     }
 
     /// A recorded `from-class → to-class` acquisition, with the sites of the
@@ -458,7 +481,7 @@ pub mod sanitizer {
     /// lock may be held beyond the scope's entry baseline.
     fn check_scope(held: &[Held], class: Option<&'static str>, site: &'static Location<'static>) {
         SCOPES.with(|s| {
-            if let Some(&baseline) = s.borrow().last() {
+            if let Some(&Scope { baseline, .. }) = s.borrow().last() {
                 if held.len() > baseline {
                     // held.len() > baseline >= 0, so last() exists.
                     let top = held[held.len() - 1];
@@ -530,6 +553,11 @@ pub mod sanitizer {
         let held: Vec<Held> = HELD.with(|h| h.borrow().clone());
         check_scope(&held, class, site);
         HELD.with(|h| h.borrow_mut().push(Held { addr, class, site }));
+        SCOPES.with(|s| {
+            for scope in s.borrow_mut().iter_mut() {
+                scope.locks_taken += 1;
+            }
+        });
         Tracked { addr }
     }
 
@@ -565,16 +593,37 @@ pub mod sanitizer {
     #[must_use = "the scope assertion only covers the guard's lifetime"]
     pub fn request_path_scope() -> RequestPathScope {
         let baseline = HELD.with(|h| h.borrow().len());
-        SCOPES.with(|s| s.borrow_mut().push(baseline));
+        let index = SCOPES.with(|s| {
+            let mut scopes = s.borrow_mut();
+            scopes.push(Scope {
+                baseline,
+                locks_taken: 0,
+            });
+            scopes.len() - 1
+        });
         RequestPathScope {
+            index,
             _not_send: std::marker::PhantomData,
         }
     }
 
     /// Active [`request_path_scope`] assertion (debug builds).
     pub struct RequestPathScope {
+        /// Position of this scope's entry in the thread-local scope stack.
+        index: usize,
         // Scope state is thread-local: forbid sending the guard elsewhere.
         _not_send: std::marker::PhantomData<*const ()>,
+    }
+
+    impl RequestPathScope {
+        /// Lock acquisitions (blocking or `try_*` successes) on this thread
+        /// since the scope opened. The lock-free warm path asserts this is
+        /// `0` — the DESIGN.md §5 "at most one lock" invariant tightened to
+        /// "no locks at all" for warm hits. Debug builds only; the release
+        /// twin always returns `0`.
+        pub fn locks_taken(&self) -> usize {
+            SCOPES.with(|s| s.borrow().get(self.index).map_or(0, |sc| sc.locks_taken))
+        }
     }
 
     impl Drop for RequestPathScope {
