@@ -39,8 +39,22 @@ fn build(policy: SchedulePolicy, nodes: usize, functions: usize) -> Cluster {
     cluster
 }
 
+/// `64` → `"64"`, `10_000` → `"10k"` (bench-name suffixes).
+fn count_label(n: usize) -> String {
+    if n >= 1000 && n.is_multiple_of(1000) {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
 fn bench_placement(h: &mut Harness) {
-    for &(nodes, functions) in &[(4usize, 16usize), (16, 64)] {
+    // The 1024-node / 10k-function point is the scale gate: placement must
+    // stay flat in cluster size (indexed warm rows + power-of-two-choices),
+    // and the request path allocates nothing per placement — the old
+    // least-loaded tie `Vec` is gone, so the policies differ only by a few
+    // index probes (ci/gates.json holds reuse-affinity ≤ 2× round-robin).
+    for &(nodes, functions) in &[(4usize, 16usize), (16, 64), (1024, 10_000)] {
         for policy in [
             SchedulePolicy::RoundRobin,
             SchedulePolicy::LeastLoaded,
@@ -49,7 +63,12 @@ fn bench_placement(h: &mut Harness) {
             let mut cluster = build(policy, nodes, functions);
             let mut now = SimTime::from_secs(10_000);
             let mut i = 0usize;
-            let name = format!("place_and_serve/{}/{nodes}n_{functions}f", policy.name());
+            let name = format!(
+                "place_and_serve/{}/{}n_{}f",
+                policy.name(),
+                count_label(nodes),
+                count_label(functions)
+            );
             h.bench(&name, || {
                 i = (i + 7) % functions;
                 now += SimDuration::from_millis(300);

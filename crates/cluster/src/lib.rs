@@ -28,9 +28,19 @@
 //!   and pick the minimum; the right policy for *heterogeneous* cloudlets
 //!   where warm affinity would pin heavy work to a slow edge node.
 //!
-//! Affinity can also read warm availability through a periodically
-//! synchronized replicated view ([`Cluster::set_warm_view_staleness`]),
-//! modelling the §VII distributed key-value store and its staleness cost.
+//! Warm-reading policies (reuse affinity *and* cost-aware) consult warm
+//! availability through a periodically synchronized replicated view
+//! ([`Cluster::set_warm_view_staleness`]), modelling the §VII distributed
+//! key-value store and its staleness cost.
+//!
+//! Placement state is indexed, not scanned: a [`warm_index::WarmIndex`] of
+//! per-key believed-warm host lists maintained by placement debits and sync
+//! events, plus a [`load::LoadIndex`] picking fallback nodes by
+//! power-of-two-choices — a placement costs O(1) amortized at 1024 hosts /
+//! 10k functions (DESIGN §9). [`reference::ReferenceCluster`] retains the
+//! naive scan-everything semantics as an executable spec; the
+//! `indexed_matches_reference` property test holds the two to
+//! decision-for-decision agreement.
 //!
 //! The `repro cluster` and `repro cloudlet` experiments compare the policies
 //! under Zipf-skewed and heterogeneous workloads; `tests/cluster.rs` asserts
@@ -38,6 +48,12 @@
 //! homogeneous cluster; cost-aware ⇒ best heavy-class latency on a
 //! cloudlet).
 
+pub mod load;
+pub mod reference;
 pub mod sched;
+pub mod warm_index;
 
-pub use sched::{Cluster, ClusterError, ClusterStats, NodeSnapshot, SchedulePolicy};
+pub use reference::{RefInFlight, ReferenceCluster};
+pub use sched::{
+    Cluster, ClusterError, ClusterInFlight, ClusterStats, NodeSnapshot, SchedulePolicy,
+};

@@ -1,16 +1,29 @@
 //! Cluster scheduling over per-node HotC gateways.
+//!
+//! Placement state lives in two incremental indexes — a
+//! [`WarmIndex`](crate::warm_index::WarmIndex) of believed warm availability
+//! per (function key, host) and a [`LoadIndex`](crate::load::LoadIndex) of
+//! in-flight counts — so a scheduling decision costs O(1) amortized instead
+//! of the old O(hosts × functions) snapshot rebuild plus O(hosts) scan.
+//! The function registry is cluster-level: one spec table shared by all
+//! nodes, handed to the serving node at placement time
+//! ([`Gateway::begin_with`]), instead of a clone per (function, node).
 
 use faas::gateway::{Gateway, GatewayError, InFlight};
 use faas::{FunctionSpec, RequestTrace};
-use hotc::HotC;
-use simclock::{SimDuration, SimTime};
+use hotc::{HotC, KeyId, KeyInterner};
+use simclock::{SimDuration, SimRng, SimTime};
+use stdshim::{FastMap, FastSet};
+
+use crate::load::LoadIndex;
+use crate::warm_index::WarmIndex;
 
 /// How the cluster places requests on nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulePolicy {
     /// Rotate through nodes.
     RoundRobin,
-    /// Fewest in-flight requests first.
+    /// Fewer in-flight requests first, by power-of-two-choices.
     LeastLoaded,
     /// Prefer nodes with an available warm runtime of the request's type;
     /// fall back to least-loaded, with an overload spill guard.
@@ -41,6 +54,8 @@ pub enum ClusterError {
     NoNodes,
     /// A node's gateway failed.
     Gateway(GatewayError),
+    /// The ticket was already finished, or was not issued by this cluster.
+    StaleTicket,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -48,6 +63,9 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::NoNodes => write!(f, "cluster has no nodes"),
             ClusterError::Gateway(e) => write!(f, "gateway error: {e}"),
+            ClusterError::StaleTicket => {
+                write!(f, "ticket already finished or not issued by this cluster")
+            }
         }
     }
 }
@@ -63,16 +81,28 @@ impl From<GatewayError> for ClusterError {
 struct Node {
     name: String,
     gateway: Gateway<HotC>,
-    inflight: usize,
 }
 
-/// A ticket for an in-flight clustered request.
+/// A registered function: its spec plus its cluster-interned runtime key.
+struct FnEntry {
+    spec: FunctionSpec,
+    key: KeyId,
+}
+
+/// A single-use ticket for an in-flight clustered request.
+///
+/// The `token` is private: a ticket can only be obtained from
+/// [`Cluster::begin`] and only redeemed once by [`Cluster::finish`] —
+/// duplicating one (the node and [`InFlight`] are readable and `InFlight`
+/// is `Clone`) yields [`ClusterError::StaleTicket`] instead of silently
+/// skewing the load index.
 #[derive(Debug)]
 pub struct ClusterInFlight {
     /// Index of the node serving the request.
     pub node: usize,
     /// The node-local in-flight handle.
     pub inner: InFlight,
+    token: u64,
 }
 
 /// Point-in-time view of one node, for reports and tests.
@@ -101,18 +131,9 @@ pub struct ClusterStats {
     pub live_containers: usize,
 }
 
-/// A periodically-synchronized view of per-node warm availability — the
-/// "distributed key-value store" of §VII, with its inherent staleness. With
-/// zero staleness the scheduler reads the pools directly (an oracle); with a
-/// sync interval it sees counts as of the last sync and can route to a node
-/// whose warm runtime has meanwhile been taken or retired.
-#[derive(Debug, Default)]
-struct WarmView {
-    staleness: SimDuration,
-    last_sync: Option<SimTime>,
-    /// snapshot[node] = warm-available count per function name.
-    snapshot: Vec<std::collections::HashMap<String, usize>>,
-}
+/// Default seed for the power-of-two-choices sampler; override with
+/// [`Cluster::set_placement_seed`].
+const PLACEMENT_SEED: u64 = 0x0b5e_55ed;
 
 /// A multi-host HotC deployment.
 ///
@@ -143,38 +164,80 @@ pub struct Cluster {
     nodes: Vec<Node>,
     policy: SchedulePolicy,
     next_rr: usize,
-    warm_view: WarmView,
+    /// Function name → index into `specs`. The single cluster-wide registry.
+    functions: FastMap<String, u32>,
+    specs: Vec<FnEntry>,
+    /// Cluster-wide key interner; rows of `warm` are indexed by its ids.
+    interner: KeyInterner,
+    warm: WarmIndex,
+    load: LoadIndex,
+    rng: SimRng,
+    /// Warm-view sync interval; zero means the event-maintained oracle.
+    staleness: SimDuration,
+    last_sync: Option<SimTime>,
+    next_token: u64,
+    outstanding: FastSet<u64>,
 }
 
 impl Cluster {
     /// Spill threshold for reuse affinity: if the warm node's in-flight load
-    /// exceeds `mean × OVERLOAD_FACTOR + 1`, the request goes to the
-    /// least-loaded node instead.
+    /// exceeds `mean × OVERLOAD_FACTOR + 1`, the request goes to a
+    /// power-of-two-choices pick instead.
     pub const OVERLOAD_FACTOR: f64 = 2.0;
 
     /// Builds a cluster from named per-node gateways.
     pub fn new(policy: SchedulePolicy, gateways: Vec<(String, Gateway<HotC>)>) -> Self {
+        // The cluster interner must agree with the node pools on which
+        // configurations collapse to one key; heterogeneous key policies
+        // across nodes are not supported.
+        let key_policy = gateways
+            .first()
+            .map(|(_, g)| g.provider().pool().policy())
+            .unwrap_or_default();
+        let nodes: Vec<Node> = gateways
+            .into_iter()
+            .map(|(name, gateway)| Node { name, gateway })
+            .collect();
+        let mut warm = WarmIndex::new();
+        warm.ensure_nodes(nodes.len());
+        let load = LoadIndex::new(nodes.len());
         Cluster {
-            nodes: gateways
-                .into_iter()
-                .map(|(name, gateway)| Node {
-                    name,
-                    gateway,
-                    inflight: 0,
-                })
-                .collect(),
+            nodes,
             policy,
             next_rr: 0,
-            warm_view: WarmView::default(),
+            functions: FastMap::default(),
+            specs: Vec::new(),
+            interner: KeyInterner::new(key_policy),
+            warm,
+            load,
+            rng: SimRng::seeded(PLACEMENT_SEED),
+            staleness: SimDuration::ZERO,
+            last_sync: None,
+            next_token: 0,
+            outstanding: FastSet::default(),
         }
     }
 
-    /// Makes reuse-affinity scheduling read warm availability from a view
-    /// that is only synchronized every `staleness` (0 = direct pool reads).
-    /// Models the §VII distributed-registry deployment.
+    /// Makes warm-reading policies (reuse affinity, cost-aware) see
+    /// availability through a view that is only synchronized every
+    /// `staleness` (0 = the event-maintained oracle). Models the §VII
+    /// distributed-registry deployment.
     pub fn set_warm_view_staleness(&mut self, staleness: SimDuration) {
-        self.warm_view.staleness = staleness;
-        self.warm_view.last_sync = None;
+        self.staleness = staleness;
+        self.last_sync = None;
+        if staleness.is_zero() {
+            // Entering oracle mode: restore believed == live right away.
+            for i in 0..self.nodes.len() {
+                let pool = self.nodes[i].gateway.provider().pool().sharded();
+                self.warm.resync_node(i, pool, &self.interner);
+            }
+        }
+    }
+
+    /// Reseeds the power-of-two-choices sampler (deterministic placement
+    /// replay for tests and experiments).
+    pub fn set_placement_seed(&mut self, seed: u64) {
+        self.rng = SimRng::seeded(seed);
     }
 
     /// The scheduling policy.
@@ -192,177 +255,176 @@ impl Cluster {
         self.nodes.is_empty()
     }
 
-    /// Registers a function on every node (functions are deployable
-    /// anywhere; placement is per-request).
+    /// Registers a function cluster-wide (functions are deployable
+    /// anywhere; placement is per-request). The spec is stored once — the
+    /// serving node receives it at placement time — so registration cost is
+    /// independent of cluster size.
     pub fn register_everywhere(&mut self, spec: FunctionSpec) {
-        for node in &mut self.nodes {
-            node.gateway.register(spec.clone());
+        let key = self.interner.intern(&spec.config);
+        self.warm.ensure_rows(self.interner.len());
+        match self.functions.get(spec.name.as_str()) {
+            Some(&idx) => self.specs[idx as usize] = FnEntry { spec, key },
+            None => {
+                let idx = self.specs.len() as u32;
+                self.functions.insert(spec.name.clone(), idx);
+                self.specs.push(FnEntry { spec, key });
+            }
         }
     }
 
-    fn least_loaded(&mut self) -> usize {
-        let min = self
-            .nodes
-            .iter()
-            .map(|n| n.inflight)
-            .min()
-            // lint:allow(unwrap, place() returns ClusterError::NoNodes before scheduling on an empty cluster)
-            .expect("non-empty cluster");
-        let candidates: Vec<usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.inflight == min)
-            .map(|(i, _)| i)
-            .collect();
-        // Rotate among ties so an idle cluster doesn't funnel everything to
-        // node 0 (which would fake reuse affinity).
-        let pick = candidates[self.next_rr % candidates.len()];
-        self.next_rr += 1;
-        pick
+    /// Believed warm-available count for `function` on `node`, as the
+    /// scheduler sees it — through the staleness model, not the live pool.
+    /// Every warm-reading policy (reuse affinity *and* cost-aware) consults
+    /// exactly this view.
+    pub fn believed_warm(&self, function: &str, node: usize) -> usize {
+        self.functions
+            .get(function)
+            .map(|&f| self.warm.believed(self.specs[f as usize].key, node) as usize)
+            .unwrap_or(0)
     }
 
-    fn live_warm_count(node: &Node, function: &str) -> usize {
-        let Some(spec) = node.gateway.function(function) else {
-            return 0;
-        };
-        let pool = node.gateway.provider().pool();
-        let key = pool.key_of(&spec.config);
-        pool.num_avail(&key)
-    }
-
-    /// Refreshes the warm-view snapshot if it is due.
-    fn sync_warm_view(&mut self, now: SimTime) {
-        let due = match self.warm_view.last_sync {
+    /// Resynchronizes every node's believed warm set if the sync window has
+    /// elapsed (stale mode only; the oracle is maintained by per-event
+    /// touches instead).
+    fn sync_if_due(&mut self, now: SimTime) {
+        if self.staleness.is_zero() {
+            return;
+        }
+        let due = match self.last_sync {
             None => true,
-            Some(last) => now.duration_since(last) >= self.warm_view.staleness,
+            Some(last) => now.duration_since(last) >= self.staleness,
         };
         if !due {
             return;
         }
-        self.warm_view.last_sync = Some(now);
-        self.warm_view.snapshot = self
-            .nodes
-            .iter()
-            .map(|n| {
-                n.gateway
-                    .functions()
-                    .map(|spec| (spec.name.clone(), Self::live_warm_count(n, &spec.name)))
-                    .collect()
-            })
-            .collect();
-    }
-
-    /// Nodes holding an available warm runtime for `function`, least loaded
-    /// first — through the warm view when staleness is configured.
-    fn warm_nodes(&mut self, function: &str, now: SimTime) -> Vec<usize> {
-        let stale = !self.warm_view.staleness.is_zero();
-        if stale {
-            self.sync_warm_view(now);
+        self.last_sync = Some(now);
+        for i in 0..self.nodes.len() {
+            let pool = self.nodes[i].gateway.provider().pool().sharded();
+            self.warm.resync_node(i, pool, &self.interner);
         }
-        let mut candidates: Vec<(usize, usize)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| {
-                let available = if stale {
-                    self.warm_view
-                        .snapshot
-                        .get(i)
-                        .and_then(|m| m.get(function))
-                        .copied()
-                        .unwrap_or(0)
-                } else {
-                    Self::live_warm_count(n, function)
-                };
-                (available > 0).then_some((n.inflight, i))
-            })
-            .collect();
-        candidates.sort_unstable();
-        candidates.into_iter().map(|(_, i)| i).collect()
     }
 
-    fn place(&mut self, function: &str, now: SimTime) -> Result<usize, ClusterError> {
+    /// Estimated completion time of function `f` on node `i`: cold-start
+    /// cost (zero if the *believed* view holds a warm runtime) plus the
+    /// app's execution time at the node's speed, plus a small queueing
+    /// penalty per in-flight request.
+    fn completion_estimate(&self, i: usize, f: u32) -> Option<SimDuration> {
+        let entry = &self.specs[f as usize];
+        let engine = self.nodes[i].gateway.engine();
+        let cold = if self.warm.believed(entry.key, i) > 0 {
+            SimDuration::ZERO
+        } else {
+            engine.estimate_cold_start(&entry.spec.config).ok()?
+        };
+        let hw = engine.host().hardware();
+        let exec = hw.compute(entry.spec.app.work.compute + entry.spec.app.app_init);
+        let queue = SimDuration::from_millis(20) * self.load.load(i) as u64;
+        Some(cold + exec + queue)
+    }
+
+    fn cheapest_node(&mut self, f: u32) -> usize {
+        let best = (0..self.nodes.len())
+            .filter_map(|i| self.completion_estimate(i, f).map(|c| (c, i)))
+            .min_by_key(|&(c, i)| (c, i))
+            .map(|(_, i)| i);
+        match best {
+            Some(i) => i,
+            // No estimate anywhere (engine errors): fall back to load.
+            None => self.load.pick_p2c(&mut self.rng),
+        }
+    }
+
+    /// Picks a node for `function`, returning `(function index, node)`.
+    fn place(&mut self, function: &str, now: SimTime) -> Result<(u32, usize), ClusterError> {
         if self.nodes.is_empty() {
             return Err(ClusterError::NoNodes);
         }
+        let Some(&f) = self.functions.get(function) else {
+            return Err(ClusterError::Gateway(GatewayError::UnknownFunction(
+                function.to_string(),
+            )));
+        };
         let node = match self.policy {
             SchedulePolicy::RoundRobin => {
                 let i = self.next_rr % self.nodes.len();
                 self.next_rr += 1;
                 i
             }
-            SchedulePolicy::LeastLoaded => self.least_loaded(),
+            SchedulePolicy::LeastLoaded => self.load.pick_p2c(&mut self.rng),
             SchedulePolicy::ReuseAffinity => {
-                let warm = self.warm_nodes(function, now);
-                match warm.first().copied() {
+                self.sync_if_due(now);
+                match self.warm.best_warm(self.specs[f as usize].key, &self.load) {
                     Some(candidate) => {
                         // Overload guard: spill when the warm node is far
                         // hotter than the average.
-                        let mean = self.nodes.iter().map(|n| n.inflight).sum::<usize>() as f64
-                            / self.nodes.len() as f64;
-                        let limit = mean * Self::OVERLOAD_FACTOR + 1.0;
-                        if (self.nodes[candidate].inflight as f64) > limit {
-                            self.least_loaded()
+                        let limit = self.load.mean() * Self::OVERLOAD_FACTOR + 1.0;
+                        if (self.load.load(candidate) as f64) > limit {
+                            self.load.pick_p2c(&mut self.rng)
                         } else {
                             candidate
                         }
                     }
-                    None => self.least_loaded(),
+                    None => self.load.pick_p2c(&mut self.rng),
                 }
             }
-            SchedulePolicy::CostAware => self.cheapest_node(function),
+            SchedulePolicy::CostAware => {
+                self.sync_if_due(now);
+                self.cheapest_node(f)
+            }
         };
-        Ok(node)
-    }
-
-    /// Estimated completion time of `function` on node `i`: cold-start cost
-    /// (zero if a warm runtime is available) plus the app's execution time at
-    /// the node's speed, plus a small queueing penalty per in-flight request.
-    fn completion_estimate(&self, i: usize, function: &str) -> Option<SimDuration> {
-        let node = &self.nodes[i];
-        let spec = node.gateway.function(function)?;
-        let engine = node.gateway.engine();
-        let cold = if Self::live_warm_count(node, function) > 0 {
-            SimDuration::ZERO
-        } else {
-            engine.estimate_cold_start(&spec.config).ok()?
-        };
-        let hw = engine.host().hardware();
-        let exec = hw.compute(spec.app.work.compute + spec.app.app_init);
-        let queue = SimDuration::from_millis(20) * node.inflight as u64;
-        Some(cold + exec + queue)
-    }
-
-    fn cheapest_node(&mut self, function: &str) -> usize {
-        let best = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, _)| self.completion_estimate(i, function).map(|c| (c, i)))
-            .min_by_key(|&(c, _)| c)
-            .map(|(_, i)| i);
-        match best {
-            Some(i) => i,
-            // Function unknown everywhere: let the gateway error surface.
-            None => self.least_loaded(),
-        }
+        Ok((f, node))
     }
 
     /// Starts a request: picks a node, begins execution there. Complete it
     /// with [`Self::finish`] once the clock reaches `inner.t4_func_end`.
     pub fn begin(&mut self, function: &str, now: SimTime) -> Result<ClusterInFlight, ClusterError> {
-        let node = self.place(function, now)?;
-        let inner = self.nodes[node].gateway.begin(function, now)?;
-        self.nodes[node].inflight += 1;
-        Ok(ClusterInFlight { node, inner })
+        let (f, node) = self.place(function, now)?;
+        let inner = self.nodes[node]
+            .gateway
+            .begin_with(&self.specs[f as usize].spec, now)?;
+        let entry = &self.specs[f as usize];
+        let pool = self.nodes[node].gateway.provider().pool().sharded();
+        self.warm
+            .ensure_mapping(entry.key, node, pool, &entry.spec.config);
+        if self.staleness.is_zero() {
+            if inner.cold {
+                // A cold start may have evicted other keys on the node
+                // (capacity limits); refresh its whole warm set.
+                self.warm.resync_node(node, pool, &self.interner);
+            } else {
+                self.warm.touch_true(entry.key, node, pool);
+            }
+        } else {
+            // The stale-view placement debit: consume the believed slot now
+            // so a burst within one sync window spreads across warm
+            // capacity instead of stampeding a single "1 warm" node.
+            self.warm.debit(entry.key, node);
+        }
+        self.load.inc(node);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.outstanding.insert(token);
+        Ok(ClusterInFlight { node, inner, token })
     }
 
-    /// Completes a clustered request.
+    /// Completes a clustered request. Tickets are single-use: a duplicate
+    /// (or foreign) ticket returns [`ClusterError::StaleTicket`] without
+    /// touching any node.
     pub fn finish(&mut self, ticket: ClusterInFlight) -> Result<RequestTrace, ClusterError> {
-        let node = &mut self.nodes[ticket.node];
-        let trace = node.gateway.finish(ticket.inner)?;
-        node.inflight = node.inflight.saturating_sub(1);
+        let ClusterInFlight { node, inner, token } = ticket;
+        if !self.outstanding.remove(&token) {
+            return Err(ClusterError::StaleTicket);
+        }
+        let f = self.functions.get(inner.function.as_str()).copied();
+        let trace = self.nodes[node].gateway.finish(inner)?;
+        self.load.dec(node);
+        if self.staleness.is_zero() {
+            if let Some(f) = f {
+                let key = self.specs[f as usize].key;
+                let pool = self.nodes[node].gateway.provider().pool().sharded();
+                self.warm.touch_true(key, node, pool);
+            }
+        }
         Ok(trace)
     }
 
@@ -377,10 +439,22 @@ impl Cluster {
         Ok((node, self.finish(ticket)?))
     }
 
-    /// Runs provider maintenance on every node.
+    /// Runs provider maintenance on every node. In oracle mode, nodes whose
+    /// pool `mutation_epoch` drifted since their last resync (the tick's
+    /// controller may have prewarmed or retired runtimes) are resynced —
+    /// idle nodes cost one atomic load, keeping the warm-index part of the
+    /// tick O(changed nodes).
     pub fn tick(&mut self, now: SimTime) -> Result<(), ClusterError> {
         for node in &mut self.nodes {
             node.gateway.tick(now)?;
+        }
+        if self.staleness.is_zero() {
+            for i in 0..self.nodes.len() {
+                let pool = self.nodes[i].gateway.provider().pool().sharded();
+                if pool.mutation_epoch() != self.warm.node_epoch(i) {
+                    self.warm.resync_node(i, pool, &self.interner);
+                }
+            }
         }
         Ok(())
     }
@@ -389,10 +463,11 @@ impl Cluster {
     pub fn snapshots(&self) -> Vec<NodeSnapshot> {
         self.nodes
             .iter()
-            .map(|n| NodeSnapshot {
+            .enumerate()
+            .map(|(i, n)| NodeSnapshot {
                 name: n.name.clone(),
                 live_containers: n.gateway.engine().live_count(),
-                inflight: n.inflight,
+                inflight: self.load.load(i) as usize,
                 requests: n.gateway.stats().requests,
                 cold_starts: n.gateway.stats().cold_starts,
             })
@@ -485,16 +560,22 @@ mod tests {
     #[test]
     fn least_loaded_spreads_overlapping_requests() {
         let mut c = cluster(SchedulePolicy::LeastLoaded, 3);
-        // Three overlapping requests: each goes to an idle node.
-        let t1 = c.begin("qr-code", SimTime::ZERO).unwrap();
-        let t2 = c.begin("qr-code", SimTime::ZERO).unwrap();
-        let t3 = c.begin("qr-code", SimTime::ZERO).unwrap();
-        let placed: std::collections::BTreeSet<_> =
-            [t1.node, t2.node, t3.node].into_iter().collect();
-        assert_eq!(placed.len(), 3, "each request on its own node");
-        for t in [t1, t2, t3] {
+        // 30 overlapping requests: power-of-two-choices with load feedback
+        // keeps the spread tight even though individual picks are sampled.
+        let mut tickets = Vec::new();
+        for i in 0..30u64 {
+            let t = c
+                .begin("qr-code", SimTime::ZERO + SimDuration::from_millis(i))
+                .unwrap();
+            tickets.push(t);
+        }
+        for snap in c.snapshots() {
+            assert!((5..=15).contains(&snap.inflight), "{snap:?}");
+        }
+        for t in tickets {
             c.finish(t).unwrap();
         }
+        assert!(c.snapshots().iter().all(|s| s.inflight == 0));
     }
 
     #[test]
@@ -505,7 +586,7 @@ mod tests {
         let mut now = trace.t6_gateway_out + SimDuration::from_secs(1);
 
         // Pile 4 overlapping requests; the first reuses node `first`'s warm
-        // runtime, then the overload guard pushes the rest to the other node.
+        // runtime, then the rest must not all queue behind it.
         let mut tickets = Vec::new();
         let mut nodes_hit = Vec::new();
         for _ in 0..4 {
@@ -517,7 +598,7 @@ mod tests {
         assert_eq!(nodes_hit[0], first);
         assert!(
             nodes_hit.iter().any(|&n| n != first),
-            "overload guard must spill: {nodes_hit:?}"
+            "overload must spill off the warm node: {nodes_hit:?}"
         );
         for t in tickets {
             c.finish(t).unwrap();
@@ -565,6 +646,27 @@ mod tests {
         // Round robin on 2 nodes × 4 requests: perfectly balanced.
         assert!((c.request_imbalance() - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn double_finish_is_rejected() {
+        let mut c = cluster(SchedulePolicy::LeastLoaded, 2);
+        let t = c.begin("qr-code", SimTime::ZERO).unwrap();
+        // `InFlight` is `Clone` and both readable fields are public, so a
+        // duplicate ticket is constructible (here, with module access to
+        // the token). Before the fix, finishing it a second time silently
+        // drove the node's in-flight count negative-in-spirit
+        // (`saturating_sub`), skewing least-loaded placement for the rest
+        // of the run.
+        let forged = ClusterInFlight {
+            node: t.node,
+            inner: t.inner.clone(),
+            token: t.token,
+        };
+        c.finish(t).unwrap();
+        assert!(matches!(c.finish(forged), Err(ClusterError::StaleTicket)));
+        assert!(c.snapshots().iter().all(|s| s.inflight == 0));
+        assert_eq!(c.stats().requests, 1);
+    }
 }
 
 #[cfg(test)]
@@ -610,8 +712,10 @@ mod staleness_tests {
     fn stale_view_misses_recent_warm_containers() {
         // 60 s staleness: the view synced at t=0 (no warm runtimes anywhere),
         // so requests shortly after the first one still see "nothing warm"
-        // and fall back to least-loaded — landing on cold nodes.
+        // and fall back to the load sampler — landing on a cold node (the
+        // seed fixes which one the sampler draws).
         let mut c = cluster_with_staleness(SimDuration::from_secs(60));
+        c.set_placement_seed(7);
         let (first, trace) = c.handle("qr-code", SimTime::ZERO).unwrap();
         // Well within the stale window: the scheduler doesn't know node
         // `first` has a warm runtime now.
@@ -654,6 +758,98 @@ mod staleness_tests {
             heavy >= 3,
             "heavy staleness causes repeated cold routing: {heavy}"
         );
+    }
+
+    #[test]
+    fn stale_burst_spreads_across_believed_warm_nodes() {
+        // The stampede regression: before the placement debit, a burst
+        // within one sync window chased the same "1 warm" snapshot entry —
+        // one warm hit, then cold starts queueing on that node while the
+        // other nodes' warm runtimes idled.
+        let mut c = cluster_with_staleness(SimDuration::from_secs(60));
+        // Warm one runtime on every node, behind the scheduler's back.
+        let spec = FunctionSpec::from_app(AppProfile::qr_code(LanguageRuntime::Python));
+        let mut now = SimTime::ZERO;
+        for i in 0..3 {
+            let inner = c.nodes[i].gateway.begin_with(&spec, now).unwrap();
+            now = inner.t4_func_end + SimDuration::from_millis(1);
+            c.nodes[i].gateway.finish(inner).unwrap();
+        }
+        // The first cluster placement syncs the view (1 warm per node);
+        // the debit must then spread the overlapping burst.
+        let mut tickets = Vec::new();
+        for i in 0..3u64 {
+            let t = c
+                .begin("qr-code", now + SimDuration::from_millis(i))
+                .unwrap();
+            assert!(!t.inner.cold, "burst request {i} must hit a warm runtime");
+            tickets.push(t);
+        }
+        let nodes: std::collections::BTreeSet<_> = tickets.iter().map(|t| t.node).collect();
+        assert_eq!(nodes.len(), 3, "debited view spreads the burst");
+        assert_eq!(
+            c.stats().cold_starts,
+            3,
+            "only the priming cold starts, none from the burst"
+        );
+        for t in tickets {
+            c.finish(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn cost_aware_reads_the_same_stale_view_as_affinity() {
+        // The oracle-leak regression: `completion_estimate()` used to call
+        // the live pool directly, so cost-aware placement saw perfect warm
+        // state even under staleness while reuse affinity saw the synced
+        // view. Both must read the same believed counts.
+        let gateways = (0..2)
+            .map(|i| {
+                let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+                (
+                    format!("node-{i}"),
+                    Gateway::new(engine, HotC::with_defaults()),
+                )
+            })
+            .collect();
+        let mut c = Cluster::new(SchedulePolicy::CostAware, gateways);
+        c.set_warm_view_staleness(SimDuration::from_secs(600));
+        let qr = FunctionSpec::from_app(AppProfile::qr_code(LanguageRuntime::Python));
+        c.register_everywhere(qr.clone());
+        c.register_everywhere(
+            FunctionSpec::from_app(AppProfile::qr_code(LanguageRuntime::Go)).named("qr-go"),
+        );
+
+        // t=0: the view syncs empty; cold estimates tie → node 0; cold.
+        let (first, trace) = c.handle("qr-code", SimTime::ZERO).unwrap();
+        assert_eq!(first, 0);
+        // Node 0 now holds a live warm qr-code runtime…
+        let live = {
+            let pool = c.nodes[0].gateway.provider().pool();
+            pool.num_avail(&pool.key_of(&qr.config))
+        };
+        assert_eq!(live, 1);
+        // …that the stale view cannot see — for *any* policy.
+        assert_eq!(c.believed_warm("qr-code", 0), 0);
+
+        // Load node 0 with a different function (cold estimates tie → 0).
+        let now = trace.t6_gateway_out + SimDuration::from_secs(1);
+        let blocker = c.begin("qr-go", now).unwrap();
+        assert_eq!(blocker.node, 0);
+
+        // The leaky estimator saw node 0's live warm runtime (cold cost 0)
+        // and sent the request back to the loaded node; reading the view,
+        // both nodes look cold and the queue penalty tips it to node 1.
+        let t = c
+            .begin("qr-code", now + SimDuration::from_millis(1))
+            .unwrap();
+        assert_eq!(
+            t.node, 1,
+            "stale cost-aware must not exploit live warm state"
+        );
+        assert!(t.inner.cold);
+        c.finish(t).unwrap();
+        c.finish(blocker).unwrap();
     }
 }
 
@@ -720,32 +916,22 @@ mod cloudlet_tests {
         // The §VII hazard cost-aware fixes: seed the v3 runtime on a Pi, and
         // warm affinity keeps sending 30×-slower inferences there.
         let mut c = heterogeneous(SchedulePolicy::ReuseAffinity);
-        // Force the first placement onto pi-0 by loading the server.
-        let busy: Vec<_> = (0..4)
-            .map(|i| {
-                c.begin("qr-code", SimTime::ZERO + SimDuration::from_millis(i))
-                    .unwrap()
-            })
-            .collect();
-        let heavy = c
-            .begin("v3-app", SimTime::ZERO + SimDuration::from_millis(10))
-            .unwrap();
-        let pinned = heavy.node;
-        assert_ne!(pinned, 0, "the loaded server is skipped");
-        for t in busy {
-            c.finish(t).unwrap();
-        }
-        let trace = c.finish(heavy).unwrap();
+        // Warm the v3 runtime on pi-0 (node 1) behind the scheduler's back…
+        let spec = FunctionSpec::from_app(AppProfile::v3_app());
+        let inner = c.nodes[1].gateway.begin_with(&spec, SimTime::ZERO).unwrap();
+        let end = inner.t4_func_end;
+        c.nodes[1].gateway.finish(inner).unwrap();
+        // …and let the next maintenance tick resync the oracle view (the
+        // node's pool epoch drifted, so the tick picks it up).
+        c.tick(end + SimDuration::from_secs(1)).unwrap();
 
-        // Later, with the cluster idle, affinity still returns to the Pi.
-        let (again, trace2) = c
-            .handle("v3-app", trace.t6_gateway_out + SimDuration::from_secs(30))
-            .unwrap();
-        assert_eq!(again, pinned, "affinity pins to the warm (slow) node");
-        assert!(!trace2.cold);
+        // With the cluster idle, affinity pins the heavy work to the Pi.
+        let (pinned, trace) = c.handle("v3-app", end + SimDuration::from_secs(2)).unwrap();
+        assert_eq!(pinned, 1, "warm affinity returns to the slow node");
+        assert!(!trace.cold);
         // Cost-aware in the same state would pay a cold start on the server
         // instead — and still finish far sooner than the Pi's execution.
-        let pi_exec = trace2.total();
+        let pi_exec = trace.total();
         assert!(pi_exec > SimDuration::from_secs(20), "{pi_exec}");
     }
 }

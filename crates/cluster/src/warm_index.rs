@@ -1,0 +1,358 @@
+//! Indexed warm-placement store: per-function host lists, maintained by
+//! events instead of rebuilt-by-scan snapshots.
+//!
+//! The old scheduler kept `snapshot[node]: HashMap<String, usize>` and
+//! rebuilt every map on each sync — O(hosts × functions) per sync and an
+//! O(hosts) filter per placement. The index inverts that: `rows[key]` lists
+//! exactly the hosts *believed* to hold a warm runtime for that key, so a
+//! reuse-affinity placement scans only the (typically few) warm candidates,
+//! and the counts are adjusted in place by three kinds of events:
+//!
+//! - **placement debits** (`debit`): a request routed to a believed-warm
+//!   host consumes one believed slot immediately, before any sync — the
+//!   stale-view stampede fix;
+//! - **point touches** (`touch_true`): one (key, host) count refreshed from
+//!   the host's pool, used by the zero-staleness oracle after every begin
+//!   and finish;
+//! - **node resyncs** (`resync_node`): one host's full warm set replaced
+//!   from its pool, used by staleness-window syncs and by the oracle after
+//!   cold starts and epoch-drift ticks (the pool's `mutation_epoch` tells
+//!   us when a resync would be a no-op).
+//!
+//! Cluster-wide keys are interned once (`hotc::KeyId` from the cluster's
+//! own [`hotc::KeyInterner`]); each node's pool interns the same
+//! configuration independently, so the index keeps per-node id translations
+//! (`c2l`/`l2c`), filled lazily on first placement.
+//!
+//! Invariants:
+//! - `rows[k]` holds at most one entry per node, every entry has count > 0,
+//!   and node `n` appears in `rows[k]` iff `k ∈ nodes[n].keys` — so a node
+//!   resync touches only rows that actually mention the node.
+//! - With zero staleness, after every `Cluster` operation the believed
+//!   count for any (key, node) the cluster has placed equals the node
+//!   pool's live available count for that key (the oracle invariant).
+
+use containersim::ContainerConfig;
+use hotc::{KeyId, KeyInterner, ShardedPool};
+use stdshim::{FastMap, FastSet};
+
+use crate::load::LoadIndex;
+
+/// Per-node bookkeeping: key-id translations and which cluster keys this
+/// node currently contributes believed-warm entries for.
+#[derive(Debug, Default)]
+struct NodeView {
+    /// Cluster key index → this node's pool-local [`KeyId`].
+    c2l: FastMap<u32, KeyId>,
+    /// Pool-local key index → cluster key index.
+    l2c: FastMap<u32, u32>,
+    /// Cluster key indices with a (count > 0) entry for this node in `rows`.
+    keys: FastSet<u32>,
+    /// The node pool's `mutation_epoch` as of the last resync.
+    epoch: u64,
+}
+
+/// The indexed warm-placement store. See the module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct WarmIndex {
+    /// `rows[cluster key index]` = hosts believed warm for that key, as
+    /// `(node, believed available count)` with count > 0.
+    rows: Vec<Vec<(u32, u32)>>,
+    nodes: Vec<NodeView>,
+}
+
+impl WarmIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        WarmIndex::default()
+    }
+
+    /// Grows the per-key row table to cover `keys` interned cluster keys.
+    pub fn ensure_rows(&mut self, keys: usize) {
+        if self.rows.len() < keys {
+            self.rows.resize_with(keys, Vec::new);
+        }
+    }
+
+    /// Grows the per-node table to cover `nodes` nodes.
+    pub fn ensure_nodes(&mut self, nodes: usize) {
+        if self.nodes.len() < nodes {
+            self.nodes.resize_with(nodes, NodeView::default);
+        }
+    }
+
+    /// Records the translation between cluster key `k` and `node`'s
+    /// pool-local id for the same configuration. Interns into the node's
+    /// pool only on first sight of (k, node); repeats are one map probe.
+    pub fn ensure_mapping(
+        &mut self,
+        k: KeyId,
+        node: usize,
+        pool: &ShardedPool,
+        config: &ContainerConfig,
+    ) {
+        let view = &mut self.nodes[node];
+        let ck = k.index() as u32;
+        if view.c2l.contains_key(&ck) {
+            return;
+        }
+        let local = pool.intern_config(config);
+        view.c2l.insert(ck, local);
+        view.l2c.insert(local.index() as u32, ck);
+    }
+
+    /// Believed warm-available count for (`k`, `node`). O(warm hosts of k).
+    pub fn believed(&self, k: KeyId, node: usize) -> u32 {
+        self.rows
+            .get(k.index())
+            .and_then(|row| row.iter().find(|e| e.0 == node as u32))
+            .map(|e| e.1)
+            .unwrap_or(0)
+    }
+
+    /// Optimistically consumes one believed-warm slot on `node` — the
+    /// placement debit. No-op if the index already believes zero.
+    pub fn debit(&mut self, k: KeyId, node: usize) {
+        let Some(row) = self.rows.get_mut(k.index()) else {
+            return;
+        };
+        let Some(pos) = row.iter().position(|e| e.0 == node as u32) else {
+            return;
+        };
+        if row[pos].1 > 1 {
+            row[pos].1 -= 1;
+        } else {
+            row.swap_remove(pos);
+            self.nodes[node].keys.remove(&(k.index() as u32));
+        }
+    }
+
+    /// Replaces the believed count for (`k`, `node`) with the node pool's
+    /// live count — a point touch. Requires the mapping to exist.
+    pub fn touch_true(&mut self, k: KeyId, node: usize, pool: &ShardedPool) {
+        let ck = k.index() as u32;
+        let count = match self.nodes[node].c2l.get(&ck) {
+            Some(&local) => pool.num_avail_id(local) as u32,
+            None => 0,
+        };
+        let row = &mut self.rows[k.index()];
+        let pos = row.iter().position(|e| e.0 == node as u32);
+        match (pos, count) {
+            (Some(p), 0) => {
+                row.swap_remove(p);
+                self.nodes[node].keys.remove(&ck);
+            }
+            (Some(p), c) => row[p].1 = c,
+            (None, 0) => {}
+            (None, c) => {
+                row.push((node as u32, c));
+                self.nodes[node].keys.insert(ck);
+            }
+        }
+    }
+
+    /// Replaces `node`'s entire believed warm set with its pool's live
+    /// state — a sync event. O(keys currently/previously warm on the node),
+    /// never O(cluster). Warm keys without a cached translation (the node
+    /// acquired them outside this cluster's placements, e.g. by a local
+    /// prewarm) are resolved once through `interner` — keys the cluster has
+    /// never registered stay invisible, since it could not route to them
+    /// anyway. Assumes node pools share the cluster interner's
+    /// [`hotc::KeyPolicy`].
+    pub fn resync_node(&mut self, node: usize, pool: &ShardedPool, interner: &KeyInterner) {
+        let WarmIndex { rows, nodes } = self;
+        let view = &mut nodes[node];
+        // Read the epoch before scanning: a mutation racing the scan then
+        // re-dirties the node instead of being lost.
+        view.epoch = pool.mutation_epoch();
+        for ck in view.keys.drain() {
+            let row = &mut rows[ck as usize];
+            if let Some(pos) = row.iter().position(|e| e.0 == node as u32) {
+                row.swap_remove(pos);
+            }
+        }
+        pool.for_each_warm(|local, avail| {
+            let li = local.index() as u32;
+            let ck = match view.l2c.get(&li) {
+                Some(&ck) => ck,
+                None => {
+                    let Some(ck) = pool
+                        .resolve_key(local)
+                        .and_then(|key| interner.lookup(&key))
+                        .map(|k| k.index() as u32)
+                    else {
+                        return;
+                    };
+                    view.l2c.insert(li, ck);
+                    view.c2l.insert(ck, local);
+                    ck
+                }
+            };
+            rows[ck as usize].push((node as u32, avail as u32));
+            view.keys.insert(ck);
+        });
+    }
+
+    /// The node pool's `mutation_epoch` as of the last [`Self::resync_node`].
+    /// An equal live epoch means a resync would find nothing new.
+    pub fn node_epoch(&self, node: usize) -> u64 {
+        self.nodes[node].epoch
+    }
+
+    /// The best believed-warm host for `k`: minimum (in-flight load, node
+    /// index) over the key's row. Scans only believed-warm hosts; the
+    /// (load, node) order is total, so the result is independent of row
+    /// order — a naive all-nodes scan picks the same host.
+    pub fn best_warm(&self, k: KeyId, load: &LoadIndex) -> Option<usize> {
+        self.rows
+            .get(k.index())?
+            .iter()
+            .filter(|e| e.1 > 0)
+            .map(|e| e.0 as usize)
+            .min_by_key(|&n| (load.load(n), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containersim::{ContainerConfig, ContainerEngine, HardwareProfile, ImageId};
+    use hotc::{KeyInterner, KeyPolicy};
+    use simclock::SimTime;
+    use stdshim::Mutex;
+
+    fn config(image: &str) -> ContainerConfig {
+        ContainerConfig::bridge(ImageId::parse(image))
+    }
+
+    fn pool_with_warm(cfg: &ContainerConfig, count: usize) -> ShardedPool {
+        let pool = ShardedPool::new(KeyPolicy::Exact);
+        let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+        for _ in 0..count {
+            pool.prewarm(&engine, cfg, SimTime::ZERO).unwrap();
+        }
+        pool
+    }
+
+    #[test]
+    fn resync_picks_up_prewarmed_counts_and_debit_consumes_them() {
+        let cfg = config("python:3.8-alpine");
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let k = interner.intern(&cfg);
+        let pool = pool_with_warm(&cfg, 2);
+
+        let mut idx = WarmIndex::new();
+        idx.ensure_rows(1);
+        idx.ensure_nodes(1);
+        idx.ensure_mapping(k, 0, &pool, &cfg);
+        assert_eq!(idx.believed(k, 0), 0, "nothing believed before a sync");
+
+        idx.resync_node(0, &pool, &interner);
+        assert_eq!(idx.believed(k, 0), 2);
+        assert_eq!(idx.node_epoch(0), pool.mutation_epoch());
+
+        idx.debit(k, 0);
+        assert_eq!(idx.believed(k, 0), 1);
+        idx.debit(k, 0);
+        assert_eq!(idx.believed(k, 0), 0);
+        // Over-debit is a no-op, not an underflow.
+        idx.debit(k, 0);
+        assert_eq!(idx.believed(k, 0), 0);
+        assert_eq!(idx.best_warm(k, &LoadIndex::new(1)), None);
+    }
+
+    #[test]
+    fn touch_true_tracks_the_pool_both_ways() {
+        let cfg = config("python:3.8-alpine");
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let k = interner.intern(&cfg);
+        let pool = pool_with_warm(&cfg, 1);
+
+        let mut idx = WarmIndex::new();
+        idx.ensure_rows(1);
+        idx.ensure_nodes(1);
+        idx.ensure_mapping(k, 0, &pool, &cfg);
+
+        idx.touch_true(k, 0, &pool);
+        assert_eq!(idx.believed(k, 0), 1);
+
+        // Debit to zero, then a touch restores the live truth.
+        idx.debit(k, 0);
+        assert_eq!(idx.believed(k, 0), 0);
+        idx.touch_true(k, 0, &pool);
+        assert_eq!(idx.believed(k, 0), 1);
+    }
+
+    #[test]
+    fn epoch_gates_resyncs() {
+        let cfg = config("python:3.8-alpine");
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let k = interner.intern(&cfg);
+        let pool = pool_with_warm(&cfg, 1);
+        let engine = Mutex::new(ContainerEngine::with_local_images(HardwareProfile::server()));
+
+        let mut idx = WarmIndex::new();
+        idx.ensure_rows(1);
+        idx.ensure_nodes(1);
+        idx.ensure_mapping(k, 0, &pool, &cfg);
+        idx.resync_node(0, &pool, &interner);
+        assert_eq!(
+            idx.node_epoch(0),
+            pool.mutation_epoch(),
+            "idle pool: a resync would be a no-op"
+        );
+
+        pool.prewarm(&engine, &cfg, SimTime::ZERO).unwrap();
+        assert_ne!(
+            idx.node_epoch(0),
+            pool.mutation_epoch(),
+            "mutation drifts the epoch"
+        );
+        idx.resync_node(0, &pool, &interner);
+        assert_eq!(idx.believed(k, 0), 2);
+    }
+
+    #[test]
+    fn best_warm_prefers_least_loaded_then_lowest_index() {
+        let cfg = config("python:3.8-alpine");
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let k = interner.intern(&cfg);
+        let pools: Vec<ShardedPool> = (0..3).map(|_| pool_with_warm(&cfg, 1)).collect();
+
+        let mut idx = WarmIndex::new();
+        idx.ensure_rows(1);
+        idx.ensure_nodes(3);
+        for (n, pool) in pools.iter().enumerate() {
+            idx.ensure_mapping(k, n, pool, &cfg);
+            idx.resync_node(n, pool, &interner);
+        }
+
+        let mut load = LoadIndex::new(3);
+        assert_eq!(idx.best_warm(k, &load), Some(0), "all idle: lowest index");
+        load.inc(0);
+        assert_eq!(idx.best_warm(k, &load), Some(1), "skip the loaded node");
+        load.inc(1);
+        load.inc(2);
+        load.inc(2);
+        assert_eq!(idx.best_warm(k, &load), Some(0), "back to the 1-load tie");
+    }
+
+    #[test]
+    fn distinct_keys_keep_distinct_rows() {
+        let a = config("python:3.8-alpine");
+        let b = config("golang:1.13");
+        let interner = KeyInterner::new(KeyPolicy::Exact);
+        let ka = interner.intern(&a);
+        let kb = interner.intern(&b);
+        let pool = pool_with_warm(&a, 1);
+
+        let mut idx = WarmIndex::new();
+        idx.ensure_rows(2);
+        idx.ensure_nodes(1);
+        idx.ensure_mapping(ka, 0, &pool, &a);
+        idx.ensure_mapping(kb, 0, &pool, &b);
+        idx.resync_node(0, &pool, &interner);
+        assert_eq!(idx.believed(ka, 0), 1);
+        assert_eq!(idx.believed(kb, 0), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property test: the indexed scheduler and the naive reference-scan
+//! scheduler ([`ReferenceCluster`]) make the same decisions.
+//!
+//! Two clusters with identical nodes, functions, policy, staleness, and
+//! placement seed are driven in lockstep through seeded waves of
+//! overlapping requests, random-order completions, idle gaps, and
+//! maintenance ticks. Every placement must agree on the chosen node AND on
+//! whether it cold-started; at the end the aggregate stats must be
+//! identical. This pins the tentpole refactor — incremental debits, point
+//! touches, epoch-gated resyncs, power-of-two-choices — to the obvious
+//! scan-everything semantics, decision for decision.
+
+use containersim::{ContainerEngine, HardwareProfile, LanguageRuntime};
+use faas::{AppProfile, FunctionSpec, Gateway};
+use hotc::HotC;
+use hotc_cluster::{Cluster, ReferenceCluster, SchedulePolicy};
+use simclock::{SimDuration, SimTime};
+
+fn gateways(nodes: usize, hetero: bool) -> Vec<(String, Gateway<HotC>)> {
+    (0..nodes)
+        .map(|i| {
+            let hw = if hetero && i % 2 == 1 {
+                HardwareProfile::raspberry_pi3()
+            } else {
+                HardwareProfile::server()
+            };
+            (
+                format!("node-{i}"),
+                Gateway::new(
+                    ContainerEngine::with_local_images(hw),
+                    HotC::with_defaults(),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn function(f: usize) -> FunctionSpec {
+    let app = AppProfile::qr_code(LanguageRuntime::Go);
+    let mut config = app.default_config();
+    config.exec.env.insert("TENANT".into(), f.to_string());
+    FunctionSpec::from_app(app)
+        .named(format!("fn-{f}"))
+        .with_config(config)
+}
+
+#[test]
+fn indexed_placement_matches_reference_scan() {
+    testkit::check(24, |g| {
+        let nodes = g.usize_in(1..6);
+        let policy = *g.pick(&[
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::ReuseAffinity,
+            SchedulePolicy::CostAware,
+        ]);
+        let staleness = SimDuration::from_secs(*g.pick(&[0u64, 30, 90]));
+        let seed = g.u64_in(0..u64::MAX);
+        let nfuncs = g.usize_in(1..7);
+        let hetero = g.bool();
+        let label = format!(
+            "nodes={nodes} policy={} staleness={staleness} seed={seed} nfuncs={nfuncs} hetero={hetero}",
+            policy.name()
+        );
+
+        let mut indexed = Cluster::new(policy, gateways(nodes, hetero));
+        let mut reference = ReferenceCluster::new(policy, gateways(nodes, hetero), seed);
+        indexed.set_placement_seed(seed);
+        indexed.set_warm_view_staleness(staleness);
+        reference.set_warm_view_staleness(staleness);
+        for f in 0..nfuncs {
+            indexed.register_everywhere(function(f));
+            reference.register_everywhere(function(f));
+        }
+
+        let mut now = SimTime::ZERO;
+        for wave in 0..12 {
+            let overlap = g.usize_in(1..5);
+            let mut ti = Vec::new();
+            let mut tr = Vec::new();
+            for _ in 0..overlap {
+                let name = format!("fn-{}", g.usize_in(0..nfuncs));
+                let a = indexed.begin(&name, now).expect("indexed begin");
+                let b = reference.begin(&name, now).expect("reference begin");
+                assert_eq!(
+                    a.node, b.node,
+                    "wave {wave}: {name} placed differently ({label})"
+                );
+                assert_eq!(
+                    a.inner.cold, b.inner.cold,
+                    "wave {wave}: {name} cold flags differ on node {} ({label})",
+                    a.node
+                );
+                now += SimDuration::from_millis(g.u64_in(0..50));
+                ti.push(a);
+                tr.push(b);
+            }
+            // Finish in a seeded random order (same order on both sides).
+            while !ti.is_empty() {
+                let pick = g.usize_in(0..ti.len());
+                let a = ti.swap_remove(pick);
+                let b = tr.swap_remove(pick);
+                now = now.max(a.inner.t4_func_end) + SimDuration::from_millis(1);
+                indexed.finish(a).expect("indexed finish");
+                reference.finish(b).expect("reference finish");
+            }
+            now += SimDuration::from_secs(g.u64_in(1..60));
+            if g.bool() {
+                indexed.tick(now).expect("indexed tick");
+                reference.tick(now).expect("reference tick");
+                now += SimDuration::from_secs(1);
+            }
+        }
+        assert_eq!(indexed.stats(), reference.stats(), "{label}");
+    });
+}

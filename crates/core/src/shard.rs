@@ -491,6 +491,13 @@ pub struct ShardedPool {
     /// or the interner.
     rindex: LazySlotTable<AtomicU64>,
     gc_intervals: u32,
+    /// Bumped by every operation that may change warm availability
+    /// (acquire, release, prewarm, retire, evict). External indexes over
+    /// this pool's warm state — the cluster placement index — compare it to
+    /// decide whether a resync is due, so an idle pool costs them one load.
+    /// A bump without an actual change (e.g. a failed cold start) only
+    /// causes a spurious resync, never a stale read.
+    mutation_epoch: AtomicU64,
 }
 
 /// Packs a key/slot pair for the container reverse index. Both halves are
@@ -517,6 +524,37 @@ impl ShardedPool {
             key_slots: LazySlotTable::new(KEY_TABLE_CHUNKS, KEY_TABLE_CHUNK),
             rindex: LazySlotTable::new(RINDEX_CHUNKS, RINDEX_CHUNK),
             gc_intervals: DEFAULT_GC_INTERVALS,
+            mutation_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Monotonic counter of warm-availability-affecting operations. Equal
+    /// epochs guarantee warm counts have not changed since the last read;
+    /// unequal epochs mean "maybe changed, rescan".
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Marks warm availability as possibly changed (an atomic add, not a
+    /// lock — the zero-lock warm path stays zero-lock).
+    fn bump_epoch(&self) {
+        self.mutation_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Visits every key with at least one available (warm) container,
+    /// yielding `(id, available_count)`. Takes the shard locks one at a
+    /// time; O(tracked keys). Counts are per-shard-consistent snapshots —
+    /// exact when the caller serializes pool mutations (the single-threaded
+    /// cluster scheduler does).
+    pub fn for_each_warm(&self, mut f: impl FnMut(KeyId, usize)) {
+        for shard in self.shards.iter() {
+            let state = shard.lock();
+            for (&id, slot) in &state.slots {
+                let avail = slot.avail_now();
+                if avail > 0 {
+                    f(id, avail);
+                }
+            }
         }
     }
 
@@ -669,6 +707,7 @@ impl ShardedPool {
         // takes its locks (shard, engine) strictly one at a time. The
         // sanitizer enforces both in debug builds.
         let _scope = stdshim::request_path_scope();
+        self.bump_epoch();
         if let Some(ks) = self.key_slots.get(id.index()) {
             if let Some((i, container, execed)) = ks.claim_warm() {
                 let lock_free = self.policy != KeyPolicy::Fuzzy;
@@ -825,6 +864,7 @@ impl ShardedPool {
     ) -> Result<SimDuration, EngineError> {
         // DESIGN.md §5: engine and shard locks are taken one at a time.
         let _scope = stdshim::request_path_scope();
+        self.bump_epoch();
         if let Some(claim) = self.rindex_lookup(container) {
             if claim.ks.try_claim_release(claim.slot, container) {
                 return self.finish_claimed_release(engine, claim, container, now, None);
@@ -1027,6 +1067,7 @@ impl ShardedPool {
         // disjoint regions — lock-free, engine-locked, lock-free (or shard-
         // locked on disposal) — never nested.
         let _scope = stdshim::request_path_scope();
+        self.bump_epoch();
         if let Some(claim) = self.rindex_lookup(container) {
             if claim.ks.try_claim_release(claim.slot, container) {
                 return self
@@ -1084,6 +1125,7 @@ impl ShardedPool {
         now: SimTime,
     ) -> Result<SimDuration, EngineError> {
         let id = self.interner.intern(config);
+        self.bump_epoch();
         let (container, breakdown) =
             engine.with_engine(|e| e.create_container(config.clone(), now))?;
         let mut guard = self.shard(id).lock();
@@ -1140,6 +1182,7 @@ impl ShardedPool {
         id: KeyId,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
+        self.bump_epoch();
         let popped = {
             let mut guard = self.shard(id).lock();
             let popped = guard.slots.get_mut(&id).and_then(|slot| {
@@ -1196,6 +1239,7 @@ impl ShardedPool {
         engine: &impl EngineRef,
         now: SimTime,
     ) -> Result<Option<SimDuration>, EngineError> {
+        self.bump_epoch();
         // Bounded retries: each retry means a racing acquire claimed our
         // candidate, which is progress for the system as a whole.
         for _ in 0..8 {

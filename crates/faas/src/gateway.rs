@@ -451,7 +451,18 @@ impl<P: RuntimeProvider> Gateway<P> {
             .get(function)
             .ok_or_else(|| GatewayError::UnknownFunction(function.to_string()))?
             .clone();
+        self.begin_with(&spec, now)
+    }
 
+    /// [`Self::begin`] with a caller-held spec, bypassing this gateway's
+    /// registry. A cluster scheduler keeps **one** function table for all
+    /// nodes and hands each node the spec at placement time — registering
+    /// 10k functions on each of 1k hosts would hold 10M spec clones.
+    pub fn begin_with(
+        &mut self,
+        spec: &FunctionSpec,
+        now: SimTime,
+    ) -> Result<InFlight, GatewayError> {
         let t1 = now;
         let t2 = t1 + GATEWAY_HOP;
         let acq = self.provider.acquire(&mut self.engine, &spec.config, t2)?;
@@ -467,7 +478,7 @@ impl<P: RuntimeProvider> Gateway<P> {
         let outcome = self.engine.begin_exec(acq.container, work, t3)?;
         let t4 = t3 + outcome.latency;
         Ok(InFlight {
-            function: spec.name,
+            function: spec.name.clone(),
             container: acq.container,
             t4_func_end: t4,
             t1,

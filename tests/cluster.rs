@@ -139,9 +139,14 @@ fn ablation_daemon_serialization_shape() {
 
 #[test]
 fn warm_view_staleness_degrades_affinity() {
-    let rows = hotc_bench::experiments::cluster::staleness_sweep(4, 12, 21, &[0, 120, 600]);
+    let rows = hotc_bench::experiments::cluster::staleness_sweep(4, 12, 21, &[0, 60, 600]);
     assert_eq!(rows.len(), 3);
-    // Cold fraction and latency degrade monotonically with staleness.
+    // Cold fraction and latency degrade monotonically on the rising edge of
+    // the curve. Past ~2 min the curve saturates: placement debits keep the
+    // stale view locally consistent between syncs, so once the window
+    // exceeds the inter-sync drain time, more staleness changes nothing
+    // (before the debit fix, every request in a stale window stampeded to
+    // the same believed-warm node, so longer windows kept getting worse).
     assert!(rows[0].cold_fraction <= rows[1].cold_fraction);
     assert!(rows[1].cold_fraction <= rows[2].cold_fraction);
     assert!(rows[2].cold_fraction > rows[0].cold_fraction * 2.0);
