@@ -99,5 +99,16 @@ if grep -q '"count": 0' "$METRICS_OUT"; then
 fi
 echo "metrics snapshot OK"
 
+# 8. Streaming replay smoke: synthesize and replay a 1e6-request / 10k-key
+#    day through the CLI's pull-based trace path (never materialized) and
+#    assert every request was served. Takes about a minute in release.
+REPLAY_OUT="$(mktemp)"
+trap 'rm -f "$METRICS_OUT" "$REPLAY_OUT"' EXIT
+run sh -c "./target/release/hotc-sim scenarios/synth_1m.hotc > '$REPLAY_OUT'"
+# The summary table's first column is the request count.
+grep -Eq '(^|[^0-9])1000000([^0-9]|$)' "$REPLAY_OUT" \
+    || { echo "synth_1m replay did not serve 1000000 requests" >&2; exit 1; }
+echo "streaming replay smoke OK"
+
 echo
 echo "All checks passed."

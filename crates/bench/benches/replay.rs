@@ -1,0 +1,162 @@
+//! Streaming trace replay: overhead vs the materialized driver, and the
+//! 1e6-request / 10k-key scale point.
+//!
+//! Two claims are gated (`ci/gates.json`, suite `replay`):
+//!
+//! 1. Pulling arrivals one at a time through [`hotc_bench::run_trace`] costs
+//!    about the same as replaying a pre-built `Vec<Arrival>` through
+//!    [`hotc_bench::run_workload`] — the ratio gate pins streaming within
+//!    1.5x of materialized on an identical 20k-request trace.
+//! 2. A 1e6-request / 10k-key synthesized day replays end to end at a gated
+//!    minimum rate, and the process peak RSS stays under a gated ceiling —
+//!    the replay path's memory is O(keys + in-flight), not O(requests).
+//!
+//! These runs are seconds-to-a-minute long, so each is timed exactly once
+//! with [`Harness::bench_once`] instead of the calibrated sampling loop.
+
+use containersim::{ContainerEngine, HardwareProfile, NetworkMode};
+use faas::gateway::Gateway;
+use faas::{AppProfile, FunctionSpec};
+use hotc::HotC;
+use hotc_bench::{run_trace, run_workload, Harness};
+use simclock::SimDuration;
+use workloads::trace::Trace;
+use workloads::{drain, synth_trace, SynthShape, SynthSpec};
+
+const TICK: SimDuration = SimDuration::from_secs(60);
+
+/// A gateway with `keys` registered functions, each a distinct runtime key
+/// (same app, distinct env) — the shape `replicas = N` scenarios produce.
+fn gateway(keys: usize) -> (Gateway<HotC>, Vec<String>) {
+    let engine = ContainerEngine::with_local_images(HardwareProfile::server());
+    let mut gw = Gateway::new(engine, HotC::with_defaults());
+    let mut names = Vec::with_capacity(keys);
+    for i in 0..keys {
+        let app = AppProfile::random_number();
+        let mut config = app.config_with_network(NetworkMode::Bridge);
+        config
+            .exec
+            .env
+            .insert("HOTC_REPLICA".to_string(), i.to_string());
+        let name = format!("f#{i}");
+        gw.register(
+            FunctionSpec::from_app(app)
+                .named(name.clone())
+                .with_config(config),
+        );
+        names.push(name);
+    }
+    (gw, names)
+}
+
+fn spec(requests: u64, keys: usize) -> SynthSpec {
+    SynthSpec {
+        requests,
+        keys,
+        duration: SimDuration::from_mins(1440),
+        zipf_exponent: 1.1,
+        seed: 0xBE9C_0001,
+        shape: SynthShape::Diurnal {
+            peak_to_trough: 3.0,
+        },
+        key_offset: 0,
+    }
+}
+
+/// Streams the synthesized trace through the pull-based driver; returns
+/// (requests replayed, in-flight high-water mark).
+fn replay_streaming(requests: u64, keys: usize) -> (u64, usize) {
+    let (gw, names) = gateway(keys);
+    let mut trace = synth_trace(&spec(requests, keys));
+    let out = run_trace(
+        gw,
+        &mut trace,
+        move |cid| names[cid % names.len()].clone(),
+        TICK,
+        |_, _| {},
+    );
+    assert!(out.trace_error.is_none(), "synth trace cannot error");
+    (out.requests, out.max_inflight)
+}
+
+/// Materializes the same trace into a `Vec<Arrival>` first, then replays it
+/// through the eager driver — the pre-streaming baseline.
+fn replay_materialized(requests: u64, keys: usize) -> u64 {
+    let (gw, names) = gateway(keys);
+    let mut trace = synth_trace(&spec(requests, keys));
+    let workload = drain(&mut trace);
+    let out = run_workload(
+        gw,
+        &workload,
+        move |cid| names[cid % names.len()].clone(),
+        TICK,
+    );
+    out.traces.len() as u64
+}
+
+/// Frontend-only drain: pulls every arrival out of the synthesizer with no
+/// gateway attached — the raw emission rate of the trace source, and the
+/// 1e7/1e8 scale points that are impractical to serve end to end in CI.
+fn drain_count(requests: u64, keys: usize) -> u64 {
+    let mut trace = synth_trace(&spec(requests, keys));
+    let mut n = 0u64;
+    while let Some(a) = trace.next_arrival() {
+        std::hint::black_box(a.at);
+        n += 1;
+    }
+    n
+}
+
+/// Process peak resident set (kB) from `/proc/self/status`; `None` where
+/// procfs is unavailable (the RSS gate carries `skip_if_missing`).
+fn vm_hwm_kb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let mut h = Harness::new("replay");
+
+    // Untimed settling runs: both drivers pay allocator growth and image
+    // setup once here, so the timed pair below measures the drivers, not
+    // which one ran first in a cold process.
+    std::hint::black_box(replay_streaming(5_000, 1_000));
+    std::hint::black_box(replay_materialized(5_000, 1_000));
+
+    // Overhead pair: byte-identical 20k-request / 1k-key trace through both
+    // drivers, back to back in the same process.
+    let (n, _) = h.bench_once("stream_20k_1k_keys", || replay_streaming(20_000, 1_000));
+    assert_eq!(n, 20_000);
+    let n = h.bench_once("materialized_20k_1k_keys", || {
+        replay_materialized(20_000, 1_000)
+    });
+    assert_eq!(n, 20_000);
+
+    // Scale point: a synthesized day of 1e6 requests over 10k runtime keys,
+    // streamed — never materialized.
+    let (n, max_inflight) =
+        h.bench_once("stream_1m_10k_keys", || replay_streaming(1_000_000, 10_000));
+    assert_eq!(n, 1_000_000);
+    if let Some(mean_ns) = h.mean_of("stream_1m_10k_keys") {
+        h.record_derived("replay_1m_req_per_sec", 1e6 / (mean_ns * 1e-9));
+    }
+    h.record_derived("replay_1m_max_inflight", max_inflight as f64);
+    if let Some(kb) = vm_hwm_kb() {
+        h.record_derived("replay_1m_peak_rss_kb", kb);
+    }
+
+    // Frontend-only emission rate at the 1e6 / 1e7 / 1e8 scale points —
+    // constant-memory generation with no gateway attached.
+    let n = h.bench_once("drain_1e6_10k_keys", || drain_count(1_000_000, 10_000));
+    assert_eq!(n, 1_000_000);
+    let n = h.bench_once("drain_1e7_10k_keys", || drain_count(10_000_000, 10_000));
+    assert_eq!(n, 10_000_000);
+    let n = h.bench_once("drain_1e8_100k_keys", || drain_count(100_000_000, 100_000));
+    assert_eq!(n, 100_000_000);
+    if let Some(mean_ns) = h.mean_of("drain_1e8_100k_keys") {
+        h.record_derived("drain_1e8_req_per_sec", 1e8 / (mean_ns * 1e-9));
+    }
+
+    h.finish();
+}

@@ -23,6 +23,12 @@
 //!   at most `max_ratio` (denominator suite defaults to `suite`). With
 //!   `max_ratio` 1.0 this expresses "A must be cheaper than B"; with 1.25
 //!   it pins a scaling curve, e.g. 16-thread mean within 1.25x of 8-thread.
+//! - `min_derived` / `max_derived` — a suite's *derived* metric (computed,
+//!   not timed: req/s throughput, peak-RSS kB, high-water marks) is at least
+//!   `min_value` / at most `max_value`. A derived gate may carry
+//!   `"skip_if_missing": true` for metrics the recording host cannot always
+//!   produce (e.g. `/proc`-based RSS off Linux): absence then reports as an
+//!   explicit `skip` row instead of a failure.
 //!
 //! A gate may carry `min_parallelism`: it is evaluated only when the
 //! artifact's recorded host parallelism reaches that count, and reported as
@@ -39,6 +45,8 @@ use stdshim::JsonValue;
 struct Records {
     suites: Vec<String>,
     means: Vec<(String, String, f64)>,
+    /// Derived (computed, not timed) metrics, keyed the same way.
+    derived: Vec<(String, String, f64)>,
     /// Smallest host parallelism any suite recorded (suites run in one CI
     /// job, so these agree; `min` is the conservative merge if not).
     parallelism: usize,
@@ -50,6 +58,13 @@ impl Records {
             .iter()
             .find(|(s, n, _)| s == suite && n == name)
             .map(|&(_, _, m)| m)
+    }
+
+    fn derived(&self, suite: &str, name: &str) -> Option<f64> {
+        self.derived
+            .iter()
+            .find(|(s, n, _)| s == suite && n == name)
+            .map(|&(_, _, v)| v)
     }
 }
 
@@ -72,6 +87,7 @@ fn load_records(path: &str) -> Result<Records, String> {
     let mut records = Records {
         suites: Vec::new(),
         means: Vec::new(),
+        derived: Vec::new(),
         parallelism: usize::MAX,
     };
     for (idx, line) in text.lines().enumerate() {
@@ -96,6 +112,14 @@ fn load_records(path: &str) -> Result<Records, String> {
             let name = str_field(r, "name", &ctx)?.to_string();
             let mean = num_field(r, "mean_ns", &ctx)?;
             records.means.push((suite.clone(), name, mean));
+        }
+        // Absent in pre-upgrade artifacts.
+        if let Some(derived) = value.get("derived").and_then(JsonValue::as_array) {
+            for d in derived {
+                let name = str_field(d, "name", &ctx)?.to_string();
+                let v = num_field(d, "value", &ctx)?;
+                records.derived.push((suite.clone(), name, v));
+            }
         }
         records.suites.push(suite);
     }
@@ -207,6 +231,44 @@ fn eval_gate(gate: &JsonValue, records: &Records, ctx: &str) -> Result<Row, Stri
                 _ => Ok(Row::checked(false, label, "record MISSING".into())),
             }
         }
+        "min_derived" | "max_derived" => {
+            let suite = str_field(gate, "suite", ctx)?;
+            let name = str_field(gate, "name", ctx)?;
+            let label = format!("{kind} {suite}/{name}");
+            let value = match records.derived(suite, name) {
+                Some(v) => v,
+                None => {
+                    let skip = gate
+                        .get("skip_if_missing")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false);
+                    return Ok(if skip {
+                        Row {
+                            outcome: Outcome::Skip,
+                            label,
+                            detail: "skipped: derived metric not recorded on this host".into(),
+                        }
+                    } else {
+                        Row::checked(false, label, "derived metric MISSING".into())
+                    });
+                }
+            };
+            if kind == "min_derived" {
+                let limit = num_field(gate, "min_value", ctx)?;
+                Ok(Row::checked(
+                    value >= limit,
+                    label,
+                    format!("{value:.1} >= {limit}"),
+                ))
+            } else {
+                let limit = num_field(gate, "max_value", ctx)?;
+                Ok(Row::checked(
+                    value <= limit,
+                    label,
+                    format!("{value:.1} <= {limit}"),
+                ))
+            }
+        }
         other => Err(format!("{ctx}: unknown gate kind '{other}'")),
     }
 }
@@ -287,6 +349,7 @@ mod tests {
                     480_000.0,
                 ),
             ],
+            derived: vec![("pool".into(), "req_per_sec".into(), 25_000.0)],
             parallelism: 32,
         }
     }
@@ -365,6 +428,57 @@ mod tests {
     }
 
     #[test]
+    fn derived_gates_compare_against_limits() {
+        let records = sample_records();
+        let fast = gate_json(
+            r#"{"kind":"min_derived","suite":"pool","name":"req_per_sec","min_value":10000}"#,
+        );
+        assert!(matches!(
+            eval_gate(&fast, &records, "t").unwrap().outcome,
+            Outcome::Pass
+        ));
+        let too_fast = gate_json(
+            r#"{"kind":"min_derived","suite":"pool","name":"req_per_sec","min_value":50000}"#,
+        );
+        assert!(matches!(
+            eval_gate(&too_fast, &records, "t").unwrap().outcome,
+            Outcome::Fail
+        ));
+        let ceiling = gate_json(
+            r#"{"kind":"max_derived","suite":"pool","name":"req_per_sec","max_value":30000}"#,
+        );
+        assert!(matches!(
+            eval_gate(&ceiling, &records, "t").unwrap().outcome,
+            Outcome::Pass
+        ));
+        let low_ceiling = gate_json(
+            r#"{"kind":"max_derived","suite":"pool","name":"req_per_sec","max_value":20000}"#,
+        );
+        assert!(matches!(
+            eval_gate(&low_ceiling, &records, "t").unwrap().outcome,
+            Outcome::Fail
+        ));
+    }
+
+    #[test]
+    fn missing_derived_fails_unless_marked_skippable() {
+        let records = sample_records();
+        let hard = gate_json(
+            r#"{"kind":"max_derived","suite":"pool","name":"peak_rss_kb","max_value":1}"#,
+        );
+        assert!(matches!(
+            eval_gate(&hard, &records, "t").unwrap().outcome,
+            Outcome::Fail
+        ));
+        let soft = gate_json(
+            r#"{"kind":"max_derived","suite":"pool","name":"peak_rss_kb","max_value":1,"skip_if_missing":true}"#,
+        );
+        let row = eval_gate(&soft, &records, "t").unwrap();
+        assert!(matches!(row.outcome, Outcome::Skip));
+        assert!(row.detail.contains("not recorded"));
+    }
+
+    #[test]
     fn unknown_kind_is_a_hard_error() {
         let records = sample_records();
         let bogus = gate_json(r#"{"kind":"min_mean","suite":"pool","name":"acquire"}"#);
@@ -379,7 +493,7 @@ mod tests {
         std::fs::write(
             &path,
             concat!(
-                r#"{"suite":"pool","mode":"smoke","parallelism":8,"results":[{"name":"a","mean_ns":1.5,"min_ns":1,"median_ns":1,"samples":10,"iters_per_sample":1}],"derived":[]}"#,
+                r#"{"suite":"pool","mode":"smoke","parallelism":8,"results":[{"name":"a","mean_ns":1.5,"min_ns":1,"median_ns":1,"samples":10,"iters_per_sample":1}],"derived":[{"name":"d1","value":3.5}]}"#,
                 "\n",
                 r#"{"suite":"contention","mode":"smoke","results":[{"name":"b","mean_ns":2,"min_ns":2,"median_ns":2,"samples":10,"iters_per_sample":1}],"derived":[]}"#,
                 "\n",
@@ -393,6 +507,7 @@ mod tests {
         );
         assert_eq!(records.mean("pool", "a"), Some(1.5));
         assert_eq!(records.mean("contention", "b"), Some(2.0));
+        assert_eq!(records.derived("pool", "d1"), Some(3.5));
         // The parallelism-free second line counts as single-core, and the
         // merge takes the minimum.
         assert_eq!(records.parallelism, 1);

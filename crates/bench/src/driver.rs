@@ -8,8 +8,11 @@
 //! that share the same instant (the controller acts at round boundaries).
 
 use faas::gateway::Gateway;
-use faas::{RequestTrace, RuntimeProvider};
+use faas::{InFlight, RequestTrace, RuntimeProvider};
 use simclock::{SimDuration, SimTime, Simulation};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use workloads::trace::Trace;
 use workloads::Arrival;
 
 /// Result of driving a workload to completion.
@@ -152,6 +155,162 @@ where
     }
 }
 
+/// Result of streaming a [`Trace`] to completion. Unlike [`RunOutcome`],
+/// there is no per-request trace vector: the whole point of the streaming
+/// path is O(inflight) memory at 1e6–1e8 requests, so per-request data goes
+/// through the `on_finish` callback instead.
+pub struct TraceOutcome<P: RuntimeProvider> {
+    /// The gateway after the run (provider/engine inspection).
+    pub gateway: Gateway<P>,
+    /// Total arrivals replayed.
+    pub requests: u64,
+    /// Virtual time at which the last event completed.
+    pub finished_at: SimTime,
+    /// Live-container count sampled at every tick.
+    pub live_samples: Vec<(SimTime, usize)>,
+    /// High-water mark of concurrently in-flight requests — the replay
+    /// engine's own memory ceiling is O(this), not O(requests).
+    pub max_inflight: usize,
+    /// Error the trace source surfaced (file-backed sources); `None` for a
+    /// clean end-of-stream.
+    pub trace_error: Option<String>,
+}
+
+/// A pending finish event, ordered by `(t4, arrival seq)` — the same order
+/// the materialized driver's FIFO event queue produces, since each finish is
+/// scheduled the moment its arrival begins.
+struct FinishAt {
+    at: SimTime,
+    seq: u64,
+    inflight: InFlight,
+}
+
+impl PartialEq for FinishAt {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for FinishAt {}
+impl PartialOrd for FinishAt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FinishAt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Streams `trace` through `gateway` without materializing it: arrivals are
+/// pulled lazily, so resident memory is O(inflight + sources), independent of
+/// request count.
+///
+/// Event semantics are *identical* to [`run_workload`] (verified by
+/// equivalence tests): ticks run at every `tick_interval` from t=0 through
+/// `last_arrival + 2×tick`, and at equal instants the order is
+/// tick < arrival < finish, with arrivals in trace order and finishes in
+/// `(t4, arrival seq)` order. `on_finish(seq, trace)` fires once per request
+/// at its finish event, where `seq` is the arrival's 0-based pull index.
+pub fn run_trace<P>(
+    gateway: Gateway<P>,
+    trace: &mut dyn Trace,
+    route: impl Fn(usize) -> String,
+    tick_interval: SimDuration,
+    mut on_finish: impl FnMut(u64, &RequestTrace),
+) -> TraceOutcome<P>
+where
+    P: RuntimeProvider + 'static,
+{
+    assert!(!tick_interval.is_zero(), "tick interval must be positive");
+
+    let mut gateway = gateway;
+    let mut live_samples = Vec::new();
+    let mut pending: BinaryHeap<Reverse<FinishAt>> = BinaryHeap::new();
+    let mut next_tick = SimTime::ZERO;
+    let mut ticks_done = false;
+    let mut last_arrival_at = SimTime::ZERO;
+    let mut seq: u64 = 0;
+    let mut max_inflight = 0usize;
+    let mut finished_at = SimTime::ZERO;
+
+    // Event classes at equal instants: tick (0) < arrival (1) < finish (2),
+    // mirroring the materialized driver's schedule order (ticks first, then
+    // arrivals, finishes scheduled at run time).
+    loop {
+        let tick_at = if ticks_done { None } else { Some(next_tick) };
+        let arrival_at = trace.peek().map(|a| a.at);
+        let finish_at = pending.peek().map(|Reverse(f)| f.at);
+
+        let candidates = [
+            tick_at.map(|t| (t, 0u8)),
+            arrival_at.map(|t| (t, 1u8)),
+            finish_at.map(|t| (t, 2u8)),
+        ];
+        let Some(&(now, class)) = candidates.iter().flatten().min() else {
+            break;
+        };
+
+        match class {
+            0 => {
+                gateway.tick(now).expect("tick must not fail");
+                let live = gateway.engine().live_count();
+                gateway
+                    .metrics()
+                    .sample_series("pool/live", now, live as f64);
+                live_samples.push((now, live));
+                next_tick += tick_interval;
+                if arrival_at.is_none() {
+                    // Stream exhausted: the horizon is now known, exactly as
+                    // the materialized driver computed it up front. (While
+                    // arrivals remain, every tick fired so far is <= the
+                    // final horizon by construction.)
+                    let horizon = if seq == 0 && pending.is_empty() && live_samples.len() == 1 {
+                        SimTime::ZERO // empty workload: the single t=0 tick
+                    } else {
+                        last_arrival_at + tick_interval * 2
+                    };
+                    if next_tick > horizon {
+                        ticks_done = true;
+                    }
+                }
+            }
+            1 => {
+                let arrival = trace.next_arrival().expect("peeked arrival must exist");
+                assert!(
+                    arrival.at >= last_arrival_at || seq == 0,
+                    "trace must be time-ordered"
+                );
+                last_arrival_at = arrival.at;
+                let function = route(arrival.config_id);
+                let inflight = gateway.begin(&function, now).expect("request must begin");
+                pending.push(Reverse(FinishAt {
+                    at: inflight.t4_func_end,
+                    seq,
+                    inflight,
+                }));
+                max_inflight = max_inflight.max(pending.len());
+                seq += 1;
+            }
+            _ => {
+                let Reverse(f) = pending.pop().expect("peeked finish must exist");
+                let trace_rec = gateway.finish(f.inflight).expect("request must finish");
+                on_finish(f.seq, &trace_rec);
+            }
+        }
+        finished_at = now;
+    }
+
+    TraceOutcome {
+        gateway,
+        requests: seq,
+        finished_at,
+        live_samples,
+        max_inflight,
+        trace_error: trace.take_error(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +398,140 @@ mod tests {
         assert_eq!(series.points().len(), out.live_samples.len());
         let trace_total: u64 = out.traces.iter().map(|t| t.total().as_nanos()).sum();
         assert_eq!(snap.scope_total_ns("all"), trace_total);
+    }
+
+    /// Streaming and materialized drivers must be *event-identical*: same
+    /// finish traces in the same order, same tick samples, same final
+    /// telemetry bytes.
+    fn assert_run_equivalent<P, F>(make_provider: F, workload: Vec<Arrival>)
+    where
+        P: RuntimeProvider + 'static,
+        F: Fn() -> P,
+    {
+        let route = |_| "random-number".to_string();
+        let tick = SimDuration::from_secs(30);
+        let materialized = run_workload(gateway(make_provider()), &workload, route, tick);
+
+        let mut collected: Vec<(u64, RequestTrace)> = Vec::new();
+        let mut source = workloads::trace::VecTrace::new(workload);
+        let streamed = run_trace(
+            gateway(make_provider()),
+            &mut source,
+            route,
+            tick,
+            |seq, t| collected.push((seq, *t)),
+        );
+
+        assert_eq!(streamed.requests as usize, materialized.traces.len());
+        assert_eq!(streamed.finished_at, materialized.finished_at);
+        assert_eq!(streamed.live_samples, materialized.live_samples);
+        assert!(streamed.trace_error.is_none());
+        collected.sort_by_key(|&(seq, _)| seq);
+        for (i, (seq, t)) in collected.iter().enumerate() {
+            assert_eq!(*seq as usize, i);
+            assert_eq!(t, &materialized.traces[i], "trace {i} diverged");
+        }
+        // Byte-identical telemetry: every stage histogram, counter, and the
+        // pool/live series saw the same events in the same order.
+        assert_eq!(
+            format!("{:?}", streamed.gateway.metrics().snapshot()),
+            format!("{:?}", materialized.metrics_snapshot())
+        );
+    }
+
+    #[test]
+    fn streaming_replay_is_event_identical_to_materialized() {
+        // Overlapping bursts exercise the finish heap; serial exercises the
+        // tick/arrival interleave; empty exercises the horizon edge.
+        assert_run_equivalent(
+            HotC::with_defaults,
+            patterns::burst(8, 10, &[1, 3], 6, SimDuration::from_secs(30), 0),
+        );
+        assert_run_equivalent(
+            HotC::with_defaults,
+            patterns::serial(SimDuration::from_secs(30), 20, 0),
+        );
+        assert_run_equivalent(FixedKeepAlive::aws_default, Vec::new());
+        assert_run_equivalent(
+            ColdStartAlways::new,
+            patterns::burst(8, 1, &[], 1, SimDuration::from_secs(30), 0),
+        );
+    }
+
+    #[test]
+    fn run_trace_reports_inflight_high_water_mark() {
+        let burst = patterns::burst(8, 1, &[], 1, SimDuration::from_secs(30), 0);
+        let mut source = workloads::trace::VecTrace::new(burst);
+        let out = run_trace(
+            gateway(ColdStartAlways::new()),
+            &mut source,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+            |_, _| {},
+        );
+        // All 8 arrive at t=0 and overlap.
+        assert_eq!(out.max_inflight, 8);
+        assert_eq!(out.requests, 8);
+    }
+
+    #[test]
+    fn run_trace_surfaces_source_errors() {
+        let csv = "100,alpha\n50,alpha\n";
+        let mut source = workloads::trace::OpenDcTrace::new(csv.as_bytes());
+        let out = run_trace(
+            gateway(ColdStartAlways::new()),
+            &mut source,
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+            |_, _| {},
+        );
+        assert_eq!(out.requests, 1);
+        assert!(out
+            .trace_error
+            .as_deref()
+            .is_some_and(|e| e.contains("non-decreasing")));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_trace_rejected_mid_stream() {
+        struct Backwards(usize);
+        impl Trace for Backwards {
+            fn peek(&mut self) -> Option<Arrival> {
+                self.items().get(self.0).copied()
+            }
+            fn next_arrival(&mut self) -> Option<Arrival> {
+                let out = self.items().get(self.0).copied();
+                if out.is_some() {
+                    self.0 += 1;
+                }
+                out
+            }
+            fn remaining_hint(&self) -> (u64, Option<u64>) {
+                (0, None)
+            }
+        }
+        impl Backwards {
+            fn items(&self) -> Vec<Arrival> {
+                vec![
+                    Arrival {
+                        at: SimTime::from_secs(5),
+                        config_id: 0,
+                    },
+                    Arrival {
+                        at: SimTime::from_secs(1),
+                        config_id: 0,
+                    },
+                ]
+            }
+        }
+        let _ = run_trace(
+            gateway(ColdStartAlways::new()),
+            &mut Backwards(0),
+            |_| "random-number".to_string(),
+            SimDuration::from_secs(30),
+            |_, _| {},
+        );
     }
 
     #[test]

@@ -156,6 +156,20 @@ impl Harness {
         self.push(name, samples, batch);
     }
 
+    /// Times `routine` exactly once and records the single wall-clock span
+    /// as the routine's mean — for heavyweight end-to-end runs (seconds-long
+    /// trace replays) where the calibrated sampling loop would multiply a
+    /// minute-scale routine past any CI budget. Returns the routine's output
+    /// so the caller can assert on it and derive metrics (req/s, high-water
+    /// marks) from the run that was actually timed.
+    pub fn bench_once<R>(&mut self, name: &str, routine: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let out = std::hint::black_box(routine());
+        let ns = t.elapsed().as_nanos().max(1) as f64;
+        self.push(name, vec![ns], 1);
+        out
+    }
+
     /// Times `routine` on a fresh input from `setup` each iteration; only
     /// the routine itself is inside the timed span (criterion's
     /// `iter_batched` shape). Suitable for routines that consume or mutate
@@ -283,6 +297,24 @@ mod tests {
         assert!(r.samples >= 10);
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.mean_ns * 4.0);
         assert!(r.min_ns > 0.0);
+    }
+
+    #[test]
+    fn bench_once_records_one_sample_and_returns_output() {
+        let mut h = smoke_harness("selftest");
+        let out = h.bench_once("single", || {
+            let t = Instant::now();
+            while t.elapsed() < Duration::from_micros(50) {
+                std::hint::black_box(0u64);
+            }
+            41 + 1
+        });
+        assert_eq!(out, 42);
+        let r = &h.results[0];
+        assert_eq!(r.samples, 1);
+        assert_eq!(r.iters_per_sample, 1);
+        assert!(r.mean_ns >= 50_000.0, "got {}", r.mean_ns);
+        assert_eq!(r.mean_ns, r.min_ns);
     }
 
     #[test]

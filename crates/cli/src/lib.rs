@@ -18,5 +18,7 @@
 pub mod runner;
 pub mod scenario;
 
-pub use runner::{run_scenario, ScenarioReport};
+pub use runner::{
+    build_trace, run_scenario, run_scenario_materialized, ScenarioReport, LATENCY_DETAIL_CAP,
+};
 pub use scenario::{ParseError, Scenario};

@@ -5,13 +5,21 @@ use containersim::{ContainerEngine, LanguageRuntime};
 use faas::gateway::Gateway;
 use faas::{
     AppProfile, ColdStartAlways, FixedKeepAlive, FunctionSpec, HybridKeepAlive, PeriodicWarmup,
+    RequestTrace, RuntimeProvider,
 };
 use hotc::{HotC, HotCConfig, KeyPolicy};
-use hotc_bench::run_workload;
-use metrics_lite::{LatencyRecorder, Table};
-use workloads::patterns::{self, Direction};
-use workloads::youtube::{expand_to_arrivals, youtube_trace, YoutubeTraceParams};
+use hotc_bench::{run_trace, run_workload};
+use metrics_lite::{LatencyHistogram, LatencyRecorder, Table};
+use workloads::patterns::Direction;
+use workloads::trace::{self as wtrace, ConfigModulo, OpenDcTrace, SynthShape, SynthSpec, Trace};
+use workloads::youtube::{youtube_trace, YoutubeTraceParams};
 use workloads::Arrival;
+
+/// Per-request latency detail is kept exactly (for the verbose series and
+/// exact percentiles) up to this many requests; past it the aggregator
+/// switches to a constant-footprint histogram so a 1e8-request replay does
+/// not hold 1e8 samples.
+pub const LATENCY_DETAIL_CAP: usize = 1 << 20;
 
 /// The outcome of a scenario run.
 #[derive(Debug)]
@@ -43,7 +51,7 @@ impl ScenarioReport {
     /// Renders the report as text tables.
     pub fn render(&self, verbose: bool) -> String {
         let mut out = String::new();
-        if verbose {
+        if verbose && !self.latencies_ms.is_empty() {
             let labels: Vec<String> = (0..self.latencies_ms.len())
                 .map(|i| format!("r{i:03}"))
                 .collect();
@@ -95,58 +103,72 @@ fn build_app(decl: &FunctionDecl) -> Result<AppProfile, String> {
     })
 }
 
-fn build_workload(spec: &WorkloadSpec, functions: usize, seed: u64) -> Vec<Arrival> {
-    match spec {
-        WorkloadSpec::Serial { count, interval } => patterns::serial(*interval, *count, 0),
+/// Builds the pull-based arrival stream for a workload spec.
+///
+/// `slots` is the number of registered function slots (declared functions ×
+/// replicas) the arrivals will be routed over; generators that pick functions
+/// themselves (poisson, azure) spread across all of them.
+pub fn build_trace(spec: &WorkloadSpec, slots: usize, seed: u64) -> Result<Box<dyn Trace>, String> {
+    let slots = slots.max(1);
+    let direction = |increasing: bool| {
+        if increasing {
+            Direction::Increasing
+        } else {
+            Direction::Decreasing
+        }
+    };
+    Ok(match spec {
+        WorkloadSpec::Serial { count, interval } => {
+            Box::new(wtrace::serial_trace(*interval, *count, 0))
+        }
         WorkloadSpec::Parallel {
             threads,
             per_thread,
             interval,
-        } => patterns::parallel_clients(*threads, *per_thread, *interval),
+        } => Box::new(wtrace::parallel_trace(*threads, *per_thread, *interval)),
         WorkloadSpec::Linear {
             increasing,
             start,
             step,
             rounds,
             round,
-        } => patterns::linear_ramp(
-            if *increasing {
-                Direction::Increasing
-            } else {
-                Direction::Decreasing
-            },
+        } => Box::new(wtrace::linear_ramp_trace(
+            direction(*increasing),
             *start,
             *step,
             *rounds,
             *round,
             0,
-        ),
+        )),
         WorkloadSpec::Exponential {
             increasing,
             rounds,
             round,
-        } => patterns::exponential_ramp(
-            if *increasing {
-                Direction::Increasing
-            } else {
-                Direction::Decreasing
-            },
+        } => Box::new(wtrace::exponential_ramp_trace(
+            direction(*increasing),
             *rounds,
             *round,
             0,
-        ),
+        )),
         WorkloadSpec::Burst {
             base,
             factor,
             burst_at,
             rounds,
             round,
-        } => patterns::burst(*base, *factor, burst_at, *rounds, *round, 0),
+        } => Box::new(wtrace::burst_trace(
+            *base,
+            *factor,
+            burst_at.clone(),
+            *rounds,
+            *round,
+            0,
+        )),
         WorkloadSpec::Poisson {
             rate,
             duration,
             zipf,
-        } => patterns::poisson(*rate, *duration, functions.max(1), *zipf, seed),
+        } => Box::new(wtrace::poisson_trace(*rate, *duration, slots, *zipf, seed)),
         WorkloadSpec::Azure {
             functions: population,
             duration,
@@ -157,12 +179,9 @@ fn build_workload(spec: &WorkloadSpec, functions: usize, seed: u64) -> Vec<Arriv
                 seed,
                 ..Default::default()
             };
-            let (mut arrivals, _) = workloads::azure::azure_workload(&params);
-            // Cycle the synthetic population onto the declared functions.
-            for a in &mut arrivals {
-                a.config_id %= functions.max(1);
-            }
-            arrivals
+            // Cycle the synthetic population onto the registered slots.
+            let (merged, _) = wtrace::azure_trace(&params);
+            Box::new(ConfigModulo::new(merged, slots))
         }
         WorkloadSpec::Youtube {
             scale,
@@ -178,78 +197,323 @@ fn build_workload(spec: &WorkloadSpec, functions: usize, seed: u64) -> Vec<Arriv
                 .into_iter()
                 .map(|r| r / scale.max(1e-9))
                 .collect();
-            expand_to_arrivals(&rates, *index, 0, seed)
+            Box::new(wtrace::youtube_arrivals_trace(rates, *index, 0, seed))
+        }
+        WorkloadSpec::Synth {
+            requests,
+            keys,
+            duration,
+            zipf,
+            peak,
+        } => {
+            let shape = if *peak <= 1.0 {
+                SynthShape::Flat
+            } else {
+                SynthShape::Diurnal {
+                    peak_to_trough: *peak,
+                }
+            };
+            Box::new(wtrace::synth_trace(&SynthSpec {
+                requests: *requests,
+                keys: *keys,
+                duration: *duration,
+                zipf_exponent: *zipf,
+                seed,
+                shape,
+                key_offset: 0,
+            }))
+        }
+        WorkloadSpec::FlashCrowd {
+            requests,
+            keys,
+            duration,
+            zipf,
+            peak,
+            at,
+            width,
+            magnitude,
+        } => Box::new(wtrace::synth_trace(&SynthSpec {
+            requests: *requests,
+            keys: *keys,
+            duration: *duration,
+            zipf_exponent: *zipf,
+            seed,
+            shape: SynthShape::FlashCrowd {
+                peak_to_trough: *peak,
+                at: *at,
+                width: *width,
+                magnitude: *magnitude,
+            },
+            key_offset: 0,
+        })),
+        WorkloadSpec::DeployWaves {
+            requests,
+            keys,
+            duration,
+            zipf,
+            waves,
+            window,
+        } => Box::new(wtrace::synth_trace(&SynthSpec {
+            requests: *requests,
+            keys: *keys,
+            duration: *duration,
+            zipf_exponent: *zipf,
+            seed,
+            shape: SynthShape::DeployWaves {
+                waves: *waves,
+                window: *window,
+            },
+            key_offset: 0,
+        })),
+        WorkloadSpec::MultiTenant {
+            tenants,
+            requests,
+            keys,
+            duration,
+            zipf,
+        } => Box::new(wtrace::multi_tenant_trace(
+            *tenants,
+            &SynthSpec {
+                requests: *requests,
+                keys: *keys,
+                duration: *duration,
+                zipf_exponent: *zipf,
+                seed,
+                shape: SynthShape::Flat,
+                key_offset: 0,
+            },
+        )),
+        WorkloadSpec::AzureCsv { path, interval } => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open trace '{path}': {e}"))?;
+            let (merged, _names) =
+                wtrace::azure_csv_trace(std::io::BufReader::new(file), *interval)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            Box::new(merged)
+        }
+        WorkloadSpec::OpenDc { path } => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open trace '{path}': {e}"))?;
+            Box::new(OpenDcTrace::new(std::io::BufReader::new(file)))
+        }
+    })
+}
+
+/// Streaming report builder: O(1) per request, bounded memory.
+///
+/// Up to [`LATENCY_DETAIL_CAP`] requests it also keeps exact per-request
+/// samples, so small runs report the same exact percentiles and verbose
+/// series as before; past the cap it degrades to histogram quantiles and an
+/// empty `latencies_ms`, keeping the footprint constant.
+struct ReportAggregator {
+    recorder: LatencyRecorder,
+    hist: LatencyHistogram,
+    detail: Vec<(u64, f64)>,
+    detailed: bool,
+    total_ns: u128,
+    count: u64,
+    failed: u64,
+    cold: u64,
+}
+
+impl ReportAggregator {
+    fn new() -> ReportAggregator {
+        ReportAggregator {
+            recorder: LatencyRecorder::new(),
+            hist: LatencyHistogram::new(),
+            detail: Vec::new(),
+            detailed: true,
+            total_ns: 0,
+            count: 0,
+            failed: 0,
+            cold: 0,
+        }
+    }
+
+    fn observe(&mut self, seq: u64, t: &RequestTrace) {
+        let total = t.total();
+        self.count += 1;
+        self.total_ns += total.as_nanos() as u128;
+        self.hist.record(total);
+        if t.failed {
+            self.failed += 1;
+        }
+        if t.cold {
+            self.cold += 1;
+        }
+        if self.detailed {
+            if self.detail.len() == LATENCY_DETAIL_CAP {
+                self.detailed = false;
+                self.detail = Vec::new();
+                self.recorder = LatencyRecorder::new();
+            } else {
+                self.recorder.record(total);
+                self.detail.push((seq, total.as_millis_f64()));
+            }
+        }
+    }
+
+    fn finish<P: RuntimeProvider>(mut self, gateway: &Gateway<P>) -> ScenarioReport {
+        let count = self.count.max(1) as f64;
+        let mean_ns = (self.total_ns / self.count.max(1) as u128) as u64;
+        let (p50, p99) = if self.count == 0 {
+            (simclock::SimDuration::ZERO, simclock::SimDuration::ZERO)
+        } else if self.detailed {
+            (self.recorder.median(), self.recorder.percentile(0.99))
+        } else {
+            (self.hist.quantile(0.5), self.hist.quantile(0.99))
+        };
+        // Finishes arrive in completion order; the report series is in
+        // arrival order.
+        self.detail.sort_by_key(|(seq, _)| *seq);
+        ScenarioReport {
+            requests: self.count as usize,
+            mean_ms: simclock::SimDuration::from_nanos(mean_ns).as_millis_f64(),
+            p50_ms: p50.as_millis_f64(),
+            p99_ms: p99.as_millis_f64(),
+            cold_fraction: self.cold as f64 / count,
+            failed_fraction: self.failed as f64 / count,
+            live_at_end: gateway.engine().live_count(),
+            background_s: gateway.provider().background_cost().as_secs_f64(),
+            latencies_ms: self.detail.into_iter().map(|(_, ms)| ms).collect(),
+            metrics: gateway.metrics().snapshot(),
         }
     }
 }
 
-fn run_with_provider<P: faas::RuntimeProvider + 'static>(
+fn build_gateway<P: RuntimeProvider>(
     provider: P,
     scenario: &Scenario,
-    workload: &[Arrival],
-) -> Result<ScenarioReport, String> {
+) -> Result<(Gateway<P>, Vec<String>), String> {
     let mut engine = ContainerEngine::with_local_images(scenario.hardware.clone());
     if scenario.crash_rate > 0.0 {
         engine.set_fault_injection(scenario.crash_rate, scenario.seed);
     }
     let mut gateway = Gateway::new(engine, provider);
+    let mut names = Vec::new();
     for decl in &scenario.functions {
         let app = build_app(decl)?;
-        let mut config = app.config_with_network(decl.network);
-        for (k, v) in &decl.env {
-            config.exec.env.insert(k.clone(), v.clone());
+        for i in 0..decl.replicas {
+            let name = if decl.replicas == 1 {
+                decl.name.clone()
+            } else {
+                format!("{}#{i}", decl.name)
+            };
+            let mut config = app.config_with_network(decl.network);
+            for (k, v) in &decl.env {
+                config.exec.env.insert(k.clone(), v.clone());
+            }
+            if decl.replicas > 1 {
+                // Distinct env per replica ⇒ distinct runtime key: replicas
+                // are how a scenario scales to 10k+ keys.
+                config
+                    .exec
+                    .env
+                    .insert("HOTC_REPLICA".to_string(), i.to_string());
+            }
+            gateway.register(
+                FunctionSpec::from_app(app.clone())
+                    .named(name.clone())
+                    .with_config(config),
+            );
+            names.push(name);
         }
-        gateway.register(
-            FunctionSpec::from_app(app)
-                .named(decl.name.clone())
-                .with_config(config),
-        );
     }
+    Ok((gateway, names))
+}
 
-    let names: Vec<String> = scenario.functions.iter().map(|f| f.name.clone()).collect();
+fn run_streaming<P: RuntimeProvider + 'static>(
+    provider: P,
+    scenario: &Scenario,
+    trace: &mut dyn Trace,
+) -> Result<ScenarioReport, String> {
+    let (gateway, names) = build_gateway(provider, scenario)?;
+    let mut agg = ReportAggregator::new();
+    let out = run_trace(
+        gateway,
+        trace,
+        move |config_id| names[config_id % names.len()].clone(),
+        scenario.tick,
+        |seq, t| agg.observe(seq, t),
+    );
+    if let Some(e) = out.trace_error {
+        return Err(format!("trace source error: {e}"));
+    }
+    Ok(agg.finish(&out.gateway))
+}
+
+fn run_materialized<P: RuntimeProvider + 'static>(
+    provider: P,
+    scenario: &Scenario,
+    workload: &[Arrival],
+) -> Result<ScenarioReport, String> {
+    let (gateway, names) = build_gateway(provider, scenario)?;
     let out = run_workload(
         gateway,
         workload,
         move |config_id| names[config_id % names.len()].clone(),
         scenario.tick,
     );
-
-    let mut recorder = LatencyRecorder::new();
-    let mut failed = 0usize;
-    for t in &out.traces {
-        recorder.record(t.total());
-        if t.failed {
-            failed += 1;
-        }
+    let mut agg = ReportAggregator::new();
+    for (i, t) in out.traces.iter().enumerate() {
+        agg.observe(i as u64, t);
     }
-    let metrics = out.gateway.metrics().snapshot();
-    Ok(ScenarioReport {
-        requests: out.traces.len(),
-        mean_ms: recorder.mean().as_millis_f64(),
-        p50_ms: recorder.median().as_millis_f64(),
-        p99_ms: recorder.percentile(0.99).as_millis_f64(),
-        cold_fraction: out.cold_fraction(),
-        failed_fraction: failed as f64 / out.traces.len().max(1) as f64,
-        live_at_end: out.gateway.engine().live_count(),
-        background_s: out.gateway.provider().background_cost().as_secs_f64(),
-        latencies_ms: out
-            .traces
-            .iter()
-            .map(|t| t.total().as_millis_f64())
-            .collect(),
-        metrics,
-    })
+    Ok(agg.finish(&out.gateway))
 }
 
-/// Runs a scenario end to end.
+fn replica_slots(scenario: &Scenario) -> usize {
+    scenario.functions.iter().map(|f| f.replicas).sum::<usize>()
+}
+
+/// Runs a scenario end to end, streaming arrivals from the workload source —
+/// the replay path never materializes the full arrival vector.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
-    let workload = build_workload(&scenario.workload, scenario.functions.len(), scenario.seed);
+    let mut trace = build_trace(&scenario.workload, replica_slots(scenario), scenario.seed)?;
+    if trace.peek().is_none() {
+        if let Some(e) = trace.take_error() {
+            return Err(format!("trace source error: {e}"));
+        }
+        return Err("workload generated no arrivals".to_string());
+    }
+    let trace = trace.as_mut();
+    match &scenario.provider {
+        ProviderSpec::HotC => run_streaming(HotC::with_defaults(), scenario, trace),
+        ProviderSpec::HotCFuzzy => run_streaming(
+            HotC::new(HotCConfig {
+                key_policy: KeyPolicy::Fuzzy,
+                ..Default::default()
+            }),
+            scenario,
+            trace,
+        ),
+        ProviderSpec::ColdStart => run_streaming(ColdStartAlways::new(), scenario, trace),
+        ProviderSpec::FixedKeepAlive(ttl) => {
+            run_streaming(FixedKeepAlive::new(*ttl), scenario, trace)
+        }
+        ProviderSpec::PeriodicWarmup(period) => {
+            run_streaming(PeriodicWarmup::new(*period), scenario, trace)
+        }
+        ProviderSpec::HybridKeepAlive => run_streaming(HybridKeepAlive::new(), scenario, trace),
+    }
+}
+
+/// Reference implementation of [`run_scenario`] that materializes the whole
+/// arrival vector and replays it through the eager driver.
+///
+/// Kept for the streaming ≡ materialized equivalence property test and the
+/// replay-overhead benchmark; real runs use [`run_scenario`].
+pub fn run_scenario_materialized(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let mut trace = build_trace(&scenario.workload, replica_slots(scenario), scenario.seed)?;
+    let workload = workloads::drain(trace.as_mut());
+    if let Some(e) = trace.take_error() {
+        return Err(format!("trace source error: {e}"));
+    }
     if workload.is_empty() {
         return Err("workload generated no arrivals".to_string());
     }
     match &scenario.provider {
-        ProviderSpec::HotC => run_with_provider(HotC::with_defaults(), scenario, &workload),
-        ProviderSpec::HotCFuzzy => run_with_provider(
+        ProviderSpec::HotC => run_materialized(HotC::with_defaults(), scenario, &workload),
+        ProviderSpec::HotCFuzzy => run_materialized(
             HotC::new(HotCConfig {
                 key_policy: KeyPolicy::Fuzzy,
                 ..Default::default()
@@ -257,15 +521,15 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
             scenario,
             &workload,
         ),
-        ProviderSpec::ColdStart => run_with_provider(ColdStartAlways::new(), scenario, &workload),
+        ProviderSpec::ColdStart => run_materialized(ColdStartAlways::new(), scenario, &workload),
         ProviderSpec::FixedKeepAlive(ttl) => {
-            run_with_provider(FixedKeepAlive::new(*ttl), scenario, &workload)
+            run_materialized(FixedKeepAlive::new(*ttl), scenario, &workload)
         }
         ProviderSpec::PeriodicWarmup(period) => {
-            run_with_provider(PeriodicWarmup::new(*period), scenario, &workload)
+            run_materialized(PeriodicWarmup::new(*period), scenario, &workload)
         }
         ProviderSpec::HybridKeepAlive => {
-            run_with_provider(HybridKeepAlive::new(), scenario, &workload)
+            run_materialized(HybridKeepAlive::new(), scenario, &workload)
         }
     }
 }

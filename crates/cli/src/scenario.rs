@@ -91,6 +91,11 @@ pub struct FunctionDecl {
     pub network: NetworkMode,
     /// Extra environment variables.
     pub env: BTreeMap<String, String>,
+    /// Replica count: `replicas = N` registers `N` copies (`name#0` …
+    /// `name#N-1`), each with a distinct `HOTC_REPLICA` env var and hence a
+    /// distinct runtime key — how a scenario reaches 10k+ keys without 10k
+    /// sections.
+    pub replicas: usize,
 }
 
 /// The workload pattern, mirroring `workloads::patterns`.
@@ -176,6 +181,85 @@ pub enum WorkloadSpec {
         functions: usize,
         /// Total span.
         duration: SimDuration,
+    },
+    /// `synth`: the streaming synthesizer — exactly `requests` arrivals over
+    /// `duration`, keys Zipf(`zipf`) over `keys` ids, intensity flat or
+    /// diurnal (`shape = diurnal`, `peak` = peak-to-trough ratio).
+    Synth {
+        /// Total arrivals to emit.
+        requests: u64,
+        /// Distinct key (config id) population.
+        keys: usize,
+        /// Total span.
+        duration: SimDuration,
+        /// Zipf exponent over keys.
+        zipf: f64,
+        /// Peak-to-trough ratio; 1.0 means flat.
+        peak: f64,
+    },
+    /// `flash-crowd`: diurnal synth plus a triangular spike at fraction `at`
+    /// of the span, `width` wide, `magnitude`× the mean rate.
+    FlashCrowd {
+        /// Total arrivals to emit.
+        requests: u64,
+        /// Distinct key population.
+        keys: usize,
+        /// Total span.
+        duration: SimDuration,
+        /// Zipf exponent over keys.
+        zipf: f64,
+        /// Diurnal peak-to-trough ratio.
+        peak: f64,
+        /// Spike centre as a fraction of the span (0..1).
+        at: f64,
+        /// Spike width as a fraction of the span.
+        width: f64,
+        /// Spike height as a multiple of the mean rate.
+        magnitude: f64,
+    },
+    /// `deploy-waves`: flat synth whose hot Zipf window shifts `waves` times
+    /// across the key space — rolling-deploy key churn.
+    DeployWaves {
+        /// Total arrivals to emit.
+        requests: u64,
+        /// Distinct key population.
+        keys: usize,
+        /// Total span.
+        duration: SimDuration,
+        /// Zipf exponent over keys.
+        zipf: f64,
+        /// Number of deploy waves.
+        waves: usize,
+        /// Hot-window size in keys.
+        window: usize,
+    },
+    /// `multi-tenant`: `tenants` independent synth streams with disjoint key
+    /// spaces and staggered flash crowds, k-way merged.
+    MultiTenant {
+        /// Number of tenants.
+        tenants: usize,
+        /// Arrivals per tenant.
+        requests: u64,
+        /// Keys per tenant.
+        keys: usize,
+        /// Total span.
+        duration: SimDuration,
+        /// Zipf exponent within each tenant.
+        zipf: f64,
+    },
+    /// `azure-csv`: Azure-Functions-style per-function invocation-count rows
+    /// read from `path`, each count bucket `interval` long.
+    AzureCsv {
+        /// Path to the CSV file.
+        path: String,
+        /// Length of one count bucket.
+        interval: SimDuration,
+    },
+    /// `opendc`: OpenDC-style `timestamp_ms,function` rows streamed from
+    /// `path`.
+    OpenDc {
+        /// Path to the trace file.
+        path: String,
     },
 }
 
@@ -279,6 +363,9 @@ impl Scenario {
         let mut functions: Vec<FunctionDecl> = Vec::new();
         let mut workload_kv: BTreeMap<String, (String, usize)> = BTreeMap::new();
         let mut saw_workload = false;
+        // First-occurrence line per key, reset at each section header, so a
+        // second assignment is a hard error instead of a silent overwrite.
+        let mut seen_keys: BTreeMap<String, usize> = BTreeMap::new();
 
         let mut section = Section::Global;
         for (i, raw) in text.lines().enumerate() {
@@ -292,7 +379,11 @@ impl Scenario {
                     return err(line_no, "unterminated section header");
                 };
                 let header = header.trim();
+                seen_keys.clear();
                 section = if header == "workload" {
+                    if saw_workload {
+                        return err(line_no, "duplicate [workload] section");
+                    }
                     saw_workload = true;
                     Section::Workload
                 } else if let Some(name) = header.strip_prefix("function") {
@@ -300,12 +391,16 @@ impl Scenario {
                     if name.is_empty() {
                         return err(line_no, "function section needs a name");
                     }
+                    if functions.iter().any(|f| f.name == name) {
+                        return err(line_no, format!("duplicate function '{name}'"));
+                    }
                     functions.push(FunctionDecl {
                         name: name.to_string(),
                         app: "random-number".to_string(),
                         lang: LanguageRuntime::Python,
                         network: NetworkMode::Bridge,
                         env: BTreeMap::new(),
+                        replicas: 1,
                     });
                     Section::Function(name.to_string())
                 } else {
@@ -318,6 +413,12 @@ impl Scenario {
             };
             let key = key.trim();
             let value = value.trim();
+            if let Some(first) = seen_keys.insert(key.to_string(), line_no) {
+                return err(
+                    line_no,
+                    format!("duplicate key '{key}' (first set on line {first})"),
+                );
+            }
             match &section {
                 Section::Global => match key {
                     "hardware" => {
@@ -383,6 +484,15 @@ impl Scenario {
                         "app" => decl.app = value.to_string(),
                         "lang" => decl.lang = parse_lang(value, line_no)?,
                         "network" => decl.network = parse_network(value, line_no)?,
+                        "replicas" => {
+                            decl.replicas = value.parse().map_err(|_| ParseError {
+                                line: line_no,
+                                message: format!("bad replicas '{value}'"),
+                            })?;
+                            if decl.replicas == 0 {
+                                return err(line_no, "replicas must be at least 1");
+                            }
+                        }
                         other => return err(line_no, format!("unknown function key '{other}'")),
                     }
                 }
@@ -437,9 +547,67 @@ impl Scenario {
             }
         };
 
+        let get_u64 = |key: &str, default: u64| -> Result<u64, ParseError> {
+            match get(key) {
+                None => Ok(default),
+                Some((v, l)) => v.parse().map_err(|_| ParseError {
+                    line: l,
+                    message: format!("bad integer '{v}' for '{key}'"),
+                }),
+            }
+        };
+
         let Some((pattern, pattern_line)) = get("pattern") else {
             return err(0, "[workload] needs a 'pattern' key");
         };
+        // Every pattern lists the keys it reads; anything else in the section
+        // is a typo the run must not silently ignore.
+        let allowed: &[&str] = match pattern {
+            "serial" => &["count", "interval"],
+            "parallel" => &["threads", "per_thread", "interval"],
+            "linear-up" | "linear-down" => &["start", "step", "rounds", "round"],
+            "exp-up" | "exp-down" => &["rounds", "round"],
+            "burst" => &["base", "factor", "burst_at", "rounds", "round"],
+            "poisson" => &["rate", "duration", "zipf"],
+            "youtube" => &["scale", "index", "length"],
+            "azure" => &["functions", "duration"],
+            "synth" => &["requests", "keys", "duration", "zipf", "shape", "peak"],
+            "flash-crowd" => &[
+                "requests",
+                "keys",
+                "duration",
+                "zipf",
+                "peak",
+                "at",
+                "width",
+                "magnitude",
+            ],
+            "deploy-waves" => &["requests", "keys", "duration", "zipf", "waves", "window"],
+            "multi-tenant" => &["tenants", "requests", "keys", "duration", "zipf"],
+            "azure-csv" => &["path", "interval"],
+            "opendc" => &["path"],
+            other => return err(pattern_line, format!("unknown pattern '{other}'")),
+        };
+        for (key, (_, line)) in kv {
+            if key != "pattern" && !allowed.contains(&key.as_str()) {
+                return err(
+                    *line,
+                    format!("unknown workload key '{key}' for pattern '{pattern}'"),
+                );
+            }
+        }
+
+        let synth_defaults =
+            |kv_peak: f64| -> Result<(u64, usize, SimDuration, f64, f64), ParseError> {
+                Ok((
+                    get_u64("requests", 100_000)?,
+                    get_usize("keys", 100)?,
+                    get_duration("duration", SimDuration::from_mins(1440))?,
+                    get_f64("zipf", 1.1)?,
+                    get_f64("peak", kv_peak)?,
+                ))
+            };
+
         let round_default = SimDuration::from_secs(30);
         Ok(match pattern {
             "serial" => WorkloadSpec::Serial {
@@ -498,6 +666,74 @@ impl Scenario {
                 functions: get_usize("functions", 20)?,
                 duration: get_duration("duration", SimDuration::from_mins(120))?,
             },
+            "synth" => {
+                let flat = match get("shape") {
+                    None | Some(("diurnal", _)) => false,
+                    Some(("flat", _)) => true,
+                    Some((other, l)) => {
+                        return err(l, format!("unknown synth shape '{other}' (flat | diurnal)"))
+                    }
+                };
+                let (requests, keys, duration, zipf, peak) = synth_defaults(3.0)?;
+                WorkloadSpec::Synth {
+                    requests,
+                    keys,
+                    duration,
+                    zipf,
+                    peak: if flat { 1.0 } else { peak },
+                }
+            }
+            "flash-crowd" => {
+                let (requests, keys, duration, zipf, peak) = synth_defaults(3.0)?;
+                WorkloadSpec::FlashCrowd {
+                    requests,
+                    keys,
+                    duration,
+                    zipf,
+                    peak,
+                    at: get_f64("at", 0.5)?,
+                    width: get_f64("width", 0.05)?,
+                    magnitude: get_f64("magnitude", 10.0)?,
+                }
+            }
+            "deploy-waves" => {
+                let (requests, keys, duration, zipf, _) = synth_defaults(1.0)?;
+                WorkloadSpec::DeployWaves {
+                    requests,
+                    keys,
+                    duration,
+                    zipf,
+                    waves: get_usize("waves", 4)?,
+                    window: get_usize("window", 16)?,
+                }
+            }
+            "multi-tenant" => {
+                let (requests, keys, duration, zipf, _) = synth_defaults(1.0)?;
+                WorkloadSpec::MultiTenant {
+                    tenants: get_usize("tenants", 4)?,
+                    requests,
+                    keys,
+                    duration,
+                    zipf,
+                }
+            }
+            "azure-csv" => {
+                let Some((path, _)) = get("path") else {
+                    return err(pattern_line, "pattern 'azure-csv' needs a 'path' key");
+                };
+                WorkloadSpec::AzureCsv {
+                    path: path.to_string(),
+                    interval: get_duration("interval", SimDuration::from_mins(1))?,
+                }
+            }
+            "opendc" => {
+                let Some((path, _)) = get("path") else {
+                    return err(pattern_line, "pattern 'opendc' needs a 'path' key");
+                };
+                WorkloadSpec::OpenDc {
+                    path: path.to_string(),
+                }
+            }
             other => {
                 return err(pattern_line, format!("unknown pattern '{other}'"));
             }
@@ -658,6 +894,158 @@ pattern = serial
         let e = Scenario::parse(text).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("colour"));
+    }
+
+    #[test]
+    fn duplicate_global_key_rejected() {
+        let text =
+            "seed = 1\nseed = 2\n\n[function f]\napp = qr-code\n\n[workload]\npattern = serial\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate key 'seed'"), "{e}");
+        assert!(e.message.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_function_key_rejected() {
+        let text = "[function f]\napp = qr-code\napp = cassandra\n\n[workload]\npattern = serial\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate key 'app'"), "{e}");
+
+        // env.* keys are tracked too.
+        let text =
+            "[function f]\napp = qr-code\nenv.T = 1\nenv.T = 2\n\n[workload]\npattern = serial\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate key 'env.T'"), "{e}");
+
+        // …but the same key in *different* sections is fine.
+        let text = "[function a]\napp = qr-code\n\n[function b]\napp = cassandra\n\n[workload]\npattern = serial\n";
+        assert!(Scenario::parse(text).is_ok());
+    }
+
+    #[test]
+    fn duplicate_workload_key_rejected() {
+        let text =
+            "[function f]\napp = qr-code\n\n[workload]\npattern = serial\ncount = 5\ncount = 9\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("duplicate key 'count'"), "{e}");
+        assert!(e.message.contains("line 6"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_function_name_rejected() {
+        let text = "[function f]\napp = qr-code\n\n[function f]\napp = cassandra\n\n[workload]\npattern = serial\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate function 'f'"), "{e}");
+    }
+
+    #[test]
+    fn unknown_workload_key_rejected_per_pattern() {
+        // 'rate' belongs to poisson, not serial — previously silently ignored.
+        let text = "[function f]\napp = qr-code\n\n[workload]\npattern = serial\nrate = 5\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert_eq!(e.line, 6);
+        assert!(
+            e.message
+                .contains("unknown workload key 'rate' for pattern 'serial'"),
+            "{e}"
+        );
+
+        // A typo'd key name fails the same way.
+        let text = "[function f]\napp = qr-code\n\n[workload]\npattern = burst\nburst_rounds = 4\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert!(e.message.contains("burst_rounds"), "{e}");
+    }
+
+    #[test]
+    fn replicas_parse_and_validate() {
+        let text = "[function f]\napp = qr-code\nreplicas = 64\n\n[workload]\npattern = serial\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.functions[0].replicas, 64);
+
+        let text = "[function f]\napp = qr-code\nreplicas = 0\n\n[workload]\npattern = serial\n";
+        let e = Scenario::parse(text).unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn synth_family_patterns_parse() {
+        let base = "[function f]\napp = random-number\n\n[workload]\n";
+
+        let s = Scenario::parse(&format!(
+            "{base}pattern = synth\nrequests = 1000\nkeys = 50\nduration = 60m\nshape = flat\n"
+        ))
+        .unwrap();
+        assert_eq!(
+            s.workload,
+            WorkloadSpec::Synth {
+                requests: 1000,
+                keys: 50,
+                duration: SimDuration::from_mins(60),
+                zipf: 1.1,
+                peak: 1.0,
+            }
+        );
+
+        let s = Scenario::parse(&format!(
+            "{base}pattern = flash-crowd\nat = 0.25\nmagnitude = 6\n"
+        ))
+        .unwrap();
+        assert!(matches!(
+            s.workload,
+            WorkloadSpec::FlashCrowd { at, magnitude, .. } if at == 0.25 && magnitude == 6.0
+        ));
+
+        let s = Scenario::parse(&format!(
+            "{base}pattern = deploy-waves\nwaves = 6\nwindow = 32\n"
+        ))
+        .unwrap();
+        assert!(matches!(
+            s.workload,
+            WorkloadSpec::DeployWaves {
+                waves: 6,
+                window: 32,
+                ..
+            }
+        ));
+
+        let s = Scenario::parse(&format!("{base}pattern = multi-tenant\ntenants = 3\n")).unwrap();
+        assert!(matches!(
+            s.workload,
+            WorkloadSpec::MultiTenant { tenants: 3, .. }
+        ));
+
+        let s = Scenario::parse(&format!(
+            "{base}pattern = azure-csv\npath = /tmp/x.csv\ninterval = 5m\n"
+        ))
+        .unwrap();
+        assert_eq!(
+            s.workload,
+            WorkloadSpec::AzureCsv {
+                path: "/tmp/x.csv".to_string(),
+                interval: SimDuration::from_mins(5),
+            }
+        );
+
+        let s = Scenario::parse(&format!("{base}pattern = opendc\npath = /tmp/x.trace\n")).unwrap();
+        assert_eq!(
+            s.workload,
+            WorkloadSpec::OpenDc {
+                path: "/tmp/x.trace".to_string(),
+            }
+        );
+
+        // File patterns require a path.
+        let e = Scenario::parse(&format!("{base}pattern = opendc\n")).unwrap_err();
+        assert!(e.message.contains("needs a 'path'"), "{e}");
+
+        // Bad synth shape names are rejected with the line number.
+        let e = Scenario::parse(&format!("{base}pattern = synth\nshape = square\n")).unwrap_err();
+        assert!(e.message.contains("unknown synth shape"), "{e}");
     }
 
     #[test]

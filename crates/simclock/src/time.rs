@@ -78,6 +78,14 @@ impl SimTime {
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
+
+    /// Checked add of a duration: `None` when the instant would pass
+    /// [`SimTime::MAX`]. Workload generators use this to turn the silent
+    /// saturation of `+` (which would collapse late arrivals onto one
+    /// instant) into a loud error near the timeline boundary.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
 }
 
 impl SimDuration {
@@ -180,6 +188,14 @@ impl SimDuration {
     /// (zero when `other` is zero).
     pub fn div_duration(self, other: SimDuration) -> u64 {
         self.0.checked_div(other.0).unwrap_or(0)
+    }
+
+    /// Checked multiply by an integer count: `None` on overflow. The `Mul`
+    /// operator saturates (fine for cost models, where `MAX` means
+    /// "forever"), but interval×index schedule math must not silently clamp —
+    /// that would pile every overflowed arrival onto `u64::MAX` ns.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
     }
 }
 
@@ -321,6 +337,24 @@ mod tests {
             SimDuration::ZERO
         );
         assert_eq!(SimDuration::MAX * 2, SimDuration::MAX);
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_overflow() {
+        let near_max = SimTime::from_nanos(u64::MAX - 10);
+        assert_eq!(
+            near_max.checked_add(SimDuration::from_nanos(10)),
+            Some(SimTime::MAX)
+        );
+        assert_eq!(near_max.checked_add(SimDuration::from_nanos(11)), None);
+        let big = SimDuration::from_nanos(u64::MAX / 2);
+        assert_eq!(
+            big.checked_mul(2),
+            Some(SimDuration::from_nanos(u64::MAX - 1))
+        );
+        assert_eq!(big.checked_mul(3), None);
+        // Contrast with the operator, which clamps.
+        assert_eq!(big * 3, SimDuration::MAX);
     }
 
     #[test]

@@ -170,6 +170,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean value, else `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string contents, else `None`.
     pub fn as_str(&self) -> Option<&str> {
         match self {

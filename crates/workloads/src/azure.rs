@@ -121,7 +121,12 @@ pub fn azure_workload(params: &AzureWorkloadParams) -> (Vec<Arrival>, Vec<Functi
             };
         }
     }
-    arrivals.sort_by_key(|a| a.at);
+    // Total order (at, config_id): sorting by `at` alone left equal-timestamp
+    // ordering to stable-sort incidentals (generation order), which the
+    // streaming merge in `trace` could not reproduce. The explicit key makes
+    // ties deterministic and merge-reproducible; within one (at, config_id)
+    // pair, stable sort preserves per-function emission order (seq).
+    arrivals.sort_by_key(|a| (a.at, a.config_id));
     (arrivals, mixes)
 }
 

@@ -24,12 +24,17 @@
 pub mod azure;
 pub mod dockerfiles;
 pub mod patterns;
+pub mod trace;
 pub mod youtube;
 
 pub use azure::{azure_workload, AzureWorkloadParams, FunctionClass};
 pub use dockerfiles::{DockerfileSurvey, ProjectConfig};
 pub use patterns::{
     burst, exponential_ramp, linear_ramp, parallel_clients, poisson, serial, Direction,
+};
+pub use trace::{
+    azure_csv_trace, azure_trace, drain, multi_tenant_trace, synth_trace, ConfigModulo, MergeTrace,
+    OpenDcTrace, SynthShape, SynthSpec, Trace, VecTrace, ZipfSampler,
 };
 pub use youtube::{youtube_trace, YoutubeTraceParams};
 

@@ -7,6 +7,26 @@
 use crate::Arrival;
 use simclock::{SimDuration, SimRng, SimTime};
 
+/// Start instant of round `index` on an `interval`-spaced schedule, checked:
+/// `interval * index` silently *saturates* under the `Mul` operator, which at
+/// 1e8-request counts with long intervals would collapse every late arrival
+/// onto `u64::MAX` ns (one giant synthetic burst) instead of failing. A
+/// schedule that does not fit the u64-nanosecond timeline is a caller error,
+/// so panic loudly with the offending operands.
+pub(crate) fn round_start(interval: SimDuration, index: u64) -> SimTime {
+    let offset = interval
+        .checked_mul(index)
+        .unwrap_or_else(|| schedule_overflow(interval, index));
+    SimTime::ZERO
+        .checked_add(offset)
+        .unwrap_or_else(|| schedule_overflow(interval, index))
+}
+
+#[cold]
+fn schedule_overflow(interval: SimDuration, index: u64) -> ! {
+    panic!("arrival schedule overflows the simulation timeline: {interval} * {index} exceeds SimTime::MAX");
+}
+
 /// Ramp direction for the linear/exponential flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -21,7 +41,7 @@ pub enum Direction {
 pub fn serial(interval: SimDuration, count: usize, config_id: usize) -> Vec<Arrival> {
     (0..count)
         .map(|i| Arrival {
-            at: SimTime::ZERO + interval * i as u64,
+            at: round_start(interval, i as u64),
             config_id,
         })
         .collect()
@@ -36,7 +56,7 @@ pub fn parallel_clients(threads: usize, per_thread: usize, interval: SimDuration
     for round in 0..per_thread {
         for thread in 0..threads {
             out.push(Arrival {
-                at: SimTime::ZERO + interval * round as u64,
+                at: round_start(interval, round as u64),
                 config_id: thread,
             });
         }
@@ -61,7 +81,7 @@ pub fn linear_ramp(
             Direction::Increasing => start + step * r,
             Direction::Decreasing => start + step * (rounds - 1 - r),
         };
-        let at = SimTime::ZERO + round_interval * r as u64;
+        let at = round_start(round_interval, r as u64);
         out.extend((0..n).map(|_| Arrival { at, config_id }));
     }
     out
@@ -82,7 +102,7 @@ pub fn exponential_ramp(
             Direction::Decreasing => rounds - 1 - r,
         };
         let n = 1usize << exp.min(20); // cap at 2^20 to bound memory
-        let at = SimTime::ZERO + round_interval * r as u64;
+        let at = round_start(round_interval, r as u64);
         out.extend((0..n).map(|_| Arrival { at, config_id }));
     }
     out
@@ -106,7 +126,7 @@ pub fn burst(
         } else {
             base
         };
-        let at = SimTime::ZERO + round_interval * r as u64;
+        let at = round_start(round_interval, r as u64);
         out.extend((0..n).map(|_| Arrival { at, config_id }));
     }
     out
@@ -238,6 +258,29 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn poisson_zero_rate_rejected() {
         let _ = poisson(0.0, SimDuration::from_secs(1), 1, 1.0, 0);
+    }
+
+    // Overflow boundary: u64::MAX ns / (1<<33) ns-intervals leaves room for
+    // exactly 2^31 rounds (indices 0..=2^31 - 1 fit; index 2^31 overflows).
+    const BIG_IV: SimDuration = SimDuration::from_nanos(1 << 33);
+
+    #[test]
+    fn serial_near_overflow_boundary_stays_exact() {
+        // Regression: the `Mul` operator saturates, so before the checked
+        // round_start helper this workload silently collapsed late arrivals
+        // onto u64::MAX instead of spacing them.
+        let last = (1u64 << 31) - 1;
+        let w = serial(BIG_IV, 4, 0);
+        assert_eq!(w[3].at.as_nanos(), 3 << 33);
+        let tail = round_start(BIG_IV, last);
+        assert_eq!(tail.as_nanos(), last << 33);
+        assert!(tail < SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the simulation timeline")]
+    fn round_start_past_boundary_panics_loudly() {
+        let _ = round_start(BIG_IV, 1u64 << 31);
     }
 }
 

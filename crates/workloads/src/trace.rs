@@ -1,0 +1,1706 @@
+//! Streaming trace frontend: pull-based arrival sources (ROADMAP item 3).
+//!
+//! Every other module in this crate materializes a full `Vec<Arrival>`,
+//! which caps replay at what fits in memory. [`Trace`] is the lazy
+//! alternative: a pull-based source of time-ordered [`Arrival`]s with
+//! one-arrival lookahead (`peek`), modeled on the dslab-faas trace trait and
+//! faas-sim's arrival-profile expansion. The CLI runner and the bench
+//! replay driver consume `&mut dyn Trace` and never hold more than O(sources)
+//! arrivals in flight, so a 1e8-request replay runs in constant memory.
+//!
+//! Producers:
+//!
+//! * **adapters** over the existing generators ([`serial_trace`],
+//!   [`parallel_trace`], [`linear_ramp_trace`], [`exponential_ramp_trace`],
+//!   [`burst_trace`], [`poisson_trace`], [`youtube_arrivals_trace`],
+//!   [`azure_trace`]) — each emits the *byte-identical* arrival sequence of
+//!   its materializing counterpart, verified by tests;
+//! * **file readers** for Azure-Functions-style per-minute invocation counts
+//!   ([`azure_csv_trace`]) and OpenDC-style invocation rows ([`OpenDcTrace`]);
+//! * a seeded **synthesizer** ([`synth_trace`], [`multi_tenant_trace`]) that
+//!   scales recorded shapes (flat / diurnal / flash crowd / deploy waves) to
+//!   1e6–1e8 requests over 10k+ distinct keys in O(bins) memory.
+//!
+//! **Merge ordering invariant.** Multi-source traces are combined by
+//! [`MergeTrace`], a k-way merge over the total order `(at, config_id,
+//! source)`; within one source, emission order (`seq`) breaks the remaining
+//! ties. Equal-timestamp ordering is therefore *defined*, not an accident of
+//! a stable sort — the bug this module fixes in `azure.rs`/`youtube.rs`.
+
+use crate::azure::{AzureWorkloadParams, FunctionClass, FunctionMix};
+use crate::patterns::{round_start, Direction};
+use crate::Arrival;
+use simclock::{SimDuration, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::io::BufRead;
+
+/// A pull-based source of time-ordered arrivals.
+///
+/// Contract: `next_arrival` yields arrivals with non-decreasing `at`;
+/// `peek` returns exactly what the next `next_arrival` will return without
+/// consuming it. A source that hits an unrecoverable problem (only possible
+/// for file-backed sources) fuses — returns `None` forever — and surfaces
+/// the problem through [`Trace::take_error`]; drivers check it after the
+/// stream ends instead of trusting a silent truncation.
+pub trait Trace {
+    /// The next arrival, without consuming it.
+    fn peek(&mut self) -> Option<Arrival>;
+    /// Pulls the next arrival.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+    /// `(lower, Some(upper))` bounds on arrivals left, like
+    /// `Iterator::size_hint`. Exact for counted sources, `(0, None)` for
+    /// unbounded/streamed ones.
+    fn remaining_hint(&self) -> (u64, Option<u64>);
+    /// First error the source hit, if any (the source is fused after it).
+    fn take_error(&mut self) -> Option<String> {
+        None
+    }
+}
+
+/// Materializes the remainder of a trace. Test/report helper — the replay
+/// drivers deliberately never call this.
+pub fn drain(trace: &mut dyn Trace) -> Vec<Arrival> {
+    let (lo, _) = trace.remaining_hint();
+    let mut out = Vec::with_capacity(lo.min(1 << 20) as usize);
+    while let Some(a) = trace.next_arrival() {
+        out.push(a);
+    }
+    out
+}
+
+/// A materialized workload behind the [`Trace`] interface (tests, and the
+/// bridge for callers that already hold a `Vec<Arrival>`).
+pub struct VecTrace {
+    items: Vec<Arrival>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Wraps a time-ordered workload.
+    pub fn new(items: Vec<Arrival>) -> VecTrace {
+        debug_assert!(crate::is_time_ordered(&items));
+        VecTrace { items, pos: 0 }
+    }
+}
+
+impl Trace for VecTrace {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.items.get(self.pos).copied()
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let out = self.items.get(self.pos).copied();
+        if out.is_some() {
+            self.pos += 1;
+        }
+        out
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        let left = (self.items.len() - self.pos) as u64;
+        (left, Some(left))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator adapters: lazy counterparts of the `patterns`/`youtube`/`azure`
+// materializers. Each wraps a private cursor type in `GenTrace`, which adds
+// the one-arrival `peek` buffer the trait requires.
+// ---------------------------------------------------------------------------
+
+trait ArrivalGen {
+    fn produce(&mut self) -> Option<Arrival>;
+    fn remaining(&self) -> (u64, Option<u64>);
+}
+
+struct GenTrace<G> {
+    head: Option<Arrival>,
+    gen: G,
+}
+
+impl<G: ArrivalGen> GenTrace<G> {
+    fn new(mut gen: G) -> GenTrace<G> {
+        let head = gen.produce();
+        GenTrace { head, gen }
+    }
+}
+
+impl<G: ArrivalGen> Trace for GenTrace<G> {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.head
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let out = self.head.take();
+        if out.is_some() {
+            self.head = self.gen.produce();
+        }
+        out
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        let (lo, hi) = self.gen.remaining();
+        let buffered = self.head.is_some() as u64;
+        (
+            lo.saturating_add(buffered),
+            hi.map(|h| h.saturating_add(buffered)),
+        )
+    }
+}
+
+struct SerialGen {
+    interval: SimDuration,
+    count: u64,
+    next: u64,
+    config_id: usize,
+}
+
+impl ArrivalGen for SerialGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        if self.next >= self.count {
+            return None;
+        }
+        let at = round_start(self.interval, self.next);
+        self.next += 1;
+        Some(Arrival {
+            at,
+            config_id: self.config_id,
+        })
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        let left = self.count - self.next;
+        (left, Some(left))
+    }
+}
+
+/// Lazy [`crate::patterns::serial`]: `count` arrivals of one config every
+/// `interval`.
+pub fn serial_trace(interval: SimDuration, count: usize, config_id: usize) -> impl Trace {
+    GenTrace::new(SerialGen {
+        interval,
+        count: count as u64,
+        next: 0,
+        config_id,
+    })
+}
+
+struct ParallelGen {
+    threads: usize,
+    per_thread: u64,
+    interval: SimDuration,
+    round: u64,
+    thread: usize,
+}
+
+impl ArrivalGen for ParallelGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        if self.round >= self.per_thread || self.threads == 0 {
+            return None;
+        }
+        let out = Arrival {
+            at: round_start(self.interval, self.round),
+            config_id: self.thread,
+        };
+        self.thread += 1;
+        if self.thread == self.threads {
+            self.thread = 0;
+            self.round += 1;
+        }
+        Some(out)
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        let rounds_left = self.per_thread - self.round;
+        let left = rounds_left * self.threads as u64 - self.thread as u64;
+        (left, Some(left))
+    }
+}
+
+/// Lazy [`crate::patterns::parallel_clients`]: equal-instant arrivals are
+/// emitted in thread (= config) order, matching the materializer and the
+/// `(at, config_id, seq)` total order.
+pub fn parallel_trace(threads: usize, per_thread: usize, interval: SimDuration) -> impl Trace {
+    GenTrace::new(ParallelGen {
+        threads,
+        per_thread: per_thread as u64,
+        interval,
+        round: 0,
+        thread: 0,
+    })
+}
+
+enum RoundCounts {
+    Linear {
+        direction: Direction,
+        start: u64,
+        step: u64,
+    },
+    Exponential {
+        direction: Direction,
+    },
+    Burst {
+        base: u64,
+        factor: u64,
+        burst_rounds: Vec<usize>,
+    },
+}
+
+impl RoundCounts {
+    fn count(&self, r: u64, rounds: u64) -> u64 {
+        match self {
+            RoundCounts::Linear {
+                direction,
+                start,
+                step,
+            } => match direction {
+                Direction::Increasing => start + step * r,
+                Direction::Decreasing => start + step * (rounds - 1 - r),
+            },
+            RoundCounts::Exponential { direction } => {
+                let exp = match direction {
+                    Direction::Increasing => r,
+                    Direction::Decreasing => rounds - 1 - r,
+                };
+                1u64 << exp.min(20)
+            }
+            RoundCounts::Burst {
+                base,
+                factor,
+                burst_rounds,
+            } => {
+                if burst_rounds.contains(&(r as usize)) {
+                    base * factor
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+}
+
+struct RoundsGen {
+    counts: RoundCounts,
+    rounds: u64,
+    round_interval: SimDuration,
+    config_id: usize,
+    r: u64,
+    emitted_in_round: u64,
+}
+
+impl ArrivalGen for RoundsGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        while self.r < self.rounds {
+            let n = self.counts.count(self.r, self.rounds);
+            if self.emitted_in_round < n {
+                self.emitted_in_round += 1;
+                return Some(Arrival {
+                    at: round_start(self.round_interval, self.r),
+                    config_id: self.config_id,
+                });
+            }
+            self.r += 1;
+            self.emitted_in_round = 0;
+        }
+        None
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        (0, None)
+    }
+}
+
+/// Lazy [`crate::patterns::linear_ramp`].
+pub fn linear_ramp_trace(
+    direction: Direction,
+    start: usize,
+    step: usize,
+    rounds: usize,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> impl Trace {
+    GenTrace::new(RoundsGen {
+        counts: RoundCounts::Linear {
+            direction,
+            start: start as u64,
+            step: step as u64,
+        },
+        rounds: rounds as u64,
+        round_interval,
+        config_id,
+        r: 0,
+        emitted_in_round: 0,
+    })
+}
+
+/// Lazy [`crate::patterns::exponential_ramp`].
+pub fn exponential_ramp_trace(
+    direction: Direction,
+    rounds: u32,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> impl Trace {
+    GenTrace::new(RoundsGen {
+        counts: RoundCounts::Exponential { direction },
+        rounds: rounds as u64,
+        round_interval,
+        config_id,
+        r: 0,
+        emitted_in_round: 0,
+    })
+}
+
+/// Lazy [`crate::patterns::burst`].
+pub fn burst_trace(
+    base: usize,
+    burst_factor: usize,
+    burst_rounds: Vec<usize>,
+    rounds: usize,
+    round_interval: SimDuration,
+    config_id: usize,
+) -> impl Trace {
+    GenTrace::new(RoundsGen {
+        counts: RoundCounts::Burst {
+            base: base as u64,
+            factor: burst_factor as u64,
+            burst_rounds,
+        },
+        rounds: rounds as u64,
+        round_interval,
+        config_id,
+        r: 0,
+        emitted_in_round: 0,
+    })
+}
+
+struct PoissonGen {
+    rng: SimRng,
+    rate_per_sec: f64,
+    t: f64,
+    horizon: f64,
+    config_kinds: usize,
+    zipf_exponent: f64,
+    done: bool,
+}
+
+impl ArrivalGen for PoissonGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        if self.done {
+            return None;
+        }
+        // Identical draw order to `patterns::poisson`: one exponential gap,
+        // then one Zipf config draw, per arrival.
+        self.t += self.rng.exponential(1.0 / self.rate_per_sec);
+        if self.t >= self.horizon {
+            self.done = true;
+            return None;
+        }
+        Some(Arrival {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(self.t),
+            config_id: self.rng.zipf(self.config_kinds, self.zipf_exponent),
+        })
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        (0, None)
+    }
+}
+
+/// Lazy [`crate::patterns::poisson`]: same seed ⇒ byte-identical arrivals.
+pub fn poisson_trace(
+    rate_per_sec: f64,
+    duration: SimDuration,
+    config_kinds: usize,
+    zipf_exponent: f64,
+    seed: u64,
+) -> impl Trace {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    assert!(config_kinds >= 1, "need at least one config kind");
+    GenTrace::new(PoissonGen {
+        rng: SimRng::seeded(seed),
+        rate_per_sec,
+        t: 0.0,
+        horizon: duration.as_secs_f64(),
+        config_kinds,
+        zipf_exponent,
+        done: false,
+    })
+}
+
+struct YoutubeGen {
+    rates: Vec<f64>,
+    index_width: SimDuration,
+    config_id: usize,
+    rng: SimRng,
+    idx: usize,
+    buf: VecDeque<Arrival>,
+}
+
+impl ArrivalGen for YoutubeGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        loop {
+            if let Some(a) = self.buf.pop_front() {
+                return Some(a);
+            }
+            if self.idx >= self.rates.len() {
+                return None;
+            }
+            // One index at a time — the only buffering the youtube shape
+            // needs, because offsets within an index are sorted post-draw.
+            // Draw order matches `youtube::expand_to_arrivals` exactly.
+            let rate = self.rates[self.idx];
+            let n = self.rng.poisson(rate);
+            let start = round_start(self.index_width, self.idx as u64);
+            let mut offsets: Vec<u64> = (0..n)
+                .map(|_| self.rng.uniform_u64(0, self.index_width.as_nanos().max(1)))
+                .collect();
+            offsets.sort_unstable();
+            self.buf.extend(offsets.into_iter().map(|off| Arrival {
+                at: start + SimDuration::from_nanos(off),
+                config_id: self.config_id,
+            }));
+            self.idx += 1;
+        }
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        (self.buf.len() as u64, None)
+    }
+}
+
+/// Lazy [`crate::youtube::expand_to_arrivals`] over a rate series: buffers a
+/// single index (≈ the per-minute arrival count), not the whole day.
+pub fn youtube_arrivals_trace(
+    rates: Vec<f64>,
+    index_width: SimDuration,
+    config_id: usize,
+    seed: u64,
+) -> impl Trace {
+    GenTrace::new(YoutubeGen {
+        rates,
+        index_width,
+        config_id,
+        rng: SimRng::seeded(seed),
+        idx: 0,
+        buf: VecDeque::new(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// K-way merge.
+// ---------------------------------------------------------------------------
+
+/// Deterministic k-way merge of time-ordered sources under the total order
+/// `(at, config_id, source index)`; within one source, emission order (`seq`)
+/// breaks remaining ties. One heap entry per source ⇒ O(sources) memory and
+/// O(log sources) per arrival.
+pub struct MergeTrace {
+    sources: Vec<Box<dyn Trace>>,
+    heap: BinaryHeap<Reverse<(SimTime, usize, usize)>>,
+    error: Option<String>,
+}
+
+impl MergeTrace {
+    /// Builds the merge; each source must be individually time-ordered (an
+    /// out-of-order source is fused mid-stream and reported via
+    /// [`Trace::take_error`]).
+    pub fn new(mut sources: Vec<Box<dyn Trace>>) -> MergeTrace {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (i, s) in sources.iter_mut().enumerate() {
+            if let Some(a) = s.peek() {
+                heap.push(Reverse((a.at, a.config_id, i)));
+            }
+        }
+        MergeTrace {
+            sources,
+            heap,
+            error: None,
+        }
+    }
+}
+
+impl Trace for MergeTrace {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.heap.peek().map(|Reverse((at, config_id, _))| Arrival {
+            at: *at,
+            config_id: *config_id,
+        })
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let Reverse((at, config_id, src)) = self.heap.pop()?;
+        let source = &mut self.sources[src];
+        // The heap entry was this source's peeked head; consume it.
+        let out = match source.next_arrival() {
+            Some(a) => a,
+            // A source whose peek/next disagree is broken; report rather
+            // than panic (library code), and emit the peeked view so the
+            // merged stream stays ordered.
+            None => {
+                if self.error.is_none() {
+                    self.error = Some(format!("merge source {src} retracted its peeked arrival"));
+                }
+                Arrival { at, config_id }
+            }
+        };
+        if let Some(next) = source.peek() {
+            if next.at < at {
+                if self.error.is_none() {
+                    self.error = Some(format!(
+                        "merge source {src} emitted out-of-order arrival ({} after {})",
+                        next.at, at
+                    ));
+                }
+                // Fuse the misbehaving source: do not re-insert it.
+            } else {
+                self.heap.push(Reverse((next.at, next.config_id, src)));
+            }
+        }
+        Some(out)
+    }
+
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        let mut lo = 0u64;
+        let mut hi = Some(0u64);
+        for s in &self.sources {
+            let (slo, shi) = s.remaining_hint();
+            lo = lo.saturating_add(slo);
+            hi = match (hi, shi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+
+    fn take_error(&mut self) -> Option<String> {
+        if let Some(e) = self.error.take() {
+            return Some(e);
+        }
+        for s in &mut self.sources {
+            if let Some(e) = s.take_error() {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+/// Wraps a trace, remapping every `config_id` to `config_id % modulo` (how
+/// the CLI folds a synthesized population onto its declared functions). The
+/// merge order of the inner trace is preserved — remapping happens on the
+/// way out, exactly like the materialized runner remapped after sorting.
+pub struct ConfigModulo<T> {
+    inner: T,
+    modulo: usize,
+}
+
+impl<T: Trace> ConfigModulo<T> {
+    /// Wraps `inner`; `modulo` must be positive.
+    pub fn new(inner: T, modulo: usize) -> ConfigModulo<T> {
+        assert!(modulo > 0, "modulo must be positive");
+        ConfigModulo { inner, modulo }
+    }
+    fn map(&self, a: Arrival) -> Arrival {
+        Arrival {
+            at: a.at,
+            config_id: a.config_id % self.modulo,
+        }
+    }
+}
+
+impl<T: Trace> Trace for ConfigModulo<T> {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.inner.peek().map(|a| self.map(a))
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.inner.next_arrival().map(|a| self.map(a))
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        self.inner.remaining_hint()
+    }
+    fn take_error(&mut self) -> Option<String> {
+        self.inner.take_error()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Azure population adapter: per-function lazy sources + merge.
+// ---------------------------------------------------------------------------
+
+struct AzureFnGen {
+    config_id: usize,
+    class: FunctionClass,
+    mean_gap_s: f64,
+    frng: SimRng,
+    t: f64,
+    horizon: f64,
+}
+
+impl ArrivalGen for AzureFnGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        if self.t >= self.horizon {
+            return None;
+        }
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(self.t);
+        self.t += match self.class {
+            FunctionClass::Periodic => self.mean_gap_s * self.frng.jitter(0.05),
+            _ => self.frng.exponential(self.mean_gap_s),
+        };
+        Some(Arrival {
+            at,
+            config_id: self.config_id,
+        })
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        (0, None)
+    }
+}
+
+/// Lazy [`crate::azure::azure_workload`]: one forked-RNG source per function,
+/// merged under `(at, config_id, source)`. Emits the byte-identical arrival
+/// sequence of the materializer (whose stable sort by `(at, config_id)`
+/// this order reproduces), without the O(requests) buffer.
+pub fn azure_trace(params: &AzureWorkloadParams) -> (MergeTrace, Vec<FunctionMix>) {
+    assert!(params.functions > 0, "need at least one function");
+    let mut rng = SimRng::seeded(params.seed);
+    let hot_count = ((params.functions as f64 * params.hot_fraction).round() as usize).max(1);
+    let periodic_count = (params.functions as f64 * params.periodic_fraction).round() as usize;
+    let horizon = params.duration.as_secs_f64();
+
+    let mut mixes = Vec::with_capacity(params.functions);
+    let mut sources: Vec<Box<dyn Trace>> = Vec::with_capacity(params.functions);
+    for config_id in 0..params.functions {
+        let class = if config_id < hot_count {
+            FunctionClass::Hot
+        } else if config_id < hot_count + periodic_count {
+            FunctionClass::Periodic
+        } else {
+            FunctionClass::Rare
+        };
+        // Same fork + draw order as the materializer, so per-function
+        // streams are bit-equal.
+        let mut frng = rng.fork();
+        let mean_gap_s = match class {
+            FunctionClass::Hot => 2.0 + frng.unit() * 8.0,
+            FunctionClass::Periodic => 60.0 * (1.0 + frng.unit() * 9.0),
+            FunctionClass::Rare => 60.0 * (20.0 + frng.unit() * 40.0),
+        };
+        mixes.push(FunctionMix {
+            config_id,
+            class,
+            mean_gap: SimDuration::from_secs_f64(mean_gap_s),
+        });
+        let t = frng.unit() * mean_gap_s;
+        sources.push(Box::new(GenTrace::new(AzureFnGen {
+            config_id,
+            class,
+            mean_gap_s,
+            frng,
+            t,
+            horizon,
+        })));
+    }
+    (MergeTrace::new(sources), mixes)
+}
+
+// ---------------------------------------------------------------------------
+// Trace synthesizer: recorded shapes scaled to 1e6-1e8 requests over 10k+
+// keys, in O(bins) memory.
+// ---------------------------------------------------------------------------
+
+/// Zipf sampler with precomputed cumulative weights and binary-search draws.
+/// `SimRng::zipf` recomputes the harmonic normalizer and scans linearly on
+/// *every* draw — O(keys) per arrival, hopeless at 1e8 draws over 10k keys.
+/// This one is O(keys) once, O(log keys) per draw.
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler over ranks `0..n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n >= 1, "need at least one rank");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cum.push(acc);
+        }
+        ZipfSampler { cum, total: acc }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 most popular). One `rng.unit()` call.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let target = rng.unit() * self.total;
+        self.cum
+            .partition_point(|&c| c < target)
+            .min(self.cum.len() - 1)
+    }
+}
+
+/// Daily load shape the synthesizer scales to the requested volume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthShape {
+    /// Uniform rate across the whole span.
+    Flat,
+    /// Smooth day curve: trough at the span edges, peak mid-span,
+    /// `peak_to_trough` ≥ 1 is the peak/trough rate ratio.
+    Diurnal {
+        /// Peak-to-trough rate ratio (≥ 1).
+        peak_to_trough: f64,
+    },
+    /// Diurnal base plus a triangular spike centred at fraction `at` of the
+    /// span, `width` wide (also a span fraction), `magnitude` × the base
+    /// mean tall — the "flash crowd on diurnal load" scenario.
+    FlashCrowd {
+        /// Peak-to-trough ratio of the diurnal base (≥ 1).
+        peak_to_trough: f64,
+        /// Spike centre as a fraction of the span in `[0, 1]`.
+        at: f64,
+        /// Spike width as a fraction of the span.
+        width: f64,
+        /// Spike height as a multiple of the mean base rate.
+        magnitude: f64,
+    },
+    /// Correlated key churn: flat rate, but the Zipf-hot *window* of keys
+    /// shifts `waves` times across the span (deploy waves rolling the hot
+    /// set), each wave drawing from `window` consecutive keys.
+    DeployWaves {
+        /// Number of key-window shifts across the span.
+        waves: usize,
+        /// Keys per wave window.
+        window: usize,
+    },
+}
+
+/// Parameters of the seeded synthesizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Exact number of arrivals to emit.
+    pub requests: u64,
+    /// Distinct config ids (runtime keys) drawn Zipf-style.
+    pub keys: usize,
+    /// Simulated span the arrivals cover.
+    pub duration: SimDuration,
+    /// Zipf exponent for key popularity.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Daily load shape.
+    pub shape: SynthShape,
+    /// Added to every emitted config id (disjoint tenant key spaces).
+    pub key_offset: usize,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            requests: 1_000_000,
+            keys: 10_000,
+            duration: SimDuration::from_mins(1440),
+            zipf_exponent: 1.1,
+            seed: 0x5EED_0001,
+            shape: SynthShape::Flat,
+            key_offset: 0,
+        }
+    }
+}
+
+/// Number of rate bins the synthesizer plans over: enough resolution for a
+/// minute-level day curve, tiny next to the request count.
+const SYNTH_BINS: u64 = 1440;
+
+fn shape_weight(shape: &SynthShape, x: f64) -> f64 {
+    let diurnal = |p2t: f64| {
+        // Trough 1.0 at the span edges, peak `p2t` mid-span.
+        1.0 + (p2t.max(1.0) - 1.0) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * x).cos())
+    };
+    match *shape {
+        SynthShape::Flat | SynthShape::DeployWaves { .. } => 1.0,
+        SynthShape::Diurnal { peak_to_trough } => diurnal(peak_to_trough),
+        SynthShape::FlashCrowd {
+            peak_to_trough,
+            at,
+            width,
+            magnitude,
+        } => {
+            let base = diurnal(peak_to_trough);
+            // Mean of the diurnal base over the span is (1 + p2t) / 2.
+            let mean_base = (1.0 + peak_to_trough.max(1.0)) * 0.5;
+            let half = (width * 0.5).max(1e-9);
+            let dist = (x - at).abs();
+            let spike = if dist < half {
+                magnitude * mean_base * (1.0 - dist / half)
+            } else {
+                0.0
+            };
+            base + spike
+        }
+    }
+}
+
+/// Largest-remainder apportionment of `requests` over `weights`: exact total,
+/// deterministic tie-break by bin index.
+fn apportion(requests: u64, weights: &[f64]) -> Vec<u64> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || requests == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut counts: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let quota = requests as f64 * (w / total);
+        let floor = quota.floor() as u64;
+        counts.push(floor);
+        assigned += floor;
+        fracs.push((quota - floor as f64, i));
+    }
+    // Hand the leftover to the largest fractional remainders, ties by index.
+    let mut leftover = requests - assigned.min(requests);
+    fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in fracs.iter() {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    counts
+}
+
+struct SynthGen {
+    bins: Vec<u64>,
+    duration_ns: u64,
+    keys: usize,
+    key_offset: usize,
+    sampler: ZipfSampler,
+    rng: SimRng,
+    waves: Option<(usize, usize)>, // (waves, window) for DeployWaves
+    bin: usize,
+    j: u64,
+    emitted: u64,
+    requests: u64,
+}
+
+impl SynthGen {
+    fn bin_bound(&self, b: usize) -> u64 {
+        // Exact integer bin edges: no f64 drift across a 1e8-request day.
+        ((self.duration_ns as u128 * b as u128) / self.bins.len() as u128) as u64
+    }
+}
+
+impl ArrivalGen for SynthGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        while self.bin < self.bins.len() {
+            let n = self.bins[self.bin];
+            if self.j < n {
+                let start = self.bin_bound(self.bin);
+                let span = (self.bin_bound(self.bin + 1) - start) as f64;
+                // Jittered but monotone within the bin: the j-th of n
+                // arrivals lands in [j/n, (j+1)/n) of the bin span.
+                let u = self.rng.unit();
+                let off = (span * (self.j as f64 + u) / n as f64) as u64;
+                let key = match self.waves {
+                    Some((waves, _window)) => {
+                        let wave = self.bin * waves / self.bins.len();
+                        let stride = (self.keys / waves.max(1)).max(1);
+                        let rank = self.sampler.sample(&mut self.rng);
+                        (wave * stride + rank) % self.keys
+                    }
+                    None => self.sampler.sample(&mut self.rng),
+                };
+                self.j += 1;
+                self.emitted += 1;
+                return Some(Arrival {
+                    at: SimTime::from_nanos(start + off),
+                    config_id: self.key_offset + key,
+                });
+            }
+            self.bin += 1;
+            self.j = 0;
+        }
+        None
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        let left = self.requests - self.emitted;
+        (left, Some(left))
+    }
+}
+
+/// Seeded trace synthesizer: exactly `spec.requests` arrivals over
+/// `spec.duration`, keys drawn Zipf(`zipf_exponent`) over `spec.keys` ids,
+/// shaped by `spec.shape`. Plans per-bin counts up front (O([`SYNTH_BINS`])
+/// memory) and emits lazily — 1e8 requests cost the same resident memory as
+/// 1e3.
+pub fn synth_trace(spec: &SynthSpec) -> impl Trace {
+    assert!(spec.keys >= 1, "need at least one key");
+    assert!(!spec.duration.is_zero(), "duration must be positive");
+    let nbins = SYNTH_BINS.min(spec.requests.max(1)) as usize;
+    let weights: Vec<f64> = (0..nbins)
+        .map(|b| shape_weight(&spec.shape, (b as f64 + 0.5) / nbins as f64))
+        .collect();
+    let bins = apportion(spec.requests, &weights);
+    let (waves, sampler_n) = match spec.shape {
+        SynthShape::DeployWaves { waves, window } => {
+            let window = window.clamp(1, spec.keys);
+            (Some((waves.max(1), window)), window)
+        }
+        _ => (None, spec.keys),
+    };
+    GenTrace::new(SynthGen {
+        bins,
+        duration_ns: spec.duration.as_nanos(),
+        keys: spec.keys,
+        key_offset: spec.key_offset,
+        sampler: ZipfSampler::new(sampler_n, spec.zipf_exponent),
+        rng: SimRng::seeded(spec.seed),
+        waves,
+        bin: 0,
+        j: 0,
+        emitted: 0,
+        requests: bins_total(&weights, spec.requests),
+    })
+}
+
+fn bins_total(weights: &[f64], requests: u64) -> u64 {
+    if weights.iter().sum::<f64>() <= 0.0 {
+        0
+    } else {
+        requests
+    }
+}
+
+/// Multi-tenant interference: `tenants` synthesized tenants, each with a
+/// disjoint key space (`key_offset` shifted by `t * keys`), its own seed
+/// stream, and a flash crowd staggered across the span (tenant `t` spikes at
+/// fraction `(t + 0.5) / tenants`), merged deterministically.
+pub fn multi_tenant_trace(tenants: usize, per_tenant: &SynthSpec) -> MergeTrace {
+    assert!(tenants >= 1, "need at least one tenant");
+    let sources: Vec<Box<dyn Trace>> = (0..tenants)
+        .map(|t| {
+            let mut spec = per_tenant.clone();
+            spec.seed = per_tenant
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+            spec.key_offset = per_tenant.key_offset + t * per_tenant.keys;
+            spec.shape = SynthShape::FlashCrowd {
+                peak_to_trough: 3.0,
+                at: (t as f64 + 0.5) / tenants as f64,
+                width: 0.1,
+                magnitude: 8.0,
+            };
+            Box::new(synth_trace(&spec)) as Box<dyn Trace>
+        })
+        .collect();
+    MergeTrace::new(sources)
+}
+
+// ---------------------------------------------------------------------------
+// Trace file readers.
+// ---------------------------------------------------------------------------
+
+struct CountsGen {
+    counts: Vec<u64>,
+    interval: SimDuration,
+    config_id: usize,
+    idx: usize,
+    j: u64,
+}
+
+impl ArrivalGen for CountsGen {
+    fn produce(&mut self) -> Option<Arrival> {
+        while self.idx < self.counts.len() {
+            let n = self.counts[self.idx];
+            if self.j < n {
+                let start = round_start(self.interval, self.idx as u64);
+                // Even spacing within the interval: the j-th of n arrivals
+                // lands at j/n of the window. Deterministic, no RNG.
+                let off = ((self.interval.as_nanos() as u128 * self.j as u128) / n as u128) as u64;
+                self.j += 1;
+                return Some(Arrival {
+                    at: start + SimDuration::from_nanos(off),
+                    config_id: self.config_id,
+                });
+            }
+            self.idx += 1;
+            self.j = 0;
+        }
+        None
+    }
+    fn remaining(&self) -> (u64, Option<u64>) {
+        (0, None)
+    }
+}
+
+/// Azure-Functions-style invocation-count reader (the Shahrad et al. dataset
+/// shape): one row per function, `name,count,count,...` with one count per
+/// `interval`-wide window. Rows become per-function lazy sources — counts are
+/// held in memory (O(functions × windows) integers, the compact part), the
+/// arrival expansion is streamed. An optional header row (second field not an
+/// integer) and `#` comment lines are skipped. Returns the merged trace plus
+/// the function names in config-id order.
+pub fn azure_csv_trace(
+    reader: impl BufRead,
+    interval: SimDuration,
+) -> Result<(MergeTrace, Vec<String>), String> {
+    assert!(!interval.is_zero(), "interval must be positive");
+    let mut names = Vec::new();
+    let mut sources: Vec<Box<dyn Trace>> = Vec::new();
+    let mut first_data_line = true;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.map_err(|e| format!("line {line_no}: read error: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let name = match fields.next() {
+            Some(n) if !n.trim().is_empty() => n.trim().to_string(),
+            _ => return Err(format!("line {line_no}: missing function name")),
+        };
+        let mut counts = Vec::new();
+        let mut bad: Option<String> = None;
+        for f in fields {
+            match f.trim().parse::<u64>() {
+                Ok(c) => counts.push(c),
+                Err(_) => {
+                    bad = Some(f.trim().to_string());
+                    break;
+                }
+            }
+        }
+        if let Some(bad) = bad {
+            if first_data_line {
+                // Header row (e.g. "function,t0,t1,..."): skip it.
+                first_data_line = false;
+                continue;
+            }
+            return Err(format!("line {line_no}: invalid invocation count '{bad}'"));
+        }
+        if counts.is_empty() {
+            return Err(format!(
+                "line {line_no}: expected 'name,count,count,...' (no counts found)"
+            ));
+        }
+        first_data_line = false;
+        let config_id = names.len();
+        names.push(name);
+        sources.push(Box::new(GenTrace::new(CountsGen {
+            counts,
+            interval,
+            config_id,
+            idx: 0,
+            j: 0,
+        })));
+    }
+    if sources.is_empty() {
+        return Err("trace file contains no function rows".to_string());
+    }
+    Ok((MergeTrace::new(sources), names))
+}
+
+/// OpenDC-style invocation-row reader: a line-streamed CSV of
+/// `timestamp_ms,function_name` rows sorted by timestamp. Function names are
+/// interned to config ids in first-seen order. The reader holds one line of
+/// lookahead — a multi-GB trace file replays in constant memory. Malformed
+/// rows and timestamp regressions fuse the source and surface through
+/// [`Trace::take_error`].
+pub struct OpenDcTrace<R: BufRead> {
+    lines: std::io::Lines<R>,
+    head: Option<Arrival>,
+    ids: BTreeMap<String, usize>,
+    names: Vec<String>,
+    line_no: usize,
+    last_at: SimTime,
+    seen_data: bool,
+    error: Option<String>,
+}
+
+impl<R: BufRead> OpenDcTrace<R> {
+    /// Starts streaming from `reader`; reads ahead exactly one row.
+    pub fn new(reader: R) -> OpenDcTrace<R> {
+        let mut t = OpenDcTrace {
+            lines: reader.lines(),
+            head: None,
+            ids: BTreeMap::new(),
+            names: Vec::new(),
+            line_no: 0,
+            last_at: SimTime::ZERO,
+            seen_data: false,
+            error: None,
+        };
+        t.head = t.read_row();
+        t
+    }
+
+    /// Function names discovered so far, indexed by config id.
+    pub fn function_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn fail(&mut self, msg: String) -> Option<Arrival> {
+        if self.error.is_none() {
+            self.error = Some(msg);
+        }
+        None
+    }
+
+    fn read_row(&mut self) -> Option<Arrival> {
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next() {
+                None => return None,
+                Some(Err(e)) => {
+                    let line_no = self.line_no + 1;
+                    return self.fail(format!("line {line_no}: read error: {e}"));
+                }
+                Some(Ok(l)) => l,
+            };
+            self.line_no += 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (ts, name) = match line.split_once(',') {
+                Some(parts) => parts,
+                None => {
+                    let line_no = self.line_no;
+                    return self.fail(format!(
+                        "line {line_no}: expected 'timestamp_ms,function' row"
+                    ));
+                }
+            };
+            let ms = match ts.trim().parse::<u64>() {
+                Ok(ms) => ms,
+                Err(_) => {
+                    if !self.seen_data {
+                        // Header row: skip.
+                        continue;
+                    }
+                    let line_no = self.line_no;
+                    let ts = ts.trim().to_string();
+                    return self.fail(format!("line {line_no}: invalid timestamp '{ts}'"));
+                }
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                let line_no = self.line_no;
+                return self.fail(format!("line {line_no}: missing function name"));
+            }
+            let at = SimTime::from_millis(ms);
+            if at < self.last_at {
+                let line_no = self.line_no;
+                return self.fail(format!(
+                    "line {line_no}: timestamps must be non-decreasing ({at} after {})",
+                    self.last_at
+                ));
+            }
+            self.last_at = at;
+            self.seen_data = true;
+            let next_id = self.names.len();
+            let config_id = match self.ids.get(name) {
+                Some(&id) => id,
+                None => {
+                    self.ids.insert(name.to_string(), next_id);
+                    self.names.push(name.to_string());
+                    next_id
+                }
+            };
+            return Some(Arrival { at, config_id });
+        }
+    }
+}
+
+impl<R: BufRead> Trace for OpenDcTrace<R> {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.head
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let out = self.head.take();
+        if out.is_some() {
+            self.head = self.read_row();
+        }
+        out
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        (self.head.is_some() as u64, None)
+    }
+    fn take_error(&mut self) -> Option<String> {
+        self.error.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use crate::youtube;
+    use crate::{is_time_ordered, youtube_trace, YoutubeTraceParams};
+
+    const ROUND: SimDuration = SimDuration::from_secs(30);
+
+    fn assert_streams_eq(mut t: impl Trace, expected: &[Arrival]) {
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(t.peek(), Some(*want), "peek diverged at arrival {i}");
+            assert_eq!(t.next_arrival(), Some(*want), "diverged at arrival {i}");
+        }
+        assert_eq!(t.peek(), None);
+        assert_eq!(t.next_arrival(), None);
+        assert_eq!(t.next_arrival(), None, "trace must stay fused after end");
+    }
+
+    #[test]
+    fn pattern_adapters_match_materializers() {
+        assert_streams_eq(serial_trace(ROUND, 7, 3), &patterns::serial(ROUND, 7, 3));
+        assert_streams_eq(
+            parallel_trace(5, 4, ROUND),
+            &patterns::parallel_clients(5, 4, ROUND),
+        );
+        for dir in [Direction::Increasing, Direction::Decreasing] {
+            assert_streams_eq(
+                linear_ramp_trace(dir, 2, 2, 4, ROUND, 1),
+                &patterns::linear_ramp(dir, 2, 2, 4, ROUND, 1),
+            );
+            assert_streams_eq(
+                exponential_ramp_trace(dir, 5, ROUND, 1),
+                &patterns::exponential_ramp(dir, 5, ROUND, 1),
+            );
+        }
+        assert_streams_eq(
+            burst_trace(8, 10, vec![3, 7], 10, ROUND, 2),
+            &patterns::burst(8, 10, &[3, 7], 10, ROUND, 2),
+        );
+        assert_streams_eq(
+            poisson_trace(5.0, SimDuration::from_secs(120), 4, 1.1, 42),
+            &patterns::poisson(5.0, SimDuration::from_secs(120), 4, 1.1, 42),
+        );
+    }
+
+    #[test]
+    fn youtube_adapter_matches_materializer() {
+        let rates = youtube_trace(&YoutubeTraceParams {
+            length: 60,
+            ..Default::default()
+        });
+        let expected = youtube::expand_to_arrivals(&rates, SimDuration::from_secs(60), 9, 77);
+        assert_streams_eq(
+            youtube_arrivals_trace(rates, SimDuration::from_secs(60), 9, 77),
+            &expected,
+        );
+    }
+
+    #[test]
+    fn azure_adapter_matches_materializer() {
+        let params = AzureWorkloadParams::default();
+        let (expected, expected_mixes) = crate::azure_workload(&params);
+        let (trace, mixes) = azure_trace(&params);
+        assert_eq!(mixes.len(), expected_mixes.len());
+        for (a, b) in mixes.iter().zip(&expected_mixes) {
+            assert_eq!(
+                (a.config_id, a.class, a.mean_gap),
+                (b.config_id, b.class, b.mean_gap)
+            );
+        }
+        assert_streams_eq(trace, &expected);
+    }
+
+    #[test]
+    fn merge_of_colliding_generators_is_deterministic() {
+        // Two serial sources with the same interval ⇒ every timestamp
+        // collides. Before the (at, config_id, seq) total order, this
+        // ordering was whatever a stable sort happened to preserve.
+        let merged = || {
+            let sources: Vec<Box<dyn Trace>> = vec![
+                Box::new(serial_trace(ROUND, 5, 1)),
+                Box::new(serial_trace(ROUND, 5, 0)),
+            ];
+            drain(&mut MergeTrace::new(sources))
+        };
+        let a = merged();
+        let b = merged();
+        assert_eq!(a, b, "same sources must merge byte-identically");
+        assert!(is_time_ordered(&a));
+        // At each instant, config 0 precedes config 1 regardless of the
+        // order the sources were supplied in.
+        for pair in a.chunks(2) {
+            assert_eq!(pair[0].at, pair[1].at);
+            assert_eq!((pair[0].config_id, pair[1].config_id), (0, 1));
+        }
+    }
+
+    #[test]
+    fn merge_ties_within_a_source_keep_emission_order() {
+        // One source emits two arrivals at the same (at, config): seq order
+        // (emission order) must survive the merge.
+        let t0 = SimTime::from_secs(1);
+        let items = vec![
+            Arrival {
+                at: t0,
+                config_id: 5,
+            },
+            Arrival {
+                at: t0,
+                config_id: 5,
+            },
+            Arrival {
+                at: t0,
+                config_id: 7,
+            },
+        ];
+        let sources: Vec<Box<dyn Trace>> = vec![
+            Box::new(VecTrace::new(items.clone())),
+            Box::new(serial_trace(SimDuration::from_secs(1), 2, 6)),
+        ];
+        let out = drain(&mut MergeTrace::new(sources));
+        let configs: Vec<usize> = out.iter().map(|a| a.config_id).collect();
+        // t=0: serial's first arrival; t=1: configs 5,5,6,7 in total order.
+        assert_eq!(configs, vec![6, 5, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_fuses_and_reports_out_of_order_source() {
+        // A source that goes backwards after its first pull (VecTrace would
+        // debug-assert on construction, so hand-roll the misbehavior).
+        struct Backwards(usize);
+        impl Trace for Backwards {
+            fn peek(&mut self) -> Option<Arrival> {
+                self.items().get(self.0).copied()
+            }
+            fn next_arrival(&mut self) -> Option<Arrival> {
+                let out = self.items().get(self.0).copied();
+                if out.is_some() {
+                    self.0 += 1;
+                }
+                out
+            }
+            fn remaining_hint(&self) -> (u64, Option<u64>) {
+                (0, None)
+            }
+        }
+        impl Backwards {
+            fn items(&self) -> Vec<Arrival> {
+                vec![
+                    Arrival {
+                        at: SimTime::from_secs(5),
+                        config_id: 0,
+                    },
+                    Arrival {
+                        at: SimTime::from_secs(1),
+                        config_id: 0,
+                    },
+                ]
+            }
+        }
+        let sources: Vec<Box<dyn Trace>> = vec![Box::new(Backwards(0))];
+        let mut merged = MergeTrace::new(sources);
+        let out = drain(&mut merged);
+        // The offending source is fused after its first (valid) arrival.
+        assert_eq!(out.len(), 1);
+        let err = merged.take_error();
+        assert!(
+            err.as_deref().is_some_and(|e| e.contains("out-of-order")),
+            "expected out-of-order error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn config_modulo_remaps_on_the_way_out() {
+        let mut t = ConfigModulo::new(parallel_trace(5, 2, ROUND), 2);
+        let out = drain(&mut t);
+        assert!(out.iter().all(|a| a.config_id < 2));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn zipf_sampler_matches_skew_and_bounds() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = SimRng::seeded(9);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90].saturating_sub(50));
+        assert!(counts[0] > 2_000, "rank 0 got {}", counts[0]);
+    }
+
+    #[test]
+    fn synth_emits_exact_count_deterministically() {
+        let spec = SynthSpec {
+            requests: 12_345,
+            keys: 500,
+            duration: SimDuration::from_mins(60),
+            ..Default::default()
+        };
+        let a = drain(&mut synth_trace(&spec));
+        let b = drain(&mut synth_trace(&spec));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12_345);
+        assert!(is_time_ordered(&a));
+        assert!(a.iter().all(|x| x.config_id < 500));
+        assert!(a.iter().all(|x| x.at < SimTime::ZERO + spec.duration));
+        // remaining_hint is exact for the synthesizer.
+        let mut t = synth_trace(&spec);
+        assert_eq!(t.remaining_hint(), (12_345, Some(12_345)));
+        let _ = t.next_arrival();
+        assert_eq!(t.remaining_hint(), (12_344, Some(12_344)));
+    }
+
+    #[test]
+    fn synth_handles_degenerate_sizes() {
+        let tiny = SynthSpec {
+            requests: 3,
+            keys: 2,
+            duration: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        assert_eq!(drain(&mut synth_trace(&tiny)).len(), 3);
+        let empty = SynthSpec {
+            requests: 0,
+            ..tiny.clone()
+        };
+        assert_eq!(drain(&mut synth_trace(&empty)).len(), 0);
+    }
+
+    fn bin_histogram(arrivals: &[Arrival], duration: SimDuration, nbins: usize) -> Vec<u64> {
+        let mut bins = vec![0u64; nbins];
+        for a in arrivals {
+            let b =
+                ((a.at.as_nanos() as u128 * nbins as u128) / duration.as_nanos() as u128) as usize;
+            bins[b.min(nbins - 1)] += 1;
+        }
+        bins
+    }
+
+    #[test]
+    fn diurnal_shape_peaks_mid_span() {
+        let spec = SynthSpec {
+            requests: 50_000,
+            keys: 10,
+            duration: SimDuration::from_mins(1440),
+            shape: SynthShape::Diurnal {
+                peak_to_trough: 4.0,
+            },
+            ..Default::default()
+        };
+        let arrivals = drain(&mut synth_trace(&spec));
+        let bins = bin_histogram(&arrivals, spec.duration, 24);
+        let trough = bins[0].max(1);
+        let peak = bins[12];
+        let ratio = peak as f64 / trough as f64;
+        assert!((2.5..6.0).contains(&ratio), "peak/trough ratio {ratio}");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_at_the_configured_instant() {
+        let spec = SynthSpec {
+            requests: 50_000,
+            keys: 10,
+            duration: SimDuration::from_mins(1440),
+            shape: SynthShape::FlashCrowd {
+                peak_to_trough: 2.0,
+                at: 0.25,
+                width: 0.05,
+                magnitude: 10.0,
+            },
+            ..Default::default()
+        };
+        let arrivals = drain(&mut synth_trace(&spec));
+        let bins = bin_histogram(&arrivals, spec.duration, 48);
+        let spike = bins[12]; // x = 0.25 of the span
+        let elsewhere = bins[36];
+        assert!(
+            spike as f64 > elsewhere as f64 * 3.0,
+            "spike {spike} vs elsewhere {elsewhere}"
+        );
+    }
+
+    #[test]
+    fn deploy_waves_shift_the_hot_key_window() {
+        let spec = SynthSpec {
+            requests: 40_000,
+            keys: 1000,
+            duration: SimDuration::from_mins(1440),
+            shape: SynthShape::DeployWaves {
+                waves: 4,
+                window: 100,
+            },
+            ..Default::default()
+        };
+        let arrivals = drain(&mut synth_trace(&spec));
+        assert_eq!(arrivals.len(), 40_000);
+        let quarter = spec.duration.as_nanos() / 4;
+        let hot_key = |lo: u64, hi: u64| -> usize {
+            let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+            for a in &arrivals {
+                let ns = a.at.as_nanos();
+                if ns >= lo && ns < hi {
+                    *counts.entry(a.config_id).or_insert(0) += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(k, c)| (c, usize::MAX - k))
+                .map(|(k, _)| k)
+                .unwrap_or(0)
+        };
+        let first = hot_key(0, quarter);
+        let last = hot_key(3 * quarter, 4 * quarter);
+        // Wave 0 draws from keys [0, 100), wave 3 from [750, 850).
+        assert!(first < 100, "first-quarter hot key {first}");
+        assert!((750..850).contains(&last), "last-quarter hot key {last}");
+    }
+
+    #[test]
+    fn multi_tenant_spaces_are_disjoint_and_staggered() {
+        let per_tenant = SynthSpec {
+            requests: 30_000,
+            keys: 50,
+            duration: SimDuration::from_mins(1440),
+            ..Default::default()
+        };
+        let mut t = multi_tenant_trace(3, &per_tenant);
+        let arrivals = drain(&mut t);
+        assert_eq!(arrivals.len(), 90_000);
+        assert!(is_time_ordered(&arrivals));
+        assert!(t.take_error().is_none());
+        // Each tenant stays inside its shifted key space.
+        for a in &arrivals {
+            assert!(a.config_id < 150);
+        }
+        // Tenant 1's flash crowd (at x=0.5) dominates mid-span traffic.
+        let mid_lo = per_tenant.duration.as_nanos() * 45 / 100;
+        let mid_hi = per_tenant.duration.as_nanos() * 55 / 100;
+        let mid: Vec<&Arrival> = arrivals
+            .iter()
+            .filter(|a| (mid_lo..mid_hi).contains(&a.at.as_nanos()))
+            .collect();
+        let tenant1 = mid
+            .iter()
+            .filter(|a| (50..100).contains(&a.config_id))
+            .count();
+        assert!(
+            tenant1 * 2 > mid.len(),
+            "tenant 1 has {tenant1} of {} mid-span arrivals",
+            mid.len()
+        );
+    }
+
+    #[test]
+    fn azure_csv_reader_expands_counts() {
+        let csv = "function,t0,t1,t2\nalpha,2,0,1\nbeta,1,1,0\n";
+        let (mut trace, names) =
+            azure_csv_trace(csv.as_bytes(), SimDuration::from_secs(60)).unwrap();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        let out = drain(&mut trace);
+        assert!(trace.take_error().is_none());
+        assert!(is_time_ordered(&out));
+        // alpha: 2 at window 0 (t=0s, t=30s), 1 at window 2 (t=120s);
+        // beta: 1 at window 0 (t=0s), 1 at window 1 (t=60s).
+        let expect = vec![
+            Arrival {
+                at: SimTime::from_secs(0),
+                config_id: 0,
+            },
+            Arrival {
+                at: SimTime::from_secs(0),
+                config_id: 1,
+            },
+            Arrival {
+                at: SimTime::from_secs(30),
+                config_id: 0,
+            },
+            Arrival {
+                at: SimTime::from_secs(60),
+                config_id: 1,
+            },
+            Arrival {
+                at: SimTime::from_secs(120),
+                config_id: 0,
+            },
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn azure_csv_reader_rejects_bad_rows() {
+        let err = azure_csv_trace("alpha,2,x,1\n".as_bytes(), SimDuration::from_secs(60))
+            .map(|_| ())
+            .unwrap_err();
+        // First line may be a header, so the *second* bad line is the error.
+        assert!(err.contains("no function rows"), "{err}");
+        let err = azure_csv_trace(
+            "alpha,1,2\nbeta,2,x\n".as_bytes(),
+            SimDuration::from_secs(60),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("invalid invocation count"),
+            "{err}"
+        );
+        let err = azure_csv_trace("alpha\n".as_bytes(), SimDuration::from_secs(60))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn opendc_reader_interns_and_orders() {
+        let csv = "timestamp,function\n0,alpha\n500,beta\n500,alpha\n1500,gamma\n";
+        let mut t = OpenDcTrace::new(csv.as_bytes());
+        let out = drain(&mut t);
+        assert!(t.take_error().is_none());
+        assert_eq!(t.function_names(), ["alpha", "beta", "gamma"]);
+        let expect = vec![
+            Arrival {
+                at: SimTime::from_millis(0),
+                config_id: 0,
+            },
+            Arrival {
+                at: SimTime::from_millis(500),
+                config_id: 1,
+            },
+            Arrival {
+                at: SimTime::from_millis(500),
+                config_id: 0,
+            },
+            Arrival {
+                at: SimTime::from_millis(1500),
+                config_id: 2,
+            },
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn opendc_reader_reports_time_regression() {
+        let csv = "100,alpha\n50,beta\n";
+        let mut t = OpenDcTrace::new(csv.as_bytes());
+        let out = drain(&mut t);
+        assert_eq!(out.len(), 1, "stream fuses at the regression");
+        let err = t.take_error();
+        assert!(
+            err.as_deref()
+                .is_some_and(|e| e.contains("line 2") && e.contains("non-decreasing")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn opendc_reader_reports_malformed_rows() {
+        let mut t = OpenDcTrace::new("10,alpha\nnonsense\n".as_bytes());
+        let _ = drain(&mut t);
+        let err = t.take_error();
+        assert!(
+            err.as_deref().is_some_and(|e| e.contains("line 2")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn vec_trace_and_drain_round_trip() {
+        let w = patterns::serial(ROUND, 4, 0);
+        let mut t = VecTrace::new(w.clone());
+        assert_eq!(t.remaining_hint(), (4, Some(4)));
+        assert_eq!(drain(&mut t), w);
+        assert_eq!(t.remaining_hint(), (0, Some(0)));
+    }
+}

@@ -134,6 +134,9 @@ pub fn expand_to_arrivals(
         let mut offsets: Vec<u64> = (0..n)
             .map(|_| rng.uniform_u64(0, index_width.as_nanos().max(1)))
             .collect();
+        // Offsets are plain u64s, so `sort_unstable` is already a total
+        // order here; equal offsets are indistinguishable and all map to the
+        // same config_id, satisfying the (at, config_id, seq) merge order.
         offsets.sort_unstable();
         out.extend(offsets.into_iter().map(|off| Arrival {
             at: start + SimDuration::from_nanos(off),

@@ -70,3 +70,28 @@ fn azure_hybrid_scenario() {
     // The hybrid provider keeps the hot/periodic classes warm.
     assert!(report.cold_fraction < 0.1, "{}", report.cold_fraction);
 }
+
+#[test]
+fn multi_tenant_scenario() {
+    let report = run_scenario(&load("multi_tenant.hotc")).unwrap();
+    // The synthesizer emits exactly `requests` per tenant.
+    assert_eq!(report.requests, 4 * 50_000);
+    // Zipf-hot keys stay warm; the long tail cold-starts.
+    assert!(report.cold_fraction < 0.2, "{}", report.cold_fraction);
+}
+
+#[test]
+fn flash_crowd_scenario() {
+    let report = run_scenario(&load("flash_crowd.hotc")).unwrap();
+    assert_eq!(report.requests, 100_000);
+    assert!(report.cold_fraction < 0.2, "{}", report.cold_fraction);
+}
+
+#[test]
+fn deploy_waves_scenario() {
+    let report = run_scenario(&load("deploy_waves.hotc")).unwrap();
+    assert_eq!(report.requests, 100_000);
+    // Each wave churns the hot key window, so some cold starts are expected
+    // but the within-wave hot set must still mostly hit warm runtimes.
+    assert!(report.cold_fraction < 0.5, "{}", report.cold_fraction);
+}
