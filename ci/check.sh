@@ -40,28 +40,42 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # 3. Repo-specific conformance analyzer: determinism and concurrency rules
 #    clippy cannot express (wall-clock, raw locks, hash-order iteration,
-#    unwrap on the request path, hermetic manifests). Deny by default;
-#    escapes need `// lint:allow(rule, reason)`.
-run cargo run --offline -q -p hotc-lint
+#    unwrap on the request path, atomic-ordering conformance, hermetic
+#    manifests). Deny by default; escapes need `// lint:allow(rule, reason)`.
+#    The JSON report is the CI artifact; a dirty report exits nonzero here.
+echo
+echo "==> cargo run --offline -q -p hotc-lint -- --json > lint-report.json"
+cargo run --offline -q -p hotc-lint -- --json > lint-report.json
 
 # 4. Workspace test suite. Debug profile arms the lock-order sanitizer and
 #    the zero-lock warm-path assertions (request_path_scope). In --fast
 #    mode this is the last step.
 run cargo test -q --workspace --offline
+
+# 5. Bounded model checking of the lock-free slot protocol. The dedicated
+#    --cfg build routes every protocol atomic through the instrumented
+#    stdshim facade (separate target dir so fingerprints don't thrash);
+#    the suite exhausts the named races and the mutation harness proves a
+#    Relaxed publish is still caught. HOTC_MODEL_BUDGET caps schedules per
+#    test so a state-space regression fails fast instead of hanging CI.
+run env RUSTFLAGS='--cfg hotc_model' CARGO_TARGET_DIR=target/model \
+    HOTC_MODEL_BUDGET="${HOTC_MODEL_BUDGET:-20000}" \
+    cargo test -q -p hotc-model --offline
+
 if [ "$FAST" = 1 ]; then
     echo
     echo "Fast checks passed."
     exit 0
 fi
 
-# 5. Tier-1: release build + root test suite, offline (release compiles the
+# 6. Tier-1: release build + root test suite, offline (release compiles the
 #    sanitizer out; the perf numbers below come from this profile).
 #    --workspace so the metrics smoke below gets its hotc-sim binary from
 #    this build rather than from whatever was in target/ already.
 run cargo build --workspace --release --offline
 run cargo test -q --offline
 
-# 6. Perf smoke: every bench suite in --smoke mode, accumulating one
+# 7. Perf smoke: every bench suite in --smoke mode, accumulating one
 #    JSON-Lines record per suite into BENCH_ci.json (the CI perf artifact),
 #    then the perf-gate checker evaluates ci/gates.json against it —
 #    suite/record presence, max-mean thresholds, and scaling ratios all
@@ -73,7 +87,7 @@ rm -f "$BENCH_OUT_DIR/BENCH_ci.json"
 run cargo bench --offline -p hotc-bench --benches -- --smoke
 run cargo run --offline -q -p hotc-bench --bin gate -- "$BENCH_OUT_DIR/BENCH_ci.json" ci/gates.json
 
-# 7. Telemetry smoke: run the demo scenario with --metrics-out and assert the
+# 8. Telemetry smoke: run the demo scenario with --metrics-out and assert the
 #    snapshot is well-formed with nonzero cold-start stage counts.
 METRICS_OUT="$(mktemp)"
 trap 'rm -f "$METRICS_OUT"' EXIT
@@ -99,7 +113,7 @@ if grep -q '"count": 0' "$METRICS_OUT"; then
 fi
 echo "metrics snapshot OK"
 
-# 8. Streaming replay smoke: synthesize and replay a 1e6-request / 10k-key
+# 9. Streaming replay smoke: synthesize and replay a 1e6-request / 10k-key
 #    day through the CLI's pull-based trace path (never materialized) and
 #    assert every request was served. Takes about a minute in release.
 REPLAY_OUT="$(mktemp)"

@@ -51,8 +51,8 @@ use containersim::{ContainerConfig, ContainerEngine, ContainerId, CostBreakdown,
 use faas::Acquisition;
 use simclock::{SimDuration, SimTime};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use stdshim::atomic::{Ordering, ShimAtomicU64 as AtomicU64, ShimAtomicUsize as AtomicUsize};
 use stdshim::sync::{LazySlotTable, Mutex, SlotBitmap};
 use stdshim::FastMap;
 
@@ -166,13 +166,22 @@ struct KeySlots {
 
 impl KeySlots {
     fn new() -> KeySlots {
-        let free = SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-free");
+        let ks = KeySlots::new_unfreed();
         for i in 0..SLOTS_PER_KEY {
-            free.release(i);
+            ks.free.release(i);
         }
+        ks
+    }
+
+    /// Every bitmap clear, *including* `free`: no slot is claimable until
+    /// the caller releases free bits. Split from [`new`](Self::new) so the
+    /// model API can free a small prefix instead of all
+    /// [`SLOTS_PER_KEY`] — under the checker each bit release is a schedule
+    /// point paid on every re-executed schedule.
+    fn new_unfreed() -> KeySlots {
         KeySlots {
             entries: (0..SLOTS_PER_KEY).map(|_| AtomicU64::new(0)).collect(),
-            free,
+            free: SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-free"),
             avail: SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-avail"),
             in_use: SlotBitmap::labeled(SLOTS_PER_KEY, "pool/slot-inuse"),
             last_app: (0..SLOTS_PER_KEY).map(|_| AtomicU64::new(0)).collect(),
@@ -248,6 +257,7 @@ impl KeySlots {
     /// entry store (now flagged as executed) happens before the `avail`
     /// release-store, upholding publish-before-bit-set.
     fn hand_back(&self, i: usize, container: ContainerId) {
+        // lint:allow(atomic-ordering, entry store is ordered by the avail.release bit-set below)
         self.entries[i].store(pack_entry(container, true), Ordering::Relaxed);
         let fresh = self.avail.release(i);
         debug_assert!(fresh, "hand-back found the avail bit already set");
@@ -257,7 +267,9 @@ impl KeySlots {
     /// Empties a slot index whose bits are already claimed by the caller.
     /// Shard lock required: this mutates `free` (occupancy).
     fn dispose_idle(&self, i: usize) {
+        // lint:allow(atomic-ordering, caller owns every bit of this slot; unreachable until free.release)
         self.entries[i].store(0, Ordering::Relaxed);
+        // lint:allow(atomic-ordering, same: slot unreachable until the free.release below)
         self.last_app[i].store(0, Ordering::Relaxed);
         let fresh = self.free.release(i);
         debug_assert!(fresh, "disposed slot was already free");
@@ -815,7 +827,9 @@ impl ShardedPool {
     fn publish_in_use(&self, slot: &mut Slot, id: KeyId, container: ContainerId) -> Option<usize> {
         let ks = &slot.ks;
         if let Some(i) = ks.free.claim() {
+            // lint:allow(atomic-ordering, entry store is ordered by the in_use.release bit-set below)
             ks.entries[i].store(pack_entry(container, false), Ordering::Relaxed);
+            // lint:allow(atomic-ordering, advisory recency token; ordered by the bit-set below)
             ks.last_app[i].store(0, Ordering::Relaxed);
             self.rindex_set(container, id, i);
             let fresh = ks.in_use.release(i);
@@ -834,7 +848,9 @@ impl ShardedPool {
     fn publish_avail(&self, slot: &mut Slot, id: KeyId, container: ContainerId, execed: bool) {
         let ks = &slot.ks;
         if let Some(i) = ks.free.claim() {
+            // lint:allow(atomic-ordering, entry store is ordered by the avail.release bit-set below)
             ks.entries[i].store(pack_entry(container, execed), Ordering::Relaxed);
+            // lint:allow(atomic-ordering, advisory recency token; ordered by the bit-set below)
             ks.last_app[i].store(0, Ordering::Relaxed);
             self.rindex_set(container, id, i);
             let fresh = ks.avail.release(i);
@@ -1112,6 +1128,7 @@ impl ShardedPool {
             return None;
         }
         let ks = self.key_slots.get(id.index())?;
+        // lint:allow(atomic-ordering, advisory recency token; readers tolerate staleness)
         Some(ks.last_app[slot].swap(token, Ordering::Relaxed))
     }
 
@@ -1444,6 +1461,7 @@ impl ShardedPool {
                 let demand = slot
                     .ks
                     .watermark
+                    // lint:allow(atomic-ordering, watermark is an advisory peak counter reset under the shard lock)
                     .swap(in_use, Ordering::Relaxed)
                     .max(in_use);
                 if demand == 0 && slot.live_now() == 0 {
@@ -1533,6 +1551,7 @@ impl ShardedPool {
                 let demand = slot
                     .ks
                     .watermark
+                    // lint:allow(atomic-ordering, watermark is an advisory peak counter reset under the shard lock)
                     .swap(in_use, Ordering::Relaxed)
                     .max(in_use);
                 if demand == 0 && slot.live_now() == 0 {
@@ -1628,6 +1647,139 @@ fn drain_due_cold(
         if slots.get(&id).is_some_and(|s| s.cold_since == Some(since)) {
             slots.remove(&id);
             retired.push(id);
+        }
+    }
+}
+
+/// Model-checker surface over the private [`KeySlots`] protocol, compiled
+/// only under `--cfg hotc_model` (the instrumented build `hotc-model`'s
+/// protocol suite runs against; see DESIGN.md §7.3).
+///
+/// The lock-free operations (`claim_warm`, `hand_back`,
+/// `try_claim_release`) call the real `KeySlots` methods unmodified. The
+/// lock-holding operations (`publish_avail`, `retire_avail`, `evict_at`)
+/// replay the exact store sequences of [`ShardedPool::publish_avail`],
+/// [`ShardedPool::retire_one_id`], and [`ShardedPool::evict_oldest`]'s
+/// claim phase, minus the shard lock and reverse index — in the model the
+/// lock's happens-before hand-off is reproduced by running every
+/// lock-holding op either before spawning the racers (spawn copies the
+/// parent's vector clock) or as the only lock-holder in the schedule, which
+/// is precisely the mutual exclusion the real lock provides.
+#[cfg(hotc_model)]
+pub mod model_api {
+    use super::{entry_container, pack_entry, KeySlots, Ordering, SLOTS_PER_KEY};
+    use containersim::ContainerId;
+
+    /// One key's slot-array protocol surface for model tests.
+    #[derive(Debug)]
+    pub struct ModelSlots {
+        ks: KeySlots,
+    }
+
+    impl ModelSlots {
+        /// A fresh slot group with only the first `prefree` free-bitmap
+        /// slots released. The real constructor frees all
+        /// [`SLOTS_PER_KEY`]; model tests keep `prefree` small so each
+        /// re-executed schedule pays a handful of setup ops instead of 128.
+        pub fn new(prefree: usize) -> ModelSlots {
+            assert!(prefree <= SLOTS_PER_KEY);
+            let ks = KeySlots::new_unfreed();
+            for i in 0..prefree {
+                ks.free.release(i);
+            }
+            ModelSlots { ks }
+        }
+
+        /// Real lock-free warm claim ([`KeySlots::claim_warm`]).
+        pub fn claim_warm(&self) -> Option<(usize, ContainerId, bool)> {
+            self.ks.claim_warm()
+        }
+
+        /// Real lock-free hand-back ([`KeySlots::hand_back`]).
+        pub fn hand_back(&self, i: usize, container: ContainerId) {
+            self.ks.hand_back(i, container);
+        }
+
+        /// Real lock-free release claim ([`KeySlots::try_claim_release`]).
+        pub fn try_claim_release(&self, i: usize, container: ContainerId) -> bool {
+            self.ks.try_claim_release(i, container)
+        }
+
+        /// The store sequence of [`super::ShardedPool::publish_avail`]'s
+        /// bitmap arm: free-claim, entry store, last-app store, then the
+        /// `avail` release bit-set (publish-before-bit-set).
+        pub fn publish_avail(&self, container: ContainerId, execed: bool) -> Option<usize> {
+            let i = self.ks.free.claim()?;
+            // lint:allow(atomic-ordering, entry store is ordered by the avail.release bit-set below)
+            self.ks.entries[i].store(pack_entry(container, execed), Ordering::Relaxed);
+            // lint:allow(atomic-ordering, advisory recency token; ordered by the bit-set below)
+            self.ks.last_app[i].store(0, Ordering::Relaxed);
+            let fresh = self.ks.avail.release(i);
+            debug_assert!(fresh, "published slot's avail bit was already set");
+            Some(i)
+        }
+
+        /// [`Self::publish_avail`] with the final bit-set deliberately
+        /// weakened to `Relaxed` — the mutation the harness must catch
+        /// (`hotc-model/tests/mutation.rs`). Never a production sequence.
+        pub fn publish_avail_weak(&self, container: ContainerId, execed: bool) -> Option<usize> {
+            let i = self.ks.free.claim()?;
+            // lint:allow(atomic-ordering, deliberately weak publish; the mutation harness must catch it)
+            self.ks.entries[i].store(pack_entry(container, execed), Ordering::Relaxed);
+            // lint:allow(atomic-ordering, advisory recency token only)
+            self.ks.last_app[i].store(0, Ordering::Relaxed);
+            let fresh = self.ks.avail.release_relaxed(i);
+            debug_assert!(fresh, "published slot's avail bit was already set");
+            Some(i)
+        }
+
+        /// The slot-array arm of [`super::ShardedPool::retire_one_id`]:
+        /// claim any `avail` bit (atomic against racing lock-free
+        /// acquires), read the entry, dispose the slot.
+        pub fn retire_avail(&self) -> Option<ContainerId> {
+            let i = self.ks.avail.claim()?;
+            let container = entry_container(self.ks.entries[i].load(Ordering::Relaxed));
+            debug_assert!(container.is_some(), "avail bit over an empty slot");
+            self.ks.dispose_idle(i);
+            container
+        }
+
+        /// The claim phase of [`super::ShardedPool::evict_oldest`]: re-verify
+        /// the entry still names `container`, then take its `avail` bit;
+        /// a racing acquire winning the bit fails the eviction.
+        pub fn evict_at(&self, i: usize, container: ContainerId) -> bool {
+            let entry = self.ks.entries[i].load(Ordering::Relaxed);
+            if entry_container(entry) == Some(container) && self.ks.avail.claim_at(i) {
+                self.ks.dispose_idle(i);
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Advisory `avail` population ([`super::SlotBitmap::count`]).
+        pub fn avail_count(&self) -> usize {
+            self.ks.avail.count()
+        }
+
+        /// Advisory `in_use` population.
+        pub fn in_use_count(&self) -> usize {
+            self.ks.in_use.count()
+        }
+
+        /// Advisory free population.
+        pub fn free_count(&self) -> usize {
+            self.ks.free.count()
+        }
+
+        /// Whether `container` sits available ([`KeySlots::avail_contains`]).
+        pub fn avail_contains(&self, container: ContainerId) -> bool {
+            self.ks.avail_contains(container)
+        }
+
+        /// The key's in-use demand counter.
+        pub fn in_use_total(&self) -> usize {
+            self.ks.in_use_total.load(Ordering::Relaxed)
         }
     }
 }

@@ -1,97 +1,62 @@
 //! `hotc-lint` — the workspace conformance analyzer.
 //!
 //! Scans every `.rs` and `Cargo.toml` file in the workspace (excluding
-//! `target/` and dot-directories) and enforces the determinism and
-//! concurrency rules documented in DESIGN.md §7. Deny by default: any
-//! violation exits 1; the only escape is a reasoned
-//! `// lint:allow(rule, reason)` on or directly above the offending line.
+//! `target/`, VCS/tooling directories, and lint fixture corpora) and
+//! enforces the determinism and concurrency rules documented in DESIGN.md
+//! §7. Deny by default: any violation exits 1; the only escape is a
+//! reasoned `// lint:allow(rule, reason)` on or directly above the
+//! offending line.
 //!
-//! Usage: `cargo run -p hotc-lint` (from anywhere in the workspace), or
-//! `hotc-lint [workspace-root]`.
+//! Usage: `cargo run -p hotc-lint [-- --json] [workspace-root]`.
+//! `--json` emits the machine-readable report (CI archives it as an
+//! artifact); human diagnostics then go to stderr so stdout stays pure
+//! JSON.
 
-mod rules;
-mod scan;
-
-use std::path::{Path, PathBuf};
-
-/// Recursively collects `.rs` and `Cargo.toml` files, skipping build output
-/// and VCS/tooling directories.
-fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("dir entry in {}: {e}", dir.display()))?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name != "target" && !name.starts_with('.') {
-                collect_files(&path, out)?;
-            }
-        } else if name == "Cargo.toml" || name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// The workspace root: an explicit CLI argument, or two levels up from this
-/// crate's manifest directory (`crates/lint` → workspace).
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .unwrap_or(manifest)
-}
+use hotc_lint::{lint_workspace, workspace_root};
+use std::path::PathBuf;
+use stdshim::ToJson;
 
 fn run() -> i32 {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    if let Err(e) = collect_files(&root, &mut files) {
-        eprintln!("hotc-lint: {e}");
-        return 2;
-    }
-    files.sort();
-
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = match std::fs::read_to_string(path) {
-            Ok(src) => src,
-            Err(e) => {
-                eprintln!("hotc-lint: read {rel}: {e}");
-                return 2;
-            }
-        };
-        scanned += 1;
-        if rel.ends_with("Cargo.toml") {
-            violations.extend(rules::check_manifest(&rel, &src));
+    let mut json = false;
+    let mut root_arg = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
         } else {
-            violations.extend(rules::check_rust_file(&rel, &src));
+            root_arg = Some(PathBuf::from(arg));
         }
     }
+    let root = workspace_root(root_arg);
+    let outcome = match lint_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("hotc-lint: {e}");
+            return 2;
+        }
+    };
 
-    if violations.is_empty() {
-        println!("hotc-lint: clean ({scanned} files)");
+    if json {
+        println!("{}", outcome.to_json().to_pretty_string());
+    }
+    if outcome.is_clean() {
+        if !json {
+            println!("hotc-lint: clean ({} files)", outcome.scanned);
+        }
         return 0;
     }
-    for v in &violations {
-        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+    for v in &outcome.violations {
+        let line = format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
     }
     eprintln!(
         "hotc-lint: {} violation(s) in {} file(s) scanned — fix, or annotate with \
          `// lint:allow(rule, reason)` (see DESIGN.md §7)",
-        violations.len(),
-        scanned
+        outcome.violations.len(),
+        outcome.scanned
     );
     1
 }

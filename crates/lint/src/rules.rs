@@ -6,16 +6,26 @@
 //! comment-only line directly above it. The reason is mandatory — an allow
 //! without one is itself a violation (`allow-syntax`).
 //!
-//! | rule            | forbids                                              |
-//! |-----------------|------------------------------------------------------|
-//! | `wall-clock`    | `Instant::now` / `SystemTime::now` outside the bench |
-//! |                 | harness and tests (simulated time only)              |
-//! | `raw-lock`      | `std::sync::Mutex` / `RwLock` outside `stdshim` (the |
-//! |                 | wrappers carry the lock-order sanitizer)             |
-//! | `map-iteration` | iterating `HashMap`/`HashSet` bindings in the        |
-//! |                 | deterministic result-path crates                     |
-//! | `unwrap`        | `.unwrap()` / `.expect(` in non-test library code    |
-//! | `hermetic-deps` | non-path dependencies in any `Cargo.toml`            |
+//! | rule              | forbids                                              |
+//! |-------------------|------------------------------------------------------|
+//! | `wall-clock`      | `Instant::now` / `SystemTime::now` outside the bench |
+//! |                   | harness and tests (simulated time only)              |
+//! | `raw-lock`        | `std::sync::Mutex` / `RwLock` outside `stdshim` (the |
+//! |                   | wrappers carry the lock-order sanitizer)             |
+//! | `map-iteration`   | iterating `HashMap`/`HashSet` bindings in the        |
+//! |                   | deterministic result-path crates                     |
+//! | `unwrap`          | `.unwrap()` / `.expect(` in non-test library code    |
+//! | `atomic-ordering` | `Ordering::Relaxed` as the success ordering of a     |
+//! |                   | store/swap/CAS/`fetch_or`/`fetch_and`/`fetch_update` |
+//! |                   | (publication ops; pure counters stay Relaxed)        |
+//! | `atomic-seqcst`   | `Ordering::SeqCst` in the request-path crates (a     |
+//! |                   | per-request full fence; acq/rel suffices everywhere) |
+//! | `atomic-facade`   | raw `std::sync::atomic` in the slot-protocol modules |
+//! |                   | (must route through `stdshim::atomic` so the model   |
+//! |                   | checker sees every access)                           |
+//! | `unchecked-cas`   | discarding a `compare_exchange[_weak]` /             |
+//! |                   | `fetch_update` result (bare statement or `let _ =`)  |
+//! | `hermetic-deps`   | non-path dependencies in any `Cargo.toml`            |
 
 use crate::scan::{scan, Scanned};
 
@@ -166,6 +176,131 @@ fn hash_container_idents(scanned: &Scanned) -> Vec<String> {
     idents
 }
 
+/// Crates on the request hot path, where a stray `SeqCst` is a full fence
+/// per request. The workspace protocol is acquire/release: if a site truly
+/// needs sequential consistency, the `lint:allow` reason must say why.
+const REQUEST_PATH_CRATES: [&str; 4] = [
+    "crates/stdshim/",
+    "crates/core/",
+    "crates/metrics/",
+    "crates/faas/",
+];
+
+/// Modules carrying the lock-free slot protocol. Every atomic here must
+/// route through the `stdshim::atomic` facade (`ShimAtomicU64` & co.) so the
+/// `--cfg hotc_model` build puts it under the model checker — one raw
+/// `std::sync::atomic` access is an interleaving the checker never explores.
+const FACADE_MODULES: [&str; 2] = [
+    "crates/stdshim/src/sync_slots.rs",
+    "crates/core/src/shard.rs",
+];
+
+/// Atomic ops that *publish* state other threads read: a `Relaxed` success
+/// ordering on one of these orders nothing and a reader can observe the
+/// containing object half-written. Pure counter RMWs (`fetch_add`,
+/// `fetch_sub`, `fetch_max`, `fetch_min`) and bare loads are the allowed
+/// Relaxed idiom and are deliberately absent.
+const PUBLICATION_OPS: [&str; 7] = [
+    ".store(",
+    ".swap(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_update(",
+];
+
+/// CAS-family ops whose `Result` encodes whether the update happened.
+const CAS_OPS: [&str; 3] = [
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".fetch_update(",
+];
+
+/// The publication op on `code` whose *success* ordering is `Relaxed`, if
+/// any. The success ordering is the first `Ordering::` argument after the
+/// op (`compare_exchange(cur, new, success, failure)` — a `Relaxed`
+/// *failure* ordering is idiomatic and legal). Calls split across lines are
+/// handled by also looking at the next line for the ordering argument.
+fn relaxed_publication(code: &str, next: Option<&str>) -> Option<&'static str> {
+    let joined = next.map(|n| format!("{} {}", code.trim_end(), n.trim_start()));
+    let hay = joined.as_deref().unwrap_or(code);
+    if !hay.contains("Ordering::Relaxed") {
+        return None;
+    }
+    for op in PUBLICATION_OPS {
+        let Some(at) = code.find(op) else { continue };
+        let after = &hay[at + op.len()..];
+        let Some(o) = after.find("Ordering::") else {
+            continue;
+        };
+        if after[o..].starts_with("Ordering::Relaxed") {
+            return Some(op.trim_matches(['.', '(']));
+        }
+    }
+    None
+}
+
+/// Whether the CAS-family call starting at `at` in line `idx` discards its
+/// `Result`: statement position with nothing consuming the value (`;` right
+/// after the call's closing paren) or an explicit `let _ =`. The closing
+/// paren is matched over a few following lines so multi-line argument lists
+/// resolve.
+fn unchecked_cas(scanned: &Scanned, idx: usize, op: &str, at: usize) -> bool {
+    let code = &scanned.code[idx];
+    let before = code[..at].trim_start();
+    if let Some(rest) = before.strip_prefix("let ") {
+        // A named binding is an inspection; `let _ =` is the documented
+        // don't-care discard this rule exists to flag.
+        let bind = rest.trim_start();
+        return bind.starts_with('_')
+            && !bind
+                .chars()
+                .nth(1)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    }
+    // Anything consuming the expression: an assignment or comparison, a
+    // condition/guard keyword, a match arm, argument position (an open
+    // paren pending on this line — also covers closure bodies), a continued
+    // method chain, or a chain whose receiver sits on a previous line
+    // (`match self\n.nanos\n.compare_exchange(…)` — the consumer is above).
+    let consumed_before = before.contains('=')
+        || ["if ", "while ", "match ", "return "]
+            .iter()
+            .any(|k| before.starts_with(k))
+        || before.matches('(').count() > before.matches(')').count()
+        || before.ends_with(',')
+        || before.ends_with('.')
+        || before.ends_with('&')
+        || before.ends_with('!')
+        || before.is_empty() && code.trim_start().starts_with('.');
+    if consumed_before {
+        return false;
+    }
+    // Statement position: walk to the call's matching `)` (window of a few
+    // lines) and see whether anything consumes the Result after it.
+    let window = scanned.code[idx..scanned.code.len().min(idx + 6)].join(" ");
+    let start = code[..at].len() + op.len(); // first byte after the open paren
+    let mut depth = 1i32;
+    let mut rest = window[start..].char_indices();
+    for (i, ch) in &mut rest {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    let after = window[start + i + ch.len_utf8()..].trim_start();
+                    // `.method()` or `?` consume the Result; `;`, `}` or
+                    // end-of-window leave it dropped on the floor.
+                    return !(after.starts_with('.') || after.starts_with('?'));
+                }
+            }
+            _ => {}
+        }
+    }
+    false // unbalanced within the window: give the code the benefit of doubt
+}
+
 /// Iteration-looking accessors on a map/set binding whose order reaches the
 /// caller. (`.get`/`.insert`/`.len` are point lookups and stay legal.)
 const ITERATION_ACCESSORS: [&str; 7] = [
@@ -275,6 +410,69 @@ pub fn check_rust_file(rel: &str, src: &str) -> Vec<Violation> {
                              crate; sort first or prove order-insensitivity"
                         ),
                     ));
+                }
+            }
+        }
+
+        // atomic-ordering: a Relaxed success ordering on a publication op
+        // (store/swap/CAS/bit-set) orders nothing — racing readers can see
+        // the guarded state half-written. Counters stay Relaxed by idiom.
+        if !scaffolding && !in_test {
+            if let Some(op) =
+                relaxed_publication(code, scanned.code.get(idx + 1).map(String::as_str))
+            {
+                candidates.push((
+                    "atomic-ordering",
+                    format!(
+                        "`{op}` with a Relaxed success ordering publishes nothing; use \
+                         Release/AcqRel, or justify the counter idiom with lint:allow"
+                    ),
+                ));
+            }
+        }
+
+        // atomic-seqcst: the protocol is acquire/release end to end; SeqCst
+        // on the request path is a silent per-request full fence.
+        if !scaffolding
+            && !in_test
+            && code.contains("Ordering::SeqCst")
+            && REQUEST_PATH_CRATES.iter().any(|c| rel.starts_with(c))
+        {
+            candidates.push((
+                "atomic-seqcst",
+                "`Ordering::SeqCst` in a request-path crate; the slot protocol is \
+                 acquire/release — justify the full fence with lint:allow or weaken it"
+                    .to_string(),
+            ));
+        }
+
+        // atomic-facade: protocol modules must use the stdshim::atomic
+        // facade so the model-checker build instruments every access.
+        if !in_test && FACADE_MODULES.contains(&rel) && code.contains("std::sync::atomic") {
+            candidates.push((
+                "atomic-facade",
+                "raw `std::sync::atomic` in a slot-protocol module; use the \
+                 `stdshim::atomic` facade (ShimAtomicU64/ShimAtomicUsize/ShimOnceLock) \
+                 so `--cfg hotc_model` builds put this access under the model checker"
+                    .to_string(),
+            ));
+        }
+
+        // unchecked-cas: a CAS that may fail but whose Result is discarded
+        // is a race half-fixed — the failing path silently does nothing.
+        if !scaffolding && !in_test {
+            for op in CAS_OPS {
+                if let Some(at) = code.find(op) {
+                    if unchecked_cas(&scanned, idx, op, at) {
+                        candidates.push((
+                            "unchecked-cas",
+                            format!(
+                                "`{}` result discarded; handle the failure arm (retry, \
+                                 fall back, or assert) instead of dropping it",
+                                op.trim_matches(['.', '('])
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -522,6 +720,120 @@ mod tests {
         let src = "x.unwrap(); // lint:allow(wall-clock, not the right rule)\n";
         let v = check_rust_file("crates/core/src/x.rs", src);
         assert_eq!(rules_of(&v), ["unwrap"]);
+    }
+
+    #[test]
+    fn atomic_ordering_flags_relaxed_publication_ops() {
+        for src in [
+            "x.store(1, Ordering::Relaxed);\n",
+            "let old = x.swap(v, Ordering::Relaxed);\n",
+            "let f = x.fetch_or(mask, Ordering::Relaxed);\n",
+            "let f = x.fetch_and(!mask, Ordering::Relaxed);\n",
+        ] {
+            let v = check_rust_file("crates/core/src/x.rs", src);
+            assert_eq!(rules_of(&v), ["atomic-ordering"], "src: {src}");
+        }
+        // Success ordering Relaxed on a CAS, even split across lines.
+        let cas = "let r = x.compare_exchange(\n    a, b, Ordering::Relaxed, Ordering::Relaxed);\nr.is_ok();\n";
+        assert_eq!(
+            rules_of(&check_rust_file("crates/core/src/x.rs", cas)),
+            ["atomic-ordering"]
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_permits_counters_loads_and_failure_orderings() {
+        let ok = "c.fetch_add(1, Ordering::Relaxed);\n\
+                  c.fetch_sub(1, Ordering::Relaxed);\n\
+                  w.fetch_max(n, Ordering::Relaxed);\n\
+                  let v = x.load(Ordering::Relaxed);\n\
+                  if x.compare_exchange(a, b, Ordering::Acquire, Ordering::Relaxed).is_ok() {}\n\
+                  x.store(1, Ordering::Release);\n";
+        assert!(check_rust_file("crates/core/src/x.rs", ok).is_empty());
+        let allowed =
+            "x.store(0, Ordering::Relaxed); // lint:allow(atomic-ordering, reset under lock)\n";
+        assert!(check_rust_file("crates/core/src/x.rs", allowed).is_empty());
+        // Tests and scaffolding may do what they like.
+        assert!(
+            check_rust_file("crates/core/tests/t.rs", "x.store(1, Ordering::Relaxed);\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn atomic_seqcst_flagged_on_request_path_only() {
+        let src = "x.load(Ordering::SeqCst);\n";
+        for rel in [
+            "crates/core/src/x.rs",
+            "crates/stdshim/src/x.rs",
+            "crates/metrics/src/x.rs",
+            "crates/faas/src/x.rs",
+        ] {
+            assert_eq!(
+                rules_of(&check_rust_file(rel, src)),
+                ["atomic-seqcst"],
+                "{rel}"
+            );
+        }
+        assert!(check_rust_file("crates/bench/src/x.rs", src).is_empty());
+        assert!(check_rust_file("crates/core/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_facade_guards_protocol_modules() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        for rel in FACADE_MODULES {
+            assert_eq!(
+                rules_of(&check_rust_file(rel, src)),
+                ["atomic-facade"],
+                "{rel}"
+            );
+        }
+        // Other modules (including the facade itself) may name std atomics.
+        assert!(check_rust_file("crates/stdshim/src/atomic.rs", src).is_empty());
+        assert!(check_rust_file("crates/core/src/concurrent.rs", src).is_empty());
+        // Test scaffolding inside a protocol module is exempt.
+        let gated = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert!(check_rust_file("crates/core/src/shard.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn unchecked_cas_flags_discarded_results() {
+        let bare = "x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire);\n";
+        assert_eq!(
+            rules_of(&check_rust_file("crates/core/src/x.rs", bare)),
+            ["unchecked-cas"]
+        );
+        let underscore =
+            "let _ = x.compare_exchange_weak(1, 0, Ordering::AcqRel, Ordering::Acquire);\n";
+        assert_eq!(
+            rules_of(&check_rust_file("crates/core/src/x.rs", underscore)),
+            ["unchecked-cas"]
+        );
+        let multiline = "x.fetch_update(\n    Ordering::AcqRel,\n    Ordering::Acquire,\n    |v| Some(v + 1),\n);\n";
+        assert_eq!(
+            rules_of(&check_rust_file("crates/core/src/x.rs", multiline)),
+            ["unchecked-cas"]
+        );
+    }
+
+    #[test]
+    fn unchecked_cas_permits_inspected_results() {
+        let ok = "let won = x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire);\n\
+                  if x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire).is_ok() {}\n\
+                  match x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire) { _ => {} }\n\
+                  x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire).ok();\n\
+                  x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)?;\n\
+                  assert!(x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire).is_ok());\n";
+        assert!(check_rust_file("crates/core/src/x.rs", ok).is_empty());
+        let chained_next = "x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)\n    .expect_err(\"must fail\");\n";
+        assert!(check_rust_file("crates/core/src/x.rs", chained_next).is_empty());
+        // Receiver above, op on a continuation line, result fed to `match`.
+        let continuation = "match self\n    .nanos\n    .compare_exchange_weak(c, t, Ordering::AcqRel, Ordering::Acquire)\n{\n    Ok(_) => {}\n    Err(_) => {}\n}\n";
+        assert!(check_rust_file("crates/core/src/x.rs", continuation).is_empty());
+        // Inside a closure argument the result is the closure's value.
+        let in_closure = "a.unwrap_or_else(|| inner.compare_exchange(c, n, Ordering::AcqRel, Ordering::Acquire))\n";
+        assert!(check_rust_file("crates/core/src/x.rs", in_closure).is_empty());
     }
 
     #[test]

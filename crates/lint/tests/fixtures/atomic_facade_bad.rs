@@ -1,0 +1,2 @@
+//! lint-fixture-path: crates/core/src/shard.rs
+use std::sync::atomic::AtomicU64;

@@ -1,0 +1,6 @@
+//! lint-fixture-path: crates/stdshim/src/sync_slots.rs
+use crate::atomic::{Ordering, ShimAtomicU64 as AtomicU64};
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+}

@@ -1,0 +1,9 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) {
+    x.store(1, Ordering::Relaxed);
+    let _old = x.fetch_or(2, Ordering::Relaxed);
+    let _won = x
+        .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok();
+}

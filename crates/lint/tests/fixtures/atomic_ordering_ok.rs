@@ -1,0 +1,14 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) {
+    x.fetch_add(1, Ordering::Relaxed);
+    x.fetch_sub(1, Ordering::Relaxed);
+    x.fetch_max(7, Ordering::Relaxed);
+    let _v = x.load(Ordering::Relaxed);
+    x.store(1, Ordering::Release);
+    let _won = x
+        .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+        .is_ok();
+    // lint:allow(atomic-ordering, fixture: reset performed under the owning lock)
+    x.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+//! lint-fixture-path: crates/metrics/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) -> u64 {
+    x.store(1, Ordering::SeqCst);
+    x.load(Ordering::SeqCst)
+}

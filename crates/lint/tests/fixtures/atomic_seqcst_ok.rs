@@ -1,0 +1,5 @@
+//! lint-fixture-path: crates/cluster/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) -> u64 {
+    x.load(Ordering::SeqCst)
+}

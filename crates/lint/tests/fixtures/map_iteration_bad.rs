@@ -1,0 +1,8 @@
+//! lint-fixture-path: crates/predictor/src/fixture.rs
+use std::collections::HashMap;
+struct S { m: HashMap<u64, u64> }
+fn f(s: &S) {
+    for (k, v) in s.m.iter() {
+        let _ = (k, v);
+    }
+}

@@ -1,0 +1,6 @@
+//! lint-fixture-path: crates/predictor/src/fixture.rs
+use std::collections::HashMap;
+struct S { m: HashMap<u64, u64> }
+fn f(s: &S) -> Option<u64> {
+    s.m.get(&1).copied()
+}

@@ -1,0 +1,3 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::Mutex;
+use std::sync::RwLock;

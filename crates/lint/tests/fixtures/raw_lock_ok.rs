@@ -1,0 +1,4 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::Arc;
+use std::sync::MutexGuard;
+use stdshim::Mutex;

@@ -1,0 +1,7 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) {
+    x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire);
+    let _ = x.compare_exchange_weak(1, 0, Ordering::AcqRel, Ordering::Acquire);
+    x.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v + 1));
+}

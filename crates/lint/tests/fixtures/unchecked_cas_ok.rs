@@ -1,0 +1,13 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+fn f(x: &AtomicU64) -> Result<u64, u64> {
+    if x.compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+        let _won = x.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire);
+    }
+    match x
+        .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+    {
+        Ok(v) => Ok(v),
+        Err(v) => Err(v),
+    }
+}

@@ -1,0 +1,4 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+fn f(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    x.unwrap() + y.expect("fixture")
+}

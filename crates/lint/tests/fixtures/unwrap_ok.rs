@@ -1,0 +1,12 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(unwrap, fixture invariant: caller checked is_some)
+    let a = x.unwrap();
+    a + x.unwrap_or(0)
+}
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

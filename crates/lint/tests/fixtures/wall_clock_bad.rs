@@ -1,0 +1,5 @@
+//! lint-fixture-path: crates/core/src/fixture.rs
+fn f() {
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+}

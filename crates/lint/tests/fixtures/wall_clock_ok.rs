@@ -1,0 +1,4 @@
+//! lint-fixture-path: crates/bench/src/fixture.rs
+fn f() {
+    let _t = Instant::now();
+}

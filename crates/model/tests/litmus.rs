@@ -1,0 +1,224 @@
+//! Checker self-tests: classic weak-memory litmus shapes.
+//!
+//! These run in the *normal* workspace test suite (no `--cfg hotc_model`
+//! needed): they drive the model atomics directly, proving the checker
+//! finds the bugs it exists to find (stale relaxed reads, missing
+//! release/acquire edges) and stays quiet on correct protocols — before the
+//! instrumented build points it at the real slot protocol.
+
+use hotc_model::{spawn, Checker, ModelAtomicU64, ModelOnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Small fixed budget so self-tests stay fast even if the env knob is huge.
+fn checker() -> Checker {
+    Checker::new().budget(20_000)
+}
+
+#[test]
+fn relaxed_message_passing_is_caught() {
+    // The canonical MP shape with both stores Relaxed: the reader may see
+    // the flag without the data. The checker must find that schedule.
+    let report = checker().preemption_bound(2).try_check(|| {
+        let data = Arc::new(ModelAtomicU64::new(0));
+        let flag = Arc::new(ModelAtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "flag up but data stale");
+        }
+        writer.join();
+    });
+    let v = report.violation.expect("relaxed MP must violate");
+    assert!(v.message.contains("data stale"), "message: {}", v.message);
+    assert!(!v.schedule.is_empty(), "violating schedule is replayable");
+    assert!(
+        v.render().contains("execution trace"),
+        "render has the trace"
+    );
+}
+
+#[test]
+fn release_acquire_message_passing_is_clean() {
+    // Same shape with a Release store / Acquire load pair: no schedule may
+    // violate, and the bounded tree must be exhausted (not budget-capped).
+    let report = checker().preemption_bound(2).try_check(|| {
+        let data = Arc::new(ModelAtomicU64::new(0));
+        let flag = Arc::new(ModelAtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        writer.join();
+    });
+    assert!(report.violation.is_none(), "release/acquire MP is correct");
+    assert!(report.complete, "bounded tree exhausted");
+    assert!(report.schedules > 1, "more than one interleaving explored");
+}
+
+#[test]
+fn store_buffering_stale_reads_are_explored() {
+    // SB: with relaxed (or even SeqCst-free acquire/release) accesses both
+    // threads may read 0 — a weak behaviour x86 hardware never shows. The
+    // checker's store model must reach it.
+    let report = checker().preemption_bound(2).try_check(|| {
+        let x = Arc::new(ModelAtomicU64::new(0));
+        let y = Arc::new(ModelAtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t1.join();
+        assert!(r1 == 1 || r2 == 1, "both threads read 0: weak SB outcome");
+    });
+    assert!(
+        report.violation.is_some(),
+        "the r1 == r2 == 0 outcome must be reachable"
+    );
+}
+
+#[test]
+fn atomic_rmw_has_no_lost_updates() {
+    // Two relaxed fetch_adds never lose an update (RMWs read the newest
+    // store by construction) …
+    let report = checker().preemption_bound(2).try_check(|| {
+        let c = Arc::new(ModelAtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.violation.is_none(), "fetch_add is atomic");
+    assert!(report.complete);
+
+    // … while the load-then-store "increment" does lose one.
+    let report = checker().preemption_bound(2).try_check(|| {
+        let c = Arc::new(ModelAtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = c.load(Ordering::Relaxed);
+        c.store(v + 1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let v = report.violation.expect("split increment races");
+    assert!(v.message.contains("lost update"));
+}
+
+#[test]
+fn cas_claims_are_exclusive() {
+    // Two threads CAS the same slot word 1 -> 0; exactly one may win.
+    let report = checker().preemption_bound(3).try_check(|| {
+        let word = Arc::new(ModelAtomicU64::new(1));
+        let wins = Arc::new(ModelAtomicU64::new(0));
+        let (w2, n2) = (Arc::clone(&word), Arc::clone(&wins));
+        let t = spawn(move || {
+            if w2
+                .compare_exchange(1, 0, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                n2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if word
+            .compare_exchange(1, 0, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            wins.fetch_add(1, Ordering::Relaxed);
+        }
+        t.join();
+        assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one CAS wins");
+    });
+    assert!(report.violation.is_none(), "CAS exclusivity holds");
+    assert!(report.complete);
+}
+
+#[test]
+fn once_lock_publication_is_acquire() {
+    // Data stored before get_or_init is visible to any thread that observes
+    // the lock as initialized (the anchor's acq-rel edge).
+    let report = checker().preemption_bound(2).try_check(|| {
+        let data = Arc::new(ModelAtomicU64::new(0));
+        let once: Arc<ModelOnceLock<u64>> = Arc::new(ModelOnceLock::new());
+        let (d, o) = (Arc::clone(&data), Arc::clone(&once));
+        let t = spawn(move || {
+            d.store(99, Ordering::Relaxed);
+            o.get_or_init(|| 7);
+        });
+        if let Some(v) = once.get() {
+            assert_eq!(*v, 7);
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                99,
+                "once observed but prior store invisible"
+            );
+        }
+        t.join();
+    });
+    assert!(report.violation.is_none(), "once publication synchronizes");
+    assert!(report.complete);
+}
+
+#[test]
+fn stale_reads_are_reachable_even_at_preemption_bound_zero() {
+    // Bound 0 removes mid-thread interleavings (a thread only yields when
+    // it blocks), but value nondeterminism is independent of thread
+    // nondeterminism: in the schedule where the writer runs to completion
+    // before the reader starts, the unsynchronized reader may still read
+    // the flag fresh and the data stale. The checker must find that
+    // without a single preemption.
+    let report = checker().preemption_bound(0).try_check(|| {
+        let data = Arc::new(ModelAtomicU64::new(0));
+        let flag = Arc::new(ModelAtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = spawn(move || {
+            if f.load(Ordering::Relaxed) == 1 {
+                assert_eq!(d.load(Ordering::Relaxed), 42, "stale data");
+            }
+        });
+        writer.join();
+        reader.join();
+    });
+    assert!(
+        report.violation.is_some(),
+        "stale reads are value choices, reachable even at bound 0"
+    );
+}
+
+#[test]
+fn model_atomics_work_outside_a_run() {
+    // Fallback path: no Checker active, the types behave like std atomics.
+    let a = ModelAtomicU64::new(5);
+    assert_eq!(a.fetch_add(2, Ordering::Relaxed), 5);
+    assert_eq!(a.swap(11, Ordering::AcqRel), 7);
+    assert_eq!(
+        a.compare_exchange(11, 12, Ordering::AcqRel, Ordering::Acquire),
+        Ok(11)
+    );
+    assert_eq!(a.load(Ordering::SeqCst), 12);
+    let once: ModelOnceLock<String> = ModelOnceLock::new();
+    assert!(once.get().is_none());
+    assert_eq!(once.get_or_init(|| "x".to_string()), "x");
+    assert_eq!(once.get().map(String::as_str), Some("x"));
+}

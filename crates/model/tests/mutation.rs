@@ -1,0 +1,72 @@
+//! Mutation harness: prove the checker has teeth.
+//!
+//! `ModelSlots::publish_avail_weak` is the real publish sequence with the
+//! final `avail` bit-set deliberately weakened from `Release` to `Relaxed`.
+//! Without the release edge a racing `claim_warm` may win the bit yet read
+//! the entry word stale (zero) — tripping `claim_warm`'s own
+//! `debug_assert_ne!(entry, 0, "claimed an avail bit over an empty slot")`.
+//! If the checker ever stops finding that schedule, the memory model has
+//! silently gone strong and every clean protocol report is worthless.
+#![cfg(hotc_model)]
+
+use containersim::ContainerId;
+use hotc::shard::model_api::ModelSlots;
+use hotc_model::{spawn, Checker};
+use std::sync::Arc;
+
+const C1: ContainerId = ContainerId(7);
+
+/// The racing shape: one publisher, one claimer, both spawned so the claim
+/// carries no spawn-edge visibility of the publish.
+fn race(weak: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let s = Arc::new(ModelSlots::new(1));
+        let s2 = Arc::clone(&s);
+        let publisher = spawn(move || {
+            let published = if weak {
+                s2.publish_avail_weak(C1, true)
+            } else {
+                s2.publish_avail(C1, true)
+            };
+            assert!(published.is_some(), "the one slot was free");
+        });
+        let s3 = Arc::clone(&s);
+        let claimer = spawn(move || {
+            if let Some((_, c, execed)) = s3.claim_warm() {
+                assert_eq!((c, execed), (C1, true), "torn publish observed");
+            }
+        });
+        publisher.join();
+        claimer.join();
+    }
+}
+
+#[test]
+fn relaxed_publish_mutation_is_caught() {
+    let report = Checker::new().preemption_bound(2).try_check(race(true));
+    let v = report
+        .violation
+        .expect("weakened publish must leak a torn entry to some schedule");
+    assert!(
+        v.message.contains("empty slot") || v.message.contains("torn publish"),
+        "violation names the stale read: {}",
+        v.message
+    );
+    assert!(!v.schedule.is_empty(), "schedule is replayable");
+    let rendered = v.render();
+    assert!(rendered.contains("replay choice vector"), "{rendered}");
+    assert!(rendered.contains("execution trace"), "{rendered}");
+}
+
+#[test]
+fn release_publish_survives_the_same_race() {
+    // Control arm: identical shape, real ordering — the checker must
+    // exhaust the tree clean, or the mutation test above proves nothing.
+    let report = Checker::new().preemption_bound(2).try_check(race(false));
+    assert!(
+        report.violation.is_none(),
+        "real publish ordering is correct: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "tree exhausted within budget");
+}

@@ -1,0 +1,220 @@
+//! The real lock-free slot protocol under the bounded model checker.
+//!
+//! Compiled only in the instrumented build
+//! (`RUSTFLAGS='--cfg hotc_model' cargo test -p hotc-model`): the stdshim
+//! facade then routes every `SlotBitmap`/`KeySlots` atomic through the
+//! scheduler, and `hotc_core::shard::model_api` exposes the protocol ops.
+//!
+//! Setup convention: state created and seeded on the root virtual thread
+//! *before* spawning racers is visible to all of them (spawn copies the
+//! parent's vector clock) — exactly the happens-before the shard lock gives
+//! the real publish/retire/evict paths.
+#![cfg(hotc_model)]
+
+use containersim::ContainerId;
+use hotc::shard::model_api::ModelSlots;
+use hotc_model::{spawn, Checker};
+use std::sync::Arc;
+use stdshim::SlotBitmap;
+
+const C1: ContainerId = ContainerId(1);
+const C2: ContainerId = ContainerId(2);
+
+fn checker() -> Checker {
+    // The env budget (HOTC_MODEL_BUDGET) still applies; bound 2 preemptions.
+    Checker::new().preemption_bound(2)
+}
+
+#[test]
+fn bitmap_claims_are_exclusive() {
+    // Two lock-free claimers race one released bit: at most one may win,
+    // and the bit must end claimed (claimed-xor-set is conservation).
+    checker().check(|| {
+        let b = Arc::new(SlotBitmap::labeled(8, "model/bitmap"));
+        assert!(b.release(3));
+        let b2 = Arc::clone(&b);
+        let t = spawn(move || b2.claim());
+        let mine = b.claim();
+        let theirs = t.join();
+        assert!(
+            !(mine.is_some() && theirs.is_some()),
+            "both claimers won the same bit"
+        );
+        assert!(
+            mine.is_some() || theirs.is_some(),
+            "released bit vanished: no claimer won"
+        );
+        assert_eq!(b.count(), 0, "won bit still set");
+    });
+}
+
+#[test]
+fn double_release_is_rejected_in_all_interleavings() {
+    // Two threads race the release of the same claimed slot (the stale
+    // reverse-index / duplicate-release shape): exactly one
+    // try_claim_release may win in every schedule.
+    checker().check(|| {
+        let s = Arc::new(ModelSlots::new(2));
+        s.publish_avail(C1, false).expect("free slot");
+        let (i, c, _) = s.claim_warm().expect("setup claim");
+        assert_eq!(c, C1);
+        let s2 = Arc::clone(&s);
+        let t = spawn(move || s2.try_claim_release(i, C1));
+        let mine = s.try_claim_release(i, C1);
+        let theirs = t.join();
+        assert!(
+            !(mine && theirs),
+            "double release: both claimed the in_use bit"
+        );
+        assert!(mine || theirs, "owned slot refused both releases");
+        // The winner completes the hand-back; the slot must come back warm.
+        s.hand_back(i, C1);
+        assert!(s.avail_contains(C1));
+        assert_eq!(s.in_use_count(), 0);
+    });
+}
+
+#[test]
+fn warm_acquire_release_vs_retire() {
+    // A lock-free acquire/hand-back races the controller's retire (which
+    // holds the shard lock in production — here the only lock-holder in
+    // flight). Conservation: the container is either retired or warm at
+    // the end, never both, never lost, never double-owned.
+    checker().check(|| {
+        let s = Arc::new(ModelSlots::new(1));
+        s.publish_avail(C1, true).expect("free slot");
+        let s2 = Arc::clone(&s);
+        let t = spawn(move || {
+            if let Some((i, c, execed)) = s2.claim_warm() {
+                assert_eq!(c, C1, "claimed entry must be fully published");
+                assert!(execed, "published execed flag lost");
+                assert!(s2.try_claim_release(i, c), "sole owner releases its slot");
+                s2.hand_back(i, c);
+                true
+            } else {
+                false
+            }
+        });
+        let retired = s.retire_avail();
+        let acquired = t.join();
+        t_join_invariants(&s, retired, acquired);
+    });
+}
+
+fn t_join_invariants(s: &ModelSlots, retired: Option<ContainerId>, acquired: bool) {
+    if let Some(c) = retired {
+        assert_eq!(c, C1, "retire disposed a half-published entry");
+    }
+    assert_eq!(s.in_use_count(), 0, "all claims released");
+    match retired {
+        // Retired: the slot is gone for good. The acquirer may or may not
+        // have gotten its turn first, but after its hand-back the retire
+        // took the slot, or the retire won outright.
+        Some(_) => {
+            assert!(!s.avail_contains(C1), "retired container still warm");
+            assert_eq!(s.free_count(), 1, "disposed slot returns to free");
+        }
+        // Retire lost the race and found nothing: the acquirer must have
+        // held the slot at that instant and handed it back after.
+        None => {
+            assert!(acquired, "nobody held the slot yet retire found nothing");
+            assert!(s.avail_contains(C1), "handed-back container not warm");
+        }
+    }
+}
+
+#[test]
+fn warm_acquire_vs_evict_is_exclusive() {
+    // Eviction re-verifies the entry then claims the avail bit; a racing
+    // warm acquire takes the same bit. Exactly one side may own the
+    // container — never both, and (with the claimer not handing back) the
+    // bit can be taken at most once, so never neither.
+    checker().check(|| {
+        let s = Arc::new(ModelSlots::new(1));
+        let i = s.publish_avail(C1, false).expect("free slot");
+        let s2 = Arc::clone(&s);
+        let t = spawn(move || s2.claim_warm().is_some());
+        let evicted = s.evict_at(i, C1);
+        let acquired = t.join();
+        assert!(
+            acquired ^ evicted,
+            "avail bit owned by {} parties",
+            if acquired { 2 } else { 0 }
+        );
+        if evicted {
+            assert_eq!(s.free_count(), 1, "evicted slot disposed back to free");
+            assert!(!s.avail_contains(C1));
+        } else {
+            assert_eq!(s.in_use_count(), 1, "acquirer holds the slot");
+        }
+    });
+}
+
+#[test]
+fn cold_publish_vs_racing_claims_upholds_publish_before_bit_set() {
+    // The tentpole invariant: a claimer that wins an avail bit must see the
+    // complete entry (container id and execed flag) that was stored before
+    // the release bit-set — across every interleaving of a cold publish
+    // with two racing claimers. claim_warm's internal
+    // debug_assert_ne!(entry, 0) is armed too: a torn publish panics the
+    // schedule even before our asserts run.
+    checker().check(|| {
+        let s = Arc::new(ModelSlots::new(2));
+        s.publish_avail(C1, true).expect("free slot");
+        let s2 = Arc::clone(&s);
+        let publisher = spawn(move || s2.publish_avail(C2, false));
+        let s3 = Arc::clone(&s);
+        let claimer = spawn(move || s3.claim_warm());
+        let mine = s.claim_warm();
+        let published = publisher.join();
+        let theirs = claimer.join();
+        assert!(published.is_some(), "second slot was free");
+        let mut seen = Vec::new();
+        for got in [mine, theirs].into_iter().flatten() {
+            let (_, c, execed) = got;
+            assert!(
+                (c, execed) == (C1, true) || (c, execed) == (C2, false),
+                "claimed a torn entry: {c:?}/{execed}"
+            );
+            seen.push(c);
+        }
+        seen.sort_unstable_by_key(|c| c.0);
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            [mine, theirs].into_iter().flatten().count(),
+            "two claimers handed the same container"
+        );
+        assert!(
+            !seen.is_empty(),
+            "at least the pre-spawned C1 was claimable by someone"
+        );
+    });
+}
+
+#[test]
+fn protocol_suite_exhausts_within_bound() {
+    // The acceptance-criteria form: the acquire/release-vs-retire race is
+    // not just violation-free but *exhausted* within the preemption bound
+    // (complete=true means the DFS tree ended, not the budget).
+    let report = checker().try_check(|| {
+        let s = Arc::new(ModelSlots::new(1));
+        s.publish_avail(C1, true).expect("free slot");
+        let s2 = Arc::clone(&s);
+        let t = spawn(move || {
+            if let Some((i, c, _)) = s2.claim_warm() {
+                assert!(s2.try_claim_release(i, c));
+                s2.hand_back(i, c);
+            }
+        });
+        let _ = s.retire_avail();
+        t.join();
+    });
+    assert!(report.violation.is_none(), "protocol is clean");
+    assert!(
+        report.complete,
+        "schedule tree not exhausted within budget ({} schedules)",
+        report.schedules
+    );
+    assert!(report.schedules > 10, "race actually explored");
+}

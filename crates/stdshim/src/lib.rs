@@ -15,14 +15,22 @@
 //!   serializer and parser, plus the [`json::ToJson`] trait that result
 //!   structs implement instead of deriving `serde::Serialize`, and
 //! * [`hash`] — an FxHash-style fast hasher ([`hash::FastMap`]) for maps
-//!   keyed by internal integers on the request path.
+//!   keyed by internal integers on the request path,
+//! * [`atomic`] — the protocol-atomic facade: zero-cost `std::sync::atomic`
+//!   re-exports in normal builds, instrumented model types under
+//!   `--cfg hotc_model`, and
+//! * [`model`] — a loom-style bounded model checker (controlled scheduler,
+//!   weak-memory store model, DFS over interleavings) that the `hotc-model`
+//!   crate runs against the lock-free slot protocol.
 //!
 //! Everything here is std-only and auditable in one sitting; the hermeticity
 //! guard test (`tests/hermetic.rs` at the workspace root) enforces that it
 //! stays that way.
 
+pub mod atomic;
 pub mod hash;
 pub mod json;
+pub mod model;
 pub mod sync;
 mod sync_slots;
 

@@ -1,0 +1,164 @@
+//! DFS schedule exploration: re-execute the checked closure under every
+//! prescribed choice prefix until the tree (bounded by the preemption
+//! bound, pruned by sleep sets) is exhausted, a budget trips, or a
+//! violation is found.
+
+use super::rt::{NodeRec, RunShared};
+use std::sync::{Arc, Mutex};
+
+/// Serializes whole checker runs process-wide: the virtual-thread context
+/// is thread-local, but the checked closures share the one address space
+/// (and `cargo test` runs tests on multiple threads).
+static RUN_GUARD: Mutex<()> = Mutex::new(());
+
+/// Default schedule budget when `HOTC_MODEL_BUDGET` is unset.
+const DEFAULT_BUDGET: u64 = 20_000;
+
+/// A schedule that violated an invariant, replayable by construction.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The panic message of the failing virtual thread.
+    pub message: String,
+    /// Numbered trace of every operation the failing execution ran.
+    pub trace: String,
+    /// The choice vector (one entry per nondeterministic choice point) that
+    /// deterministically replays this execution.
+    pub schedule: Vec<usize>,
+}
+
+impl Violation {
+    /// Human-readable rendering: message, replay vector, numbered trace.
+    pub fn render(&self) -> String {
+        format!(
+            "model violation: {}\nreplay choice vector: {:?}\nexecution trace:\n{}",
+            self.message, self.schedule, self.trace
+        )
+    }
+}
+
+/// Outcome of [`Checker::try_check`].
+#[derive(Debug)]
+pub struct Report {
+    /// Executions performed (including sleep-set-pruned ones).
+    pub schedules: u64,
+    /// How many of those executions were abandoned by sleep-set pruning
+    /// (every runnable thread asleep — branch equivalent to one explored).
+    pub pruned: u64,
+    /// Whether the bounded schedule tree was fully exhausted (false when
+    /// the budget tripped or a violation stopped the search).
+    pub complete: bool,
+    /// The first violating schedule found, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Bounded model checker: explores interleavings of a closure built from
+/// model atomics ([`super::ModelAtomicU64`] & co) and virtual threads
+/// ([`super::spawn`]).
+#[derive(Debug, Clone)]
+pub struct Checker {
+    bound: usize,
+    budget: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker::new()
+    }
+}
+
+impl Checker {
+    /// A checker with preemption bound 2 and the budget from
+    /// `HOTC_MODEL_BUDGET` (default 20 000 schedules).
+    pub fn new() -> Checker {
+        let budget = std::env::var("HOTC_MODEL_BUDGET")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_BUDGET);
+        Checker { bound: 2, budget }
+    }
+
+    /// Sets the preemption bound: how many times the scheduler may switch
+    /// away from a thread that could have kept running. 0 explores only
+    /// run-to-completion schedules; 2 catches most published bug classes.
+    pub fn preemption_bound(mut self, bound: usize) -> Checker {
+        self.bound = bound;
+        self
+    }
+
+    /// Caps the number of executions explored.
+    pub fn budget(mut self, budget: u64) -> Checker {
+        self.budget = budget;
+        self
+    }
+
+    /// Explores `f` and returns what happened. `f` is re-executed once per
+    /// schedule and must be deterministic apart from the modelled atomics.
+    pub fn try_check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = RUN_GUARD
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let f = Arc::new(f);
+        let mut prefix: Vec<NodeRec> = Vec::new();
+        let mut schedules = 0u64;
+        let mut pruned = 0u64;
+        let mut complete = false;
+        let violation = loop {
+            if schedules >= self.budget {
+                break None;
+            }
+            let shared = Arc::new(RunShared::new(prefix, self.bound));
+            let body = Arc::clone(&f);
+            shared.start_root(move || body());
+            let outcome = shared.wait_outcome();
+            schedules += 1;
+            if outcome.pruned {
+                pruned += 1;
+            }
+            if let Some(msg) = outcome.det_mismatch {
+                // A nondeterministic checked closure is unrecoverable checker misuse.
+                panic!("hotc-model: {msg}; the checked closure must be deterministic");
+            }
+            if let Some(message) = outcome.violation {
+                break Some(Violation {
+                    message,
+                    trace: outcome.trace.join("\n"),
+                    schedule: outcome.nodes.iter().map(|n| n.cur).collect(),
+                });
+            }
+            let mut nodes = outcome.nodes;
+            while nodes.last().is_some_and(|last| last.cur + 1 >= last.n) {
+                nodes.pop();
+            }
+            match nodes.last_mut() {
+                Some(last) => last.cur += 1,
+                None => {
+                    complete = true;
+                    break None;
+                }
+            }
+            prefix = nodes;
+        };
+        Report {
+            schedules,
+            pruned,
+            complete,
+            violation,
+        }
+    }
+
+    /// Like [`try_check`](Self::try_check), but panics with the rendered
+    /// trace if a violating schedule exists — the assertion form used by
+    /// the protocol test suite.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Some(v) = self.try_check(f).violation {
+            // Surfacing the violating schedule is this API's contract.
+            panic!("{}", v.render());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Virtual-thread spawn/join for checked closures.
+//!
+//! Inside a [`Checker`](super::Checker) execution, [`spawn`] creates a new
+//! virtual thread (a real OS thread driven by the baton scheduler) whose
+//! start inherits the parent's vector clock, and [`JoinHandle::join`] is a
+//! blocking schedule point that is only selectable once the child finished
+//! (joining edges its final clock into the parent). Outside a run both fall
+//! back to plain `std::thread`.
+
+use super::rt::{self, Op};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Model {
+        shared: Arc<rt::RunShared>,
+        child: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (virtual or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawns a thread running `f`. Inside a model execution this is a schedule
+/// point and the child is a virtual thread; outside it delegates to
+/// [`std::thread::spawn`].
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let ctx = rt::with_run(|sh, me| (Arc::clone(sh), me));
+    match ctx {
+        Some((shared, me)) => {
+            let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot_in = Arc::clone(&slot);
+            let child = shared.spawn_child(me, move || {
+                let v = f();
+                *slot_in
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(v);
+            });
+            shared.atomic_op(me, Op::Spawn { child });
+            JoinHandle {
+                inner: Inner::Model {
+                    shared,
+                    child,
+                    slot,
+                },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Panics if the
+    /// child panicked (inside a run the child's panic is already the
+    /// recorded violation; the join panic is drained fallout).
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Model {
+                shared,
+                child,
+                slot,
+            } => {
+                // lint:allow(unwrap, model JoinHandles only exist inside the run that spawned them)
+                let me = rt::with_run(|_, me| me).expect("model JoinHandle joined outside its run");
+                shared.atomic_op(me, Op::Join { child });
+                let taken = slot
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                match taken {
+                    Some(v) => v,
+                    // Joining a panicked virtual thread propagates the panic by design.
+                    None => panic!("joined virtual thread t{child} panicked"),
+                }
+            }
+            Inner::Os(h) => match h.join() {
+                Ok(v) => v,
+                Err(_) => panic!("joined thread panicked"),
+            },
+        }
+    }
+}

@@ -23,11 +23,12 @@
 //! panics (out-of-range indices, double release in debug builds), keeping
 //! the diagnostics story uniform with the sanitizer's.
 //!
-//! Everything here is safe Rust over `std::sync::atomic`; the workspace
-//! denies `unsafe_code`.
+//! Everything here is safe Rust over the [`crate::atomic`] facade — plain
+//! `std::sync::atomic` in normal builds, the instrumented model-checker
+//! types under `--cfg hotc_model` (the `atomic-facade` lint rule keeps raw
+//! atomic imports out of this module); the workspace denies `unsafe_code`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use crate::atomic::{Ordering, ShimAtomicU64 as AtomicU64, ShimOnceLock as OnceLock};
 
 /// A fixed-capacity atomic bitmap free-list.
 ///
@@ -129,6 +130,18 @@ impl SlotBitmap {
     pub fn release(&self, index: usize) -> bool {
         let (w, mask) = self.locate(index);
         self.words[w].fetch_or(mask, Ordering::Release) & mask == 0
+    }
+
+    /// Mutation-harness variant of [`release`](Self::release) with the
+    /// ordering deliberately weakened to `Relaxed` — it exists only in
+    /// model-checker builds so `hotc-model/tests/mutation.rs` can prove the
+    /// checker catches a publish that skips the release fence. Never a
+    /// production code path.
+    #[cfg(hotc_model)]
+    pub fn release_relaxed(&self, index: usize) -> bool {
+        let (w, mask) = self.locate(index);
+        // lint:allow(atomic-ordering, deliberately weak: the mutation harness proves the checker catches this)
+        self.words[w].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 
     /// Whether bit `index` is currently set (`Acquire`; advisory — another
