@@ -61,6 +61,12 @@ run cargo test -q --workspace --offline
 run env RUSTFLAGS='--cfg hotc_model' CARGO_TARGET_DIR=target/model \
     HOTC_MODEL_BUDGET="${HOTC_MODEL_BUDGET:-20000}" \
     cargo test -q -p hotc-model --offline
+# The parallel replay driver also runs under the instrumented build (its
+# atomics fall back to real ones outside a checker run, and the debug
+# lock-order sanitizer stays armed), proving the parallel ≡ sequential
+# equivalence holds with instrumentation compiled in.
+run env RUSTFLAGS='--cfg hotc_model' CARGO_TARGET_DIR=target/model \
+    cargo test -q -p hotc-cli --offline --test parallel_equivalence
 
 if [ "$FAST" = 1 ]; then
     echo
@@ -123,6 +129,18 @@ run sh -c "./target/release/hotc-sim scenarios/synth_1m.hotc > '$REPLAY_OUT'"
 grep -Eq '(^|[^0-9])1000000([^0-9]|$)' "$REPLAY_OUT" \
     || { echo "synth_1m replay did not serve 1000000 requests" >&2; exit 1; }
 echo "streaming replay smoke OK"
+
+# 10. Parallel replay smoke: the same 1e6-request day, key-partitioned
+#     across 4 replay workers, must also serve every request. (Byte-level
+#     equivalence with the sequential path is covered by the
+#     parallel_equivalence test suite; this asserts the shipped binary's
+#     flag path end to end at scale.)
+PAR_OUT="$(mktemp)"
+trap 'rm -f "$METRICS_OUT" "$REPLAY_OUT" "$PAR_OUT"' EXIT
+run sh -c "./target/release/hotc-sim scenarios/synth_1m.hotc --replay-threads 4 > '$PAR_OUT'"
+grep -Eq '(^|[^0-9])1000000([^0-9]|$)' "$PAR_OUT" \
+    || { echo "parallel synth_1m replay did not serve 1000000 requests" >&2; exit 1; }
+echo "parallel replay smoke OK"
 
 echo
 echo "All checks passed."

@@ -17,36 +17,50 @@
 use containersim::{ContainerEngine, HardwareProfile, NetworkMode};
 use faas::gateway::Gateway;
 use faas::{AppProfile, FunctionSpec};
-use hotc::HotC;
-use hotc_bench::{run_trace, run_workload, Harness};
+use hotc::{HotC, HotCConfig, PoolLimits};
+use hotc_bench::{run_partitioned, run_trace, run_trace_partition, run_workload, Harness};
 use simclock::SimDuration;
-use workloads::trace::Trace;
+use std::sync::Arc;
+use workloads::trace::{PartitionTrace, Trace};
 use workloads::{drain, synth_trace, SynthShape, SynthSpec};
 
 const TICK: SimDuration = SimDuration::from_secs(60);
 
-/// A gateway with `keys` registered functions, each a distinct runtime key
-/// (same app, distinct env) — the shape `replicas = N` scenarios produce.
-fn gateway(keys: usize) -> (Gateway<HotC>, Vec<String>) {
+/// A gateway registering the subset of `keys` functions that `assign` maps
+/// to worker `w` (`None` = all of them), each a distinct runtime key (same
+/// app, distinct env) — the shape `replicas = N` scenarios produce. The
+/// returned route table always holds every name; `provider` lets the
+/// partitioned workers scale HotC's pool limits to their share.
+fn gateway_subset(
+    keys: usize,
+    subset: Option<(&[usize], usize)>,
+    provider: HotC,
+) -> (Gateway<HotC>, Vec<String>) {
     let engine = ContainerEngine::with_local_images(HardwareProfile::server());
-    let mut gw = Gateway::new(engine, HotC::with_defaults());
+    let mut gw = Gateway::new(engine, provider);
     let mut names = Vec::with_capacity(keys);
     for i in 0..keys {
-        let app = AppProfile::random_number();
-        let mut config = app.config_with_network(NetworkMode::Bridge);
-        config
-            .exec
-            .env
-            .insert("HOTC_REPLICA".to_string(), i.to_string());
         let name = format!("f#{i}");
-        gw.register(
-            FunctionSpec::from_app(app)
-                .named(name.clone())
-                .with_config(config),
-        );
+        if subset.is_none_or(|(assign, w)| assign[i] == w) {
+            let app = AppProfile::random_number();
+            let mut config = app.config_with_network(NetworkMode::Bridge);
+            config
+                .exec
+                .env
+                .insert("HOTC_REPLICA".to_string(), i.to_string());
+            gw.register(
+                FunctionSpec::from_app(app)
+                    .named(name.clone())
+                    .with_config(config),
+            );
+        }
         names.push(name);
     }
     (gw, names)
+}
+
+fn gateway(keys: usize) -> (Gateway<HotC>, Vec<String>) {
+    gateway_subset(keys, None, HotC::with_defaults())
 }
 
 fn spec(requests: u64, keys: usize) -> SynthSpec {
@@ -92,6 +106,41 @@ fn replay_materialized(requests: u64, keys: usize) -> u64 {
         TICK,
     );
     out.traces.len() as u64
+}
+
+/// Partitioned replay of the same synthesized day across `workers` threads.
+/// Every slot here is its own runtime key, so a modulo assignment is already
+/// reuse-closed — exactly the partition the scenario runner would compute.
+/// Each worker synthesizes the full stream, filters it to its keys, serves
+/// them on a private gateway (pool limits ceil-divided so the aggregate cap
+/// matches the sequential 500), and ticks at the shared global schedule.
+fn replay_parallel(requests: u64, keys: usize, workers: usize) -> u64 {
+    let assign: Arc<Vec<usize>> = Arc::new((0..keys).map(|i| i % workers).collect());
+    let limits = PoolLimits::default();
+    let per_worker = PoolLimits::new(
+        limits.max_live.div_ceil(workers).max(1),
+        limits.mem_threshold,
+    );
+    run_partitioned(workers, |w| {
+        let provider = HotC::new(HotCConfig {
+            limits: per_worker,
+            ..Default::default()
+        });
+        let (gw, names) = gateway_subset(keys, Some((&assign, w)), provider);
+        let mut part =
+            PartitionTrace::new(synth_trace(&spec(requests, keys)), Arc::clone(&assign), w);
+        let out = run_trace_partition(
+            gw,
+            &mut part,
+            move |cid| names[cid % names.len()].clone(),
+            TICK,
+            |_, _| {},
+        );
+        assert!(out.trace_error.is_none(), "synth trace cannot error");
+        out.requests
+    })
+    .into_iter()
+    .sum()
 }
 
 /// Frontend-only drain: pulls every arrival out of the synthesizer with no
@@ -144,6 +193,21 @@ fn main() {
     h.record_derived("replay_1m_max_inflight", max_inflight as f64);
     if let Some(kb) = vm_hwm_kb() {
         h.record_derived("replay_1m_peak_rss_kb", kb);
+    }
+
+    // The same 1e6 / 10k-key day, key-partitioned across 8 replay workers.
+    // The `replay_parallel` gate group pins the speedup ratio against the
+    // sequential scale point above (guarded by `min_parallelism`, so 1-core
+    // runners skip it visibly instead of failing it).
+    let n = h.bench_once("stream_1m_10k_keys_par8", || {
+        replay_parallel(1_000_000, 10_000, 8)
+    });
+    assert_eq!(n, 1_000_000);
+    if let Some(mean_ns) = h.mean_of("stream_1m_10k_keys_par8") {
+        h.record_derived("replay_1m_par8_req_per_sec", 1e6 / (mean_ns * 1e-9));
+    }
+    if let Some(kb) = vm_hwm_kb() {
+        h.record_derived("replay_1m_par8_peak_rss_kb", kb);
     }
 
     // Frontend-only emission rate at the 1e6 / 1e7 / 1e8 scale points —

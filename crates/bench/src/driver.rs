@@ -12,7 +12,7 @@ use faas::{InFlight, RequestTrace, RuntimeProvider};
 use simclock::{SimDuration, SimTime, Simulation};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use workloads::trace::Trace;
+use workloads::trace::{PartitionTrace, Trace};
 use workloads::Arrival;
 
 /// Result of driving a workload to completion.
@@ -202,6 +202,73 @@ impl Ord for FinishAt {
     }
 }
 
+/// What the streaming event loop needs from an arrival source beyond
+/// [`Trace`]: the *reported* sequence number of each arrival (a parallel
+/// worker reports the arrival's global index in the underlying stream, so
+/// finish tie-breaking and per-request callbacks match the sequential
+/// driver), and the tick-horizon basis once the source is exhausted (a
+/// worker that owns few — or zero — arrivals must still tick to the global
+/// horizon, or merged `pool/live` series would diverge).
+trait ReplaySource {
+    /// Instant of the next arrival, without consuming it.
+    fn peek_at(&mut self) -> Option<SimTime>;
+    /// Pulls the next arrival together with its reported sequence number.
+    fn next(&mut self) -> Option<(Arrival, u64)>;
+    /// Timestamp of the underlying stream's last arrival, `None` if the
+    /// stream was empty. Only meaningful once `peek_at` returns `None`,
+    /// which is the only time the loop asks.
+    fn horizon_basis(&self) -> Option<SimTime>;
+    /// First error the source hit, if any.
+    fn take_error(&mut self) -> Option<String>;
+}
+
+/// The sequential source: a plain trace with a local pull-index counter.
+struct PlainSource<'a> {
+    trace: &'a mut dyn Trace,
+    seq: u64,
+    last_at: Option<SimTime>,
+}
+
+impl ReplaySource for PlainSource<'_> {
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.trace.peek().map(|a| a.at)
+    }
+    fn next(&mut self) -> Option<(Arrival, u64)> {
+        let a = self.trace.next_arrival()?;
+        let s = self.seq;
+        self.seq += 1;
+        self.last_at = Some(a.at);
+        Some((a, s))
+    }
+    fn horizon_basis(&self) -> Option<SimTime> {
+        self.last_at
+    }
+    fn take_error(&mut self) -> Option<String> {
+        self.trace.take_error()
+    }
+}
+
+/// One parallel worker's source: a [`PartitionTrace`] reporting global
+/// arrival indices and the global horizon basis.
+struct PartSource<'a, T: Trace> {
+    part: &'a mut PartitionTrace<T>,
+}
+
+impl<T: Trace> ReplaySource for PartSource<'_, T> {
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.part.peek().map(|a| a.at)
+    }
+    fn next(&mut self) -> Option<(Arrival, u64)> {
+        self.part.next_indexed()
+    }
+    fn horizon_basis(&self) -> Option<SimTime> {
+        self.part.horizon_basis()
+    }
+    fn take_error(&mut self) -> Option<String> {
+        self.part.take_error()
+    }
+}
+
 /// Streams `trace` through `gateway` without materializing it: arrivals are
 /// pulled lazily, so resident memory is O(inflight + sources), independent of
 /// request count.
@@ -217,10 +284,86 @@ pub fn run_trace<P>(
     trace: &mut dyn Trace,
     route: impl Fn(usize) -> String,
     tick_interval: SimDuration,
+    on_finish: impl FnMut(u64, &RequestTrace),
+) -> TraceOutcome<P>
+where
+    P: RuntimeProvider + 'static,
+{
+    let mut source = PlainSource {
+        trace,
+        seq: 0,
+        last_at: None,
+    };
+    run_trace_core(gateway, &mut source, route, tick_interval, on_finish)
+}
+
+/// Streams one worker's partition of a trace through that worker's own
+/// gateway — the per-thread body of the parallel replay driver.
+///
+/// The event loop is the *same code* as [`run_trace`]; only the source
+/// differs. `on_finish` receives the arrival's **global** index in the
+/// underlying stream (not a worker-local count), so merged per-request data
+/// sorts back into sequential arrival order, and finishes within this worker
+/// tie-break by `(t4, global seq)` exactly as the sequential driver orders
+/// the same subset. Ticks run at every `tick_interval` from t=0 through the
+/// *global* horizon (`PartitionTrace` tracks the underlying stream's last
+/// arrival), so every worker samples `pool/live` at the identical instants
+/// and the merged series lines up point-for-point with the sequential one.
+/// `TraceOutcome::requests` counts only this worker's arrivals.
+pub fn run_trace_partition<P, T>(
+    gateway: Gateway<P>,
+    part: &mut PartitionTrace<T>,
+    route: impl Fn(usize) -> String,
+    tick_interval: SimDuration,
+    on_finish: impl FnMut(u64, &RequestTrace),
+) -> TraceOutcome<P>
+where
+    P: RuntimeProvider + 'static,
+    T: Trace,
+{
+    let mut source = PartSource { part };
+    run_trace_core(gateway, &mut source, route, tick_interval, on_finish)
+}
+
+/// Runs `worker(w)` for `w in 0..threads` on scoped OS threads and returns
+/// the results in worker-index order — the deterministic reduction order the
+/// parallel replay merge depends on. With one thread the worker runs inline
+/// (the degenerate case exercises the same worker body with no spawn cost).
+/// A worker panic propagates to the caller.
+pub fn run_partitioned<W, F>(threads: usize, worker: F) -> Vec<W>
+where
+    W: Send,
+    F: Fn(usize) -> W + Sync,
+{
+    assert!(threads >= 1, "need at least one replay worker");
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || worker(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+fn run_trace_core<P, S>(
+    gateway: Gateway<P>,
+    source: &mut S,
+    route: impl Fn(usize) -> String,
+    tick_interval: SimDuration,
     mut on_finish: impl FnMut(u64, &RequestTrace),
 ) -> TraceOutcome<P>
 where
     P: RuntimeProvider + 'static,
+    S: ReplaySource,
 {
     assert!(!tick_interval.is_zero(), "tick interval must be positive");
 
@@ -229,8 +372,8 @@ where
     let mut pending: BinaryHeap<Reverse<FinishAt>> = BinaryHeap::new();
     let mut next_tick = SimTime::ZERO;
     let mut ticks_done = false;
-    let mut last_arrival_at = SimTime::ZERO;
-    let mut seq: u64 = 0;
+    let mut last_arrival_at: Option<SimTime> = None;
+    let mut count: u64 = 0;
     let mut max_inflight = 0usize;
     let mut finished_at = SimTime::ZERO;
 
@@ -239,7 +382,7 @@ where
     // arrivals, finishes scheduled at run time).
     loop {
         let tick_at = if ticks_done { None } else { Some(next_tick) };
-        let arrival_at = trace.peek().map(|a| a.at);
+        let arrival_at = source.peek_at();
         let finish_at = pending.peek().map(|Reverse(f)| f.at);
 
         let candidates = [
@@ -264,24 +407,24 @@ where
                     // Stream exhausted: the horizon is now known, exactly as
                     // the materialized driver computed it up front. (While
                     // arrivals remain, every tick fired so far is <= the
-                    // final horizon by construction.)
-                    let horizon = if seq == 0 && pending.is_empty() && live_samples.len() == 1 {
-                        SimTime::ZERO // empty workload: the single t=0 tick
-                    } else {
-                        last_arrival_at + tick_interval * 2
-                    };
+                    // final horizon by construction.) An empty underlying
+                    // stream has no basis: the single t=0 tick is the run.
+                    let horizon = source
+                        .horizon_basis()
+                        .map(|last| last + tick_interval * 2)
+                        .unwrap_or(SimTime::ZERO);
                     if next_tick > horizon {
                         ticks_done = true;
                     }
                 }
             }
             1 => {
-                let arrival = trace.next_arrival().expect("peeked arrival must exist");
+                let (arrival, seq) = source.next().expect("peeked arrival must exist");
                 assert!(
-                    arrival.at >= last_arrival_at || seq == 0,
+                    last_arrival_at.is_none_or(|t| arrival.at >= t),
                     "trace must be time-ordered"
                 );
-                last_arrival_at = arrival.at;
+                last_arrival_at = Some(arrival.at);
                 let function = route(arrival.config_id);
                 let inflight = gateway.begin(&function, now).expect("request must begin");
                 pending.push(Reverse(FinishAt {
@@ -290,7 +433,7 @@ where
                     inflight,
                 }));
                 max_inflight = max_inflight.max(pending.len());
-                seq += 1;
+                count += 1;
             }
             _ => {
                 let Reverse(f) = pending.pop().expect("peeked finish must exist");
@@ -303,11 +446,11 @@ where
 
     TraceOutcome {
         gateway,
-        requests: seq,
+        requests: count,
         finished_at,
         live_samples,
         max_inflight,
-        trace_error: trace.take_error(),
+        trace_error: source.take_error(),
     }
 }
 
@@ -490,6 +633,124 @@ mod tests {
             .trace_error
             .as_deref()
             .is_some_and(|e| e.contains("non-decreasing")));
+    }
+
+    /// The 1-thread degenerate parallel run goes through `PartitionTrace` +
+    /// `run_trace_partition` + `run_partitioned` and must be
+    /// indistinguishable from the sequential streaming driver.
+    #[test]
+    fn single_worker_partition_equals_sequential() {
+        let w = patterns::burst(8, 10, &[1, 3], 6, SimDuration::from_secs(30), 0);
+        let tick = SimDuration::from_secs(30);
+        let route = |_| "random-number".to_string();
+
+        let mut seq_finishes: Vec<(u64, RequestTrace)> = Vec::new();
+        let mut source = workloads::trace::VecTrace::new(w.clone());
+        let sequential = run_trace(
+            gateway(HotC::with_defaults()),
+            &mut source,
+            route,
+            tick,
+            |s, t| {
+                seq_finishes.push((s, *t));
+            },
+        );
+
+        let assign = std::sync::Arc::new(vec![0usize]);
+        let mut results = run_partitioned(1, |worker| {
+            let mut part = PartitionTrace::new(
+                workloads::trace::VecTrace::new(w.clone()),
+                std::sync::Arc::clone(&assign),
+                worker,
+            );
+            let mut finishes: Vec<(u64, RequestTrace)> = Vec::new();
+            let out = run_trace_partition(
+                gateway(HotC::with_defaults()),
+                &mut part,
+                route,
+                tick,
+                |s, t| finishes.push((s, *t)),
+            );
+            (out, finishes)
+        });
+        let (out, finishes) = results.remove(0);
+
+        assert_eq!(out.requests, sequential.requests);
+        assert_eq!(out.finished_at, sequential.finished_at);
+        assert_eq!(out.live_samples, sequential.live_samples);
+        assert_eq!(out.max_inflight, sequential.max_inflight);
+        assert_eq!(finishes, seq_finishes);
+        assert_eq!(
+            format!("{:?}", out.gateway.metrics().snapshot()),
+            format!("{:?}", sequential.gateway.metrics().snapshot())
+        );
+    }
+
+    /// Two workers partitioning a two-config stream: the merged finishes (by
+    /// global index) equal the sequential run's, every worker ticks at the
+    /// sequential instants, and per-tick live counts sum to the sequential
+    /// count.
+    #[test]
+    fn two_workers_cover_stream_and_share_tick_schedule() {
+        // Alternating configs, overlapping lifetimes.
+        let w: Vec<Arrival> = (0..20u64)
+            .map(|i| Arrival {
+                at: SimTime::from_millis(i * 700),
+                config_id: (i % 2) as usize,
+            })
+            .collect();
+        let tick = SimDuration::from_secs(30);
+        let route = |_| "random-number".to_string();
+
+        let mut seq_finishes: Vec<(u64, RequestTrace)> = Vec::new();
+        let mut source = workloads::trace::VecTrace::new(w.clone());
+        let sequential = run_trace(
+            gateway(ColdStartAlways::new()),
+            &mut source,
+            route,
+            tick,
+            |s, t| seq_finishes.push((s, *t)),
+        );
+
+        let assign = std::sync::Arc::new(vec![0usize, 1]);
+        let results = run_partitioned(2, |worker| {
+            let mut part = PartitionTrace::new(
+                workloads::trace::VecTrace::new(w.clone()),
+                std::sync::Arc::clone(&assign),
+                worker,
+            );
+            let mut finishes: Vec<(u64, RequestTrace)> = Vec::new();
+            let out = run_trace_partition(
+                gateway(ColdStartAlways::new()),
+                &mut part,
+                route,
+                tick,
+                |s, t| finishes.push((s, *t)),
+            );
+            (out, finishes)
+        });
+
+        assert_eq!(results.iter().map(|(o, _)| o.requests).sum::<u64>(), 20);
+        let mut merged: Vec<(u64, RequestTrace)> = results
+            .iter()
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        merged.sort_by_key(|&(s, _)| s);
+        seq_finishes.sort_by_key(|&(s, _)| s);
+        assert_eq!(merged, seq_finishes);
+
+        let max_finished = results.iter().map(|(o, _)| o.finished_at).max();
+        assert_eq!(max_finished, Some(sequential.finished_at));
+        for (out, _) in &results {
+            let instants: Vec<SimTime> = out.live_samples.iter().map(|&(t, _)| t).collect();
+            let seq_instants: Vec<SimTime> =
+                sequential.live_samples.iter().map(|&(t, _)| t).collect();
+            assert_eq!(instants, seq_instants, "tick schedules must be global");
+        }
+        for (i, &(at, live)) in sequential.live_samples.iter().enumerate() {
+            let summed: usize = results.iter().map(|(o, _)| o.live_samples[i].1).sum();
+            assert_eq!(summed, live, "live count diverged at {at:?}");
+        }
     }
 
     #[test]

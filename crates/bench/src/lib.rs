@@ -14,7 +14,9 @@ pub mod driver;
 pub mod experiments;
 pub mod harness;
 
-pub use driver::{run_trace, run_workload, RunOutcome, TraceOutcome};
+pub use driver::{
+    run_partitioned, run_trace, run_trace_partition, run_workload, RunOutcome, TraceOutcome,
+};
 pub use harness::{BenchResult, Harness};
 
 /// Thread counts the contention bench drives through the sharded gateway.

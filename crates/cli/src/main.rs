@@ -5,7 +5,7 @@ use std::io::Read as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hotc-sim <scenario-file> [--verbose] [--metrics-out <path>]\n       hotc-sim -        (read scenario from stdin)\n       hotc-sim --demo   (print an example scenario)"
+        "usage: hotc-sim <scenario-file> [--verbose] [--metrics-out <path>] [--replay-threads <n>]\n       hotc-sim -        (read scenario from stdin)\n       hotc-sim --demo   (print an example scenario)"
     );
     std::process::exit(2);
 }
@@ -18,6 +18,24 @@ fn main() {
         Some(i) if i + 1 < args.len() => {
             args.remove(i);
             Some(args.remove(i))
+        }
+        Some(_) => usage(),
+        None => None,
+    };
+
+    // `--replay-threads <n>`: parallel replay, overriding the scenario's
+    // `replay_threads` key if both are given.
+    let replay_threads = match args.iter().position(|a| a == "--replay-threads") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            let v = args.remove(i);
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("bad --replay-threads '{v}': need an integer >= 1");
+                    std::process::exit(2);
+                }
+            }
         }
         Some(_) => usage(),
         None => None,
@@ -52,10 +70,20 @@ fn main() {
         eprintln!("scenario parse error: {e}");
         std::process::exit(1);
     });
-    let report = hotc_cli::run_scenario(&scenario).unwrap_or_else(|e| {
+    let report = match replay_threads.or(scenario.replay_threads) {
+        Some(threads) if threads > 1 => hotc_cli::run_scenario_parallel(&scenario, threads),
+        _ => hotc_cli::run_scenario(&scenario),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("scenario error: {e}");
         std::process::exit(1);
     });
+    if report.limits_coupled {
+        eprintln!(
+            "note: pool limits evicted containers during a parallel replay; \
+             results may differ slightly from a sequential run"
+        );
+    }
     if let Some(path) = metrics_out {
         use stdshim::ToJson as _;
         let json = report.metrics.to_json().to_pretty_string();

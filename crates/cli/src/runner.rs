@@ -1,17 +1,22 @@
 //! Builds and runs a parsed [`Scenario`], producing a [`ScenarioReport`].
 
 use crate::scenario::{FunctionDecl, ProviderSpec, Scenario, WorkloadSpec};
-use containersim::{ContainerEngine, LanguageRuntime};
+use containersim::{ContainerConfig, ContainerEngine, LanguageRuntime};
 use faas::gateway::Gateway;
 use faas::{
     AppProfile, ColdStartAlways, FixedKeepAlive, FunctionSpec, HybridKeepAlive, PeriodicWarmup,
     RequestTrace, RuntimeProvider,
 };
-use hotc::{HotC, HotCConfig, KeyPolicy};
-use hotc_bench::{run_trace, run_workload};
-use metrics_lite::{LatencyHistogram, LatencyRecorder, Table};
+use hotc::{HotC, HotCConfig, KeyPolicy, PoolLimits, RuntimeKey};
+use hotc_bench::{run_partitioned, run_trace, run_trace_partition, run_workload};
+use metrics_lite::{LatencyHistogram, MetricsRegistry, MetricsSnapshot, Table};
+use simclock::SimDuration;
+use std::collections::HashMap;
+use std::sync::Arc;
 use workloads::patterns::Direction;
-use workloads::trace::{self as wtrace, ConfigModulo, OpenDcTrace, SynthShape, SynthSpec, Trace};
+use workloads::trace::{
+    self as wtrace, ConfigModulo, OpenDcTrace, PartitionTrace, SynthShape, SynthSpec, Trace,
+};
 use workloads::youtube::{youtube_trace, YoutubeTraceParams};
 use workloads::Arrival;
 
@@ -45,6 +50,12 @@ pub struct ScenarioReport {
     /// Full telemetry snapshot taken at the end of the run (counters,
     /// stage histograms, pool series) — exported by `--metrics-out`.
     pub metrics: metrics_lite::MetricsSnapshot,
+    /// Set by the parallel driver when per-worker pool-limit enforcement
+    /// actually evicted containers — the one case where a partitioned replay
+    /// approximates (rather than reproduces) the sequential run. Always
+    /// `false` for sequential runs and for parallel runs whose pool never
+    /// hit its limits.
+    pub limits_coupled: bool,
 }
 
 impl ScenarioReport {
@@ -302,11 +313,12 @@ pub fn build_trace(spec: &WorkloadSpec, slots: usize, seed: u64) -> Result<Box<d
 /// Streaming report builder: O(1) per request, bounded memory.
 ///
 /// Up to [`LATENCY_DETAIL_CAP`] requests it also keeps exact per-request
-/// samples, so small runs report the same exact percentiles and verbose
-/// series as before; past the cap it degrades to histogram quantiles and an
-/// empty `latencies_ms`, keeping the footprint constant.
+/// samples for the verbose series; past the cap it drops the series and
+/// keeps only the constant-footprint histogram. Quantiles always come from
+/// the histogram, below and above the cap alike, so the reported p50/p99 are
+/// continuous across the switchover (one estimator, no discontinuity at
+/// request `LATENCY_DETAIL_CAP`).
 struct ReportAggregator {
-    recorder: LatencyRecorder,
     hist: LatencyHistogram,
     detail: Vec<(u64, f64)>,
     detailed: bool,
@@ -319,7 +331,6 @@ struct ReportAggregator {
 impl ReportAggregator {
     fn new() -> ReportAggregator {
         ReportAggregator {
-            recorder: LatencyRecorder::new(),
             hist: LatencyHistogram::new(),
             detail: Vec::new(),
             detailed: true,
@@ -345,52 +356,92 @@ impl ReportAggregator {
             if self.detail.len() == LATENCY_DETAIL_CAP {
                 self.detailed = false;
                 self.detail = Vec::new();
-                self.recorder = LatencyRecorder::new();
             } else {
-                self.recorder.record(total);
                 self.detail.push((seq, total.as_millis_f64()));
             }
         }
     }
 
-    fn finish<P: RuntimeProvider>(mut self, gateway: &Gateway<P>) -> ScenarioReport {
+    /// Folds another worker's aggregate into this one. Tallies and histogram
+    /// buckets add; the exact detail survives only if every input kept it
+    /// AND the merged total is still within the cap — the same rule a single
+    /// sequential aggregator applies to the combined stream.
+    fn merge(&mut self, other: ReportAggregator) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.failed += other.failed;
+        self.cold += other.cold;
+        self.hist.merge(&other.hist);
+        if self.detailed
+            && other.detailed
+            && self.detail.len() + other.detail.len() <= LATENCY_DETAIL_CAP
+        {
+            self.detail.extend(other.detail);
+        } else {
+            self.detailed = false;
+            self.detail = Vec::new();
+        }
+    }
+
+    fn finish(
+        mut self,
+        live_at_end: usize,
+        background: SimDuration,
+        metrics: MetricsSnapshot,
+    ) -> ScenarioReport {
         let count = self.count.max(1) as f64;
         let mean_ns = (self.total_ns / self.count.max(1) as u128) as u64;
         let (p50, p99) = if self.count == 0 {
-            (simclock::SimDuration::ZERO, simclock::SimDuration::ZERO)
-        } else if self.detailed {
-            (self.recorder.median(), self.recorder.percentile(0.99))
+            (SimDuration::ZERO, SimDuration::ZERO)
         } else {
             (self.hist.quantile(0.5), self.hist.quantile(0.99))
         };
         // Finishes arrive in completion order; the report series is in
-        // arrival order.
+        // arrival order (global sequence numbers, so a merged parallel run
+        // sorts into the same order as the sequential one).
         self.detail.sort_by_key(|(seq, _)| *seq);
         ScenarioReport {
             requests: self.count as usize,
-            mean_ms: simclock::SimDuration::from_nanos(mean_ns).as_millis_f64(),
+            mean_ms: SimDuration::from_nanos(mean_ns).as_millis_f64(),
             p50_ms: p50.as_millis_f64(),
             p99_ms: p99.as_millis_f64(),
             cold_fraction: self.cold as f64 / count,
             failed_fraction: self.failed as f64 / count,
-            live_at_end: gateway.engine().live_count(),
-            background_s: gateway.provider().background_cost().as_secs_f64(),
+            live_at_end,
+            background_s: background.as_secs_f64(),
             latencies_ms: self.detail.into_iter().map(|(_, ms)| ms).collect(),
-            metrics: gateway.metrics().snapshot(),
+            metrics,
+            limits_coupled: false,
         }
     }
 }
 
-fn build_gateway<P: RuntimeProvider>(
-    provider: P,
-    scenario: &Scenario,
-) -> Result<(Gateway<P>, Vec<String>), String> {
-    let mut engine = ContainerEngine::with_local_images(scenario.hardware.clone());
-    if scenario.crash_rate > 0.0 {
-        engine.set_fault_injection(scenario.crash_rate, scenario.seed);
-    }
-    let mut gateway = Gateway::new(engine, provider);
-    let mut names = Vec::new();
+/// Completes a single-gateway run: reads end-of-run state off the gateway
+/// and folds it into the report.
+fn finish_report<P: RuntimeProvider>(
+    agg: ReportAggregator,
+    gateway: &Gateway<P>,
+) -> ScenarioReport {
+    agg.finish(
+        gateway.engine().live_count(),
+        gateway.provider().background_cost(),
+        gateway.metrics().snapshot(),
+    )
+}
+
+/// One registered function slot: the route name, the app profile behind it,
+/// and the fully resolved container configuration. Slot index == the
+/// `config_id % slots` routing index used by every driver.
+struct SlotSpec {
+    name: String,
+    app: AppProfile,
+    config: ContainerConfig,
+}
+
+/// Expands the scenario's function declarations (× replicas) into the flat
+/// slot list all gateways are registered from.
+fn slot_specs(scenario: &Scenario) -> Result<Vec<SlotSpec>, String> {
+    let mut slots = Vec::new();
     for decl in &scenario.functions {
         let app = build_app(decl)?;
         for i in 0..decl.replicas {
@@ -411,58 +462,290 @@ fn build_gateway<P: RuntimeProvider>(
                     .env
                     .insert("HOTC_REPLICA".to_string(), i.to_string());
             }
-            gateway.register(
-                FunctionSpec::from_app(app.clone())
-                    .named(name.clone())
-                    .with_config(config),
-            );
-            names.push(name);
+            slots.push(SlotSpec {
+                name,
+                app: app.clone(),
+                config,
+            });
         }
     }
-    Ok((gateway, names))
+    Ok(slots)
 }
 
-fn run_streaming<P: RuntimeProvider + 'static>(
+/// Builds a gateway registering `slots` — all of them, or (for a parallel
+/// worker) only the subset `assign` maps to worker `w`. Fault injection is
+/// seeded identically either way; crash draws decompose per-config, so a
+/// worker owning a subset of slots sees exactly the draws the sequential run
+/// dealt those configs.
+fn build_gateway_slots<P: RuntimeProvider>(
     provider: P,
     scenario: &Scenario,
-    trace: &mut dyn Trace,
-) -> Result<ScenarioReport, String> {
-    let (gateway, names) = build_gateway(provider, scenario)?;
-    let mut agg = ReportAggregator::new();
-    let out = run_trace(
-        gateway,
-        trace,
-        move |config_id| names[config_id % names.len()].clone(),
-        scenario.tick,
-        |seq, t| agg.observe(seq, t),
-    );
-    if let Some(e) = out.trace_error {
-        return Err(format!("trace source error: {e}"));
+    slots: &[SlotSpec],
+    only_worker: Option<(&[usize], usize)>,
+) -> Gateway<P> {
+    let mut engine = ContainerEngine::with_local_images(scenario.hardware.clone());
+    if scenario.crash_rate > 0.0 {
+        engine.set_fault_injection(scenario.crash_rate, scenario.seed);
     }
-    Ok(agg.finish(&out.gateway))
+    let mut gateway = Gateway::new(engine, provider);
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some((assign, w)) = only_worker {
+            if assign[i] != w {
+                continue;
+            }
+        }
+        gateway.register(
+            FunctionSpec::from_app(slot.app.clone())
+                .named(slot.name.clone())
+                .with_config(slot.config.clone()),
+        );
+    }
+    gateway
 }
 
-fn run_materialized<P: RuntimeProvider + 'static>(
+fn build_gateway<P: RuntimeProvider>(
     provider: P,
     scenario: &Scenario,
-    workload: &[Arrival],
-) -> Result<ScenarioReport, String> {
-    let (gateway, names) = build_gateway(provider, scenario)?;
-    let out = run_workload(
-        gateway,
-        workload,
-        move |config_id| names[config_id % names.len()].clone(),
-        scenario.tick,
-    );
-    let mut agg = ReportAggregator::new();
-    for (i, t) in out.traces.iter().enumerate() {
-        agg.observe(i as u64, t);
+) -> Result<(Gateway<P>, Vec<String>), String> {
+    let slots = slot_specs(scenario)?;
+    let names = slots.iter().map(|s| s.name.clone()).collect();
+    Ok((build_gateway_slots(provider, scenario, &slots, None), names))
+}
+
+/// A driver body, generic over the provider the scenario selected.
+///
+/// The three drivers (streaming, materialized, parallel) differ in how they
+/// feed arrivals through the gateway but share everything else: the
+/// provider dispatch below, the gateway construction, and the
+/// [`ReportAggregator`]. `make` builds one provider instance; the parallel
+/// driver calls it once per worker, the sequential drivers exactly once.
+trait ProviderOp {
+    type Out;
+    fn run<P>(self, make: &(dyn Fn() -> P + Sync)) -> Self::Out
+    where
+        P: RuntimeProvider + Send + 'static;
+}
+
+/// HotC's pool limits are global state — the one thing a key-partitioned
+/// replay cannot share. Each of `threads` workers gets a ceil-divided share
+/// of `max_live` so the aggregate cap matches the configured total; with one
+/// worker this reproduces the configured limits exactly.
+fn split_limits(threads: usize) -> PoolLimits {
+    let defaults = PoolLimits::default();
+    PoolLimits::new(
+        defaults.max_live.div_ceil(threads).max(1),
+        defaults.mem_threshold,
+    )
+}
+
+/// The single provider dispatch shared by all drivers: matches the scenario's
+/// provider spec once and hands `op` a constructor for it.
+fn dispatch_provider<O: ProviderOp>(spec: &ProviderSpec, threads: usize, op: O) -> O::Out {
+    match spec {
+        ProviderSpec::HotC => op.run(&move || {
+            HotC::new(HotCConfig {
+                limits: split_limits(threads),
+                ..Default::default()
+            })
+        }),
+        ProviderSpec::HotCFuzzy => op.run(&move || {
+            HotC::new(HotCConfig {
+                key_policy: KeyPolicy::Fuzzy,
+                limits: split_limits(threads),
+                ..Default::default()
+            })
+        }),
+        ProviderSpec::ColdStart => op.run(&ColdStartAlways::new),
+        ProviderSpec::FixedKeepAlive(ttl) => {
+            let ttl = *ttl;
+            op.run(&move || FixedKeepAlive::new(ttl))
+        }
+        ProviderSpec::PeriodicWarmup(period) => {
+            let period = *period;
+            op.run(&move || PeriodicWarmup::new(period))
+        }
+        ProviderSpec::HybridKeepAlive => op.run(&HybridKeepAlive::new),
     }
-    Ok(agg.finish(&out.gateway))
+}
+
+struct StreamOp<'a> {
+    scenario: &'a Scenario,
+    trace: &'a mut dyn Trace,
+}
+
+impl ProviderOp for StreamOp<'_> {
+    type Out = Result<ScenarioReport, String>;
+    fn run<P>(self, make: &(dyn Fn() -> P + Sync)) -> Self::Out
+    where
+        P: RuntimeProvider + Send + 'static,
+    {
+        let (gateway, names) = build_gateway(make(), self.scenario)?;
+        let mut agg = ReportAggregator::new();
+        let out = run_trace(
+            gateway,
+            self.trace,
+            move |config_id| names[config_id % names.len()].clone(),
+            self.scenario.tick,
+            |seq, t| agg.observe(seq, t),
+        );
+        if let Some(e) = out.trace_error {
+            return Err(format!("trace source error: {e}"));
+        }
+        Ok(finish_report(agg, &out.gateway))
+    }
+}
+
+struct MaterializedOp<'a> {
+    scenario: &'a Scenario,
+    workload: &'a [Arrival],
+}
+
+impl ProviderOp for MaterializedOp<'_> {
+    type Out = Result<ScenarioReport, String>;
+    fn run<P>(self, make: &(dyn Fn() -> P + Sync)) -> Self::Out
+    where
+        P: RuntimeProvider + Send + 'static,
+    {
+        let (gateway, names) = build_gateway(make(), self.scenario)?;
+        let out = run_workload(
+            gateway,
+            self.workload,
+            move |config_id| names[config_id % names.len()].clone(),
+            self.scenario.tick,
+        );
+        let mut agg = ReportAggregator::new();
+        for (i, t) in out.traces.iter().enumerate() {
+            agg.observe(i as u64, t);
+        }
+        Ok(finish_report(agg, &out.gateway))
+    }
+}
+
+/// Assigns each slot to a worker such that slots whose runtimes can be
+/// reused for one another (same [`RuntimeKey`] under the provider's matching
+/// policy) always land on the same worker — the partition unit is the
+/// reuse-closure, so no warm container is ever visible from two workers.
+/// Key groups are dealt round-robin in first-appearance order.
+fn partition_slots(slots: &[SlotSpec], policy: KeyPolicy, threads: usize) -> Vec<usize> {
+    let mut group_of: HashMap<RuntimeKey, usize> = HashMap::new();
+    let mut next = 0usize;
+    slots
+        .iter()
+        .map(|slot| {
+            let key = RuntimeKey::from_config(&slot.config, policy);
+            *group_of.entry(key).or_insert_with(|| {
+                let w = next % threads.max(1);
+                next += 1;
+                w
+            })
+        })
+        .collect()
+}
+
+/// The runtime-key matching policy the scenario's provider reuses under.
+/// Every non-fuzzy provider pools per exact configuration.
+fn provider_policy(spec: &ProviderSpec) -> KeyPolicy {
+    match spec {
+        ProviderSpec::HotCFuzzy => KeyPolicy::Fuzzy,
+        _ => KeyPolicy::Exact,
+    }
+}
+
+struct ParallelOp<'a> {
+    scenario: &'a Scenario,
+    threads: usize,
+}
+
+impl ProviderOp for ParallelOp<'_> {
+    type Out = Result<ScenarioReport, String>;
+    fn run<P>(self, make: &(dyn Fn() -> P + Sync)) -> Self::Out
+    where
+        P: RuntimeProvider + Send + 'static,
+    {
+        let scenario = self.scenario;
+        let threads = self.threads;
+        let slots = slot_specs(scenario)?;
+        let names: Arc<Vec<String>> = Arc::new(slots.iter().map(|s| s.name.clone()).collect());
+        let assign: Arc<Vec<usize>> = Arc::new(partition_slots(
+            &slots,
+            provider_policy(&scenario.provider),
+            threads,
+        ));
+        let slots = &slots;
+
+        let results = run_partitioned(threads, |w| -> Result<_, String> {
+            // Workload generation is deterministic: every worker rebuilds
+            // the full stream and filters it down to its own slots, keeping
+            // the global arrival indices for tie-breaking and the series.
+            let trace = build_trace(&scenario.workload, slots.len(), scenario.seed)?;
+            let mut part = PartitionTrace::new(trace, Arc::clone(&assign), w);
+            let gateway = build_gateway_slots(make(), scenario, slots, Some((&assign, w)));
+            let names = Arc::clone(&names);
+            let mut agg = ReportAggregator::new();
+            let out = run_trace_partition(
+                gateway,
+                &mut part,
+                move |config_id| names[config_id % names.len()].clone(),
+                scenario.tick,
+                |seq, t| agg.observe(seq, t),
+            );
+            if let Some(e) = out.trace_error {
+                return Err(format!("trace source error: {e}"));
+            }
+            Ok((out, agg))
+        });
+
+        // Deterministic reduction, in worker-index order.
+        let mut outcomes = Vec::with_capacity(threads);
+        let mut agg = ReportAggregator::new();
+        for result in results {
+            let (out, worker_agg) = result?;
+            agg.merge(worker_agg);
+            outcomes.push(out);
+        }
+        let live_at_end: usize = outcomes
+            .iter()
+            .map(|o| o.gateway.engine().live_count())
+            .sum();
+        let background: SimDuration = outcomes
+            .iter()
+            .map(|o| o.gateway.provider().background_cost())
+            .sum();
+        let coupled = threads > 1
+            && outcomes
+                .iter()
+                .any(|o| o.gateway.provider().forced_evictions() > 0);
+        // Merge telemetry at the registry level (raw counters, histogram
+        // stripes, series) and snapshot once — unions and summaries are
+        // synthesized from the merged raw state, exactly as a sequential
+        // snapshot would. `metrics()` mirrors each gateway's internal
+        // tallies into its registry, so call it once per worker and never
+        // again after absorbing.
+        let merged = MetricsRegistry::new();
+        for out in &outcomes {
+            merged.absorb(out.gateway.metrics());
+        }
+        let mut report = agg.finish(live_at_end, background, merged.snapshot());
+        report.limits_coupled = coupled;
+        Ok(report)
+    }
 }
 
 fn replica_slots(scenario: &Scenario) -> usize {
     scenario.functions.iter().map(|f| f.replicas).sum::<usize>()
+}
+
+/// Validates that the workload produces at least one arrival (and surfaces
+/// source errors) before any gateway is built.
+fn probe_workload(scenario: &Scenario) -> Result<(), String> {
+    let mut trace = build_trace(&scenario.workload, replica_slots(scenario), scenario.seed)?;
+    if trace.peek().is_none() {
+        if let Some(e) = trace.take_error() {
+            return Err(format!("trace source error: {e}"));
+        }
+        return Err("workload generated no arrivals".to_string());
+    }
+    Ok(())
 }
 
 /// Runs a scenario end to end, streaming arrivals from the workload source —
@@ -476,25 +759,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
         return Err("workload generated no arrivals".to_string());
     }
     let trace = trace.as_mut();
-    match &scenario.provider {
-        ProviderSpec::HotC => run_streaming(HotC::with_defaults(), scenario, trace),
-        ProviderSpec::HotCFuzzy => run_streaming(
-            HotC::new(HotCConfig {
-                key_policy: KeyPolicy::Fuzzy,
-                ..Default::default()
-            }),
-            scenario,
-            trace,
-        ),
-        ProviderSpec::ColdStart => run_streaming(ColdStartAlways::new(), scenario, trace),
-        ProviderSpec::FixedKeepAlive(ttl) => {
-            run_streaming(FixedKeepAlive::new(*ttl), scenario, trace)
-        }
-        ProviderSpec::PeriodicWarmup(period) => {
-            run_streaming(PeriodicWarmup::new(*period), scenario, trace)
-        }
-        ProviderSpec::HybridKeepAlive => run_streaming(HybridKeepAlive::new(), scenario, trace),
-    }
+    dispatch_provider(&scenario.provider, 1, StreamOp { scenario, trace })
 }
 
 /// Reference implementation of [`run_scenario`] that materializes the whole
@@ -511,27 +776,35 @@ pub fn run_scenario_materialized(scenario: &Scenario) -> Result<ScenarioReport, 
     if workload.is_empty() {
         return Err("workload generated no arrivals".to_string());
     }
-    match &scenario.provider {
-        ProviderSpec::HotC => run_materialized(HotC::with_defaults(), scenario, &workload),
-        ProviderSpec::HotCFuzzy => run_materialized(
-            HotC::new(HotCConfig {
-                key_policy: KeyPolicy::Fuzzy,
-                ..Default::default()
-            }),
+    dispatch_provider(
+        &scenario.provider,
+        1,
+        MaterializedOp {
             scenario,
-            &workload,
-        ),
-        ProviderSpec::ColdStart => run_materialized(ColdStartAlways::new(), scenario, &workload),
-        ProviderSpec::FixedKeepAlive(ttl) => {
-            run_materialized(FixedKeepAlive::new(*ttl), scenario, &workload)
-        }
-        ProviderSpec::PeriodicWarmup(period) => {
-            run_materialized(PeriodicWarmup::new(*period), scenario, &workload)
-        }
-        ProviderSpec::HybridKeepAlive => {
-            run_materialized(HybridKeepAlive::new(), scenario, &workload)
-        }
-    }
+            workload: &workload,
+        },
+    )
+}
+
+/// Runs a scenario across `threads` replay workers, partitioned by runtime
+/// key, and merges the per-worker results into one report that is
+/// byte-identical (rendered text and metrics JSON) to [`run_scenario`]'s.
+///
+/// `threads == 1` routes through the same partitioned code path with a
+/// single worker owning every slot. See `DESIGN.md` §12 for the protocol
+/// and the one approximation (global pool limits, surfaced via
+/// [`ScenarioReport::limits_coupled`]).
+pub fn run_scenario_parallel(
+    scenario: &Scenario,
+    threads: usize,
+) -> Result<ScenarioReport, String> {
+    let threads = threads.max(1);
+    probe_workload(scenario)?;
+    dispatch_provider(
+        &scenario.provider,
+        threads,
+        ParallelOp { scenario, threads },
+    )
 }
 
 /// Convenience: language runtime names accepted by the scenario format (for
@@ -657,6 +930,76 @@ duration = 120s
         assert_eq!(snap.scope_total_ns("all"), total_ns);
         // Cold starts ran the runtime-init stage at least once.
         assert!(snap.stage_count("all", metrics_lite::Stage::RuntimeInit) > 0);
+    }
+
+    fn synthetic_trace(total: SimDuration) -> RequestTrace {
+        let t0 = simclock::SimTime::ZERO;
+        RequestTrace {
+            t1_gateway_in: t0,
+            t2_watchdog_in: t0,
+            t3_func_start: t0,
+            t4_func_end: t0 + total,
+            t5_watchdog_out: t0 + total,
+            t6_gateway_out: t0 + total,
+            cold: false,
+            first_exec: false,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn quantiles_are_continuous_across_the_detail_cap() {
+        let short = synthetic_trace(SimDuration::from_millis(1));
+        let long = synthetic_trace(SimDuration::from_millis(100));
+        let fill = |n: usize| {
+            let mut agg = ReportAggregator::new();
+            for i in 0..n {
+                // 10% of requests are slow, spread evenly through the stream.
+                let t = if i % 10 == 0 { &long } else { &short };
+                agg.observe(i as u64, t);
+            }
+            agg.finish(0, SimDuration::ZERO, MetricsRegistry::new().snapshot())
+        };
+        let at_cap = fill(LATENCY_DETAIL_CAP);
+        let past_cap = fill(LATENCY_DETAIL_CAP + 1);
+        // The exact series is kept up to the cap and dropped past it...
+        assert_eq!(at_cap.latencies_ms.len(), LATENCY_DETAIL_CAP);
+        assert!(past_cap.latencies_ms.is_empty());
+        // ...but the quantile estimator is the same histogram on both sides,
+        // so one extra request cannot step the reported percentiles (the old
+        // exact-to-histogram switch jumped by the bucket rounding error).
+        assert_eq!(at_cap.p50_ms, past_cap.p50_ms);
+        assert_eq!(at_cap.p99_ms, past_cap.p99_ms);
+    }
+
+    #[test]
+    fn merged_detail_obeys_the_sequential_cap_rule() {
+        let tr = synthetic_trace(SimDuration::from_millis(2));
+        let fill = |n: usize, base: u64| {
+            let mut agg = ReportAggregator::new();
+            for i in 0..n {
+                agg.observe(base + i as u64, &tr);
+            }
+            agg
+        };
+        // Two workers each under the cap, but whose union exceeds it: the
+        // merge drops the exact series exactly as one sequential aggregator
+        // fed the combined stream would.
+        let mut a = fill(LATENCY_DETAIL_CAP / 2, 0);
+        a.merge(fill(
+            LATENCY_DETAIL_CAP / 2 + 1,
+            (LATENCY_DETAIL_CAP / 2) as u64,
+        ));
+        let merged = a.finish(0, SimDuration::ZERO, MetricsRegistry::new().snapshot());
+        assert_eq!(merged.requests, LATENCY_DETAIL_CAP + 1);
+        assert!(merged.latencies_ms.is_empty());
+        // Under the cap the merged series is the full union, sorted back into
+        // global arrival order even when a later worker held earlier seqs.
+        let mut c = fill(10, 10);
+        c.merge(fill(10, 0));
+        let small = c.finish(0, SimDuration::ZERO, MetricsRegistry::new().snapshot());
+        assert_eq!(small.requests, 20);
+        assert_eq!(small.latencies_ms.len(), 20);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! seed     = 42
 //! tick     = 30s
 //! crash_rate = 0.0                # optional fault injection
+//! replay_threads = 4              # optional parallel replay workers
 //!
 //! [function qr]
 //! app     = qr-code               # qr-code | random-number | s3-download |
@@ -293,6 +294,9 @@ pub struct Scenario {
     pub tick: SimDuration,
     /// Execution crash probability (fault injection), 0.0 = off.
     pub crash_rate: f64,
+    /// Replay worker threads; `None` = sequential replay. Overridable from
+    /// the command line with `--replay-threads N`.
+    pub replay_threads: Option<usize>,
     /// Declared functions, in declaration order.
     pub functions: Vec<FunctionDecl>,
     /// The workload.
@@ -360,6 +364,7 @@ impl Scenario {
         let mut seed = 0u64;
         let mut tick = SimDuration::from_secs(30);
         let mut crash_rate = 0.0f64;
+        let mut replay_threads: Option<usize> = None;
         let mut functions: Vec<FunctionDecl> = Vec::new();
         let mut workload_kv: BTreeMap<String, (String, usize)> = BTreeMap::new();
         let mut saw_workload = false;
@@ -467,6 +472,16 @@ impl Scenario {
                             return err(line_no, "crash_rate must be in [0,1]");
                         }
                     }
+                    "replay_threads" => {
+                        let n: usize = value.parse().map_err(|_| ParseError {
+                            line: line_no,
+                            message: format!("bad replay_threads '{value}'"),
+                        })?;
+                        if n == 0 {
+                            return err(line_no, "replay_threads must be at least 1");
+                        }
+                        replay_threads = Some(n);
+                    }
                     other => return err(line_no, format!("unknown global key '{other}'")),
                 },
                 Section::Function(_) => {
@@ -515,6 +530,7 @@ impl Scenario {
             seed,
             tick,
             crash_rate,
+            replay_threads,
             functions,
             workload,
         })

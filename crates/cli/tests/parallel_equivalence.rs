@@ -1,19 +1,24 @@
-//! Property test: the streaming replay path is observationally identical to
-//! the materialized one (tentpole acceptance of the trace frontend).
+//! Property test: the partitioned parallel replay is observationally
+//! identical to the sequential one (tentpole acceptance of the parallel
+//! driver).
 //!
-//! For every `WorkloadSpec` variant — generator-backed, synthesized, and
-//! file-backed — `run_scenario` (pull-based, no full arrival vector) and
-//! `run_scenario_materialized` (drain-then-replay reference) must produce
-//! byte-identical rendered reports and byte-identical metrics JSON.
+//! For every `WorkloadSpec` variant and every provider, `run_scenario`
+//! (sequential streaming) and `run_scenario_parallel` at 1, 2, and 8 workers
+//! must produce byte-identical rendered reports and byte-identical metrics
+//! JSON. One worker routes through the same partitioned code path (spawn-free
+//! degenerate case); eight workers exceed the key-group count of the small
+//! fixtures, so some workers own zero slots and still tick to the global
+//! horizon.
 
 use containersim::{HardwareProfile, LanguageRuntime, NetworkMode};
 use hotc_cli::scenario::{FunctionDecl, ProviderSpec, WorkloadSpec};
-use hotc_cli::{run_scenario, run_scenario_materialized, Scenario};
+use hotc_cli::{run_scenario, run_scenario_parallel, Scenario};
 use simclock::SimDuration;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use stdshim::ToJson;
-use testkit::Gen;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
 
 fn decl(name: &str, app: &str, replicas: usize) -> FunctionDecl {
     FunctionDecl {
@@ -45,8 +50,8 @@ fn scenario(provider: ProviderSpec, seed: u64, workload: WorkloadSpec) -> Scenar
 /// Writes the sample file-backed traces once per test process.
 fn sample_files() -> (PathBuf, PathBuf) {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
-    let csv = dir.join("equiv_azure.csv");
-    let opendc = dir.join("equiv_opendc.trace");
+    let csv = dir.join("par_equiv_azure.csv");
+    let opendc = dir.join("par_equiv_opendc.trace");
     std::fs::write(&csv, "name,m1,m2,m3\nfn-a,5,0,9\nfn-b,2,2,2\nfn-c,0,7,1\n").expect("write csv");
     std::fs::write(
         &opendc,
@@ -145,38 +150,43 @@ fn all_variants() -> Vec<WorkloadSpec> {
     ]
 }
 
-fn assert_equivalent(sc: &Scenario, label: &str) {
-    let streamed =
-        run_scenario(sc).unwrap_or_else(|e| panic!("{label}: streaming run failed: {e}"));
-    let materialized = run_scenario_materialized(sc)
-        .unwrap_or_else(|e| panic!("{label}: materialized run failed: {e}"));
-    assert!(
-        streamed.render(true) == materialized.render(true),
-        "{label}: rendered reports differ\nstreaming:\n{}\nmaterialized:\n{}",
-        streamed.render(true),
-        materialized.render(true)
-    );
-    let sj = streamed.metrics.to_json().to_pretty_string();
-    let mj = materialized.metrics.to_json().to_pretty_string();
-    assert!(
-        sj == mj,
-        "{label}: metrics JSON differs ({} vs {} bytes)",
-        sj.len(),
-        mj.len()
-    );
-}
-
-#[test]
-fn every_workload_variant_streams_identically() {
-    for (i, workload) in all_variants().into_iter().enumerate() {
-        let sc = scenario(ProviderSpec::HotC, 42, workload);
-        assert_equivalent(&sc, &format!("variant #{i}"));
+fn assert_parallel_equivalent(sc: &Scenario, label: &str) {
+    let sequential =
+        run_scenario(sc).unwrap_or_else(|e| panic!("{label}: sequential run failed: {e}"));
+    let seq_render = sequential.render(true);
+    let seq_json = sequential.metrics.to_json().to_pretty_string();
+    for &threads in THREAD_COUNTS {
+        let parallel = run_scenario_parallel(sc, threads)
+            .unwrap_or_else(|e| panic!("{label} x{threads}: parallel run failed: {e}"));
+        assert!(
+            !parallel.limits_coupled,
+            "{label} x{threads}: pool limits fired — fixture is not limits-quiescent"
+        );
+        assert!(
+            seq_render == parallel.render(true),
+            "{label} x{threads}: rendered reports differ\nsequential:\n{seq_render}\nparallel:\n{}",
+            parallel.render(true)
+        );
+        let pj = parallel.metrics.to_json().to_pretty_string();
+        assert!(
+            seq_json == pj,
+            "{label} x{threads}: metrics JSON differs ({} vs {} bytes)",
+            seq_json.len(),
+            pj.len()
+        );
     }
 }
 
 #[test]
-fn random_scenarios_stream_identically() {
-    let variants = all_variants();
+fn every_workload_variant_replays_identically_in_parallel() {
+    for (i, workload) in all_variants().into_iter().enumerate() {
+        let sc = scenario(ProviderSpec::HotC, 42, workload);
+        assert_parallel_equivalent(&sc, &format!("variant #{i}"));
+    }
+}
+
+#[test]
+fn every_provider_replays_identically_in_parallel() {
     let providers = [
         ProviderSpec::HotC,
         ProviderSpec::HotCFuzzy,
@@ -185,44 +195,56 @@ fn random_scenarios_stream_identically() {
         ProviderSpec::PeriodicWarmup(SimDuration::from_mins(5)),
         ProviderSpec::HybridKeepAlive,
     ];
-    testkit::check(18, |g: &mut Gen| {
-        let workload = g.pick(&variants).clone();
-        let provider = g.pick(&providers).clone();
-        let seed = g.next_u64();
-        let mut sc = scenario(provider, seed, workload);
-        sc.tick = SimDuration::from_secs(*g.pick(&[15u64, 30, 60]));
-        if g.bool() {
-            sc.crash_rate = 0.2;
-        }
-        if g.bool() {
-            sc.functions = vec![decl("solo", "random-number", 5)];
-        }
-        assert_equivalent(&sc, &format!("seed {seed}"));
-    });
+    for provider in providers {
+        let label = format!("{provider:?}");
+        let sc = scenario(
+            provider,
+            7,
+            WorkloadSpec::Synth {
+                requests: 1200,
+                keys: 32,
+                duration: SimDuration::from_mins(45),
+                zipf: 1.1,
+                peak: 3.0,
+            },
+        );
+        assert_parallel_equivalent(&sc, &label);
+    }
 }
 
-/// Satellite regression: equal-timestamp arrivals from *different* merge
-/// sources replay in the same total order every run — the multi-tenant
-/// scenario is all same-instant collisions across tenants, so any ordering
-/// instability shows up as a report/metrics diff between two identical runs.
+/// Fault injection decomposes per configuration: each worker's engine draws
+/// exactly the crash decisions the sequential engine would have dealt that
+/// worker's configs, so a faulty replay is still byte-identical in parallel.
 #[test]
-fn colliding_merge_sources_replay_deterministically() {
-    let sc = scenario(
+fn crash_faults_decompose_across_workers() {
+    let mut sc = scenario(
         ProviderSpec::HotC,
-        7,
-        WorkloadSpec::MultiTenant {
-            tenants: 4,
-            requests: 600,
-            keys: 16,
-            duration: SimDuration::from_mins(20),
+        11,
+        WorkloadSpec::Poisson {
+            rate: 2.0,
+            duration: SimDuration::from_secs(300),
             zipf: 1.1,
         },
     );
-    let a = run_scenario(&sc).expect("first run");
-    let b = run_scenario(&sc).expect("second run");
-    assert_eq!(a.render(true), b.render(true));
-    assert_eq!(
-        a.metrics.to_json().to_pretty_string(),
-        b.metrics.to_json().to_pretty_string()
-    );
+    sc.crash_rate = 0.2;
+    assert_parallel_equivalent(&sc, "poisson with faults");
+}
+
+/// The three stress scenario files from `scenarios/`, with their request
+/// volumes scaled down to keep the debug-build test quick. Structure (replica
+/// counts, seeds, ticks, merge shapes) is exactly the shipped scenarios'.
+#[test]
+fn stress_scenario_files_replay_identically_in_parallel() {
+    for name in ["multi_tenant", "flash_crowd", "deploy_waves"] {
+        let path = format!("{}/../../scenarios/{name}.hotc", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let mut sc = Scenario::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        match &mut sc.workload {
+            WorkloadSpec::MultiTenant { requests, .. }
+            | WorkloadSpec::FlashCrowd { requests, .. }
+            | WorkloadSpec::DeployWaves { requests, .. } => *requests = 4000,
+            other => panic!("{name}: unexpected workload {other:?}"),
+        }
+        assert_parallel_equivalent(&sc, name);
+    }
 }

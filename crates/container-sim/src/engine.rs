@@ -158,15 +158,53 @@ struct ContainerRecord {
     running_work: Option<ExecWork>,
     // Whether the in-flight execution will crash (fault injection).
     crashing: bool,
+    // Fingerprint of `config`, cached at creation: keys this container's
+    // fault-injection stream without rehashing on every exec.
+    fault_key: u64,
 }
 
 /// Fault injection: container processes crash mid-execution with a given
 /// probability (deterministic given the seed). A crashed container cannot be
 /// reused; the pool must dispose of it.
+///
+/// Draws come from one independent deterministic stream per container
+/// configuration (keyed by a fingerprint of the config), so the crash
+/// sequence a given function sees depends only on its *own* execution order
+/// — not on how executions of other functions interleave with it. That
+/// per-config decomposition is what lets a key-partitioned parallel replay
+/// reproduce the sequential crash pattern bit-for-bit.
 #[derive(Debug, Clone)]
 struct FaultInjector {
     crash_prob: f64,
-    rng: simclock::SimRng,
+    seed: u64,
+    streams: HashMap<u64, simclock::SimRng>,
+}
+
+impl FaultInjector {
+    /// Rolls the next crash decision on `key`'s stream: `Some(fraction)` if
+    /// this execution crashes (at that uniform point of its runtime).
+    fn roll(&mut self, key: u64) -> Option<f64> {
+        let seed = self.seed;
+        let rng = self
+            .streams
+            .entry(key)
+            .or_insert_with(|| simclock::SimRng::seeded(seed ^ key.rotate_left(17)));
+        if rng.chance(self.crash_prob) {
+            Some(rng.unit().max(0.05))
+        } else {
+            None
+        }
+    }
+}
+
+/// Stable fingerprint of a container configuration, used to key fault
+/// streams. `ContainerConfig` hashes canonically (its env is a sorted map),
+/// so equal configs always share a stream.
+fn config_fingerprint(config: &ContainerConfig) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = stdshim::FastHasher::default();
+    config.hash(&mut h);
+    h.finish()
 }
 
 /// The simulated container daemon for one host.
@@ -247,7 +285,8 @@ impl ContainerEngine {
         );
         self.faults = Some(FaultInjector {
             crash_prob,
-            rng: simclock::SimRng::seeded(seed),
+            seed,
+            streams: HashMap::new(),
         });
     }
 
@@ -330,6 +369,7 @@ impl ContainerEngine {
         self.containers.insert(
             id,
             ContainerRecord {
+                fault_key: config_fingerprint(&config),
                 config,
                 state: ContainerState::Idle,
                 volume,
@@ -399,13 +439,14 @@ impl ContainerEngine {
         };
         let mut latency = compute + rec.config.network.mode.per_request_overhead();
 
-        // Fault injection: the process may crash partway through.
+        // Fault injection: the process may crash partway through, at a
+        // uniformly random point of the execution drawn from this config's
+        // own deterministic stream.
         let mut crashed = false;
         if let Some(faults) = &mut self.faults {
-            if faults.rng.chance(faults.crash_prob) {
+            if let Some(fraction) = faults.roll(rec.fault_key) {
                 crashed = true;
-                // Crash at a uniformly random point of the execution.
-                latency = latency.mul_f64(faults.rng.unit().max(0.05));
+                latency = latency.mul_f64(fraction);
             }
         }
         init_latency = init_latency.min(latency);

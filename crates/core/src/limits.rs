@@ -61,6 +61,17 @@ impl PoolLimits {
         self.enforce_sharded(pool.sharded(), &ExclusiveEngine::new(engine), now)
     }
 
+    /// [`Self::enforce`], also reporting how many containers were evicted —
+    /// see [`Self::enforce_sharded_counted`].
+    pub fn enforce_counted(
+        &self,
+        pool: &mut ContainerPool,
+        engine: &mut ContainerEngine,
+        now: SimTime,
+    ) -> Result<(SimDuration, usize), EngineError> {
+        self.enforce_sharded_counted(pool.sharded(), &ExclusiveEngine::new(engine), now)
+    }
+
     /// Sharded variant of [`Self::violated`]. Reads the pool's live count
     /// (one shard lock at a time) and the host memory pressure (engine lock)
     /// sequentially — the two locks are never nested.

@@ -50,6 +50,7 @@ pub struct HotC {
     limits: PoolLimits,
     disable_prediction: bool,
     background: SimDuration,
+    forced_evictions: u64,
 }
 
 impl HotC {
@@ -61,6 +62,7 @@ impl HotC {
             limits: config.limits,
             disable_prediction: config.disable_prediction,
             background: SimDuration::ZERO,
+            forced_evictions: 0,
         }
     }
 
@@ -96,7 +98,9 @@ impl RuntimeProvider for HotC {
         let acq = self.pool.acquire(engine, config, now)?;
         if acq.cold {
             // A cold start may have pushed the pool over its limits.
-            self.background += self.limits.enforce(&mut self.pool, engine, now)?;
+            let (cost, evicted) = self.limits.enforce_counted(&mut self.pool, engine, now)?;
+            self.background += cost;
+            self.forced_evictions += evicted as u64;
         }
         Ok(acq)
     }
@@ -115,7 +119,9 @@ impl RuntimeProvider for HotC {
         if !self.disable_prediction {
             self.controller.maybe_step(&mut self.pool, engine, now)?;
         }
-        self.background += self.limits.enforce(&mut self.pool, engine, now)?;
+        let (cost, evicted) = self.limits.enforce_counted(&mut self.pool, engine, now)?;
+        self.background += cost;
+        self.forced_evictions += evicted as u64;
         Ok(())
     }
 
@@ -125,6 +131,10 @@ impl RuntimeProvider for HotC {
 
     fn background_cost(&self) -> SimDuration {
         self.background + self.controller.background_cost()
+    }
+
+    fn forced_evictions(&self) -> u64 {
+        self.forced_evictions
     }
 }
 

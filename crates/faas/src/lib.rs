@@ -132,4 +132,13 @@ pub trait RuntimeProvider {
     /// Cumulative virtual time this provider has spent on background work
     /// (cleanup, pre-warming, eviction) — the overhead side of the ledger.
     fn background_cost(&self) -> SimDuration;
+
+    /// How many containers resource limits have force-evicted so far. Zero
+    /// for providers without global limits. The parallel replay driver uses
+    /// this to detect when per-worker limit enforcement actually fired —
+    /// the one place where a partitioned replay approximates (rather than
+    /// reproduces) the sequential run.
+    fn forced_evictions(&self) -> u64 {
+        0
+    }
 }

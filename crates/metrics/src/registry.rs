@@ -125,6 +125,19 @@ impl SharedHistogram {
         }
         out
     }
+
+    /// Folds every sample recorded in `other` into this histogram (into
+    /// stripe 0). A reduction-time operation for merging per-worker
+    /// registries, not a hot path; `other` is read out fully before this
+    /// histogram's stripe lock is taken, so no two stripe locks are ever
+    /// held at once.
+    pub fn absorb(&self, other: &SharedHistogram) {
+        let merged = other.merged();
+        let stripe = self.stripes[0]
+            .0
+            .get_or_init(|| Mutex::labeled(LatencyHistogram::new(), "metrics/stripe"));
+        stripe.lock().merge(&merged);
+    }
 }
 
 /// Per-scope stage histograms: one [`LatencyHistogram`] per [`Stage`] plus
@@ -189,6 +202,23 @@ impl StageSet {
     pub fn merged_all(&self) -> Vec<(Stage, LatencyHistogram)> {
         Stage::ALL.iter().map(|&s| (s, self.merged(s))).collect()
     }
+
+    /// Folds every sample recorded in `other` into this stage set (into
+    /// stripe 0), including the totals slot. Reduction-time only; `other`
+    /// is read out fully before this set's stripe lock is taken.
+    pub fn absorb(&self, other: &StageSet) {
+        let merged: Vec<LatencyHistogram> = (0..=N_STAGES).map(|i| other.merged_index(i)).collect();
+        let stripe = self.stripes[0].0.get_or_init(|| {
+            Mutex::labeled(
+                Box::new(std::array::from_fn(|_| LatencyHistogram::new())),
+                "metrics/stripe",
+            )
+        });
+        let mut hists = stripe.lock();
+        for (slot, m) in hists.iter_mut().zip(merged.iter()) {
+            slot.merge(m);
+        }
+    }
 }
 
 /// The named-metric registry.
@@ -248,6 +278,36 @@ impl Default for MetricsRegistry {
             member_unions: Mutex::labeled(HashMap::new(), "metrics/member-unions"),
         }
     }
+}
+
+/// Two-pointer merge of time series: points at equal instants sum (two
+/// workers sampling the same quantity at the same tick), distinct instants
+/// interleave in time order.
+fn merge_series(a: &TimeSeries, b: &TimeSeries) -> TimeSeries {
+    let (pa, pb) = (a.points(), b.points());
+    let mut out = TimeSeries::new();
+    let (mut i, mut j) = (0, 0);
+    while i < pa.len() && j < pb.len() {
+        let ((ta, va), (tb, vb)) = (pa[i], pb[j]);
+        if ta == tb {
+            out.push(ta, va + vb);
+            i += 1;
+            j += 1;
+        } else if ta < tb {
+            out.push(ta, va);
+            i += 1;
+        } else {
+            out.push(tb, vb);
+            j += 1;
+        }
+    }
+    for &(t, v) in &pa[i..] {
+        out.push(t, v);
+    }
+    for &(t, v) in &pb[j..] {
+        out.push(t, v);
+    }
+    out
 }
 
 fn get_or_create<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -317,6 +377,81 @@ impl MetricsRegistry {
         let mut unions = self.histogram_unions.lock();
         if !unions.iter().any(|(n, p)| n == name && p == member_prefix) {
             unions.push((name.to_string(), member_prefix.to_string()));
+        }
+    }
+
+    /// Folds every metric recorded in `other` into this registry: counters
+    /// add, gauges sum, histograms and stage sets merge sample-for-sample,
+    /// time series merge by timestamp (values at equal instants sum), and
+    /// union declarations carry over (deduplicated, like re-declaring them).
+    ///
+    /// This is the deterministic reduction step for per-worker replay
+    /// registries. Every fold is commutative and associative, union scopes
+    /// are synthesized from the merged raw scopes at snapshot time (never
+    /// absorbed pre-synthesized, which would double-count), and snapshots
+    /// sort by name — so absorbing worker registries in any order yields
+    /// the same snapshot. `other` is read out completely before any of this
+    /// registry's locks are taken, so absorb never holds same-class locks
+    /// from two registries at once.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        let counters = other.counters_snapshot();
+        let gauges = other.gauges_snapshot();
+        let histograms: Vec<(String, Arc<SharedHistogram>)> = {
+            let map = other.histograms.read();
+            let mut v: Vec<_> = map
+                .iter()
+                .map(|(k, h)| (k.clone(), Arc::clone(h)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let stages: Vec<(String, Arc<StageSet>)> = {
+            let map = other.stages.read();
+            let mut v: Vec<_> = map
+                .iter()
+                .map(|(k, s)| (k.clone(), Arc::clone(s)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let series_list = other.series_snapshot();
+        let stage_unions = other.stage_unions.lock().clone();
+        let histogram_unions = other.histogram_unions.lock().clone();
+        let member_unions: Vec<(String, String)> = {
+            let map = other.member_unions.lock();
+            let mut v: Vec<_> = map.iter().map(|(m, s)| (m.clone(), s.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+
+        for (name, v) in counters {
+            self.counter(&name).add(v);
+        }
+        for (name, v) in gauges {
+            let g = self.gauge(&name);
+            g.set(g.get() + v);
+        }
+        for (name, h) in histograms {
+            self.histogram(&name).absorb(&h);
+        }
+        for (scope, set) in stages {
+            self.stage_set(&scope).absorb(&set);
+        }
+        {
+            let mut series = self.series.lock();
+            for (name, other_ts) in series_list {
+                let entry = series.entry(name).or_default();
+                *entry = merge_series(entry, &other_ts);
+            }
+        }
+        for (scope, prefix) in stage_unions {
+            self.stage_union(&scope, &prefix);
+        }
+        for (name, prefix) in histogram_unions {
+            self.histogram_union(&name, &prefix);
+        }
+        for (member, scope) in member_unions {
+            self.stage_union_member(&scope, &member);
         }
     }
 
@@ -439,6 +574,7 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stdshim::ToJson;
 
     #[test]
     fn counters_and_gauges_are_named_and_shared() {
@@ -608,6 +744,74 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.stage_count("key/go", Stage::Exec), 1);
         assert_eq!(snap.stage_count("key/py", Stage::Exec), 1);
+    }
+
+    /// Absorbing per-worker registries reproduces the snapshot of one
+    /// registry that recorded everything itself — the property the parallel
+    /// replay reduction depends on.
+    #[test]
+    fn absorb_equals_single_registry_recording() {
+        let combined = MetricsRegistry::new();
+        let workers: Vec<MetricsRegistry> = (0..3).map(|_| MetricsRegistry::new()).collect();
+        for reg in workers.iter().chain([&combined]) {
+            reg.stage_union("all", "fn/");
+            reg.histogram_union("gateway/e2e", "fn/");
+        }
+
+        // Worker w records fn/w-scoped samples plus shared counters/series.
+        for (w, reg) in workers.iter().enumerate() {
+            reg.counter("gateway/requests").add(10 + w as u64);
+            reg.gauge("load").set(0.5);
+            let mut s = StageSample::new();
+            s.set(Stage::Exec, SimDuration::from_millis(1 + w as u64));
+            let scope = format!("fn/{w}");
+            reg.stage_set(&scope).record(&s);
+            reg.stage_union_member("key/k", &scope);
+            reg.histogram("lat")
+                .record(SimDuration::from_micros(7 * (w as u64 + 1)));
+            reg.sample_series("pool/live", SimTime::from_secs(30), w as f64);
+            reg.sample_series("pool/live", SimTime::from_secs(60), 1.0);
+
+            combined.counter("gateway/requests").add(10 + w as u64);
+            let g = combined.gauge("load");
+            g.set(g.get() + 0.5);
+            combined.stage_set(&scope).record(&s);
+            combined.stage_union_member("key/k", &scope);
+            combined
+                .histogram("lat")
+                .record(SimDuration::from_micros(7 * (w as u64 + 1)));
+        }
+        combined.sample_series("pool/live", SimTime::from_secs(30), 0.0 + 1.0 + 2.0);
+        combined.sample_series("pool/live", SimTime::from_secs(60), 3.0);
+
+        let target = MetricsRegistry::new();
+        for w in &workers {
+            target.absorb(w);
+        }
+        assert_eq!(
+            target.snapshot().to_json().to_pretty_string(),
+            combined.snapshot().to_json().to_pretty_string()
+        );
+    }
+
+    #[test]
+    fn absorb_merges_series_at_distinct_instants() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.sample_series("s", SimTime::from_secs(10), 1.0);
+        a.sample_series("s", SimTime::from_secs(30), 2.0);
+        b.sample_series("s", SimTime::from_secs(20), 5.0);
+        b.sample_series("s", SimTime::from_secs(30), 7.0);
+        a.absorb(&b);
+        let series = a.series_snapshot();
+        assert_eq!(
+            series[0].1.points(),
+            &[
+                (SimTime::from_secs(10), 1.0),
+                (SimTime::from_secs(20), 5.0),
+                (SimTime::from_secs(30), 9.0),
+            ]
+        );
     }
 
     #[test]

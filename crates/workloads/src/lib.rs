@@ -34,7 +34,7 @@ pub use patterns::{
 };
 pub use trace::{
     azure_csv_trace, azure_trace, drain, multi_tenant_trace, synth_trace, ConfigModulo, MergeTrace,
-    OpenDcTrace, SynthShape, SynthSpec, Trace, VecTrace, ZipfSampler,
+    OpenDcTrace, PartitionTrace, SynthShape, SynthSpec, Trace, VecTrace, ZipfSampler,
 };
 pub use youtube::{youtube_trace, YoutubeTraceParams};
 

@@ -616,6 +616,121 @@ impl<T: Trace> Trace for ConfigModulo<T> {
     }
 }
 
+/// Restricts a trace to the arrivals one parallel replay worker owns, while
+/// tracking enough global state for the worker to stay on the sequential
+/// driver's schedule.
+///
+/// `assign` maps each *slot* (`config_id % assign.len()`, the same fold the
+/// CLI route applies) to a worker index; arrivals owned by other workers are
+/// consumed and discarded. Two global facts survive the filtering:
+///
+/// * [`PartitionTrace::next_indexed`] yields each arrival together with its
+///   index in the *underlying* stream, so per-request sequence numbers (and
+///   therefore finish tie-breaking and detail ordering) match the sequential
+///   driver exactly;
+/// * [`PartitionTrace::horizon_basis`] reports the timestamp of the last
+///   arrival consumed from the underlying stream. Once this partition is
+///   exhausted the whole underlying stream has been drained, so every worker
+///   — including ones that own no arrivals at all — derives the *same* tick
+///   horizon the sequential driver would.
+///
+/// Error semantics are as loud as the rest of the module: `take_error`
+/// passes straight through, so a partition over a corrupt file source fails
+/// the replay exactly like the sequential path does.
+pub struct PartitionTrace<T> {
+    inner: T,
+    assign: std::sync::Arc<Vec<usize>>,
+    worker: usize,
+    /// Next owned arrival plus its global (underlying-stream) index.
+    head: Option<(Arrival, u64)>,
+    /// Global index of the next arrival pulled from `inner`.
+    next_index: u64,
+    /// Timestamp of the last arrival consumed from `inner` (any worker).
+    underlying_last_at: Option<SimTime>,
+}
+
+impl<T: Trace> PartitionTrace<T> {
+    /// Wraps `inner` as worker `worker`'s slice of the stream. `assign` maps
+    /// slot index to worker index and must be non-empty.
+    pub fn new(inner: T, assign: std::sync::Arc<Vec<usize>>, worker: usize) -> PartitionTrace<T> {
+        assert!(!assign.is_empty(), "slot assignment must be non-empty");
+        PartitionTrace {
+            inner,
+            assign,
+            worker,
+            head: None,
+            next_index: 0,
+            underlying_last_at: None,
+        }
+    }
+
+    fn fill(&mut self) {
+        if self.head.is_some() {
+            return;
+        }
+        while let Some(a) = self.inner.next_arrival() {
+            let idx = self.next_index;
+            self.next_index += 1;
+            self.underlying_last_at = Some(a.at);
+            if self.assign[a.config_id % self.assign.len()] == self.worker {
+                self.head = Some((a, idx));
+                return;
+            }
+        }
+    }
+
+    /// Pulls the next owned arrival together with its global index in the
+    /// underlying stream.
+    pub fn next_indexed(&mut self) -> Option<(Arrival, u64)> {
+        self.fill();
+        self.head.take()
+    }
+
+    /// Timestamp of the last arrival consumed from the underlying stream,
+    /// `None` if the stream was empty (or nothing has been pulled yet).
+    /// Final — i.e. the global last-arrival time — once `peek` returns
+    /// `None`, which is exactly when the replay driver asks for it.
+    pub fn horizon_basis(&self) -> Option<SimTime> {
+        self.underlying_last_at
+    }
+}
+
+impl<T: Trace> Trace for PartitionTrace<T> {
+    fn peek(&mut self) -> Option<Arrival> {
+        self.fill();
+        self.head.map(|(a, _)| a)
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.next_indexed().map(|(a, _)| a)
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        // Ownership of unread arrivals is unknown until they are pulled.
+        let buffered = self.head.is_some() as u64;
+        let (_, hi) = self.inner.remaining_hint();
+        (buffered, hi.map(|h| h.saturating_add(buffered)))
+    }
+    fn take_error(&mut self) -> Option<String> {
+        self.inner.take_error()
+    }
+}
+
+/// Boxed traces forward to their contents, so `PartitionTrace<Box<dyn
+/// Trace>>` (how the CLI partitions a freshly built workload) just works.
+impl<T: Trace + ?Sized> Trace for Box<T> {
+    fn peek(&mut self) -> Option<Arrival> {
+        (**self).peek()
+    }
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        (**self).next_arrival()
+    }
+    fn remaining_hint(&self) -> (u64, Option<u64>) {
+        (**self).remaining_hint()
+    }
+    fn take_error(&mut self) -> Option<String> {
+        (**self).take_error()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Azure population adapter: per-function lazy sources + merge.
 // ---------------------------------------------------------------------------
@@ -1702,5 +1817,80 @@ mod tests {
         assert_eq!(t.remaining_hint(), (4, Some(4)));
         assert_eq!(drain(&mut t), w);
         assert_eq!(t.remaining_hint(), (0, Some(0)));
+    }
+
+    fn partition_fixture() -> Vec<Arrival> {
+        // config_ids 0..5 folded onto 3 slots: slot = config_id % 3.
+        (0..12u64)
+            .map(|i| Arrival {
+                at: SimTime::from_millis(100 * i),
+                config_id: (i as usize * 7 + 1) % 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_cover_stream_with_global_indices() {
+        let items = partition_fixture();
+        let assign = std::sync::Arc::new(vec![0usize, 1, 0]); // 3 slots, 2 workers
+        let mut seen: Vec<(u64, Arrival)> = Vec::new();
+        for w in 0..2 {
+            let mut part = PartitionTrace::new(
+                VecTrace::new(items.clone()),
+                std::sync::Arc::clone(&assign),
+                w,
+            );
+            while let Some((a, idx)) = part.next_indexed() {
+                assert_eq!(
+                    assign[a.config_id % assign.len()],
+                    w,
+                    "worker {w} received a foreign arrival"
+                );
+                seen.push((idx, a));
+            }
+            // Exhausting any partition drains the underlying stream, so every
+            // worker reports the same (global) horizon basis.
+            assert_eq!(part.horizon_basis(), Some(items[items.len() - 1].at));
+            assert_eq!(part.peek(), None, "partition stays fused after end");
+        }
+        // Union of partitions is the underlying stream, and the global index
+        // of each arrival is its position in that stream.
+        seen.sort_by_key(|(idx, _)| *idx);
+        let indices: Vec<u64> = seen.iter().map(|(idx, _)| *idx).collect();
+        assert_eq!(indices, (0..items.len() as u64).collect::<Vec<_>>());
+        let merged: Vec<Arrival> = seen.into_iter().map(|(_, a)| a).collect();
+        assert_eq!(merged, items);
+    }
+
+    #[test]
+    fn empty_partition_still_sees_global_horizon() {
+        let items = partition_fixture();
+        // Worker 2 owns no slots at all.
+        let assign = std::sync::Arc::new(vec![0usize, 1, 0]);
+        let mut part = PartitionTrace::new(VecTrace::new(items.clone()), assign, 2);
+        assert_eq!(part.horizon_basis(), None, "nothing pulled yet");
+        assert_eq!(part.next_indexed(), None);
+        assert_eq!(part.horizon_basis(), Some(items[items.len() - 1].at));
+    }
+
+    #[test]
+    fn partition_of_empty_trace_has_no_basis() {
+        let assign = std::sync::Arc::new(vec![0usize]);
+        let mut part = PartitionTrace::new(VecTrace::new(Vec::new()), assign, 0);
+        assert_eq!(part.next_indexed(), None);
+        assert_eq!(part.horizon_basis(), None);
+    }
+
+    #[test]
+    fn partition_passes_file_errors_through() {
+        let csv = "100,alpha\n50,beta\n";
+        let assign = std::sync::Arc::new(vec![0usize]);
+        let mut part = PartitionTrace::new(OpenDcTrace::new(csv.as_bytes()), assign, 0);
+        let _ = drain(&mut part);
+        let err = part.take_error();
+        assert!(
+            err.as_deref().is_some_and(|e| e.contains("line 2")),
+            "{err:?}"
+        );
     }
 }
